@@ -1,0 +1,595 @@
+(* The reproduction harness: regenerates every figure of the paper's
+   evaluation (Figures 1-7 of "The Use of Petri Nets for Modeling
+   Pipelined Processors", plus the Section 4.4 verification queries),
+   then runs the ablations called out in DESIGN.md and a set of Bechamel
+   engine microbenchmarks.
+
+   Absolute counts cannot match the paper bit-for-bit (its PRNG and seeds
+   are unspecified); EXPERIMENTS.md records the shape comparison this
+   harness prints. *)
+
+module Net = Pnut_core.Net
+module Config = Pnut_pipeline.Config
+module Model = Pnut_pipeline.Model
+module Interpreted = Pnut_pipeline.Interpreted
+module Extensions = Pnut_pipeline.Extensions
+module Sim = Pnut_sim.Simulator
+module Stat = Pnut_stat.Stat
+module Trace = Pnut_trace.Trace
+module Signal = Pnut_tracer.Signal
+module Waveform = Pnut_tracer.Waveform
+module Query = Pnut_tracer.Query
+module Parser = Pnut_lang.Parser
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n\n"
+    (String.make 74 '=') title (String.make 74 '=')
+
+let default = Config.default
+
+let stats ?(seed = 42) ?(until = 10_000.0) net =
+  let sink, get = Stat.sink () in
+  let _ = Sim.simulate ~seed ~until ~sink net in
+  get ()
+
+(* The reference run shared by Figures 5-7: the paper's parameters,
+   10000 cycles. *)
+let reference_trace = lazy (fst (Sim.trace ~seed:42 ~until:10_000.0 (Model.full default)))
+let reference_stats = lazy (Stat.of_trace (Lazy.force reference_trace))
+
+(* -- Figures 1-4: the models themselves -- *)
+
+let figure_1_to_3 () =
+  section "Figures 1-3: the 3-stage pipeline model (textual form)";
+  let net = Model.full default in
+  Format.printf "%a@." Net.pp net;
+  let diags = Pnut_core.Validate.check net in
+  Printf.printf "validate: %d diagnostics\n" (List.length diags);
+  let inc = Pnut_core.Incidence.of_net net in
+  Printf.printf "P-invariants (structural correctness of the figures):\n";
+  List.iter
+    (fun y ->
+      Format.printf "  %a = constant@." (Pnut_core.Incidence.pp_vector net `Place) y)
+    (Pnut_core.Incidence.p_invariants inc);
+  let g = Pnut_reach.Graph.build ~max_states:20_000 net in
+  Format.printf "%a@." Pnut_reach.Graph.pp_summary g
+
+let figure_4 () =
+  section "Figure 4: interpreted net for operand fetching";
+  let net = Interpreted.operand_fetch_skeleton default in
+  (* print without the bulky selection table *)
+  Array.iter
+    (fun tr ->
+      Format.printf "transition %s" tr.Net.t_name;
+      (match tr.Net.t_predicate with
+      | Some p -> Format.printf "  predicate %a" Pnut_core.Expr.pp p
+      | None -> ());
+      List.iter
+        (fun s -> Format.printf "  action %a" Pnut_core.Expr.pp_stmt s)
+        tr.Net.t_action;
+      Format.printf "@.")
+    (Net.transitions net);
+  let r = stats ~seed:8 ~until:5000.0 net in
+  Printf.printf
+    "\nskeleton run: %.3f fetches per decoded instruction (expected ~0.4)\n"
+    (float_of_int (Stat.transition r "fetch_operand").Stat.ts_starts
+    /. float_of_int (Stat.transition r "Decode").Stat.ts_starts)
+
+(* -- Figure 5: the statistics report -- *)
+
+(* Paper values from the Figure-5 report (10000 cycles). *)
+let paper_event_stats =
+  [
+    (* name, avg concurrent firings, throughput *)
+    ("Issue", 0.0, 0.1238);
+    ("exec_type_1", 0.0618, 0.0618);
+    ("exec_type_2", 0.0752, 0.0376);
+    ("exec_type_3", 0.0631, 0.0126);
+    ("exec_type_4", 0.059, 0.0059);
+    ("exec_type_5", 0.29, 0.0058);
+  ]
+
+let paper_place_stats =
+  [
+    ("Full_I_buffers", 4.621);
+    ("Empty_I_buffers", 0.7576);
+    ("pre_fetching", 0.3107);
+    ("fetching", 0.2275);
+    ("storing", 0.12);
+    ("Bus_busy", 0.6582);
+    ("Decoder_ready", 0.0014);
+    ("Execution_unit", 0.2739);
+    ("ready_to_issue_instruction", 0.5022);
+  ]
+
+let figure_5 () =
+  section "Figure 5: performance statistics report (10000 cycles, seed 42)";
+  let r = Lazy.force reference_stats in
+  print_string (Stat.render r);
+  Printf.printf "\nPaper-vs-measured comparison (shape):\n";
+  Printf.printf "  %-28s %10s %10s %8s\n" "metric" "paper" "measured" "ratio";
+  let row name paper measured =
+    Printf.printf "  %-28s %10.4f %10.4f %8.2f\n" name paper measured
+      (if paper = 0.0 then Float.nan else measured /. paper)
+  in
+  List.iter
+    (fun (name, _, paper_thr) ->
+      row (name ^ " throughput") paper_thr (Stat.throughput r name))
+    paper_event_stats;
+  List.iter
+    (fun (name, paper_avg) ->
+      row (name ^ " avg tokens") paper_avg (Stat.utilization r name))
+    paper_place_stats;
+  (* the derived readings of Section 4.2 *)
+  Printf.printf "\nSection 4.2 readings:\n";
+  Printf.printf "  instruction processing rate = Issue throughput = %.4f/cycle\n"
+    (Stat.throughput r "Issue");
+  Printf.printf "  bus utilization             = avg(Bus_busy)    = %.4f\n"
+    (Stat.utilization r "Bus_busy");
+  Printf.printf "  bus breakdown: prefetch %.4f + operand %.4f + store %.4f = %.4f\n"
+    (Stat.utilization r "pre_fetching")
+    (Stat.utilization r "fetching")
+    (Stat.utilization r "storing")
+    (Stat.utilization r "pre_fetching"
+    +. Stat.utilization r "fetching"
+    +. Stat.utilization r "storing")
+
+(* -- Figure 6: animation -- *)
+
+let figure_6 () =
+  section "Figure 6: animation of the pipeline model (first events)";
+  let net = Model.full default in
+  let trace, _ = Sim.trace ~seed:42 ~max_events:4 net in
+  let frames =
+    Pnut_anim.Animator.frames
+      ~places:
+        [ "Bus_free"; "Bus_busy"; "Empty_I_buffers"; "Full_I_buffers";
+          "pre_fetching"; "Decoder_ready" ]
+      net trace
+  in
+  List.iteri
+    (fun i f ->
+      if i < 6 then begin
+        print_string f.Pnut_anim.Animator.f_text;
+        print_endline "----------------------------------------"
+      end)
+    frames;
+  Printf.printf "(%d frames total)\n" (List.length frames)
+
+(* -- Figure 7: tracertool -- *)
+
+let figure_7 () =
+  section "Figure 7: timing analysis using tracertool (cycles 0-150)";
+  let trace = Lazy.force reference_trace in
+  let exec_sum =
+    Signal.Fun
+      ( "all_exec",
+        List.fold_left
+          (fun acc name -> Pnut_core.Expr.(acc + var name))
+          (Pnut_core.Expr.int 0)
+          (Model.exec_transition_names default) )
+  in
+  let signals =
+    [ Signal.Place "Bus_busy"; Signal.Place "pre_fetching";
+      Signal.Place "fetching"; Signal.Place "storing";
+      Signal.Transition "exec_type_1"; Signal.Transition "exec_type_2";
+      Signal.Transition "exec_type_3"; Signal.Transition "exec_type_4";
+      Signal.Transition "exec_type_5"; exec_sum;
+      Signal.Place "Empty_I_buffers" ]
+  in
+  print_string
+    (Waveform.render ~from_time:0.0 ~to_time:150.0
+       ~markers:
+         [ { Waveform.m_label = "O"; m_time = 54.0 };
+           { Waveform.m_label = "X"; m_time = 94.0 } ]
+       trace signals)
+
+(* -- Section 4.4: verification queries -- *)
+
+let section_4_4 () =
+  section "Section 4.4: trace verification queries";
+  let trace = Lazy.force reference_trace in
+  List.iter
+    (fun q ->
+      let result = Query.eval trace (Parser.parse_query q) in
+      Format.printf "  %-72s %a@." q Query.pp_result result)
+    [
+      "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]";
+      "exists s in (S - {#0}) [ Empty_I_buffers(s) = 6 ]";
+      "exists s in S [ exec_type_5(s) > 0 ]";
+      "forall s in {s' in S | Bus_busy(s') > 0} [ inev(s, Bus_free > 0, true) ]";
+    ];
+  (* and the branching-time version on the reachability graph *)
+  let net = Model.full default in
+  let g = Pnut_reach.Graph.build ~max_states:20_000 net in
+  let inev_free =
+    Pnut_reach.Ctl.AG
+      (Pnut_reach.Ctl.Implies
+         ( Pnut_reach.Ctl.Atom (Parser.parse_expr "Bus_busy == 1"),
+           Pnut_reach.Ctl.inev (Pnut_reach.Ctl.Atom (Parser.parse_expr "Bus_free == 1")) ))
+  in
+  Printf.printf "  reachability analyzer: AG (Bus_busy -> inev Bus_free) = %b (proof)\n"
+    (Pnut_reach.Ctl.check g inev_free)
+
+(* -- Ablation A1: firing vs enabling time -- *)
+
+module B = Net.Builder
+
+(* Rebuild a net with every enabling delay turned into a firing delay. *)
+let enabling_to_firing net =
+  let b =
+    B.create (Net.name net ^ "_firing") ~variables:(Net.variables net)
+      ~tables:(Net.tables net)
+  in
+  Array.iter
+    (fun p ->
+      ignore
+        (match p.Net.p_capacity with
+        | Some c ->
+          B.add_place b p.Net.p_name ~initial:p.Net.p_initial ~capacity:c
+        | None -> B.add_place b p.Net.p_name ~initial:p.Net.p_initial
+          : Net.place_id))
+    (Net.places net);
+  Array.iter
+    (fun tr ->
+      let arcs l = List.map (fun a -> (a.Net.a_place, a.Net.a_weight)) l in
+      let firing, enabling =
+        match tr.Net.t_enabling with
+        | Net.Zero -> (tr.Net.t_firing, Net.Zero)
+        | d -> (d, Net.Zero)  (* swap: the delay becomes a firing time *)
+      in
+      ignore
+        (match tr.Net.t_predicate with
+        | Some p ->
+          B.add_transition b tr.Net.t_name ~inputs:(arcs tr.Net.t_inputs)
+            ~inhibitors:(arcs tr.Net.t_inhibitors)
+            ~outputs:(arcs tr.Net.t_outputs) ~firing ~enabling
+            ~frequency:tr.Net.t_frequency ~predicate:p ~action:tr.Net.t_action
+        | None ->
+          B.add_transition b tr.Net.t_name ~inputs:(arcs tr.Net.t_inputs)
+            ~inhibitors:(arcs tr.Net.t_inhibitors)
+            ~outputs:(arcs tr.Net.t_outputs) ~firing ~enabling
+            ~frequency:tr.Net.t_frequency ~action:tr.Net.t_action
+          : Net.transition_id))
+    (Net.transitions net);
+  B.build b
+
+let ablation_firing_vs_enabling () =
+  section "Ablation A1: firing time vs enabling time (Section 4.2 subtlety)";
+  let enabling_model = Model.full default in
+  let firing_model = enabling_to_firing enabling_model in
+  let re = stats ~seed:42 enabling_model in
+  let rf = stats ~seed:42 firing_model in
+  Printf.printf
+    "Memory delays as ENABLING times (tokens stay visible during access):\n";
+  Printf.printf "  Issue throughput %.4f, Bus_busy reading %.4f\n"
+    (Stat.throughput re "Issue") (Stat.utilization re "Bus_busy");
+  Printf.printf
+    "Memory delays as FIRING times (tokens vanish during access):\n";
+  Printf.printf "  Issue throughput %.4f, Bus_busy reading %.4f  <- misreads!\n"
+    (Stat.throughput rf "Issue") (Stat.utilization rf "Bus_busy");
+  Printf.printf
+    "\nThe throughputs stay in the same regime (the delays are identical)\n\
+     but the firing-time version breaks the Bus_free+Bus_busy=1 discipline,\n\
+     so the place average no longer reads as utilization — the paper's\n\
+     reason for requiring instantaneous bus hand-offs.\n";
+  let trace, _ = Sim.trace ~seed:1 ~until:1000.0 firing_model in
+  let q = Parser.parse_query "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]" in
+  Format.printf "  one-hot query on the firing-time variant: %a@."
+    Query.pp_result (Query.eval trace q)
+
+(* -- Ablation A2: memory speed -- *)
+
+let ablation_memory_speed () =
+  section "Ablation A2: memory speed vs performance (intro motivation)";
+  Printf.printf "  %10s %12s %10s %10s\n" "mem cycles" "instr/cycle" "bus util" "buf avg";
+  List.iter
+    (fun memory_cycles ->
+      let r = stats ~until:20_000.0 (Model.full { default with Config.memory_cycles }) in
+      Printf.printf "  %10g %12.4f %10.3f %10.3f\n" memory_cycles
+        (Stat.throughput r "Issue")
+        (Stat.utilization r "Bus_busy")
+        (Stat.utilization r "Full_I_buffers"))
+    [ 1.0; 2.0; 3.0; 5.0; 8.0; 12.0; 20.0 ]
+
+(* -- Ablation A3: buffer size -- *)
+
+let ablation_buffer_size () =
+  section "Ablation A3: instruction-buffer size";
+  Printf.printf "  %6s %12s %12s\n" "words" "instr/cycle" "decoder idle";
+  List.iter
+    (fun buffer_words ->
+      let r = stats ~until:20_000.0 (Model.full { default with Config.buffer_words }) in
+      Printf.printf "  %6d %12.4f %12.4f\n" buffer_words
+        (Stat.throughput r "Issue")
+        (Stat.utilization r "Decoder_ready"))
+    [ 2; 4; 6; 8; 12 ]
+
+(* -- Ablation A4: caches -- *)
+
+let ablation_cache () =
+  section "Ablation A4: cache hit ratios (Section 3)";
+  Printf.printf "  %6s %12s %10s\n" "hit" "instr/cycle" "bus util";
+  List.iter
+    (fun h ->
+      let net =
+        Extensions.with_caches ~icache_hit_ratio:h ~dcache_hit_ratio:h default
+      in
+      let r = stats ~until:20_000.0 net in
+      Printf.printf "  %6.2f %12.4f %10.3f\n" h
+        (Stat.throughput r "Issue")
+        (Stat.utilization r "Bus_busy"))
+    [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99 ]
+
+(* -- Ablation A5: instruction mix -- *)
+
+let ablation_instruction_mix () =
+  section "Ablation A5: instruction-mix sensitivity";
+  Printf.printf "  %16s %12s %10s\n" "mix (0/1/2 ops)" "instr/cycle" "bus util";
+  List.iter
+    (fun ((m1, m2, m3) as mix) ->
+      let r = stats ~until:20_000.0 (Model.full { default with Config.mix }) in
+      Printf.printf "  %6.0f/%3.0f/%3.0f %12.4f %10.3f\n" m1 m2 m3
+        (Stat.throughput r "Issue")
+        (Stat.utilization r "Bus_busy"))
+    [ (100.0, 0.0001, 0.0001); (70.0, 20.0, 10.0); (50.0, 30.0, 20.0);
+      (20.0, 40.0, 40.0) ]
+
+(* -- Ablation A6: structural vs interpreted model -- *)
+
+let ablation_interpreted () =
+  section "Ablation A6: structural vs table-driven model (Section 3)";
+  let rs = stats ~until:20_000.0 (Model.full default) in
+  let ri = stats ~until:20_000.0 (Interpreted.full default) in
+  Printf.printf "  %-14s %8s %8s %12s %10s\n" "model" "places" "trans" "instr/cycle" "bus util";
+  let row name net r =
+    Printf.printf "  %-14s %8d %8d %12.4f %10.3f\n" name (Net.num_places net)
+      (Net.num_transitions net) (Stat.throughput r "Issue")
+      (Stat.utilization r "Bus_busy")
+  in
+  row "structural" (Model.full default) rs;
+  row "interpreted" (Interpreted.full default) ri;
+  let wide = Interpreted.full ~instruction_set:(Interpreted.wide_instruction_set ()) default in
+  let rw = stats ~until:20_000.0 wide in
+  row "30-mode ISA" wide rw
+
+(* -- Ablation A8: branches and flush-on-branch -- *)
+
+let ablation_branches () =
+  section "Ablation A8: taken branches flushing the prefetch buffer";
+  Printf.printf
+    "Control transfers squash the prefetched words (Section 3's 'more\n\
+     complex processors' direction). Branch-ratio sweep at buffer = 6:\n\n";
+  Printf.printf "  %8s %12s %14s %10s\n" "branches" "instr/cycle"
+    "words flushed" "bus util";
+  List.iter
+    (fun ratio ->
+      let net = Pnut_pipeline.Branching.full ~branch_ratio:ratio default in
+      let r = stats ~until:20_000.0 net in
+      let flushed =
+        if ratio > 0.0 then
+          (Stat.transition r "flush_buffer_word").Stat.ts_starts
+        else 0
+      in
+      Printf.printf "  %8g %12.4f %14d %10.3f\n" ratio
+        (Stat.throughput r "Issue") flushed
+        (Stat.utilization r "Bus_busy"))
+    [ 0.0; 0.05; 0.15; 0.3; 0.5 ];
+  Printf.printf
+    "\nBuffer depth vs branch frequency (instr/cycle): without branches a\n\
+     deeper buffer can only help (A3); with branches the prefetched words\n\
+     are wasted work and the gain inverts:\n\n";
+  Printf.printf "  %10s %10s %10s %10s\n" "buffer" "b=0" "b=0.15" "b=0.4";
+  List.iter
+    (fun buffer_words ->
+      let rate ratio =
+        let net =
+          Pnut_pipeline.Branching.full ~branch_ratio:ratio
+            { default with Config.buffer_words }
+        in
+        Stat.throughput (stats ~until:20_000.0 net) "Issue"
+      in
+      Printf.printf "  %10d %10.4f %10.4f %10.4f\n" buffer_words (rate 0.0)
+        (rate 0.15) (rate 0.4))
+    [ 2; 4; 6; 12 ]
+
+(* -- Ablation A9: pipelined vs non-pipelined -- *)
+
+let ablation_serial () =
+  section "Ablation A9: pipelining speedup over the serial baseline";
+  Printf.printf
+    "The paper's premise is that pipelining speeds up fetch/decode/execute;\n\
+     the counterfactual is a machine doing one instruction at a time with\n\
+     the same timings. Analytic serial cost with the paper's parameters:\n\
+     %.1f cycles/instruction.\n\n"
+    (Pnut_pipeline.Serial.expected_cycles_per_instruction default);
+  Printf.printf "  %10s %12s %12s %9s\n" "mem cycles" "pipelined" "serial" "speedup";
+  List.iter
+    (fun memory_cycles ->
+      let c = { default with Config.memory_cycles } in
+      let p = Stat.throughput (stats ~until:50_000.0 (Model.full c)) "Issue" in
+      let s =
+        Stat.throughput (stats ~until:50_000.0 (Pnut_pipeline.Serial.full c)) "Decode"
+      in
+      Printf.printf "  %10g %12.4f %12.4f %9.2f\n" memory_cycles p s (p /. s))
+    [ 1.0; 2.0; 5.0; 10.0; 20.0 ];
+  Printf.printf
+    "\nThe speedup grows with memory latency — overlap hides it — toward\n\
+     the bus-bound asymptote (serial demand 1.6m vs pipelined 1.1m cycles\n\
+     of bus per instruction => ~1.45 in the limit).\n"
+
+(* -- Ablation A7: analytical vs simulation evaluation -- *)
+
+let ablation_analytic () =
+  section "Ablation A7: analytical (CTMC) vs simulation evaluation";
+  Printf.printf
+    "The paper's conclusion mentions P-NUT tools for analytical (as\n\
+     opposed to simulation) performance evaluation. The exponential\n\
+     variant of the full pipeline (all deterministic delays replaced by\n\
+     exponentials of the same mean) is a GSPN; its CTMC is solved exactly\n\
+     and compared to a 300k-cycle simulation, and to the deterministic\n\
+     model (showing how much the timing distribution matters):\n\n";
+  let det = Model.full default in
+  let exp_net = Pnut_analytic.Gspn.exponential_variant det in
+  let a = Pnut_analytic.Gspn.analyze ~max_states:5000 exp_net in
+  let sim_exp = stats ~until:300_000.0 exp_net in
+  let sim_det = Lazy.force reference_stats in
+  Printf.printf "  %-26s %12s %12s %12s\n" "metric" "exp analytic" "exp simulated"
+    "det simulated";
+  let row name analytic simulated det_v =
+    Printf.printf "  %-26s %12.4f %12.4f %12.4f\n" name analytic simulated det_v
+  in
+  row "Issue throughput"
+    (Pnut_analytic.Gspn.throughput a exp_net "Issue")
+    (Stat.throughput sim_exp "Issue")
+    (Stat.throughput sim_det "Issue");
+  row "Bus utilization"
+    (Pnut_analytic.Gspn.place_mean a exp_net "Bus_busy")
+    (Stat.utilization sim_exp "Bus_busy")
+    (Stat.utilization sim_det "Bus_busy");
+  row "Full buffers"
+    (Pnut_analytic.Gspn.place_mean a exp_net "Full_I_buffers")
+    (Stat.utilization sim_exp "Full_I_buffers")
+    (Stat.utilization sim_det "Full_I_buffers");
+  Printf.printf
+    "\n  (%d tangible + %d vanishing markings; the analytic and simulated\n\
+    \  exponential columns agree to stochastic noise, validating both.\n\
+    \  The deterministic column differs for a real semantic reason: the\n\
+    \  five competing exec_type transitions select by FREQUENCY when\n\
+    \  instant-enabled, but exponential delays make them RACE, biasing\n\
+    \  the class mix toward fast instructions — a classic preselection-\n\
+    \  vs-race subtlety of timed-net semantics.)\n"
+    a.Pnut_analytic.Gspn.tangible_states a.Pnut_analytic.Gspn.vanishing_states;
+  (* replication CIs quantify the simulation noise *)
+  let ci =
+    Pnut_stat.Replication.replicate ~seed:5 ~runs:8 ~until:10_000.0 exp_net
+      (fun r -> Stat.throughput r "Issue")
+  in
+  Format.printf "  simulated Issue throughput over 8 runs: %a@."
+    Pnut_stat.Replication.pp ci
+
+(* -- Bechamel microbenchmarks -- *)
+
+let bechamel_micro () =
+  section "Engine microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let net = Model.full default in
+  let small = Model.prefetch_only default in
+  let trace_text =
+    lazy (Pnut_trace.Codec.to_string (fst (Sim.trace ~seed:1 ~until:500.0 net)))
+  in
+  let stored_trace = lazy (fst (Sim.trace ~seed:1 ~until:500.0 net)) in
+  let tests =
+    Test.make_grouped ~name:"pnut"
+      [
+        Test.make ~name:"simulate-1k-cycles"
+          (Staged.stage (fun () ->
+               ignore (Sim.simulate ~seed:7 ~until:1000.0 net)));
+        Test.make ~name:"reachability-prefetch"
+          (Staged.stage (fun () ->
+               ignore (Pnut_reach.Graph.build ~max_states:10_000 small)));
+        Test.make ~name:"trace-parse"
+          (Staged.stage (fun () ->
+               ignore (Pnut_trace.Codec.parse (Lazy.force trace_text))));
+        Test.make ~name:"stat-pass"
+          (Staged.stage (fun () ->
+               ignore (Stat.of_trace (Lazy.force stored_trace))));
+        Test.make ~name:"invariants"
+          (Staged.stage (fun () ->
+               ignore (Pnut_core.Incidence.p_invariants (Pnut_core.Incidence.of_net net))));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some (t :: _) -> Printf.printf "  %-32s %12.0f ns/run\n" name t
+      | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* -- final self-check: the reproduction claims, asserted -- *)
+
+let shape_verdicts () =
+  section "Shape verdicts (the claims EXPERIMENTS.md records)";
+  let failures = ref 0 in
+  let check name ok detail =
+    if not ok then incr failures;
+    Printf.printf "  [%s] %-52s %s\n" (if ok then "PASS" else "FAIL") name detail
+  in
+  let r = Lazy.force reference_stats in
+  let issue = Stat.throughput r "Issue" in
+  check "Issue rate in the paper's band" (issue > 0.09 && issue < 0.15)
+    (Printf.sprintf "%.4f vs paper 0.1238" issue);
+  let bus = Stat.utilization r "Bus_busy" in
+  check "bus utilization band" (bus > 0.5 && bus < 0.75)
+    (Printf.sprintf "%.3f vs paper 0.658" bus);
+  let pf = Stat.utilization r "pre_fetching" in
+  let ft = Stat.utilization r "fetching" in
+  let st = Stat.utilization r "storing" in
+  check "bus breakdown ordering (prefetch > fetch > store)" (pf > ft && ft > st)
+    (Printf.sprintf "%.3f / %.3f / %.3f" pf ft st);
+  check "breakdown sums to utilization"
+    (Float.abs (pf +. ft +. st -. bus) < 1e-6)
+    (Printf.sprintf "sum %.4f" (pf +. ft +. st));
+  check "buffers nearly full"
+    (Stat.utilization r "Full_I_buffers" > 3.5)
+    (Printf.sprintf "%.2f vs paper 4.62" (Stat.utilization r "Full_I_buffers"));
+  check "decoder essentially never idle"
+    (Stat.utilization r "Decoder_ready" < 0.05)
+    (Printf.sprintf "%.4f vs paper 0.0014" (Stat.utilization r "Decoder_ready"));
+  (* monotone sensitivities *)
+  let rate mem =
+    Stat.throughput (stats ~until:10_000.0 (Model.full { default with Config.memory_cycles = mem })) "Issue"
+  in
+  check "throughput falls with memory latency" (rate 1.0 > rate 5.0 && rate 5.0 > rate 20.0)
+    (Printf.sprintf "%.4f > %.4f > %.4f" (rate 1.0) (rate 5.0) (rate 20.0));
+  let cached h =
+    Stat.throughput
+      (stats ~until:10_000.0
+         (Extensions.with_caches ~icache_hit_ratio:h ~dcache_hit_ratio:h default))
+      "Issue"
+  in
+  check "caches help" (cached 0.9 > cached 0.0)
+    (Printf.sprintf "%.4f (h=0.9) vs %.4f (h=0)" (cached 0.9) (cached 0.0));
+  (* the verification queries *)
+  let trace = Lazy.force reference_trace in
+  let holds q = Query.holds (Query.eval trace (Parser.parse_query q)) in
+  check "bus one-hot query holds"
+    (holds "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]") "";
+  check "type-5 instruction occurred"
+    (holds "exists s in S [ exec_type_5(s) > 0 ]") "";
+  (* baseline *)
+  let serial =
+    Stat.throughput (stats ~until:50_000.0 (Pnut_pipeline.Serial.full default)) "Decode"
+  in
+  check "pipelining speedup > 1.3" (issue /. serial > 1.3)
+    (Printf.sprintf "%.2fx over the serial baseline" (issue /. serial));
+  Printf.printf "\n%s\n"
+    (if !failures = 0 then "All shape verdicts PASS."
+     else Printf.sprintf "%d shape verdict(s) FAILED." !failures)
+
+let () =
+  figure_1_to_3 ();
+  figure_4 ();
+  figure_5 ();
+  figure_6 ();
+  figure_7 ();
+  section_4_4 ();
+  ablation_firing_vs_enabling ();
+  ablation_memory_speed ();
+  ablation_buffer_size ();
+  ablation_cache ();
+  ablation_instruction_mix ();
+  ablation_interpreted ();
+  ablation_analytic ();
+  ablation_branches ();
+  ablation_serial ();
+  bechamel_micro ();
+  shape_verdicts ();
+  print_newline ()

@@ -1,0 +1,712 @@
+(* The P-NUT command-line driver: simulate, analyze, filter, plot, check
+   and animate Petri-net models, mirroring the original toolset's
+   pipe-friendly decomposition (simulator | filter | stat/tracertool). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let load_net path =
+  try Pnut_lang.Parser.parse_net (read_file path)
+  with Pnut_lang.Parser.Parse_error (line, col, msg) ->
+    Printf.eprintf "%s:%d:%d: %s\n" path line col msg;
+    exit 2
+
+let load_trace path =
+  try
+    if path = "-" then Pnut_trace.Codec.read_channel stdin
+    else Pnut_trace.Codec.parse (read_file path)
+  with Pnut_trace.Codec.Parse_error (line, msg) ->
+    Printf.eprintf "%s:%d: %s\n" path line msg;
+    exit 2
+
+(* -- shared arguments -- *)
+
+let net_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL.pn"
+         ~doc:"Textual Petri-net model file.")
+
+let trace_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
+         ~doc:"Trace file produced by $(b,pnut sim) (or - for stdin).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+         ~doc:"Random seed for the simulation experiment.")
+
+let until_arg =
+  Arg.(value & opt (some float) None & info [ "until" ] ~docv:"T"
+         ~doc:"Simulate until the clock reaches T.")
+
+let max_events_arg =
+  Arg.(value & opt (some int) None & info [ "max-events" ] ~docv:"N"
+         ~doc:"Stop after N firings have started.")
+
+(* -- pnut model -- *)
+
+let model_cmd =
+  let doc = "Emit a built-in processor model in the textual language." in
+  let which =
+    Arg.(value
+         & pos 0
+             (enum
+                [ ("pipeline", `Pipeline); ("prefetch", `Prefetch);
+                  ("interpreted", `Interpreted); ("branching", `Branching);
+                  ("serial", `Serial) ])
+             `Pipeline
+         & info [] ~docv:"NAME"
+             ~doc:"pipeline (Figures 1-3), prefetch (Figure 1), interpreted                    (Figure 4 style), or branching (flush-on-branch).")
+  in
+  let memory =
+    Arg.(value & opt float 5.0 & info [ "memory-cycles" ] ~docv:"C"
+           ~doc:"Processor cycles per memory access.")
+  in
+  let buffers =
+    Arg.(value & opt int 6 & info [ "buffer-words" ] ~docv:"W"
+           ~doc:"Instruction-buffer size in words.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the model to FILE instead of stdout.")
+  in
+  let run which memory buffers out =
+    let config =
+      { Pnut_pipeline.Config.default with
+        Pnut_pipeline.Config.memory_cycles = memory;
+        buffer_words = buffers }
+    in
+    let net =
+      match which with
+      | `Pipeline -> Pnut_pipeline.Model.full config
+      | `Prefetch -> Pnut_pipeline.Model.prefetch_only config
+      | `Interpreted -> Pnut_pipeline.Interpreted.full config
+      | `Branching -> Pnut_pipeline.Branching.full config
+      | `Serial -> Pnut_pipeline.Serial.full config
+    in
+    let text = Format.asprintf "%a" Pnut_core.Net.pp net in
+    match out with
+    | Some path -> write_file path text
+    | None -> print_string text
+  in
+  Cmd.v (Cmd.info "model" ~doc)
+    Term.(const run $ which $ memory $ buffers $ out)
+
+(* -- pnut sim -- *)
+
+let sim_cmd =
+  let doc = "Simulate a model, writing a trace and/or statistics." in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the simulation trace to FILE (- for stdout).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the statistical analysis report after the run.")
+  in
+  let runs =
+    Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N"
+           ~doc:"Independent experiments with split random streams; the \
+                 statistics report is printed per run (run numbers 1..N). \
+                 --trace applies to the first run only.")
+  in
+  let run path seed until max_events trace_out stats runs =
+    let net = load_net path in
+    if runs < 1 then begin
+      Printf.eprintf "--runs must be at least 1\n";
+      exit 2
+    end;
+    (match Pnut_core.Validate.check net with
+    | [] -> ()
+    | diags ->
+      List.iter
+        (fun d ->
+          Format.eprintf "%a@." Pnut_core.Validate.pp_diagnostic d)
+        diags);
+    let until = if until = None && max_events = None then Some 10000.0 else until in
+    let master = Pnut_core.Prng.create seed in
+    let buffer = Buffer.create 65536 in
+    for run_number = 1 to runs do
+      (* a single run uses the seed directly (same trace as the library
+         API); multiple runs draw split, independent streams *)
+      let prng =
+        if runs = 1 then Pnut_core.Prng.create seed
+        else Pnut_core.Prng.split master
+      in
+      let stat_sink, stat_get = Pnut_stat.Stat.sink ~run:run_number () in
+      let sinks =
+        (if stats || trace_out = None then [ stat_sink ] else [])
+        @
+        match trace_out with
+        | Some _ when run_number = 1 -> [ Pnut_trace.Codec.writer_sink buffer ]
+        | Some _ | None -> []
+      in
+      let outcome =
+        Pnut_sim.Simulator.simulate ~prng ?until ?max_events
+          ~sink:(Pnut_trace.Trace.tee sinks) net
+      in
+      if stats || trace_out = None then
+        print_string (Pnut_stat.Stat.render (stat_get ()));
+      if runs > 1 then print_newline ();
+      Printf.eprintf "run %d stopped: %s at t=%g (%d events started, %d finished)\n"
+        run_number
+        (match outcome.Pnut_sim.Simulator.stop with
+        | Pnut_sim.Simulator.Horizon -> "horizon"
+        | Pnut_sim.Simulator.Dead -> "dead (no enabled transition)"
+        | Pnut_sim.Simulator.Event_limit -> "event limit")
+        outcome.Pnut_sim.Simulator.final_clock
+        outcome.Pnut_sim.Simulator.started outcome.Pnut_sim.Simulator.finished
+    done;
+    match trace_out with
+    | Some "-" -> print_string (Buffer.contents buffer)
+    | Some path -> write_file path (Buffer.contents buffer)
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(const run $ net_arg $ seed_arg $ until_arg $ max_events_arg
+          $ trace_out $ stats $ runs)
+
+(* -- pnut stat -- *)
+
+let stat_cmd =
+  let doc = "Statistical analysis of a trace (the Figure-5 report)." in
+  let tsv =
+    Arg.(value & flag & info [ "tsv" ] ~doc:"Machine-readable TSV output.")
+  in
+  let run path tsv =
+    let trace = load_trace path in
+    let report = Pnut_stat.Stat.of_trace trace in
+    print_string
+      (if tsv then Pnut_stat.Stat.render_tsv report
+       else Pnut_stat.Stat.render report)
+  in
+  Cmd.v (Cmd.info "stat" ~doc) Term.(const run $ trace_arg $ tsv)
+
+(* -- pnut filter -- *)
+
+let filter_cmd =
+  let doc = "Reduce a trace to the places/transitions of interest." in
+  let places =
+    Arg.(value & opt (some (list string)) None & info [ "places" ] ~docv:"P,..."
+           ~doc:"Keep only these places.")
+  in
+  let transitions =
+    Arg.(value & opt (some (list string)) None & info [ "transitions" ]
+           ~docv:"T,..." ~doc:"Keep only these transitions.")
+  in
+  let no_vars =
+    Arg.(value & flag & info [ "no-vars" ] ~doc:"Drop variable updates.")
+  in
+  let out =
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output trace file (- for stdout).")
+  in
+  let run path places transitions no_vars out =
+    let trace = load_trace path in
+    let spec =
+      Pnut_trace.Filter.make_spec ?places ?transitions ~vars:(not no_vars) ()
+    in
+    let filtered = Pnut_trace.Filter.apply spec trace in
+    let text = Pnut_trace.Codec.to_string filtered in
+    if out = "-" then print_string text else write_file out text
+  in
+  Cmd.v (Cmd.info "filter" ~doc)
+    Term.(const run $ trace_arg $ places $ transitions $ no_vars $ out)
+
+(* -- pnut tracer -- *)
+
+let tracer_cmd =
+  let doc = "Timing analysis: plot signals from a trace (Figure 7)." in
+  let signals =
+    Arg.(non_empty & opt_all string [] & info [ "signal"; "s" ] ~docv:"SPEC"
+           ~doc:"Signal to plot: a place/transition/variable name or \
+                 name=expression.")
+  in
+  let from_t =
+    Arg.(value & opt float 0.0 & info [ "from" ] ~docv:"T" ~doc:"Window start.")
+  in
+  let to_t =
+    Arg.(value & opt (some float) None & info [ "to" ] ~docv:"T"
+           ~doc:"Window end (default: end of trace).")
+  in
+  let width =
+    Arg.(value & opt int 72 & info [ "width" ] ~docv:"COLS" ~doc:"Plot width.")
+  in
+  let markers =
+    Arg.(value & opt_all (pair ~sep:':' string float) []
+         & info [ "marker" ] ~docv:"LABEL:TIME" ~doc:"Place a marker.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ]
+           ~doc:"Emit the sampled signals as CSV instead of a waveform.")
+  in
+  let run path signals from_t to_t width markers csv =
+    let trace = load_trace path in
+    let sigs =
+      List.map
+        (fun s ->
+          try Pnut_lang.Parser.parse_signal s
+          with Pnut_lang.Parser.Parse_error (_, col, msg) ->
+            Printf.eprintf "signal %S: column %d: %s\n" s col msg;
+            exit 2)
+        signals
+    in
+    let markers =
+      List.map
+        (fun (label, time) ->
+          { Pnut_tracer.Waveform.m_label = label; m_time = time })
+        markers
+    in
+    if csv then print_string (Pnut_tracer.Signal.to_csv trace sigs)
+    else begin
+      let style = { Pnut_tracer.Waveform.default_style with width } in
+      print_string
+        (Pnut_tracer.Waveform.render ~style ~from_time:from_t ?to_time:to_t
+           ~markers trace sigs)
+    end
+  in
+  Cmd.v (Cmd.info "tracer" ~doc)
+    Term.(const run $ trace_arg $ signals $ from_t $ to_t $ width $ markers
+          $ csv)
+
+(* -- pnut check -- *)
+
+let check_cmd =
+  let doc = "Verify queries against a trace (Section 4.4)." in
+  let queries =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"QUERY"
+           ~doc:"forall/exists query, e.g. 'forall s in S [ A(s) + B(s) = 1 ]'.")
+  in
+  let run path queries =
+    let trace = load_trace path in
+    let failures = ref 0 in
+    List.iter
+      (fun q ->
+        match Pnut_lang.Parser.parse_query q with
+        | query ->
+          let result = Pnut_tracer.Query.eval trace query in
+          if not (Pnut_tracer.Query.holds result) then incr failures;
+          Format.printf "%-60s %a@." q Pnut_tracer.Query.pp_result result
+        | exception Pnut_lang.Parser.Parse_error (_, col, msg) ->
+          Printf.eprintf "query %S: column %d: %s\n" q col msg;
+          exit 2)
+      queries;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ trace_arg $ queries)
+
+(* -- pnut reach -- *)
+
+let reach_cmd =
+  let doc = "Build and analyze the reachability graph of a model." in
+  let timed =
+    Arg.(value & flag & info [ "timed" ]
+           ~doc:"Timed reachability (deterministic delays only).")
+  in
+  let max_states =
+    Arg.(value & opt int 100000 & info [ "max-states" ] ~docv:"N"
+           ~doc:"State cap.")
+  in
+  let ctl =
+    Arg.(value & opt_all string [] & info [ "ctl" ] ~docv:"FORMULA"
+           ~doc:"Check an invariant atom under AG, e.g. 'Bus_free + Bus_busy == 1'.")
+  in
+  let query =
+    Arg.(value & opt_all string [] & info [ "query" ] ~docv:"QUERY"
+           ~doc:"Prove a forall/exists query over all reachable states \
+                 (inev/alw are branching-time AF/AG), e.g. \
+                 'forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]'.")
+  in
+  let run path timed max_states ctl query =
+    let net = load_net path in
+    if timed then
+      let g = Pnut_reach.Timed.build ~max_states net in
+      Format.printf "%a@." Pnut_reach.Timed.pp_summary g
+    else begin
+      let g = Pnut_reach.Graph.build ~max_states net in
+      Format.printf "%a@." Pnut_reach.Graph.pp_summary g;
+      let failures = ref 0 in
+      List.iter
+        (fun f ->
+          match Pnut_lang.Parser.parse_expr f with
+          | e ->
+            let ok = Pnut_reach.Ctl.check g (Pnut_reach.Ctl.AG (Pnut_reach.Ctl.Atom e)) in
+            if not ok then incr failures;
+            Format.printf "AG(%s): %b@." f ok
+          | exception Pnut_lang.Parser.Parse_error (_, col, msg) ->
+            Printf.eprintf "formula %S: column %d: %s\n" f col msg;
+            exit 2)
+        ctl;
+      List.iter
+        (fun q ->
+          match Pnut_lang.Parser.parse_query q with
+          | parsed -> (
+            match Pnut_reach.Predicate.eval g parsed with
+            | result ->
+              if not (Pnut_tracer.Query.holds result) then incr failures;
+              Format.printf "%-60s %a@." q Pnut_tracer.Query.pp_result result
+            | exception Pnut_tracer.Query.Query_error msg ->
+              Printf.eprintf "query %S: %s\n" q msg;
+              exit 2)
+          | exception Pnut_lang.Parser.Parse_error (_, col, msg) ->
+            Printf.eprintf "query %S: column %d: %s\n" q col msg;
+            exit 2)
+        query;
+      if !failures > 0 then exit 1
+    end
+  in
+  Cmd.v (Cmd.info "reach" ~doc)
+    Term.(const run $ net_arg $ timed $ max_states $ ctl $ query)
+
+(* -- pnut invariants -- *)
+
+let invariants_cmd =
+  let doc = "Compute P- and T-invariants of a model." in
+  let run path =
+    let net = load_net path in
+    let inc = Pnut_core.Incidence.of_net net in
+    Format.printf "P-invariants:@.";
+    List.iter
+      (fun v ->
+        Format.printf "  %a@." (Pnut_core.Incidence.pp_vector net `Place) v)
+      (Pnut_core.Incidence.p_invariants inc);
+    Format.printf "T-invariants:@.";
+    List.iter
+      (fun v ->
+        Format.printf "  %a@."
+          (Pnut_core.Incidence.pp_vector net `Transition) v)
+      (Pnut_core.Incidence.t_invariants inc)
+  in
+  Cmd.v (Cmd.info "invariants" ~doc) Term.(const run $ net_arg)
+
+(* -- pnut anim -- *)
+
+let anim_cmd =
+  let doc = "Animate a simulation run of a model (Figure 6, in text)." in
+  let steps =
+    Arg.(value & opt int 10 & info [ "steps" ] ~docv:"N"
+           ~doc:"Number of trace events to animate.")
+  in
+  let delay =
+    Arg.(value & opt float 0.0 & info [ "delay" ] ~docv:"SECONDS"
+           ~doc:"Pause between frames.")
+  in
+  let places =
+    Arg.(value & opt (some (list string)) None & info [ "places" ]
+           ~docv:"P,..." ~doc:"Restrict the state panel to these places.")
+  in
+  let run path seed steps delay places =
+    let net = load_net path in
+    let trace, _ = Pnut_sim.Simulator.trace ~seed ~max_events:steps net in
+    let frames = Pnut_anim.Animator.frames ?places net trace in
+    Pnut_anim.Animator.play ~delay_s:delay stdout frames
+  in
+  Cmd.v (Cmd.info "anim" ~doc)
+    Term.(const run $ net_arg $ seed_arg $ steps $ delay $ places)
+
+(* -- pnut validate -- *)
+
+let validate_cmd =
+  let doc = "Static checks of a model (unbound names, dead places, ...)." in
+  let run path =
+    let net = load_net path in
+    match Pnut_core.Validate.check net with
+    | [] -> print_endline "no diagnostics"
+    | diags ->
+      List.iter
+        (fun d -> Format.printf "%a@." Pnut_core.Validate.pp_diagnostic d)
+        diags;
+      if Pnut_core.Validate.errors diags <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ net_arg)
+
+(* -- pnut analytic -- *)
+
+let analytic_cmd =
+  let doc =
+    "Analytical (Markov-chain) performance evaluation of a GSPN model."
+  in
+  let exponentialize =
+    Arg.(value & flag & info [ "exponentialize" ]
+           ~doc:"First convert deterministic delays to exponential ones \
+                 with the same means.")
+  in
+  let max_states =
+    Arg.(value & opt int 2000 & info [ "max-states" ] ~docv:"N" ~doc:"State cap.")
+  in
+  let run path exponentialize max_states =
+    let net = load_net path in
+    let net =
+      if exponentialize then
+        try Pnut_analytic.Gspn.exponential_variant net
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+      else net
+    in
+    match Pnut_analytic.Gspn.analyze ~max_states net with
+    | r ->
+      Printf.printf "tangible states:  %d\n" r.Pnut_analytic.Gspn.tangible_states;
+      Printf.printf "vanishing states: %d\n\n" r.Pnut_analytic.Gspn.vanishing_states;
+      Printf.printf "%-32s %12s\n" "place" "mean tokens";
+      Array.iteri
+        (fun p mean ->
+          Printf.printf "%-32s %12.6f\n"
+            (Pnut_core.Net.place net p).Pnut_core.Net.p_name mean)
+        r.Pnut_analytic.Gspn.place_means;
+      Printf.printf "\n%-32s %12s\n" "transition" "throughput";
+      Array.iteri
+        (fun t thr ->
+          Printf.printf "%-32s %12.6f\n"
+            (Pnut_core.Net.transition net t).Pnut_core.Net.t_name thr)
+        r.Pnut_analytic.Gspn.throughputs
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  Cmd.v (Cmd.info "analytic" ~doc)
+    Term.(const run $ net_arg $ exponentialize $ max_states)
+
+(* -- pnut coverability -- *)
+
+let coverability_cmd =
+  let doc = "Boundedness analysis via the Karp-Miller construction." in
+  let run path =
+    let net = load_net path in
+    match Pnut_reach.Coverability.build net with
+    | g ->
+      Format.printf "%a@." (Pnut_reach.Coverability.pp_summary net) g;
+      if not (Pnut_reach.Coverability.is_bounded g) then exit 1
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  Cmd.v (Cmd.info "coverability" ~doc) Term.(const run $ net_arg)
+
+(* -- pnut dot -- *)
+
+let dot_cmd =
+  let doc = "Export a model (or its reachability graph) to Graphviz." in
+  let what =
+    Arg.(value & opt (enum [ ("net", `Net_graph); ("reach", `Reach);
+                             ("coverability", `Cov) ])
+           `Net_graph
+         & info [ "kind" ] ~docv:"KIND" ~doc:"net | reach | coverability.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to FILE instead of stdout.")
+  in
+  let run path what out =
+    let net = load_net path in
+    let text =
+      match what with
+      | `Net_graph -> Pnut_core.Dot.net net
+      | `Reach ->
+        Pnut_reach.Export.graph_dot (Pnut_reach.Graph.build ~max_states:20_000 net)
+      | `Cov -> (
+        match Pnut_reach.Coverability.build net with
+        | g -> Pnut_reach.Export.coverability_dot net g
+        | exception Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2)
+    in
+    match out with
+    | Some path -> write_file path text
+    | None -> print_string text
+  in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ net_arg $ what $ out)
+
+(* -- pnut replicate -- *)
+
+let replicate_cmd =
+  let doc =
+    "Confidence-interval estimation over independent replications."
+  in
+  let runs =
+    Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc:"Replications.")
+  in
+  let until =
+    Arg.(value & opt float 10000.0 & info [ "until" ] ~docv:"T" ~doc:"Horizon.")
+  in
+  let place =
+    Arg.(value & opt_all string [] & info [ "place" ] ~docv:"P"
+           ~doc:"Report the mean token count of this place.")
+  in
+  let transition =
+    Arg.(value & opt_all string [] & info [ "throughput" ] ~docv:"T"
+           ~doc:"Report the throughput of this transition.")
+  in
+  let confidence =
+    Arg.(value & opt float 0.95 & info [ "confidence" ] ~docv:"LEVEL"
+           ~doc:"0.90, 0.95 or 0.99.")
+  in
+  let run path seed runs until place transition confidence =
+    let net = load_net path in
+    if place = [] && transition = [] then begin
+      Printf.eprintf "nothing to estimate: pass --place and/or --throughput\n";
+      exit 2
+    end;
+    let estimate what read =
+      match
+        Pnut_stat.Replication.replicate ~seed ~confidence ~runs ~until net read
+      with
+      | e -> Format.printf "%-40s %a@." what Pnut_stat.Replication.pp e
+      | exception Not_found ->
+        Printf.eprintf "unknown place/transition in %s\n" what;
+        exit 2
+    in
+    List.iter
+      (fun p ->
+        estimate (p ^ " mean tokens") (fun r -> Pnut_stat.Stat.utilization r p))
+      place;
+    List.iter
+      (fun t ->
+        estimate (t ^ " throughput") (fun r -> Pnut_stat.Stat.throughput r t))
+      transition
+  in
+  Cmd.v (Cmd.info "replicate" ~doc)
+    Term.(const run $ net_arg $ seed_arg $ runs $ until $ place $ transition
+          $ confidence)
+
+(* -- pnut cycle -- *)
+
+let cycle_cmd =
+  let doc =
+    "Steady-state cycle analysis of a deterministic timed model [RP84]."
+  in
+  let max_steps =
+    Arg.(value & opt int 100000 & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Exploration bound.")
+  in
+  let marked_graph =
+    Arg.(value & flag & info [ "marked-graph" ]
+           ~doc:"Use the Ramamoorthy-Ho maximum-ratio-cycle method \
+                 (decision-free nets only) instead of the state walker.")
+  in
+  let run path max_steps marked_graph =
+    let net = load_net path in
+    if marked_graph then begin
+      match Pnut_analytic.Marked_graph.cycle_time net with
+      | Pnut_analytic.Marked_graph.Cycle_time t ->
+        Printf.printf "cycle time: %g (throughput %g per transition)\n" t
+          (1.0 /. t);
+        (match Pnut_analytic.Marked_graph.critical_circuit net with
+        | Some (circuit, _) ->
+          Printf.printf "critical circuit: %s\n"
+            (String.concat " -> "
+               (List.map
+                  (fun i ->
+                    (Pnut_core.Net.transition net i).Pnut_core.Net.t_name)
+                  circuit))
+        | None -> ())
+      | Pnut_analytic.Marked_graph.Deadlock ->
+        Printf.printf "deadlock: a circuit carries no tokens\n";
+        exit 1
+      | Pnut_analytic.Marked_graph.Unbounded_rate ->
+        Printf.printf "no circuit constrains the net (unbounded rate)\n"
+      | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    end
+    else
+      match Pnut_reach.Timed.steady_cycle ~max_steps net with
+      | Some c ->
+        Printf.printf "transient: %g\nperiod:    %g\n\n"
+          c.Pnut_reach.Timed.cy_transient c.Pnut_reach.Timed.cy_period;
+        Printf.printf "%-32s %10s %12s\n" "transition" "per cycle" "throughput";
+        Array.iteri
+          (fun t count ->
+            if count > 0 then
+              Printf.printf "%-32s %10d %12.6f\n"
+                (Pnut_core.Net.transition net t).Pnut_core.Net.t_name count
+                (float_of_int count /. c.Pnut_reach.Timed.cy_period))
+          c.Pnut_reach.Timed.cy_firings
+      | None ->
+        Printf.eprintf "no steady cycle found (net dies or bound too small)\n";
+        exit 1
+      | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  Cmd.v (Cmd.info "cycle" ~doc)
+    Term.(const run $ net_arg $ max_steps $ marked_graph)
+
+(* -- pnut explore -- *)
+
+let explore_cmd =
+  let doc = "Interactive state-space exploration of a model." in
+  let run path seed =
+    let net = load_net path in
+    Pnut_sim.Explorer.run ~seed net stdin stdout
+  in
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ net_arg $ seed_arg)
+
+(* -- pnut batch -- *)
+
+let batch_cmd =
+  let doc = "Batch-means confidence intervals from one long trace." in
+  let warmup =
+    Arg.(value & opt float 0.0 & info [ "warmup" ] ~docv:"T"
+           ~doc:"Discard the first T time units.")
+  in
+  let batches =
+    Arg.(value & opt int 10 & info [ "batches" ] ~docv:"N" ~doc:"Batch count.")
+  in
+  let place =
+    Arg.(value & opt_all string [] & info [ "place" ] ~docv:"P"
+           ~doc:"Estimate this place's mean token count.")
+  in
+  let transition =
+    Arg.(value & opt_all string [] & info [ "throughput" ] ~docv:"T"
+           ~doc:"Estimate this transition's throughput.")
+  in
+  let run path warmup batches place transition =
+    let trace = load_trace path in
+    if place = [] && transition = [] then begin
+      Printf.eprintf "nothing to estimate: pass --place and/or --throughput\n";
+      exit 2
+    end;
+    let report what compute =
+      match compute () with
+      | e -> Format.printf "%-40s %a@." what Pnut_stat.Replication.pp e
+      | exception Not_found ->
+        Printf.eprintf "unknown name in %s\n" what;
+        exit 2
+      | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    List.iter
+      (fun p ->
+        report (p ^ " mean tokens") (fun () ->
+            Pnut_stat.Batch.place_utilization ~warmup ~batches trace p))
+      place;
+    List.iter
+      (fun t ->
+        report (t ^ " throughput") (fun () ->
+            Pnut_stat.Batch.transition_throughput ~warmup ~batches trace t))
+      transition
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const run $ trace_arg $ warmup $ batches $ place $ transition)
+
+let main =
+  let doc = "P-NUT: Petri-Net Utility Tools" in
+  let info = Cmd.info "pnut" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ model_cmd; sim_cmd; stat_cmd; filter_cmd; tracer_cmd; check_cmd;
+      reach_cmd; invariants_cmd; anim_cmd; validate_cmd; analytic_cmd;
+      coverability_cmd; dot_cmd; replicate_cmd; explore_cmd; batch_cmd;
+      cycle_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cache_study.ml: Format List Pnut_lang Pnut_pipeline Pnut_sim Pnut_stat Pnut_tracer

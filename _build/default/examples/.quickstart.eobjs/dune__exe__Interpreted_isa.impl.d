@@ -1,0 +1,1 @@
+examples/interpreted_isa.ml: Format Pnut_core Pnut_pipeline Pnut_sim Pnut_stat

@@ -1,0 +1,1 @@
+examples/interpreted_isa.mli:

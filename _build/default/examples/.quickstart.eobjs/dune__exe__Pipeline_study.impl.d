@@ -1,0 +1,1 @@
+examples/pipeline_study.ml: Format List Pnut_core Pnut_pipeline Pnut_sim Pnut_stat Pnut_tracer

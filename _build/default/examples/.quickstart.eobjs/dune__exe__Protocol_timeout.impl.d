@@ -1,0 +1,1 @@
+examples/protocol_timeout.ml: Float Format List Pnut_core Pnut_lang Pnut_sim Pnut_stat Pnut_tracer

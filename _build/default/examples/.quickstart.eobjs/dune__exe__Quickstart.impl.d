@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Pnut_core Pnut_sim Pnut_stat

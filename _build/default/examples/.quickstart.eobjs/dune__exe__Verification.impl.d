@@ -1,0 +1,1 @@
+examples/verification.ml: Array Format Pnut_core Pnut_lang Pnut_pipeline Pnut_reach Pnut_sim Pnut_tracer

@@ -1,0 +1,1 @@
+lib/analytic/gspn.ml: Array Float Hashtbl List Pnut_core Printf Queue

@@ -1,0 +1,1 @@
+lib/analytic/gspn.mli: Pnut_core

@@ -1,0 +1,1 @@
+lib/analytic/marked_graph.ml: Array Float List Pnut_core Printf

@@ -1,0 +1,1 @@
+lib/analytic/marked_graph.mli: Pnut_core

@@ -1,0 +1,319 @@
+module Net = Pnut_core.Net
+module Marking = Pnut_core.Marking
+
+type kind =
+  | Immediate of float  (* conflict weight *)
+  | Timed of float      (* rate = 1 / mean *)
+
+type result = {
+  tangible_states : int;
+  vanishing_states : int;
+  place_means : float array;
+  throughputs : float array;
+}
+
+let classify net =
+  Array.map
+    (fun tr ->
+      let fail fmt =
+        Printf.ksprintf
+          (fun s -> invalid_arg (Printf.sprintf "Gspn: transition %s %s" tr.Net.t_name s))
+          fmt
+      in
+      if tr.Net.t_predicate <> None then fail "has a predicate";
+      if tr.Net.t_action <> [] then fail "has an action";
+      match tr.Net.t_firing, tr.Net.t_enabling with
+      | Net.Zero, Net.Zero -> Immediate tr.Net.t_frequency
+      | Net.Zero, Net.Exponential mean ->
+        if mean <= 0.0 then fail "has a non-positive exponential mean";
+        Timed (1.0 /. mean)
+      | Net.Exponential _, _ ->
+        fail "has an exponential firing time (use an enabling time)"
+      | (Net.Const _ | Net.Uniform _ | Net.Choice _ | Net.Dynamic _), _
+      | _, (Net.Const _ | Net.Uniform _ | Net.Choice _ | Net.Dynamic _) ->
+        fail "has a non-exponential delay (analyze the exponential_variant)")
+    (Net.transitions net)
+
+(* -- state space -- *)
+
+type state = {
+  marking : int array;
+  (* outgoing edges: immediate (probability) for vanishing states, timed
+     (rate) for tangible ones; targets are state indices *)
+  mutable edges : (int * float * int) list;  (* transition id, weight, target *)
+  vanishing : bool;
+}
+
+let explore ?(max_states = 2000) net kinds =
+  let index = Hashtbl.create 512 in
+  let states = ref [] in  (* reversed; index !n - 1 is the head *)
+  let n = ref 0 in
+  let queue = Queue.create () in
+  let enabled_of m =
+    Array.to_list (Net.transitions net)
+    |> List.filter (fun tr -> Net.marking_enabled net m tr)
+  in
+  let is_immediate tr =
+    match kinds.(tr.Net.t_id) with Immediate _ -> true | Timed _ -> false
+  in
+  let intern m =
+    let key = Marking.to_key m in
+    match Hashtbl.find_opt index key with
+    | Some i -> i
+    | None ->
+      if !n >= max_states then
+        invalid_arg "Gspn: state space exceeds max_states (unbounded net?)";
+      let vanishing = List.exists is_immediate (enabled_of m) in
+      let state =
+        { marking = Marking.to_array m; edges = []; vanishing }
+      in
+      let i = !n in
+      incr n;
+      Hashtbl.replace index key i;
+      states := state :: !states;
+      Queue.add (state, m) queue;
+      i
+  in
+  let _ = intern (Net.initial_marking net) in
+  while not (Queue.is_empty queue) do
+    let state, m = Queue.pop queue in
+    let enabled = enabled_of m in
+    let fire tr =
+      let m' = Marking.copy m in
+      Net.consume net m' tr;
+      Net.produce net m' tr;
+      intern m'
+    in
+    let immediates = List.filter is_immediate enabled in
+    let edges =
+      if immediates <> [] then begin
+        let weight tr =
+          match kinds.(tr.Net.t_id) with
+          | Immediate w -> w
+          | Timed _ -> assert false
+        in
+        let total = List.fold_left (fun acc tr -> acc +. weight tr) 0.0 immediates in
+        List.map
+          (fun tr -> (tr.Net.t_id, weight tr /. total, fire tr))
+          immediates
+      end
+      else
+        List.filter_map
+          (fun tr ->
+            match kinds.(tr.Net.t_id) with
+            | Timed rate -> Some (tr.Net.t_id, rate, fire tr)
+            | Immediate _ -> None)
+          enabled
+    in
+    state.edges <- edges
+  done;
+  (* the list is reversed relative to the indices *)
+  Array.of_list (List.rev !states)
+
+(* -- vanishing elimination (Jacobi over absorption vectors) -- *)
+
+(* For each vanishing state v: [absorb.(v)] maps tangible index -> absorption
+   probability, and [fires.(v)] maps transition id -> expected immediate
+   firings before absorption. *)
+let eliminate_vanishing states tangible_index nt n_transitions =
+  let n = Array.length states in
+  let absorb = Array.map (fun s -> if s.vanishing then Array.make nt 0.0 else [||]) states in
+  let fires =
+    Array.map (fun s -> if s.vanishing then Array.make n_transitions 0.0 else [||]) states
+  in
+  let max_sweeps = 100_000 in
+  let rec sweep k =
+    if k >= max_sweeps then
+      invalid_arg "Gspn: vanishing elimination did not converge (immediate loop?)";
+    let delta = ref 0.0 in
+    for v = 0 to n - 1 do
+      if states.(v).vanishing then begin
+        let new_absorb = Array.make nt 0.0 in
+        let new_fires = Array.make n_transitions 0.0 in
+        List.iter
+          (fun (tid, prob, target) ->
+            new_fires.(tid) <- new_fires.(tid) +. prob;
+            if states.(target).vanishing then begin
+              let a = absorb.(target) and f = fires.(target) in
+              for j = 0 to nt - 1 do
+                new_absorb.(j) <- new_absorb.(j) +. (prob *. a.(j))
+              done;
+              for u = 0 to n_transitions - 1 do
+                new_fires.(u) <- new_fires.(u) +. (prob *. f.(u))
+              done
+            end
+            else begin
+              let j = tangible_index.(target) in
+              new_absorb.(j) <- new_absorb.(j) +. prob
+            end)
+          states.(v).edges;
+        for j = 0 to nt - 1 do
+          delta := Float.max !delta (Float.abs (new_absorb.(j) -. absorb.(v).(j)))
+        done;
+        absorb.(v) <- new_absorb;
+        fires.(v) <- new_fires
+      end
+    done;
+    if !delta > 1e-14 then sweep (k + 1)
+  in
+  sweep 0;
+  (absorb, fires)
+
+let analyze ?(max_states = 2000) ?(tolerance = 1e-12) ?(max_iterations = 100_000)
+    net =
+  let kinds = classify net in
+  let states = explore ~max_states net kinds in
+  let n = Array.length states in
+  let n_transitions = Net.num_transitions net in
+  (* index tangible states *)
+  let tangible_index = Array.make n (-1) in
+  let nt = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if not s.vanishing then begin
+        tangible_index.(i) <- !nt;
+        incr nt
+      end)
+    states;
+  let nt = !nt in
+  if nt = 0 then invalid_arg "Gspn: no tangible states (immediate livelock)";
+  let tangible_of = Array.make nt 0 in
+  Array.iteri (fun i s -> if not s.vanishing then tangible_of.(tangible_index.(i)) <- i) states;
+  let absorb, fires = eliminate_vanishing states tangible_index nt n_transitions in
+  (* tangible CTMC: rows of (target tangible, rate), plus per-row exit rate *)
+  let rows = Array.make nt [] in
+  let exit = Array.make nt 0.0 in
+  for ti = 0 to nt - 1 do
+    let i = tangible_of.(ti) in
+    let acc = Hashtbl.create 8 in
+    let add j rate =
+      Hashtbl.replace acc j (rate +. try Hashtbl.find acc j with Not_found -> 0.0)
+    in
+    List.iter
+      (fun (_, rate, target) ->
+        exit.(ti) <- exit.(ti) +. rate;
+        if states.(target).vanishing then
+          Array.iteri
+            (fun j p -> if p > 0.0 then add j (rate *. p))
+            absorb.(target)
+        else add tangible_index.(target) rate)
+      states.(i).edges;
+    rows.(ti) <- Hashtbl.fold (fun j r acc -> (j, r) :: acc) acc []
+  done;
+  (* uniformized power iteration *)
+  let lambda = Array.fold_left Float.max 1e-9 exit in
+  let pi = Array.make nt (1.0 /. float_of_int nt) in
+  let next = Array.make nt 0.0 in
+  let rec iterate k =
+    if k >= max_iterations then ()
+    else begin
+      Array.fill next 0 nt 0.0;
+      for i = 0 to nt - 1 do
+        let stay = 1.0 -. (exit.(i) /. lambda) in
+        next.(i) <- next.(i) +. (pi.(i) *. stay);
+        List.iter
+          (fun (j, rate) -> next.(j) <- next.(j) +. (pi.(i) *. rate /. lambda))
+          rows.(i)
+      done;
+      let delta = ref 0.0 in
+      for i = 0 to nt - 1 do
+        delta := !delta +. Float.abs (next.(i) -. pi.(i));
+        pi.(i) <- next.(i)
+      done;
+      if !delta > tolerance then iterate (k + 1)
+    end
+  in
+  iterate 0;
+  (* normalize (guards drift) *)
+  let total = Array.fold_left ( +. ) 0.0 pi in
+  Array.iteri (fun i v -> pi.(i) <- v /. total) pi;
+  (* outputs *)
+  let np = Net.num_places net in
+  let place_means = Array.make np 0.0 in
+  for ti = 0 to nt - 1 do
+    let m = states.(tangible_of.(ti)).marking in
+    for p = 0 to np - 1 do
+      place_means.(p) <- place_means.(p) +. (pi.(ti) *. float_of_int m.(p))
+    done
+  done;
+  let throughputs = Array.make n_transitions 0.0 in
+  for ti = 0 to nt - 1 do
+    let i = tangible_of.(ti) in
+    List.iter
+      (fun (tid, rate, target) ->
+        (* the timed firing itself *)
+        throughputs.(tid) <- throughputs.(tid) +. (pi.(ti) *. rate);
+        (* immediate firings in the vanishing excursion it triggers *)
+        if states.(target).vanishing then
+          Array.iteri
+            (fun u f ->
+              if f > 0.0 then
+                throughputs.(u) <- throughputs.(u) +. (pi.(ti) *. rate *. f))
+            fires.(target))
+      states.(i).edges
+  done;
+  {
+    tangible_states = nt;
+    vanishing_states = n - nt;
+    place_means;
+    throughputs;
+  }
+
+let place_mean r net name =
+  r.place_means.(Net.place_id net name)
+
+let throughput r net name =
+  r.throughputs.(Net.transition_id net name)
+
+(* -- deterministic -> exponential rebuild -- *)
+
+module B = Net.Builder
+
+let exponential_variant net =
+  let b =
+    B.create (Net.name net ^ "_exp") ~variables:(Net.variables net)
+      ~tables:(Net.tables net)
+  in
+  Array.iter
+    (fun p ->
+      ignore
+        (match p.Net.p_capacity with
+        | Some c -> B.add_place b p.Net.p_name ~initial:p.Net.p_initial ~capacity:c
+        | None -> B.add_place b p.Net.p_name ~initial:p.Net.p_initial
+          : Net.place_id))
+    (Net.places net);
+  Array.iter
+    (fun tr ->
+      if tr.Net.t_predicate <> None || tr.Net.t_action <> [] then
+        invalid_arg
+          (Printf.sprintf
+             "Gspn.exponential_variant: transition %s has a predicate or action"
+             tr.Net.t_name);
+      let mean =
+        match tr.Net.t_firing, tr.Net.t_enabling with
+        | Net.Zero, Net.Zero -> None
+        | Net.Const d, Net.Zero | Net.Zero, Net.Const d -> Some d
+        | Net.Const d1, Net.Const d2 -> Some (d1 +. d2)
+        | Net.Zero, Net.Exponential m | Net.Exponential m, Net.Zero -> Some m
+        | (Net.Uniform _ | Net.Choice _ | Net.Dynamic _ | Net.Exponential _ | Net.Const _), _
+        | Net.Zero, (Net.Uniform _ | Net.Choice _ | Net.Dynamic _) ->
+          invalid_arg
+            (Printf.sprintf
+               "Gspn.exponential_variant: transition %s has an unsupported \
+                delay shape"
+               tr.Net.t_name)
+      in
+      let arcs l = List.map (fun a -> (a.Net.a_place, a.Net.a_weight)) l in
+      let enabling =
+        match mean with
+        | Some m when m > 0.0 -> Net.Exponential m
+        | Some _ | None -> Net.Zero
+      in
+      ignore
+        (B.add_transition b tr.Net.t_name ~inputs:(arcs tr.Net.t_inputs)
+           ~inhibitors:(arcs tr.Net.t_inhibitors)
+           ~outputs:(arcs tr.Net.t_outputs) ~enabling
+           ~frequency:tr.Net.t_frequency
+          : Net.transition_id))
+    (Net.transitions net);
+  B.build b

@@ -1,0 +1,1 @@
+lib/anim/animator.ml: Array List Option Pnut_core Pnut_trace Printf String Unix

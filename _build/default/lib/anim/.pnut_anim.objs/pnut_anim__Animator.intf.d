@@ -1,0 +1,1 @@
+lib/anim/animator.mli: Pnut_core Pnut_trace

@@ -1,0 +1,158 @@
+module Net = Pnut_core.Net
+module Marking = Pnut_core.Marking
+module Trace = Pnut_trace.Trace
+
+type phase =
+  | Consume
+  | Transit
+  | Produce
+
+type frame = {
+  f_time : float;
+  f_step : int;
+  f_phase : phase;
+  f_caption : string;
+  f_text : string;
+}
+
+let gauge count =
+  let shown = min count 12 in
+  let dots = String.concat "" (List.init shown (fun _ -> "o")) in
+  if count > shown then dots ^ "+" else dots
+
+let selected_places ?places net =
+  let all = Array.to_list (Net.places net) in
+  match places with
+  | None -> all
+  | Some names ->
+    List.filter_map (fun name -> Net.find_place net name) names
+    |> fun found ->
+    if found = [] then all else found
+
+let render_state_rows ?places net marking ~highlight =
+  let rows = selected_places ?places net in
+  let width =
+    List.fold_left (fun acc p -> max acc (String.length p.Net.p_name)) 4 rows
+  in
+  List.map
+    (fun p ->
+      let count = Marking.get marking p.Net.p_id in
+      let mark =
+        match List.assoc_opt p.Net.p_id highlight with
+        | Some `Out -> " <-"
+        | Some `In -> " ->"
+        | None -> ""
+      in
+      Printf.sprintf "  %-*s [%2d] %s%s" width p.Net.p_name count (gauge count)
+        mark)
+    rows
+
+let render_state ?places net marking =
+  String.concat "\n" (render_state_rows ?places net marking ~highlight:[]) ^ "\n"
+
+let arc_list net arcs =
+  String.concat ", "
+    (List.map
+       (fun { Net.a_place; a_weight } ->
+         let name = (Net.place net a_place).Net.p_name in
+         if a_weight = 1 then name else Printf.sprintf "%d x %s" a_weight name)
+       arcs)
+
+let frame_for ?places net marking d phase =
+  let tr = Net.transition net d.Trace.d_transition in
+  let name = tr.Net.t_name in
+  let caption, arrow, highlight =
+    match d.Trace.d_kind, phase with
+    | Trace.Fire_start, Consume ->
+      ( Printf.sprintf "%s takes %s" name (arc_list net tr.Net.t_inputs),
+        Printf.sprintf "( %s ) ==> [ %s ]" (arc_list net tr.Net.t_inputs) name,
+        List.map (fun a -> (a.Net.a_place, `Out)) tr.Net.t_inputs )
+    | Trace.Fire_start, (Transit | Produce) ->
+      ( Printf.sprintf "%s is firing" name,
+        Printf.sprintf "[ %s ] (tokens in transit)" name,
+        [] )
+    | Trace.Fire_end, (Consume | Transit) ->
+      ( Printf.sprintf "%s completes" name,
+        Printf.sprintf "[ %s ] (about to release)" name,
+        [] )
+    | Trace.Fire_end, Produce ->
+      ( Printf.sprintf "%s puts %s" name (arc_list net tr.Net.t_outputs),
+        Printf.sprintf "[ %s ] ==> ( %s )" name (arc_list net tr.Net.t_outputs),
+        List.map (fun a -> (a.Net.a_place, `In)) tr.Net.t_outputs )
+  in
+  let rows = render_state_rows ?places net marking ~highlight in
+  let text =
+    Printf.sprintf "t=%-10g %s\n%s\n%s\n" d.Trace.d_time caption arrow
+      (String.concat "\n" rows)
+  in
+  (caption, text)
+
+let check_trace net trace =
+  let h = Trace.header trace in
+  let places_match =
+    Array.length h.Trace.h_places = Net.num_places net
+    && Array.for_all
+         (fun name -> Option.is_some (Net.find_place net name))
+         h.Trace.h_places
+  in
+  let transitions_match =
+    Array.length h.Trace.h_transitions = Net.num_transitions net
+    && Array.for_all
+         (fun name -> Option.is_some (Net.find_transition net name))
+         h.Trace.h_transitions
+  in
+  if not (places_match && transitions_match) then
+    invalid_arg "Animator: trace does not match the net"
+
+let frames ?places net trace =
+  check_trace net trace;
+  let marking = Net.initial_marking net in
+  let out = ref [] in
+  Array.iteri
+    (fun step (d : Trace.delta) ->
+      (* pre-state frame: tokens about to move *)
+      let pre_phase =
+        match d.Trace.d_kind with
+        | Trace.Fire_start -> Consume
+        | Trace.Fire_end -> Transit
+      in
+      let caption_pre, text_pre = frame_for ?places net marking d pre_phase in
+      out :=
+        {
+          f_time = d.Trace.d_time;
+          f_step = step;
+          f_phase = pre_phase;
+          f_caption = caption_pre;
+          f_text = text_pre;
+        }
+        :: !out;
+      (* apply the delta *)
+      List.iter
+        (fun (p, dm) -> Marking.add marking p dm)
+        d.Trace.d_marking;
+      let post_phase =
+        match d.Trace.d_kind with
+        | Trace.Fire_start -> Transit
+        | Trace.Fire_end -> Produce
+      in
+      let caption_post, text_post = frame_for ?places net marking d post_phase in
+      out :=
+        {
+          f_time = d.Trace.d_time;
+          f_step = step;
+          f_phase = post_phase;
+          f_caption = caption_post;
+          f_text = text_post;
+        }
+        :: !out)
+    (Trace.deltas trace);
+  List.rev !out
+
+let play ?(delay_s = 0.0) oc frame_list =
+  List.iter
+    (fun f ->
+      output_string oc f.f_text;
+      output_string oc "----------------------------------------\n";
+      flush oc;
+      if delay_s > 0.0 then Unix.sleepf delay_s)
+    frame_list

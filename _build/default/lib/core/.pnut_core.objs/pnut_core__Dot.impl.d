@@ -1,0 +1,1 @@
+lib/core/dot.ml: Array Buffer Float Format List Net Printf String

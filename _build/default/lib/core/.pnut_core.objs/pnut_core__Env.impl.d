@@ -1,0 +1,1 @@
+lib/core/env.ml: Array Buffer Hashtbl List Printf String Value

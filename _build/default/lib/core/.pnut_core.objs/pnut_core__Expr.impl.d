@@ -1,0 +1,1 @@
+lib/core/expr.ml: Env Float Format List Printf Prng Stdlib String Value

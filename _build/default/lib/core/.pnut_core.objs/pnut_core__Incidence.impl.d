@@ -1,0 +1,1 @@
+lib/core/incidence.ml: Array Format List Net Printf String

@@ -1,0 +1,1 @@
+lib/core/incidence.mli: Format Net

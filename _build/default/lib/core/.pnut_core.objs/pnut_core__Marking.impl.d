@@ -1,0 +1,1 @@
+lib/core/marking.ml: Array Buffer Format Hashtbl Printf Stdlib

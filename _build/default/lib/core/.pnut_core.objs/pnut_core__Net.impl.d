@@ -1,0 +1,1 @@
+lib/core/net.ml: Array Env Expr Float Format Hashtbl List Marking Option Printf Prng Value

@@ -1,0 +1,1 @@
+lib/core/net.mli: Env Expr Format Marking Prng Value

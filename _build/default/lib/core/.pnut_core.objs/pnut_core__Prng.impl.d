@@ -1,0 +1,1 @@
+lib/core/prng.ml: Int64 List

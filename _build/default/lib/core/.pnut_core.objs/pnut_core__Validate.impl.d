@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Expr Format List Net Printf String

@@ -1,0 +1,70 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let duration_label prefix = function
+  | Net.Zero -> ""
+  | d -> Format.asprintf "\\n%s %a" prefix Net.pp_duration d
+
+let net n =
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph \"%s\" {\n" (escape (Net.name n));
+  out "  rankdir=LR;\n";
+  out "  node [fontname=\"Helvetica\"];\n";
+  Array.iter
+    (fun p ->
+      let tokens =
+        if p.Net.p_initial = 0 then ""
+        else Printf.sprintf "\\n%d" p.Net.p_initial
+      in
+      out "  \"p_%s\" [shape=circle label=\"%s%s\"];\n" (escape p.Net.p_name)
+        (escape p.Net.p_name) tokens)
+    (Net.places n);
+  Array.iter
+    (fun tr ->
+      let timing =
+        duration_label "firing" tr.Net.t_firing
+        ^ duration_label "enabling" tr.Net.t_enabling
+      in
+      let freq =
+        if Float.equal tr.Net.t_frequency 1.0 then ""
+        else Printf.sprintf "\\nfreq %g" tr.Net.t_frequency
+      in
+      out "  \"t_%s\" [shape=box style=filled fillcolor=lightgrey label=\"%s%s%s\"];\n"
+        (escape tr.Net.t_name) (escape tr.Net.t_name) timing freq)
+    (Net.transitions n);
+  let edge src dst weight attrs =
+    let label = if weight = 1 then "" else Printf.sprintf " label=\"%d\"" weight in
+    out "  %s -> %s [%s%s];\n" src dst attrs label
+  in
+  Array.iter
+    (fun tr ->
+      let t_node = Printf.sprintf "\"t_%s\"" (escape tr.Net.t_name) in
+      List.iter
+        (fun { Net.a_place; a_weight } ->
+          let p = (Net.place n a_place).Net.p_name in
+          edge (Printf.sprintf "\"p_%s\"" (escape p)) t_node a_weight "")
+        tr.Net.t_inputs;
+      List.iter
+        (fun { Net.a_place; a_weight } ->
+          let p = (Net.place n a_place).Net.p_name in
+          edge t_node (Printf.sprintf "\"p_%s\"" (escape p)) a_weight "")
+        tr.Net.t_outputs;
+      List.iter
+        (fun { Net.a_place; a_weight } ->
+          let p = (Net.place n a_place).Net.p_name in
+          edge
+            (Printf.sprintf "\"p_%s\"" (escape p))
+            t_node a_weight "arrowhead=odot color=red")
+        tr.Net.t_inhibitors)
+    (Net.transitions n);
+  out "}\n";
+  Buffer.contents buf

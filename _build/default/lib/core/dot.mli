@@ -1,0 +1,11 @@
+(** Graphviz export of nets.
+
+    The original P-NUT offered graphical editing of nets (Figures 1-4 are
+    screenshots of it); this headless reproduction exports the standard
+    graphical notation instead: places as circles (hexagons in P-NUT) with
+    their initial tokens, transitions as boxes annotated with their
+    timing, inhibitor arcs with dot arrowheads, arc weights as edge
+    labels. *)
+
+val net : Net.t -> string
+(** A complete [digraph] ready for [dot -Tsvg]. *)

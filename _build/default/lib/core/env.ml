@@ -1,0 +1,92 @@
+exception Unbound of string
+
+type t = {
+  vars : (string, Value.t) Hashtbl.t;
+  tbls : (string, Value.t array) Hashtbl.t;
+}
+
+let create () = { vars = Hashtbl.create 16; tbls = Hashtbl.create 4 }
+
+let of_bindings ?(tables = []) vars =
+  let env = create () in
+  let add_var (name, v) =
+    if Hashtbl.mem env.vars name then
+      invalid_arg ("Env.of_bindings: duplicate variable " ^ name);
+    Hashtbl.replace env.vars name v
+  in
+  let add_table (name, arr) =
+    if Hashtbl.mem env.tbls name then
+      invalid_arg ("Env.of_bindings: duplicate table " ^ name);
+    Hashtbl.replace env.tbls name (Array.copy arr)
+  in
+  List.iter add_var vars;
+  List.iter add_table tables;
+  env
+
+let copy env =
+  let vars = Hashtbl.copy env.vars in
+  let tbls = Hashtbl.create (Hashtbl.length env.tbls) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace tbls k (Array.copy v)) env.tbls;
+  { vars; tbls }
+
+let get env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some v -> v
+  | None -> raise (Unbound name)
+
+let set env name v = Hashtbl.replace env.vars name v
+
+let mem env name = Hashtbl.mem env.vars name
+
+let get_table env name =
+  match Hashtbl.find_opt env.tbls name with
+  | Some arr -> arr
+  | None -> raise (Unbound name)
+
+let table_get env name i =
+  let arr = get_table env name in
+  if i < 0 || i >= Array.length arr then
+    invalid_arg
+      (Printf.sprintf "Env.table_get: index %d out of bounds for %s[%d]" i name
+         (Array.length arr));
+  arr.(i)
+
+let table_set env name i v =
+  let arr = get_table env name in
+  if i < 0 || i >= Array.length arr then
+    invalid_arg
+      (Printf.sprintf "Env.table_set: index %d out of bounds for %s[%d]" i name
+         (Array.length arr));
+  arr.(i) <- v
+
+let bindings env =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.vars []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let tables env =
+  Hashtbl.fold (fun k v acc -> (k, Array.copy v) :: acc) env.tbls []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot env =
+  let buf = Buffer.create 64 in
+  let add_var (k, v) =
+    Buffer.add_string buf k;
+    Buffer.add_char buf '=';
+    Buffer.add_string buf (Value.to_string v);
+    Buffer.add_char buf ';'
+  in
+  let add_table (k, arr) =
+    Buffer.add_string buf k;
+    Buffer.add_string buf "=[";
+    Array.iter
+      (fun v ->
+        Buffer.add_string buf (Value.to_string v);
+        Buffer.add_char buf ',')
+      arr;
+    Buffer.add_string buf "];"
+  in
+  List.iter add_var (bindings env);
+  List.iter add_table (tables env);
+  Buffer.contents buf
+
+let equal a b = String.equal (snapshot a) (snapshot b)

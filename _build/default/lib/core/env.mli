@@ -1,0 +1,50 @@
+(** Variable/table environments for interpreted nets.
+
+    The paper's Figure-4 model manipulates global model variables
+    ([number-of-operands-needed]) and lookup tables ([operands\[type\]]).
+    An environment holds both.  Environments are mutable; [snapshot] and
+    [restore] support state-space exploration over interpreted nets. *)
+
+type t
+
+val create : unit -> t
+
+val of_bindings :
+  ?tables:(string * Value.t array) list -> (string * Value.t) list -> t
+(** Initial environment from variable bindings and (optionally) tables.
+    Raises [Invalid_argument] on duplicate names. *)
+
+val copy : t -> t
+(** Deep copy (tables included). *)
+
+val get : t -> string -> Value.t
+(** Raises [Unbound of name] if the variable was never set. *)
+
+val set : t -> string -> Value.t -> unit
+(** Sets or creates a variable. *)
+
+val mem : t -> string -> bool
+
+val get_table : t -> string -> Value.t array
+(** The live table array (not a copy). Raises [Unbound]. *)
+
+val table_get : t -> string -> int -> Value.t
+(** [table_get env name i] with bounds checking; raises [Unbound] or
+    [Invalid_argument] on a bad index. *)
+
+val table_set : t -> string -> int -> Value.t -> unit
+
+val bindings : t -> (string * Value.t) list
+(** Current scalar bindings, sorted by name (stable for hashing and
+    trace output). *)
+
+val tables : t -> (string * Value.t array) list
+(** Current tables, sorted by name; arrays are copies. *)
+
+val snapshot : t -> string
+(** Canonical serialization of the full environment state, usable as a
+    hash key in reachability analysis. *)
+
+val equal : t -> t -> bool
+
+exception Unbound of string

@@ -1,0 +1,80 @@
+(** The expression language for transition predicates, actions and
+    data-dependent timing.
+
+    This is the "predicates and actions" extension of the paper
+    (Sections 1 and 3): predicates are data-dependent pre-conditions
+    evaluated over the model environment; actions are sequences of
+    assignments run when a transition completes firing.  The same
+    expressions drive data-dependent firing/enabling times in table-driven
+    instruction-set models, and are reused by tracertool for user-defined
+    signal functions. *)
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Not  (** boolean negation *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type t =
+  | Const of Value.t
+  | Var of string              (** model variable *)
+  | Index of string * t        (** table lookup [tbl\[e\]] *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | If of t * t * t            (** conditional expression *)
+  | Call of string * t list    (** builtin: irand, min, max, abs, floor, ceil, int, float *)
+
+type stmt =
+  | Assign of string * t           (** [x = e] *)
+  | Table_assign of string * t * t (** [tbl\[i\] = e] *)
+
+(** Convenience constructors. *)
+
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+val var : string -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> t
+val ( <> ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val not_ : t -> t
+val irand : t -> t -> t
+val index : string -> t -> t
+
+(** Evaluation. [prng] is required only if the expression calls [irand];
+    evaluating [irand] without one raises [Eval_error]. *)
+
+val eval : ?prng:Prng.t -> Env.t -> t -> Value.t
+val eval_bool : ?prng:Prng.t -> Env.t -> t -> bool
+val eval_float : ?prng:Prng.t -> Env.t -> t -> float
+val eval_int : ?prng:Prng.t -> Env.t -> t -> int
+
+val run_stmt : ?prng:Prng.t -> Env.t -> stmt -> unit
+val run_stmts : ?prng:Prng.t -> Env.t -> stmt list -> unit
+
+val variables : t -> string list
+(** Free variables (not tables), sorted, deduplicated. *)
+
+val is_deterministic : t -> bool
+(** [false] if the expression (transitively) calls [irand]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the concrete syntax accepted by [Pnut_lang]. *)
+
+val pp_stmt : Format.formatter -> stmt -> unit
+
+val to_string : t -> string
+
+exception Eval_error of string

@@ -1,0 +1,167 @@
+type t = {
+  matrix : int array array;  (* places x transitions *)
+  np : int;
+  nt : int;
+}
+
+let of_net net =
+  let np = Net.num_places net in
+  let nt = Net.num_transitions net in
+  let matrix = Array.make_matrix np nt 0 in
+  Array.iter
+    (fun tr ->
+      let j = tr.Net.t_id in
+      List.iter
+        (fun { Net.a_place; a_weight } ->
+          matrix.(a_place).(j) <- matrix.(a_place).(j) - a_weight)
+        tr.Net.t_inputs;
+      List.iter
+        (fun { Net.a_place; a_weight } ->
+          matrix.(a_place).(j) <- matrix.(a_place).(j) + a_weight)
+        tr.Net.t_outputs)
+    (Net.transitions net);
+  { matrix; np; nt }
+
+let num_places c = c.np
+let num_transitions c = c.nt
+
+let entry c p t = c.matrix.(p).(t)
+
+let effect c t = Array.init c.np (fun p -> c.matrix.(p).(t))
+
+let apply c marking t =
+  for p = 0 to c.np - 1 do
+    marking.(p) <- marking.(p) + c.matrix.(p).(t)
+  done
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let vector_gcd v = Array.fold_left (fun acc x -> gcd acc x) 0 v
+
+let normalize v =
+  let g = vector_gcd v in
+  if g > 1 then Array.map (fun x -> x / g) v else Array.copy v
+
+let support v =
+  let s = ref [] in
+  Array.iteri (fun i x -> if x <> 0 then s := i :: !s) v;
+  !s
+
+let support_subset a b =
+  (* support(a) subset-of support(b)? *)
+  let ok = ref true in
+  Array.iteri (fun i x -> if x <> 0 && b.(i) = 0 then ok := false) a;
+  !ok
+
+(* Farkas' algorithm.  [rows] is a list of (coeff vector over the original
+   rows, residual matrix row).  Eliminates one column at a time, combining
+   positive and negative rows; rows already zero in the column survive. *)
+let farkas ~rows ~cols matrix =
+  let max_rows = 20000 in
+  let initial =
+    List.init rows (fun i ->
+        let coeff = Array.make rows 0 in
+        coeff.(i) <- 1;
+        (coeff, Array.copy matrix.(i)))
+  in
+  let eliminate col current =
+    let zero, nonzero =
+      List.partition (fun (_, row) -> row.(col) = 0) current
+    in
+    let pos = List.filter (fun (_, row) -> row.(col) > 0) nonzero in
+    let neg = List.filter (fun (_, row) -> row.(col) < 0) nonzero in
+    let combos =
+      List.concat_map
+        (fun (cp, rp) ->
+          List.map
+            (fun (cn, rn) ->
+              let a = rp.(col) and b = -rn.(col) in
+              let g = gcd a b in
+              let ka = b / g and kb = a / g in
+              let coeff =
+                Array.init rows (fun i -> (ka * cp.(i)) + (kb * cn.(i)))
+              in
+              let row =
+                Array.init cols (fun j -> (ka * rp.(j)) + (kb * rn.(j)))
+              in
+              (coeff, row))
+            neg)
+        pos
+    in
+    let merged = zero @ combos in
+    if List.length merged > max_rows then
+      invalid_arg "Incidence: invariant computation exceeded row limit";
+    merged
+  in
+  let rec go col current =
+    if col >= cols then current else go (col + 1) (eliminate col current)
+  in
+  let final = go 0 initial in
+  let candidates =
+    List.filter_map
+      (fun (coeff, _) ->
+        if Array.exists (fun x -> x <> 0) coeff then Some (normalize coeff)
+        else None)
+    final
+  in
+  (* keep minimal-support, deduplicated vectors *)
+  let minimal v others =
+    not
+      (List.exists
+         (fun w -> w != v && support_subset w v && support w <> support v)
+         others)
+  in
+  let dedup =
+    List.fold_left
+      (fun acc v -> if List.exists (fun w -> w = v) acc then acc else v :: acc)
+      [] candidates
+    |> List.rev
+  in
+  List.filter (fun v -> minimal v dedup) dedup
+
+let p_invariants c = farkas ~rows:c.np ~cols:c.nt c.matrix
+
+let t_invariants c =
+  let transposed =
+    Array.init c.nt (fun j -> Array.init c.np (fun i -> c.matrix.(i).(j)))
+  in
+  farkas ~rows:c.nt ~cols:c.np transposed
+
+let conserved c y =
+  let ok = ref true in
+  for j = 0 to c.nt - 1 do
+    let sum = ref 0 in
+    for i = 0 to c.np - 1 do
+      sum := !sum + (y.(i) * c.matrix.(i).(j))
+    done;
+    if !sum <> 0 then ok := false
+  done;
+  !ok
+
+let covered_by_p_invariants c =
+  let invs = p_invariants c in
+  let covered = Array.make c.np false in
+  List.iter
+    (fun y -> Array.iteri (fun i x -> if x > 0 then covered.(i) <- true) y)
+    invs;
+  Array.for_all (fun b -> b) covered
+
+let weighted_sum y m =
+  let sum = ref 0 in
+  Array.iteri (fun i x -> sum := !sum + (x * m.(i))) y;
+  !sum
+
+let pp_vector net kind ppf v =
+  let name i =
+    match kind with
+    | `Place -> (Net.place net i).Net.p_name
+    | `Transition -> (Net.transition net i).Net.t_name
+  in
+  let terms =
+    Array.to_list v
+    |> List.mapi (fun i x -> (i, x))
+    |> List.filter (fun (_, x) -> x <> 0)
+    |> List.map (fun (i, x) ->
+           if x = 1 then name i else Printf.sprintf "%d*%s" x (name i))
+  in
+  Format.pp_print_string ppf (String.concat " + " terms)

@@ -1,0 +1,47 @@
+(** Incidence matrices and classical structural analysis.
+
+    These give the algebraic counterpart of the paper's informal invariants
+    — e.g. the Bus_free/Bus_busy pair of Section 4.2 whose token sum must
+    always be one is exactly a P-invariant with weight 1 on both places.
+    P-invariants found here are also used by tests to cross-check the
+    simulator (token conservation along any firing sequence). *)
+
+type t
+(** Integer incidence matrix [C] with [C.(p).(t) = W(t,p) - W(p,t)].
+    Inhibitor arcs do not move tokens and do not appear. *)
+
+val of_net : Net.t -> t
+
+val effect : t -> Net.transition_id -> int array
+(** Column of the matrix: net token change per place for one firing. *)
+
+val entry : t -> Net.place_id -> Net.transition_id -> int
+
+val num_places : t -> int
+val num_transitions : t -> int
+
+val apply : t -> int array -> Net.transition_id -> unit
+(** In-place marking update by one firing (no enabledness check). *)
+
+val p_invariants : t -> int array list
+(** Minimal-support non-negative place invariants (Farkas' algorithm):
+    vectors [y >= 0], [y <> 0] with [y^T C = 0].  For every reachable
+    marking [m], [y . m = y . m0]. *)
+
+val t_invariants : t -> int array list
+(** Non-negative transition invariants: [C x = 0]; firing each transition
+    [x(t)] times reproduces the marking. *)
+
+val conserved : t -> int array -> bool
+(** [conserved c y] checks [y^T C = 0]. *)
+
+val covered_by_p_invariants : t -> bool
+(** Every place has a positive entry in some P-invariant; implies the net
+    is structurally bounded. *)
+
+val weighted_sum : int array -> int array -> int
+(** [weighted_sum y m] is the invariant value [y . m]. *)
+
+val pp_vector : Net.t -> [ `Place | `Transition ] -> Format.formatter ->
+  int array -> unit
+(** Renders e.g. [Bus_free + Bus_busy] with names from the net. *)

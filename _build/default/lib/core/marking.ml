@@ -1,0 +1,54 @@
+type t = int array
+
+let create n =
+  if n < 0 then invalid_arg "Marking.create: negative size";
+  Array.make n 0
+
+let of_array counts =
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Marking.of_array: negative count")
+    counts;
+  Array.copy counts
+
+let to_array m = Array.copy m
+
+let size = Array.length
+
+let get m p = m.(p)
+
+let set m p count =
+  if count < 0 then invalid_arg "Marking.set: negative count";
+  m.(p) <- count
+
+let add m p k =
+  let count = m.(p) + k in
+  if count < 0 then
+    invalid_arg
+      (Printf.sprintf "Marking.add: place %d would hold %d tokens" p count);
+  m.(p) <- count
+
+let copy = Array.copy
+
+let equal (a : t) b = a = b
+
+let compare (a : t) b = Stdlib.compare a b
+
+let hash (m : t) = Hashtbl.hash m
+
+let total m = Array.fold_left ( + ) 0 m
+
+let pp ppf m =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    (Array.to_list m)
+
+let to_key m =
+  let buf = Buffer.create (2 * Array.length m) in
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf (string_of_int c);
+      Buffer.add_char buf ',')
+    m;
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the system (conflict resolution, duration
+    sampling, [irand] in actions) flows from a single seeded stream so that
+    every simulation experiment is exactly reproducible.  The generator is
+    SplitMix64, which has a 64-bit state, passes BigCrush, and supports
+    cheap stream splitting for independent experiments. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an arbitrary integer seed. *)
+
+val copy : t -> t
+(** Independent copy sharing no future state with the original. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a statistically independent
+    generator; used to give each run of a multi-run experiment its own
+    stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform on [0, n-1]. [n] must be positive. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range g lo hi] is uniform on the inclusive range [lo, hi];
+    this is the paper's [irand(lo, hi)]. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform on [0, x). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform g lo hi] is uniform on [lo, hi). *)
+
+val exponential : t -> float -> float
+(** [exponential g mean] samples an exponential with the given mean. *)
+
+val choose_weighted : t -> ('a * float) list -> 'a
+(** [choose_weighted g items] picks an item with probability proportional
+    to its (strictly positive) weight.  Raises [Invalid_argument] on an
+    empty list or non-positive total weight. *)

@@ -1,0 +1,40 @@
+(** Structural validation and sanity diagnostics for nets.
+
+    The paper's Section 4.4 motivates catching modeling bugs (e.g. "a
+    non-zero timing in a transition" breaking a mutual-exclusion pair)
+    before trusting performance numbers.  These checks are static; dynamic
+    verification lives in [Pnut_tracer] and [Pnut_reach]. *)
+
+type severity =
+  | Error    (** the net cannot behave meaningfully *)
+  | Warning  (** suspicious, frequently a modeling mistake *)
+
+type diagnostic = {
+  severity : severity;
+  subject : string;  (** place or transition name, or "net" *)
+  message : string;
+}
+
+val check : Net.t -> diagnostic list
+(** All diagnostics, errors first.  Checks include:
+    - transitions with no input and no inhibitor arcs (fire forever at
+      time zero unless timed),
+    - zero-delay transitions whose inputs are all initially marked
+      self-loops (instantaneous livelock candidates),
+    - places never written by any transition and not initially marked
+      feeding inputs (dead inputs),
+    - places never read (write-only; often a model typo),
+    - dynamic durations referring to unbound variables,
+    - predicates/actions referring to unbound variables or tables,
+    - capacity declarations violated by the initial marking. *)
+
+val errors : diagnostic list -> diagnostic list
+val warnings : diagnostic list -> diagnostic list
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val assert_valid : Net.t -> unit
+(** Raises [Invalid_model] carrying the rendered errors if [check]
+    reports any [Error]. *)
+
+exception Invalid_model of string

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Float Hashtbl Lexer List Pnut_core Pnut_tracer Printf

@@ -1,0 +1,161 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Kw_net | Kw_var | Kw_table | Kw_place | Kw_transition
+  | Kw_in | Kw_out | Kw_inhibit
+  | Kw_firing | Kw_enabling | Kw_frequency | Kw_predicate | Kw_action
+  | Kw_init | Kw_capacity
+  | Kw_uniform | Kw_exponential | Kw_choice | Kw_expr
+  | Kw_if | Kw_then | Kw_else | Kw_and | Kw_or | Kw_not
+  | Kw_true | Kw_false
+  | Kw_forall | Kw_exists | Kw_inev | Kw_alw
+  | Lparen | Rparen | Lbracket | Rbracket | Lbrace | Rbrace
+  | Comma | Colon | Bar | Hash
+  | Star | Plus | Minus | Slash | Percent
+  | Eq
+  | Eq_eq
+  | Bang_eq
+  | Lt | Le | Gt | Ge
+  | Arrow
+  | Eof
+
+type located = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+exception Lex_error of int * int * string
+
+let keywords =
+  [
+    ("net", Kw_net); ("var", Kw_var); ("table", Kw_table); ("place", Kw_place);
+    ("transition", Kw_transition); ("in", Kw_in); ("out", Kw_out);
+    ("inhibit", Kw_inhibit); ("firing", Kw_firing); ("enabling", Kw_enabling);
+    ("frequency", Kw_frequency); ("predicate", Kw_predicate);
+    ("action", Kw_action); ("init", Kw_init); ("capacity", Kw_capacity);
+    ("uniform", Kw_uniform); ("exponential", Kw_exponential);
+    ("choice", Kw_choice); ("expr", Kw_expr); ("if", Kw_if); ("then", Kw_then);
+    ("else", Kw_else); ("and", Kw_and); ("or", Kw_or); ("not", Kw_not);
+    ("true", Kw_true); ("false", Kw_false); ("forall", Kw_forall);
+    ("exists", Kw_exists); ("inev", Kw_inev); ("alw", Kw_alw);
+  ]
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Int_lit i -> Printf.sprintf "integer %d" i
+  | Float_lit f -> Printf.sprintf "number %g" f
+  | Kw_net -> "'net'" | Kw_var -> "'var'" | Kw_table -> "'table'"
+  | Kw_place -> "'place'" | Kw_transition -> "'transition'"
+  | Kw_in -> "'in'" | Kw_out -> "'out'" | Kw_inhibit -> "'inhibit'"
+  | Kw_firing -> "'firing'" | Kw_enabling -> "'enabling'"
+  | Kw_frequency -> "'frequency'" | Kw_predicate -> "'predicate'"
+  | Kw_action -> "'action'" | Kw_init -> "'init'" | Kw_capacity -> "'capacity'"
+  | Kw_uniform -> "'uniform'" | Kw_exponential -> "'exponential'"
+  | Kw_choice -> "'choice'" | Kw_expr -> "'expr'"
+  | Kw_if -> "'if'" | Kw_then -> "'then'" | Kw_else -> "'else'"
+  | Kw_and -> "'and'" | Kw_or -> "'or'" | Kw_not -> "'not'"
+  | Kw_true -> "'true'" | Kw_false -> "'false'"
+  | Kw_forall -> "'forall'" | Kw_exists -> "'exists'"
+  | Kw_inev -> "'inev'" | Kw_alw -> "'alw'"
+  | Lparen -> "'('" | Rparen -> "')'"
+  | Lbracket -> "'['" | Rbracket -> "']'"
+  | Lbrace -> "'{'" | Rbrace -> "'}'"
+  | Comma -> "','" | Colon -> "':'" | Bar -> "'|'" | Hash -> "'#'"
+  | Star -> "'*'" | Plus -> "'+'" | Minus -> "'-'"
+  | Slash -> "'/'" | Percent -> "'%'"
+  | Eq -> "'='" | Eq_eq -> "'=='" | Bang_eq -> "'!='"
+  | Lt -> "'<'" | Le -> "'<='" | Gt -> "'>'" | Ge -> "'>='"
+  | Arrow -> "'->'"
+  | Eof -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize text =
+  let n = String.length text in
+  let line = ref 1 in
+  let bol = ref 0 in
+  let out = ref [] in
+  let emit pos tok = out := { tok; line = !line; col = pos - !bol + 1 } :: !out in
+  let error pos msg = raise (Lex_error (!line, pos - !bol + 1, msg)) in
+  let rec go i =
+    if i >= n then emit i Eof
+    else
+      let c = text.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+        incr line;
+        bol := i + 1;
+        go (i + 1)
+      | '/' when i + 1 < n && text.[i + 1] = '/' ->
+        let rec skip j = if j < n && text.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | '(' -> emit i Lparen; go (i + 1)
+      | ')' -> emit i Rparen; go (i + 1)
+      | '[' -> emit i Lbracket; go (i + 1)
+      | ']' -> emit i Rbracket; go (i + 1)
+      | '{' -> emit i Lbrace; go (i + 1)
+      | '}' -> emit i Rbrace; go (i + 1)
+      | ',' -> emit i Comma; go (i + 1)
+      | ':' -> emit i Colon; go (i + 1)
+      | '|' -> emit i Bar; go (i + 1)
+      | '#' -> emit i Hash; go (i + 1)
+      | '*' -> emit i Star; go (i + 1)
+      | '+' -> emit i Plus; go (i + 1)
+      | '/' -> emit i Slash; go (i + 1)
+      | '%' -> emit i Percent; go (i + 1)
+      | '-' when i + 1 < n && text.[i + 1] = '>' -> emit i Arrow; go (i + 2)
+      | '-' -> emit i Minus; go (i + 1)
+      | '=' when i + 1 < n && text.[i + 1] = '=' -> emit i Eq_eq; go (i + 2)
+      | '=' -> emit i Eq; go (i + 1)
+      | '!' when i + 1 < n && text.[i + 1] = '=' -> emit i Bang_eq; go (i + 2)
+      | '!' -> error i "unexpected '!' (did you mean '!='?)"
+      | '<' when i + 1 < n && text.[i + 1] = '=' -> emit i Le; go (i + 2)
+      | '<' -> emit i Lt; go (i + 1)
+      | '>' when i + 1 < n && text.[i + 1] = '=' -> emit i Ge; go (i + 2)
+      | '>' -> emit i Gt; go (i + 1)
+      | c when is_digit c ->
+        let rec scan j seen_dot seen_exp =
+          if j >= n then j
+          else
+            let d = text.[j] in
+            if is_digit d then scan (j + 1) seen_dot seen_exp
+            else if d = '.' && not seen_dot && not seen_exp then
+              scan (j + 1) true seen_exp
+            else if (d = 'e' || d = 'E') && not seen_exp && j + 1 < n
+                    && (is_digit text.[j + 1]
+                       || ((text.[j + 1] = '+' || text.[j + 1] = '-')
+                          && j + 2 < n && is_digit text.[j + 2]))
+            then
+              let j = if is_digit text.[j + 1] then j + 2 else j + 3 in
+              scan j seen_dot true
+            else j
+        in
+        let stop = scan i false false in
+        let lexeme = String.sub text i (stop - i) in
+        (match int_of_string_opt lexeme with
+        | Some v -> emit i (Int_lit v)
+        | None -> (
+          match float_of_string_opt lexeme with
+          | Some v -> emit i (Float_lit v)
+          | None -> error i ("bad number " ^ lexeme)));
+        go stop
+      | c when is_ident_start c ->
+        let rec scan j = if j < n && is_ident_char text.[j] then scan (j + 1) else j in
+        let stop = scan i in
+        let lexeme = String.sub text i (stop - i) in
+        (match List.assoc_opt lexeme keywords with
+        | Some kw -> emit i kw
+        | None -> emit i (Ident lexeme));
+        go stop
+      | c -> error i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !out

@@ -1,0 +1,45 @@
+(** Tokenizer shared by the model language, the expression language and
+    the query language. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  (* model keywords *)
+  | Kw_net | Kw_var | Kw_table | Kw_place | Kw_transition
+  | Kw_in | Kw_out | Kw_inhibit
+  | Kw_firing | Kw_enabling | Kw_frequency | Kw_predicate | Kw_action
+  | Kw_init | Kw_capacity
+  | Kw_uniform | Kw_exponential | Kw_choice | Kw_expr
+  (* expression keywords *)
+  | Kw_if | Kw_then | Kw_else | Kw_and | Kw_or | Kw_not
+  | Kw_true | Kw_false
+  (* query keywords *)
+  | Kw_forall | Kw_exists | Kw_inev | Kw_alw
+  (* punctuation and operators *)
+  | Lparen | Rparen | Lbracket | Rbracket | Lbrace | Rbrace
+  | Comma | Colon | Bar | Hash
+  | Star | Plus | Minus | Slash | Percent
+  | Eq          (** [=] *)
+  | Eq_eq       (** [==] *)
+  | Bang_eq     (** [!=] *)
+  | Lt | Le | Gt | Ge
+  | Arrow       (** [->], implication in queries *)
+  | Eof
+
+type located = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+val tokenize : string -> located list
+(** Raises [Lex_error (line, col, message)].  Comments run from [//] to
+    end of line ([#] introduces a state reference in queries, not a
+    comment).  Identifiers are [\[A-Za-z_\]\[A-Za-z0-9_'\]*]; keywords
+    are reserved. *)
+
+val describe : token -> string
+(** Human-readable token name for error messages. *)
+
+exception Lex_error of int * int * string

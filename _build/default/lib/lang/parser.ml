@@ -1,0 +1,669 @@
+module Expr = Pnut_core.Expr
+module Value = Pnut_core.Value
+module Net = Pnut_core.Net
+module Query = Pnut_tracer.Query
+module Signal = Pnut_tracer.Signal
+
+exception Parse_error of int * int * string
+
+(* Mutable token cursor. *)
+type cursor = {
+  mutable toks : Lexer.located list;
+}
+
+let peek c =
+  match c.toks with
+  | t :: _ -> t
+  | [] -> { Lexer.tok = Lexer.Eof; line = 0; col = 0 }
+
+let peek2 c =
+  match c.toks with
+  | _ :: t :: _ -> Some t.Lexer.tok
+  | _ -> None
+
+let advance c =
+  match c.toks with
+  | _ :: rest -> c.toks <- rest
+  | [] -> ()
+
+let error_at (t : Lexer.located) fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (t.Lexer.line, t.Lexer.col, msg))) fmt
+
+let expect c tok =
+  let t = peek c in
+  if t.Lexer.tok = tok then advance c
+  else
+    error_at t "expected %s, found %s" (Lexer.describe tok)
+      (Lexer.describe t.Lexer.tok)
+
+let expect_ident c =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Ident name ->
+    advance c;
+    name
+  | other -> error_at t "expected an identifier, found %s" (Lexer.describe other)
+
+let expect_int c =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Int_lit v ->
+    advance c;
+    v
+  | other -> error_at t "expected an integer, found %s" (Lexer.describe other)
+
+let expect_number c =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Int_lit v ->
+    advance c;
+    float_of_int v
+  | Lexer.Float_lit v ->
+    advance c;
+    v
+  | Lexer.Minus -> (
+    advance c;
+    let t2 = peek c in
+    match t2.Lexer.tok with
+    | Lexer.Int_lit v -> advance c; -.float_of_int v
+    | Lexer.Float_lit v -> advance c; -.v
+    | other -> error_at t2 "expected a number after '-', found %s" (Lexer.describe other))
+  | other -> error_at t "expected a number, found %s" (Lexer.describe other)
+
+(* -- expressions -- *)
+
+let rec parse_or c =
+  let lhs = parse_and c in
+  if (peek c).Lexer.tok = Lexer.Kw_or then begin
+    advance c;
+    Expr.Binop (Expr.Or, lhs, parse_or c)
+  end
+  else lhs
+
+and parse_and c =
+  let lhs = parse_cmp c in
+  if (peek c).Lexer.tok = Lexer.Kw_and then begin
+    advance c;
+    Expr.Binop (Expr.And, lhs, parse_and c)
+  end
+  else lhs
+
+and parse_cmp c =
+  let lhs = parse_add c in
+  let op =
+    match (peek c).Lexer.tok with
+    | Lexer.Eq_eq | Lexer.Eq -> Some Expr.Eq
+    | Lexer.Bang_eq -> Some Expr.Ne
+    | Lexer.Lt -> Some Expr.Lt
+    | Lexer.Le -> Some Expr.Le
+    | Lexer.Gt -> Some Expr.Gt
+    | Lexer.Ge -> Some Expr.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance c;
+    Expr.Binop (op, lhs, parse_add c)
+
+and parse_add c =
+  let rec go lhs =
+    match (peek c).Lexer.tok with
+    | Lexer.Plus ->
+      advance c;
+      go (Expr.Binop (Expr.Add, lhs, parse_mul c))
+    | Lexer.Minus ->
+      advance c;
+      go (Expr.Binop (Expr.Sub, lhs, parse_mul c))
+    | _ -> lhs
+  in
+  go (parse_mul c)
+
+and parse_mul c =
+  let rec go lhs =
+    match (peek c).Lexer.tok with
+    | Lexer.Star ->
+      advance c;
+      go (Expr.Binop (Expr.Mul, lhs, parse_unary c))
+    | Lexer.Slash ->
+      advance c;
+      go (Expr.Binop (Expr.Div, lhs, parse_unary c))
+    | Lexer.Percent ->
+      advance c;
+      go (Expr.Binop (Expr.Mod, lhs, parse_unary c))
+    | _ -> lhs
+  in
+  go (parse_unary c)
+
+and parse_unary c =
+  match (peek c).Lexer.tok with
+  | Lexer.Minus ->
+    advance c;
+    Expr.Unop (Expr.Neg, parse_unary c)
+  | Lexer.Kw_not ->
+    advance c;
+    Expr.Unop (Expr.Not, parse_unary c)
+  | _ -> parse_atom c
+
+and parse_atom c =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Int_lit v ->
+    advance c;
+    Expr.Const (Value.Int v)
+  | Lexer.Float_lit v ->
+    advance c;
+    Expr.Const (Value.Float v)
+  | Lexer.Kw_true ->
+    advance c;
+    Expr.Const (Value.Bool true)
+  | Lexer.Kw_false ->
+    advance c;
+    Expr.Const (Value.Bool false)
+  | Lexer.Lparen ->
+    advance c;
+    let e = parse_or c in
+    expect c Lexer.Rparen;
+    e
+  | Lexer.Kw_if ->
+    advance c;
+    let cond = parse_or c in
+    expect c Lexer.Kw_then;
+    let th = parse_or c in
+    expect c Lexer.Kw_else;
+    let el = parse_or c in
+    Expr.If (cond, th, el)
+  (* inev/alw appear inside query formulas; at the expression level they
+     are parsed as calls and lifted to temporal operators afterwards *)
+  | Lexer.Kw_inev ->
+    advance c;
+    expect c Lexer.Lparen;
+    let args = parse_args c in
+    expect c Lexer.Rparen;
+    Expr.Call ("inev", args)
+  | Lexer.Kw_alw ->
+    advance c;
+    expect c Lexer.Lparen;
+    let args = parse_args c in
+    expect c Lexer.Rparen;
+    Expr.Call ("alw", args)
+  | Lexer.Ident name -> (
+    advance c;
+    match (peek c).Lexer.tok with
+    | Lexer.Lparen ->
+      advance c;
+      let args = parse_args c in
+      expect c Lexer.Rparen;
+      Expr.Call (name, args)
+    | Lexer.Lbracket ->
+      advance c;
+      let e = parse_or c in
+      expect c Lexer.Rbracket;
+      Expr.Index (name, e)
+    | _ -> Expr.Var name)
+  | other -> error_at t "expected an expression, found %s" (Lexer.describe other)
+
+and parse_args c =
+  if (peek c).Lexer.tok = Lexer.Rparen then []
+  else
+    let rec go acc =
+      let e = parse_or c in
+      if (peek c).Lexer.tok = Lexer.Comma then begin
+        advance c;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+
+let parse_expr_cursor = parse_or
+
+(* -- model language -- *)
+
+type clause =
+  | C_in of (string * int) list
+  | C_out of (string * int) list
+  | C_inhibit of (string * int) list
+  | C_firing of Net.duration
+  | C_enabling of Net.duration
+  | C_frequency of float
+  | C_predicate of Expr.t
+  | C_action of Expr.stmt
+
+type item =
+  | I_var of string * Value.t
+  | I_table of string * Value.t array
+  | I_place of string * int * int option * Lexer.located
+  | I_transition of string * clause list * Lexer.located
+
+let parse_arcs c =
+  let rec go acc =
+    let name = expect_ident c in
+    let weight =
+      if (peek c).Lexer.tok = Lexer.Star then begin
+        advance c;
+        expect_int c
+      end
+      else 1
+    in
+    let acc = (name, weight) :: acc in
+    if (peek c).Lexer.tok = Lexer.Comma then begin
+      advance c;
+      go acc
+    end
+    else List.rev acc
+  in
+  go []
+
+let parse_duration c =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Int_lit _ | Lexer.Float_lit _ | Lexer.Minus ->
+    let v = expect_number c in
+    if Float.equal v 0.0 then Net.Zero else Net.Const v
+  | Lexer.Kw_uniform ->
+    advance c;
+    expect c Lexer.Lparen;
+    let lo = expect_number c in
+    expect c Lexer.Comma;
+    let hi = expect_number c in
+    expect c Lexer.Rparen;
+    Net.Uniform (lo, hi)
+  | Lexer.Kw_exponential ->
+    advance c;
+    expect c Lexer.Lparen;
+    let mean = expect_number c in
+    expect c Lexer.Rparen;
+    Net.Exponential mean
+  | Lexer.Kw_choice ->
+    advance c;
+    expect c Lexer.Lparen;
+    let rec go acc =
+      let v = expect_number c in
+      expect c Lexer.Colon;
+      let w = expect_number c in
+      let acc = (v, w) :: acc in
+      if (peek c).Lexer.tok = Lexer.Comma then begin
+        advance c;
+        go acc
+      end
+      else List.rev acc
+    in
+    let items = go [] in
+    expect c Lexer.Rparen;
+    Net.Choice items
+  | Lexer.Kw_expr ->
+    advance c;
+    expect c Lexer.Lparen;
+    let e = parse_expr_cursor c in
+    expect c Lexer.Rparen;
+    Net.Dynamic e
+  | other -> error_at t "expected a duration, found %s" (Lexer.describe other)
+
+let parse_value c =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Kw_true ->
+    advance c;
+    Value.Bool true
+  | Lexer.Kw_false ->
+    advance c;
+    Value.Bool false
+  | Lexer.Int_lit v ->
+    advance c;
+    Value.Int v
+  | Lexer.Float_lit v ->
+    advance c;
+    Value.Float v
+  | Lexer.Minus -> (
+    advance c;
+    let t2 = peek c in
+    match t2.Lexer.tok with
+    | Lexer.Int_lit v -> advance c; Value.Int (-v)
+    | Lexer.Float_lit v -> advance c; Value.Float (-.v)
+    | other -> error_at t2 "expected a number after '-', found %s" (Lexer.describe other))
+  | other -> error_at t "expected a value, found %s" (Lexer.describe other)
+
+let parse_action_stmt c =
+  let name = expect_ident c in
+  if (peek c).Lexer.tok = Lexer.Lbracket then begin
+    advance c;
+    let idx = parse_expr_cursor c in
+    expect c Lexer.Rbracket;
+    expect c Lexer.Eq;
+    let e = parse_expr_cursor c in
+    Expr.Table_assign (name, idx, e)
+  end
+  else begin
+    expect c Lexer.Eq;
+    let e = parse_expr_cursor c in
+    Expr.Assign (name, e)
+  end
+
+let parse_clause c =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Kw_in ->
+    advance c;
+    Some (C_in (parse_arcs c))
+  | Lexer.Kw_out ->
+    advance c;
+    Some (C_out (parse_arcs c))
+  | Lexer.Kw_inhibit ->
+    advance c;
+    Some (C_inhibit (parse_arcs c))
+  | Lexer.Kw_firing ->
+    advance c;
+    Some (C_firing (parse_duration c))
+  | Lexer.Kw_enabling ->
+    advance c;
+    Some (C_enabling (parse_duration c))
+  | Lexer.Kw_frequency ->
+    advance c;
+    Some (C_frequency (expect_number c))
+  | Lexer.Kw_predicate ->
+    advance c;
+    Some (C_predicate (parse_expr_cursor c))
+  | Lexer.Kw_action ->
+    advance c;
+    Some (C_action (parse_action_stmt c))
+  | _ -> None
+
+let parse_item c =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Kw_var ->
+    advance c;
+    let name = expect_ident c in
+    expect c Lexer.Eq;
+    Some (I_var (name, parse_value c))
+  | Lexer.Kw_table ->
+    advance c;
+    let name = expect_ident c in
+    expect c Lexer.Eq;
+    expect c Lexer.Lbracket;
+    let rec go acc =
+      let v = parse_value c in
+      if (peek c).Lexer.tok = Lexer.Comma then begin
+        advance c;
+        go (v :: acc)
+      end
+      else List.rev (v :: acc)
+    in
+    let values = go [] in
+    expect c Lexer.Rbracket;
+    Some (I_table (name, Array.of_list values))
+  | Lexer.Kw_place ->
+    advance c;
+    let where = peek c in
+    let name = expect_ident c in
+    let initial =
+      if (peek c).Lexer.tok = Lexer.Kw_init then begin
+        advance c;
+        expect_int c
+      end
+      else 0
+    in
+    let capacity =
+      if (peek c).Lexer.tok = Lexer.Kw_capacity then begin
+        advance c;
+        Some (expect_int c)
+      end
+      else None
+    in
+    Some (I_place (name, initial, capacity, where))
+  | Lexer.Kw_transition ->
+    advance c;
+    let where = peek c in
+    let name = expect_ident c in
+    let rec clauses acc =
+      match parse_clause c with
+      | Some cl -> clauses (cl :: acc)
+      | None -> List.rev acc
+    in
+    Some (I_transition (name, clauses [], where))
+  | _ -> None
+
+let elaborate name items =
+  let builder = Net.Builder.create name in
+  (* pass 1: variables, tables, places *)
+  let place_ids = Hashtbl.create 16 in
+  List.iter
+    (fun item ->
+      match item with
+      | I_var (n, v) -> Net.Builder.set_variable builder n v
+      | I_table (n, arr) -> Net.Builder.set_table builder n arr
+      | I_place (n, initial, capacity, where) ->
+        let id =
+          try
+            match capacity with
+            | Some cap -> Net.Builder.add_place builder n ~initial ~capacity:cap
+            | None -> Net.Builder.add_place builder n ~initial
+          with Invalid_argument msg -> error_at where "%s" msg
+        in
+        Hashtbl.replace place_ids n id
+      | I_transition _ -> ())
+    items;
+  (* pass 2: transitions *)
+  let resolve_arcs where arcs =
+    List.map
+      (fun (n, w) ->
+        match Hashtbl.find_opt place_ids n with
+        | Some id -> (id, w)
+        | None -> error_at where "unknown place %s" n)
+      arcs
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | I_var _ | I_table _ | I_place _ -> ()
+      | I_transition (n, clauses, where) ->
+        let inputs = ref [] in
+        let outputs = ref [] in
+        let inhibitors = ref [] in
+        let firing = ref Net.Zero in
+        let enabling = ref Net.Zero in
+        let frequency = ref 1.0 in
+        let predicate = ref None in
+        let action = ref [] in
+        List.iter
+          (fun cl ->
+            match cl with
+            | C_in arcs -> inputs := !inputs @ resolve_arcs where arcs
+            | C_out arcs -> outputs := !outputs @ resolve_arcs where arcs
+            | C_inhibit arcs -> inhibitors := !inhibitors @ resolve_arcs where arcs
+            | C_firing d -> firing := d
+            | C_enabling d -> enabling := d
+            | C_frequency f -> frequency := f
+            | C_predicate p -> predicate := Some p
+            | C_action s -> action := !action @ [ s ])
+          clauses;
+        let add () =
+          match !predicate with
+          | Some p ->
+            Net.Builder.add_transition builder n ~inputs:!inputs
+              ~outputs:!outputs ~inhibitors:!inhibitors ~firing:!firing
+              ~enabling:!enabling ~frequency:!frequency ~predicate:p
+              ~action:!action
+          | None ->
+            Net.Builder.add_transition builder n ~inputs:!inputs
+              ~outputs:!outputs ~inhibitors:!inhibitors ~firing:!firing
+              ~enabling:!enabling ~frequency:!frequency ~action:!action
+        in
+        (try ignore (add () : Net.transition_id)
+         with Invalid_argument msg -> error_at where "%s" msg))
+    items;
+  try Net.Builder.build builder
+  with Invalid_argument msg -> raise (Parse_error (1, 1, msg))
+
+let with_cursor text f =
+  let toks =
+    try Lexer.tokenize text
+    with Lexer.Lex_error (line, col, msg) -> raise (Parse_error (line, col, msg))
+  in
+  let c = { toks } in
+  let result = f c in
+  expect c Lexer.Eof;
+  result
+
+let parse_net text =
+  with_cursor text (fun c ->
+      expect c Lexer.Kw_net;
+      let name = expect_ident c in
+      let rec items acc =
+        match parse_item c with
+        | Some item -> items (item :: acc)
+        | None -> List.rev acc
+      in
+      let parsed = items [] in
+      (let t = peek c in
+       if t.Lexer.tok <> Lexer.Eof then
+         error_at t "expected 'place', 'transition', 'var', 'table' or end of \
+                     input, found %s"
+           (Lexer.describe t.Lexer.tok));
+      elaborate name parsed)
+
+let parse_expr text = with_cursor text parse_expr_cursor
+
+(* -- query language -- *)
+
+(* Lift a parsed expression into a query formula: top-level boolean
+   connectives become formula nodes, inev/alw calls become temporal
+   operators, everything else an atom.  [state_vars] are bound state
+   variables: applications like Bus_busy(s) unwrap to Bus_busy, and
+   stray references to the state variable inside inev (the paper's
+   3-argument form) are dropped. *)
+let rec formula_of_expr state_vars (e : Expr.t) : Query.formula =
+  let is_state_var = function
+    | Expr.Var v -> List.mem v state_vars
+    | _ -> false
+  in
+  let strip = strip_state_apps state_vars in
+  match e with
+  | Expr.Binop (Expr.And, a, b) ->
+    Query.And (formula_of_expr state_vars a, formula_of_expr state_vars b)
+  | Expr.Binop (Expr.Or, a, b) ->
+    Query.Or (formula_of_expr state_vars a, formula_of_expr state_vars b)
+  | Expr.Unop (Expr.Not, a) -> Query.Not (formula_of_expr state_vars a)
+  | Expr.Call ("inev", args) -> (
+    let args = List.filter (fun a -> not (is_state_var a)) args in
+    let args =
+      List.filter (function Expr.Const (Value.Bool true) -> false | _ -> true) args
+    in
+    match args with
+    | [ f ] -> Query.Inev (formula_of_expr state_vars f)
+    | _ -> failwith "inev expects one formula argument")
+  | Expr.Call ("alw", args) -> (
+    let args = List.filter (fun a -> not (is_state_var a)) args in
+    let args =
+      List.filter (function Expr.Const (Value.Bool true) -> false | _ -> true) args
+    in
+    match args with
+    | [ f ] -> Query.Alw (formula_of_expr state_vars f)
+    | _ -> failwith "alw expects one formula argument")
+  | other -> Query.Atom (strip other)
+
+(* Rewrite Bus_busy(s) -> Bus_busy throughout an expression. *)
+and strip_state_apps state_vars (e : Expr.t) : Expr.t =
+  let go = strip_state_apps state_vars in
+  match e with
+  | Expr.Call (name, [ Expr.Var v ]) when List.mem v state_vars -> Expr.Var name
+  | Expr.Const _ | Expr.Var _ -> e
+  | Expr.Index (t, i) -> Expr.Index (t, go i)
+  | Expr.Unop (op, a) -> Expr.Unop (op, go a)
+  | Expr.Binop (op, a, b) -> Expr.Binop (op, go a, go b)
+  | Expr.If (a, b, c) -> Expr.If (go a, go b, go c)
+  | Expr.Call (f, args) -> Expr.Call (f, List.map go args)
+
+(* domain := base ('-' '{' #int (',' #int)* '}')?
+   base   := S | ident | '(' domain ')' | '{' ident 'in' S '|' formula '}' *)
+let rec parse_domain c state_var =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Lparen ->
+    advance c;
+    let d, vars = parse_domain c state_var in
+    expect c Lexer.Rparen;
+    parse_domain_suffix c (d, vars)
+  | Lexer.Ident "S" ->
+    advance c;
+    parse_domain_suffix c (Query.whole, [ state_var ])
+  | Lexer.Lbrace ->
+    advance c;
+    let inner_var = expect_ident c in
+    expect c Lexer.Kw_in;
+    let t2 = peek c in
+    (match t2.Lexer.tok with
+    | Lexer.Ident "S" -> advance c
+    | other -> error_at t2 "expected S, found %s" (Lexer.describe other));
+    expect c Lexer.Bar;
+    let filter_expr = parse_expr_cursor c in
+    expect c Lexer.Rbrace;
+    let vars = [ state_var; inner_var ] in
+    let filter =
+      try formula_of_expr vars filter_expr
+      with Failure msg -> error_at t "%s" msg
+    in
+    parse_domain_suffix c
+      ({ Query.except = []; such_that = Some filter }, vars)
+  | other -> error_at t "expected a state domain, found %s" (Lexer.describe other)
+
+and parse_domain_suffix c (d, vars) =
+  if (peek c).Lexer.tok = Lexer.Minus then begin
+    advance c;
+    expect c Lexer.Lbrace;
+    let rec refs acc =
+      expect c Lexer.Hash;
+      let i = expect_int c in
+      if (peek c).Lexer.tok = Lexer.Comma then begin
+        advance c;
+        refs (i :: acc)
+      end
+      else List.rev (i :: acc)
+    in
+    let excluded = refs [] in
+    expect c Lexer.Rbrace;
+    ({ d with Query.except = d.Query.except @ excluded }, vars)
+  end
+  else (d, vars)
+
+let parse_query text =
+  with_cursor text (fun c ->
+      let t = peek c in
+      let quantifier =
+        match t.Lexer.tok with
+        | Lexer.Kw_forall -> advance c; `Forall
+        | Lexer.Kw_exists -> advance c; `Exists
+        | other ->
+          error_at t "expected 'forall' or 'exists', found %s"
+            (Lexer.describe other)
+      in
+      let state_var = expect_ident c in
+      expect c Lexer.Kw_in;
+      let domain, vars = parse_domain c state_var in
+      expect c Lexer.Lbracket;
+      let body = parse_expr_cursor c in
+      expect c Lexer.Rbracket;
+      let formula =
+        try formula_of_expr vars body
+        with Failure msg -> error_at t "%s" msg
+      in
+      match quantifier with
+      | `Forall -> Query.Forall (domain, formula)
+      | `Exists -> Query.Exists (domain, formula))
+
+let parse_signal text =
+  with_cursor text (fun c ->
+      let t = peek c in
+      match t.Lexer.tok, peek2 c with
+      | Lexer.Ident name, Some Lexer.Eq ->
+        advance c;
+        advance c;
+        let e = parse_expr_cursor c in
+        Signal.Fun (name, e)
+      | Lexer.Ident name, (Some Lexer.Eof | None) ->
+        advance c;
+        Signal.Fun (name, Expr.Var name)
+      | _ ->
+        let e = parse_expr_cursor c in
+        Signal.Fun ("signal", e))

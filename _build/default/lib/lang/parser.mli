@@ -1,0 +1,63 @@
+(** Parsers for the textual model language, the expression language and
+    the verification query language.
+
+    {2 Model language}
+
+    The paper notes that the complete pipeline model is "roughly 25 lines"
+    in textual form.  The concrete syntax (one keyword-introduced clause
+    per aspect; newlines are not significant):
+    {v
+    net pipeline
+    var n = 0
+    table operands = [0, 1, 2]
+    place Bus_free init 1
+    place Empty_I_buffers init 6 capacity 6
+    transition Start_prefetch
+      in Bus_free, Empty_I_buffers * 2
+      inhibit Operand_fetch_pending
+      out Bus_busy, pre_fetching
+      frequency 2
+    transition End_prefetch
+      in pre_fetching, Bus_busy
+      out Bus_free, Full_I_buffers * 2
+      enabling 5
+    transition Decode
+      in Full_I_buffers, Decoder_ready
+      out Decoded_instruction
+      firing 1
+      predicate n > 0
+      action n = n - 1
+    v}
+    Durations are a number, [uniform(a, b)], [exponential(mean)],
+    [choice(v:w, v:w, ...)] or [expr(e)].  Comments run from [//] to end
+    of line.  [Pnut_core.Net.pp] prints this syntax, so nets round-trip.
+
+    {2 Query language}
+
+    The paper's Section 4.4 queries parse directly (with [_] for [-] in
+    names, and the bound state variable applied as in [Bus_busy(s)] being
+    optional):
+    {v
+    forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]
+    exists s in (S - {#0}) [ Empty_I_buffers(s) = 6 ]
+    exists s in S [ exec_type_5(s) > 0 ]
+    forall s in {s' in S | Bus_busy(s')} [ inev(s, Bus_free, true) ]
+    v}
+    [inev(f)] and [alw(f)] are the temporal operators; inside [inev]/[alw]
+    the state arguments of the paper's 3-argument form are accepted and
+    ignored.  [=] and [==] both denote equality; [->] is implication. *)
+
+val parse_net : string -> Pnut_core.Net.t
+(** Parse and elaborate a model.  Raises {!Parse_error}. *)
+
+val parse_expr : string -> Pnut_core.Expr.t
+
+val parse_query : string -> Pnut_tracer.Query.t
+
+val parse_signal : string -> Pnut_tracer.Signal.t
+(** A signal spec for tracertool: either a bare name (resolved against
+    places, then transitions, then variables when sampled) or
+    [name = expr] defining a named function of other signals. *)
+
+exception Parse_error of int * int * string
+(** (line, column, message). *)

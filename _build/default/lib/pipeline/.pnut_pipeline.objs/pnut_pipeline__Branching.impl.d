@@ -1,0 +1,1 @@
+lib/pipeline/branching.ml: Config List Model Pnut_core Printf

@@ -1,0 +1,1 @@
+lib/pipeline/branching.mli: Config Pnut_core

@@ -1,0 +1,1 @@
+lib/pipeline/config.ml: List

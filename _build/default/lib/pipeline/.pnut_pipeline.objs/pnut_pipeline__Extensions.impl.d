@@ -1,0 +1,1 @@
+lib/pipeline/extensions.ml: Config Model Pnut_core Printf

@@ -1,0 +1,1 @@
+lib/pipeline/extensions.mli: Config Pnut_core

@@ -1,0 +1,1 @@
+lib/pipeline/interpreted.ml: Array Config Float List Pnut_core

@@ -1,0 +1,1 @@
+lib/pipeline/interpreted.mli: Config Pnut_core

@@ -1,0 +1,1 @@
+lib/pipeline/model.ml: Config List Option Pnut_core Printf

@@ -1,0 +1,1 @@
+lib/pipeline/model.mli: Config Pnut_core

@@ -1,0 +1,1 @@
+lib/pipeline/serial.ml: Config List Pnut_core Printf

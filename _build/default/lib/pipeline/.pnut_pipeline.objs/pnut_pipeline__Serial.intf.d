@@ -1,0 +1,1 @@
+lib/pipeline/serial.mli: Config Pnut_core

@@ -1,0 +1,128 @@
+module Net = Pnut_core.Net
+module B = Net.Builder
+module I = Model.Internal
+
+let flush_transitions =
+  [ "flush_buffer_word"; "flush_decoded"; "flush_ready"; "flush_done" ]
+
+(* Stage 3 with a branch path: execution completion competes between
+   taken-branch (flush) and the normal store/no-store exits. *)
+let add_branching_execution b (c : Config.t) (s : I.shared) ~branch_ratio
+    ~flushing =
+  let execution_unit = B.add_place b "Execution_unit" ~initial:1 ~capacity:1 in
+  let issued = B.add_place b "Issued_instruction" ~capacity:1 in
+  let exec_done = B.add_place b "Exec_done" ~capacity:1 in
+  ignore
+    (B.add_transition b "Issue"
+       ~inputs:[ (s.I.ready_to_issue, 1); (execution_unit, 1) ]
+       ~outputs:[ (issued, 1); (s.I.decoder_ready, 1) ]
+      : Net.transition_id);
+  List.iteri
+    (fun i (cycles, freq) ->
+      ignore
+        (B.add_transition b
+           (Printf.sprintf "exec_type_%d" (i + 1))
+           ~inputs:[ (issued, 1) ]
+           ~outputs:[ (exec_done, 1) ]
+           ~firing:(Net.Const cycles) ~frequency:freq
+          : Net.transition_id))
+    c.Config.exec_profile;
+  let p_store = (1.0 -. branch_ratio) *. c.Config.store_prob in
+  let p_plain = (1.0 -. branch_ratio) *. (1.0 -. c.Config.store_prob) in
+  if branch_ratio > 0.0 then
+    ignore
+      (B.add_transition b "branch_taken"
+         ~inputs:[ (exec_done, 1) ]
+         ~outputs:[ (flushing, 1) ]
+         ~frequency:branch_ratio
+        : Net.transition_id);
+  if p_store > 0.0 then begin
+    ignore
+      (B.add_transition b "store_result"
+         ~inputs:[ (exec_done, 1) ]
+         ~outputs:[ (s.I.result_store_pending, 1) ]
+         ~frequency:p_store
+        : Net.transition_id);
+    ignore
+      (B.add_transition b "start_store"
+         ~inputs:[ (s.I.result_store_pending, 1); (s.I.bus_free, 1) ]
+         ~outputs:[ (s.I.bus_busy, 1); (s.I.storing, 1) ]
+        : Net.transition_id);
+    ignore
+      (B.add_transition b "end_store"
+         ~inputs:[ (s.I.storing, 1); (s.I.bus_busy, 1) ]
+         ~outputs:[ (s.I.bus_free, 1); (execution_unit, 1) ]
+         ~enabling:(Net.Const c.Config.memory_cycles)
+        : Net.transition_id)
+  end;
+  if p_plain > 0.0 then
+    ignore
+      (B.add_transition b "no_store"
+         ~inputs:[ (exec_done, 1) ]
+         ~outputs:[ (execution_unit, 1) ]
+         ~frequency:p_plain
+        : Net.transition_id);
+  execution_unit
+
+(* The squash machinery: while Flushing is marked, prefetched words and
+   wrong-path stage-2 results are discarded one token at a time; the
+   branch completes (returning the execution unit) only once everything
+   visible has drained, the prefetch in flight has landed (and been
+   drained), and stage 2 is idle again. *)
+let add_flush b (s : I.shared) ~flushing ~execution_unit =
+  ignore
+    (B.add_transition b "flush_buffer_word"
+       ~inputs:[ (flushing, 1); (s.I.full_buffers, 1) ]
+       ~outputs:[ (flushing, 1); (s.I.empty_buffers, 1) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "flush_decoded"
+       ~inputs:[ (flushing, 1); (s.I.decoded_instruction, 1) ]
+       ~outputs:[ (flushing, 1); (s.I.decoder_ready, 1) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "flush_ready"
+       ~inputs:[ (flushing, 1); (s.I.ready_to_issue, 1) ]
+       ~outputs:[ (flushing, 1); (s.I.decoder_ready, 1) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "flush_done"
+       ~inputs:[ (flushing, 1); (s.I.decoder_ready, 1) ]
+       ~outputs:[ (s.I.decoder_ready, 1); (execution_unit, 1) ]
+       ~inhibitors:
+         [ (s.I.full_buffers, 1); (s.I.decoded_instruction, 1);
+           (s.I.ready_to_issue, 1); (s.I.pre_fetching, 1) ]
+      : Net.transition_id)
+
+let full ?(branch_ratio = 0.15) (c : Config.t) =
+  Config.validate c;
+  if branch_ratio < 0.0 || branch_ratio >= 1.0 then
+    invalid_arg "Branching.full: branch_ratio must be in [0, 1)";
+  let b = B.create "pipeline3b" in
+  let s = I.add_shared b c in
+  let flushing = B.add_place b "Flushing" ~capacity:1 in
+  (* prefetching must not chase the wrong path while flushing *)
+  let w = c.Config.prefetch_words in
+  let prefetch_inhibitors =
+    [ (s.I.operand_fetch_pending, 1); (s.I.result_store_pending, 1) ]
+    @ (if branch_ratio > 0.0 then [ (flushing, 1) ] else [])
+  in
+  ignore
+    (B.add_transition b "Start_prefetch"
+       ~inputs:[ (s.I.bus_free, 1); (s.I.empty_buffers, w) ]
+       ~inhibitors:prefetch_inhibitors
+       ~outputs:[ (s.I.bus_busy, 1); (s.I.pre_fetching, 1) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "End_prefetch"
+       ~inputs:[ (s.I.pre_fetching, 1); (s.I.bus_busy, 1) ]
+       ~outputs:[ (s.I.bus_free, 1); (s.I.full_buffers, w) ]
+       ~enabling:(Net.Const c.Config.memory_cycles)
+      : Net.transition_id);
+  I.add_decode b c s;
+  I.add_decoder b c s;
+  let execution_unit =
+    add_branching_execution b c s ~branch_ratio ~flushing
+  in
+  if branch_ratio > 0.0 then add_flush b s ~flushing ~execution_unit;
+  B.build b

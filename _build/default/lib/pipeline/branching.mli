@@ -1,0 +1,36 @@
+(** Control transfers: a pipeline whose branches flush the prefetch
+    buffer.
+
+    The paper's Section 3 sketches how "more complex models can be
+    described nearly as tersely"; the most consequential omission from
+    the Section-2 model of real 1980s microprocessors is control flow.
+    This variant adds it: a configurable fraction of instructions are
+    taken branches; when one executes, every prefetched word and every
+    wrong-path instruction in stage 2 is squashed, and prefetching
+    restarts at the target.
+
+    Structure added on top of {!Model.full}'s three stages:
+    - execution completion competes between [branch_taken] (frequency =
+      branch ratio) and the normal paths;
+    - [branch_taken] puts the machine into a [Flushing] mode: drain
+      transitions discard [Full_I_buffers] words and any decoded /
+      ready-to-issue wrong-path instruction, one token at a time and
+      instantaneously;
+    - [flush_done] (inhibited until everything is drained) restores
+      [Execution_unit] and lets prefetching resume; prefetch is inhibited
+      while flushing.
+
+    This reproduces the textbook interaction: with frequent branches a
+    {e deeper} instruction buffer wastes bus bandwidth on words that get
+    thrown away — the opposite of the no-branch conclusion of ablation
+    A3.  Ablation A8 in the bench quantifies it. *)
+
+val full : ?branch_ratio:float -> Config.t -> Pnut_core.Net.t
+(** [branch_ratio] (default 0.15) is the fraction of instructions that
+    are taken branches; 0 yields a net behaviourally equivalent to
+    {!Model.full} (the flush machinery is present but dead).  Raises
+    [Invalid_argument] if the ratio is outside [0, 1). *)
+
+val flush_transitions : string list
+(** Names of the squash transitions, for filtering and statistics:
+    [flush_buffer_word; flush_decoded; flush_ready; flush_done]. *)

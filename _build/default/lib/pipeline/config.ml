@@ -1,0 +1,62 @@
+type t = {
+  buffer_words : int;
+  prefetch_words : int;
+  memory_cycles : float;
+  decode_cycles : float;
+  eaddr_cycles : float;
+  mix : float * float * float;
+  store_prob : float;
+  exec_profile : (float * float) list;
+}
+
+let default =
+  {
+    buffer_words = 6;
+    prefetch_words = 2;
+    memory_cycles = 5.0;
+    decode_cycles = 1.0;
+    eaddr_cycles = 2.0;
+    mix = (70.0, 20.0, 10.0);
+    store_prob = 0.2;
+    exec_profile = [ (1.0, 0.5); (2.0, 0.3); (5.0, 0.1); (10.0, 0.05); (50.0, 0.05) ];
+  }
+
+let validate c =
+  let fail msg = invalid_arg ("Pipeline.Config: " ^ msg) in
+  if c.buffer_words <= 0 then fail "buffer_words must be positive";
+  if c.prefetch_words <= 0 then fail "prefetch_words must be positive";
+  if c.prefetch_words > c.buffer_words then
+    fail "prefetch_words cannot exceed buffer_words";
+  if c.memory_cycles < 0.0 then fail "memory_cycles must be non-negative";
+  if c.decode_cycles < 0.0 then fail "decode_cycles must be non-negative";
+  if c.eaddr_cycles < 0.0 then fail "eaddr_cycles must be non-negative";
+  let m1, m2, m3 = c.mix in
+  if m1 < 0.0 || m2 < 0.0 || m3 < 0.0 then fail "mix weights must be non-negative";
+  if m1 +. m2 +. m3 <= 0.0 then fail "mix weights must not all be zero";
+  if c.store_prob < 0.0 || c.store_prob > 1.0 then
+    fail "store_prob must be a probability";
+  if c.exec_profile = [] then fail "exec_profile must not be empty";
+  List.iter
+    (fun (cyc, w) ->
+      if cyc < 0.0 then fail "execution cycles must be non-negative";
+      if w <= 0.0 then fail "execution frequencies must be positive")
+    c.exec_profile
+
+let mix_probabilities c =
+  let m1, m2, m3 = c.mix in
+  let total = m1 +. m2 +. m3 in
+  (m1 /. total, m2 /. total, m3 /. total)
+
+let expected_exec_cycles c =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 c.exec_profile in
+  List.fold_left (fun acc (cyc, w) -> acc +. (cyc *. w /. total)) 0.0 c.exec_profile
+
+let expected_operands c =
+  let _, p2, p3 = mix_probabilities c in
+  p2 +. (2.0 *. p3)
+
+let expected_bus_cycles_per_instruction c =
+  let prefetch = c.memory_cycles /. float_of_int c.prefetch_words in
+  let operand_fetch = expected_operands c *. c.memory_cycles in
+  let store = c.store_prob *. c.memory_cycles in
+  prefetch +. operand_fetch +. store

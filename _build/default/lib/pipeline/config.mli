@@ -1,0 +1,41 @@
+(** Parameters of the paper's example pipelined microprocessor
+    (Section 2).  [default] is exactly the configuration evaluated in the
+    paper's Figure 5. *)
+
+type t = {
+  buffer_words : int;
+      (** instruction-buffer size in 16-bit words (paper: 6) *)
+  prefetch_words : int;
+      (** words fetched per prefetch transaction (paper: 2) *)
+  memory_cycles : float;
+      (** processor cycles per memory access (paper: 5) *)
+  decode_cycles : float;
+      (** cycles to decode one instruction (paper: 1) *)
+  eaddr_cycles : float;
+      (** address-calculation cycles per memory operand (paper: 2) *)
+  mix : float * float * float;
+      (** relative frequencies of zero / one / two memory-operand
+          instructions (paper: 70-20-10) *)
+  store_prob : float;
+      (** probability an instruction stores a result (paper: 0.2) *)
+  exec_profile : (float * float) list;
+      (** (execution cycles, relative frequency) pairs
+          (paper: 1-2-5-10-50 at .5-.3-.1-.05-.05) *)
+}
+
+val default : t
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical parameters (non-positive
+    buffer, out-of-range probability, empty execution profile, ...). *)
+
+val expected_exec_cycles : t -> float
+(** Mean execution time under the profile (paper default: 4.6). *)
+
+val expected_operands : t -> float
+(** Mean number of memory operands per instruction (paper default: 0.4). *)
+
+val expected_bus_cycles_per_instruction : t -> float
+(** Mean bus demand per instruction: prefetch share + operand fetches +
+    result stores (paper default: 5.5).  Useful as an analytic
+    cross-check of simulated bus utilization. *)

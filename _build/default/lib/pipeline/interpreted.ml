@@ -1,0 +1,340 @@
+module Net = Pnut_core.Net
+module Expr = Pnut_core.Expr
+module Value = Pnut_core.Value
+module B = Net.Builder
+
+type instruction_class = {
+  ic_operands : int;
+  ic_extra_words : int;
+  ic_exec_mem_ops : int;
+  ic_weight : float;
+}
+
+type instruction_set = instruction_class list
+
+let default_instruction_set (c : Config.t) =
+  let m1, m2, m3 = c.Config.mix in
+  [
+    { ic_operands = 0; ic_extra_words = 0; ic_exec_mem_ops = 0; ic_weight = m1 };
+    { ic_operands = 1; ic_extra_words = 0; ic_exec_mem_ops = 0; ic_weight = m2 };
+    { ic_operands = 2; ic_extra_words = 0; ic_exec_mem_ops = 0; ic_weight = m3 };
+  ]
+
+let wide_instruction_set () =
+  (* 30 addressing modes: operand count and encoding length grow with the
+     mode index, frequency decays so simple modes dominate. *)
+  List.init 30 (fun i ->
+      {
+        ic_operands = i mod 3;
+        ic_extra_words = i / 10;  (* 1-3 words total *)
+        ic_exec_mem_ops = (if i mod 7 = 0 then 1 else 0) + (i / 20);
+        ic_weight = 30.0 /. float_of_int (i + 1);
+      })
+
+(* Quantize relative weights into a selection table of [resolution]
+   entries; irand over the table approximates the distribution to
+   1/resolution. *)
+let selection_table ?(resolution = 1000) weights =
+  let total = List.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Interpreted: weights must be positive";
+  let n = List.length weights in
+  let table = Array.make resolution (Value.Int (n - 1)) in
+  let filled = ref 0 in
+  List.iteri
+    (fun i w ->
+      let count =
+        if i = n - 1 then resolution - !filled
+        else
+          int_of_float
+            (Float.round (float_of_int resolution *. w /. total))
+      in
+      for k = !filled to min (resolution - 1) (!filled + count - 1) do
+        table.(k) <- Value.Int i
+      done;
+      filled := min resolution (!filled + count))
+    weights;
+  table
+
+(* Execution-delay table from the (cycles, weight) profile. *)
+let exec_table ?(resolution = 1000) profile =
+  let weights = List.map snd profile in
+  let classes = selection_table ~resolution weights in
+  let cycles = Array.of_list (List.map fst profile) in
+  Array.map
+    (fun v ->
+      match v with
+      | Value.Int i -> Value.Float cycles.(i)
+      | Value.Float _ | Value.Bool _ -> assert false)
+    classes
+
+let resolution = 1000
+
+(* Shared skeleton pieces.  [bus] gives the Bus_free/Bus_busy pair and
+   the operand-fetch loop contends for it exactly as in Figure 4. *)
+let add_fetch_loop b (c : Config.t) ~bus_free ~bus_busy ~op_loop ~ready =
+  let fetching = B.add_place b "fetching" ~capacity:1 in
+  let eaddr = B.add_place b "Eaddr_calc" ~capacity:1 in
+  ignore
+    (B.add_transition b "calc_eaddr"
+       ~inputs:[ (eaddr, 1) ]
+       ~outputs:[ (op_loop, 1) ]
+       ~firing:
+         (Net.Dynamic Expr.(float c.Config.eaddr_cycles * var "number_of_operands_needed"))
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "fetch_operand"
+       ~inputs:[ (op_loop, 1); (bus_free, 1) ]
+       ~outputs:[ (bus_busy, 1); (fetching, 1) ]
+       ~predicate:Expr.(var "number_of_operands_needed" > int 0)
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "end_fetch"
+       ~inputs:[ (fetching, 1); (bus_busy, 1) ]
+       ~outputs:[ (bus_free, 1); (op_loop, 1) ]
+       ~enabling:(Net.Const c.Config.memory_cycles)
+       ~action:
+         [ Expr.Assign
+             ("number_of_operands_needed",
+              Expr.(var "number_of_operands_needed" - int 1)) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "operand_fetching_done"
+       ~inputs:[ (op_loop, 1) ]
+       ~outputs:[ (ready, 1) ]
+       ~predicate:Expr.(var "number_of_operands_needed" = int 0)
+      : Net.transition_id);
+  eaddr
+
+(* Class selection at decode; the operand counter is NOT set here — in
+   the full model it is latched by words_done, so that prefetching stays
+   possible while a long instruction's extra words are still being
+   consumed (setting it at decode would inhibit the very prefetches
+   needed to supply those words: deadlock). *)
+let decode_action =
+  [
+    Expr.Assign ("instr_class", Expr.index "pick" (Expr.irand (Expr.int 0) (Expr.int (resolution - 1))));
+    Expr.Assign ("extra_words", Expr.index "words" (Expr.var "instr_class"));
+  ]
+
+let latch_operands_action =
+  [ Expr.Assign
+      ("number_of_operands_needed", Expr.index "operands" (Expr.var "instr_class")) ]
+
+let common_tables isa =
+  [
+    ("pick", selection_table ~resolution (List.map (fun ic -> ic.ic_weight) isa));
+    ("operands", Array.of_list (List.map (fun ic -> Value.Int ic.ic_operands) isa));
+    ("words", Array.of_list (List.map (fun ic -> Value.Int ic.ic_extra_words) isa));
+    ("mem_ops", Array.of_list (List.map (fun ic -> Value.Int ic.ic_exec_mem_ops) isa));
+  ]
+
+let common_variables =
+  [
+    ("instr_class", Value.Int 0);
+    ("number_of_operands_needed", Value.Int 0);
+    ("extra_words", Value.Int 0);
+    ("exec_delay", Value.Float 0.0);
+    ("exec_mem_ops_left", Value.Int 0);
+    ("store_flag", Value.Bool false);
+  ]
+
+let full ?instruction_set (c : Config.t) =
+  Config.validate c;
+  let isa =
+    match instruction_set with
+    | Some set -> set
+    | None -> default_instruction_set c
+  in
+  if isa = [] then invalid_arg "Interpreted.full: empty instruction set";
+  let store_threshold =
+    int_of_float (Float.round (c.Config.store_prob *. float_of_int resolution))
+  in
+  let tables =
+    common_tables isa
+    @ [ ("exec_cycles", exec_table ~resolution c.Config.exec_profile) ]
+  in
+  let b = B.create "pipeline3i" ~variables:common_variables ~tables in
+  let bus_free = B.add_place b "Bus_free" ~initial:1 ~capacity:1 in
+  let bus_busy = B.add_place b "Bus_busy" ~capacity:1 in
+  let empty = B.add_place b "Empty_I_buffers" ~initial:c.Config.buffer_words in
+  let full_b = B.add_place b "Full_I_buffers" in
+  let pre_fetching = B.add_place b "pre_fetching" ~capacity:1 in
+  let storing = B.add_place b "storing" ~capacity:1 in
+  let result_store_pending = B.add_place b "Result_store_pending" in
+  let decoder_ready = B.add_place b "Decoder_ready" ~initial:1 ~capacity:1 in
+  let word_loop = B.add_place b "Word_consume" ~capacity:1 in
+  let op_loop = B.add_place b "Op_loop" ~capacity:1 in
+  let ready = B.add_place b "ready_to_issue_instruction" ~capacity:1 in
+  let issued = B.add_place b "Issued_instruction" ~capacity:1 in
+  let exec_done = B.add_place b "Exec_done" ~capacity:1 in
+  let execution_unit = B.add_place b "Execution_unit" ~initial:1 ~capacity:1 in
+  (* stage 1: prefetch; operand-waiting inhibition is the predicate on
+     the operand counter (a predicate replacing Figure 1's inhibitor) *)
+  ignore
+    (B.add_transition b "Start_prefetch"
+       ~inputs:[ (bus_free, 1); (empty, c.Config.prefetch_words) ]
+       ~inhibitors:[ (result_store_pending, 1) ]
+       ~outputs:[ (bus_busy, 1); (pre_fetching, 1) ]
+       ~predicate:
+         Expr.(
+           var "number_of_operands_needed" = int 0
+           && var "exec_mem_ops_left" = int 0)
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "End_prefetch"
+       ~inputs:[ (pre_fetching, 1); (bus_busy, 1) ]
+       ~outputs:[ (bus_free, 1); (full_b, c.Config.prefetch_words) ]
+       ~enabling:(Net.Const c.Config.memory_cycles)
+      : Net.transition_id);
+  (* stage 2: decode (selecting the class), consume extra words, then the
+     Figure-4 operand loop *)
+  ignore
+    (B.add_transition b "Decode"
+       ~inputs:[ (full_b, 1); (decoder_ready, 1) ]
+       ~outputs:[ (word_loop, 1); (empty, 1) ]
+       ~firing:(Net.Const c.Config.decode_cycles)
+       ~action:decode_action
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "consume_word"
+       ~inputs:[ (word_loop, 1); (full_b, 1) ]
+       ~outputs:[ (word_loop, 1); (empty, 1) ]
+       ~firing:(Net.Const 1.0)
+       ~predicate:Expr.(var "extra_words" > int 0)
+       ~action:[ Expr.Assign ("extra_words", Expr.(var "extra_words" - int 1)) ]
+      : Net.transition_id);
+  let eaddr =
+    add_fetch_loop b c ~bus_free ~bus_busy ~op_loop ~ready
+  in
+  ignore
+    (B.add_transition b "words_done"
+       ~inputs:[ (word_loop, 1) ]
+       ~outputs:[ (eaddr, 1) ]
+       ~predicate:Expr.(var "extra_words" = int 0)
+       ~action:latch_operands_action
+      : Net.transition_id);
+  (* stage 3: issue latches the execution delay and the store decision;
+     one execute transition replaces Figure 3's five *)
+  ignore
+    (B.add_transition b "Issue"
+       ~inputs:[ (ready, 1); (execution_unit, 1) ]
+       ~outputs:[ (issued, 1); (decoder_ready, 1) ]
+       ~action:
+         [
+           Expr.Assign
+             ("exec_delay",
+              Expr.index "exec_cycles"
+                (Expr.irand (Expr.int 0) (Expr.int (resolution - 1))));
+           Expr.Assign
+             ("store_flag",
+              Expr.(
+                irand (int 1) (int resolution) <= int store_threshold));
+         ]
+      : Net.transition_id);
+  (* execution-time memory traffic (Section 3's last extension): the
+     compute phase latches how many reads/writes this class performs;
+     each one then contends for the bus like any other transaction *)
+  let exec_mem_loop = B.add_place b "Exec_mem_loop" ~capacity:1 in
+  let exec_accessing = B.add_place b "exec_accessing" ~capacity:1 in
+  ignore
+    (B.add_transition b "execute"
+       ~inputs:[ (issued, 1) ]
+       ~outputs:[ (exec_mem_loop, 1) ]
+       ~firing:(Net.Dynamic (Expr.var "exec_delay"))
+       ~action:
+         [ Expr.Assign
+             ("exec_mem_ops_left", Expr.index "mem_ops" (Expr.var "instr_class")) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "exec_mem_access"
+       ~inputs:[ (exec_mem_loop, 1); (bus_free, 1) ]
+       ~outputs:[ (bus_busy, 1); (exec_accessing, 1) ]
+       ~predicate:Expr.(var "exec_mem_ops_left" > int 0)
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "end_exec_mem"
+       ~inputs:[ (exec_accessing, 1); (bus_busy, 1) ]
+       ~outputs:[ (bus_free, 1); (exec_mem_loop, 1) ]
+       ~enabling:(Net.Const c.Config.memory_cycles)
+       ~action:
+         [ Expr.Assign
+             ("exec_mem_ops_left", Expr.(var "exec_mem_ops_left" - int 1)) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "exec_complete"
+       ~inputs:[ (exec_mem_loop, 1) ]
+       ~outputs:[ (exec_done, 1) ]
+       ~predicate:Expr.(var "exec_mem_ops_left" = int 0)
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "store_result"
+       ~inputs:[ (exec_done, 1) ]
+       ~outputs:[ (result_store_pending, 1) ]
+       ~predicate:(Expr.var "store_flag")
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "no_store"
+       ~inputs:[ (exec_done, 1) ]
+       ~outputs:[ (execution_unit, 1) ]
+       ~predicate:(Expr.not_ (Expr.var "store_flag"))
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "start_store"
+       ~inputs:[ (result_store_pending, 1); (bus_free, 1) ]
+       ~outputs:[ (bus_busy, 1); (storing, 1) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "end_store"
+       ~inputs:[ (storing, 1); (bus_busy, 1) ]
+       ~outputs:[ (bus_free, 1); (execution_unit, 1) ]
+       ~enabling:(Net.Const c.Config.memory_cycles)
+      : Net.transition_id);
+  B.build b
+
+let operand_fetch_skeleton (c : Config.t) =
+  Config.validate c;
+  let isa = default_instruction_set c in
+  let b =
+    B.create "operand_fetch" ~variables:common_variables ~tables:(common_tables isa)
+  in
+  let bus_free = B.add_place b "Bus_free" ~initial:1 ~capacity:1 in
+  let bus_busy = B.add_place b "Bus_busy" ~capacity:1 in
+  let decoder_ready = B.add_place b "Decoder_ready" ~initial:1 ~capacity:1 in
+  let op_loop = B.add_place b "Op_loop" ~capacity:1 in
+  let ready = B.add_place b "ready_to_issue" ~capacity:1 in
+  ignore
+    (B.add_transition b "Decode"
+       ~inputs:[ (decoder_ready, 1) ]
+       ~outputs:[ (op_loop, 1) ]
+       ~firing:(Net.Const c.Config.decode_cycles)
+       ~action:(decode_action @ latch_operands_action)
+      : Net.transition_id);
+  let fetching = B.add_place b "fetching" ~capacity:1 in
+  ignore
+    (B.add_transition b "fetch_operand"
+       ~inputs:[ (op_loop, 1); (bus_free, 1) ]
+       ~outputs:[ (bus_busy, 1); (fetching, 1) ]
+       ~predicate:Expr.(var "number_of_operands_needed" > int 0)
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "end_fetch"
+       ~inputs:[ (fetching, 1); (bus_busy, 1) ]
+       ~outputs:[ (bus_free, 1); (op_loop, 1) ]
+       ~enabling:(Net.Const c.Config.memory_cycles)
+       ~action:
+         [ Expr.Assign
+             ("number_of_operands_needed",
+              Expr.(var "number_of_operands_needed" - int 1)) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "operand_fetching_done"
+       ~inputs:[ (op_loop, 1) ]
+       ~outputs:[ (ready, 1) ]
+       ~predicate:Expr.(var "number_of_operands_needed" = int 0)
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "Issue"
+       ~inputs:[ (ready, 1) ]
+       ~outputs:[ (decoder_ready, 1) ]
+      : Net.transition_id);
+  B.build b

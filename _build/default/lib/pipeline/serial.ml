@@ -1,0 +1,144 @@
+module Net = Pnut_core.Net
+module B = Net.Builder
+
+(* One instruction at a time: a single token walks
+   Idle -> fetch -> Decoding -> (type split) -> address calc ->
+   operand fetches -> Executing -> (store?) -> Idle.
+   The bus is kept one-hot so the utilization reading stays comparable
+   with the pipelined model. *)
+let full (c : Config.t) =
+  Config.validate c;
+  let m1, m2, m3 = c.Config.mix in
+  let b = B.create "serial" in
+  let bus_free = B.add_place b "Bus_free" ~initial:1 ~capacity:1 in
+  let bus_busy = B.add_place b "Bus_busy" ~capacity:1 in
+  let idle = B.add_place b "Idle" ~initial:1 ~capacity:1 in
+  let fetching_instr = B.add_place b "Fetching_instruction" ~capacity:1 in
+  let decoding = B.add_place b "Decoding" ~capacity:1 in
+  let t2_addr = B.add_place b "T2_addr_calc" ~capacity:1 in
+  let t3_addr = B.add_place b "T3_addr_calc" ~capacity:1 in
+  let operand_wait = B.add_place b "Operands_to_fetch" ~capacity:2 in
+  let fetching_op = B.add_place b "fetching" ~capacity:1 in
+  let op_gate = B.add_place b "Operand_gate" ~capacity:1 in
+  let ready_exec = B.add_place b "Ready_to_execute" ~capacity:1 in
+  let exec_done = B.add_place b "Exec_done" ~capacity:1 in
+  ignore
+    (B.add_transition b "start_ifetch"
+       ~inputs:[ (idle, 1); (bus_free, 1) ]
+       ~outputs:[ (bus_busy, 1); (fetching_instr, 1) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "end_ifetch"
+       ~inputs:[ (fetching_instr, 1); (bus_busy, 1) ]
+       ~outputs:[ (bus_free, 1); (decoding, 1) ]
+       ~enabling:(Net.Const c.Config.memory_cycles)
+      : Net.transition_id);
+  (* decode takes one cycle and resolves the instruction type *)
+  let typed = B.add_place b "Typed" ~capacity:1 in
+  ignore
+    (B.add_transition b "Decode"
+       ~inputs:[ (decoding, 1) ]
+       ~outputs:[ (typed, 1) ]
+       ~firing:(Net.Const c.Config.decode_cycles)
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "Type_1"
+       ~inputs:[ (typed, 1) ]
+       ~outputs:[ (ready_exec, 1) ]
+       ~frequency:m1
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "Type_2"
+       ~inputs:[ (typed, 1) ]
+       ~outputs:[ (t2_addr, 1) ]
+       ~frequency:m2
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "Type_3"
+       ~inputs:[ (typed, 1) ]
+       ~outputs:[ (t3_addr, 1) ]
+       ~frequency:m3
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "calc_eaddr_1"
+       ~inputs:[ (t2_addr, 1) ]
+       ~outputs:[ (operand_wait, 1); (op_gate, 1) ]
+       ~firing:(Net.Const c.Config.eaddr_cycles)
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "calc_eaddr_2"
+       ~inputs:[ (t3_addr, 1) ]
+       ~outputs:[ (operand_wait, 2); (op_gate, 1) ]
+       ~firing:(Net.Const (2.0 *. c.Config.eaddr_cycles))
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "start_fetch"
+       ~inputs:[ (operand_wait, 1); (bus_free, 1) ]
+       ~outputs:[ (bus_busy, 1); (fetching_op, 1) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "end_fetch"
+       ~inputs:[ (fetching_op, 1); (bus_busy, 1) ]
+       ~outputs:[ (bus_free, 1) ]
+      ~enabling:(Net.Const c.Config.memory_cycles)
+      : Net.transition_id);
+  (* the gate closes when every operand fetch is done *)
+  ignore
+    (B.add_transition b "operands_ready"
+       ~inputs:[ (op_gate, 1) ]
+       ~inhibitors:[ (operand_wait, 1); (fetching_op, 1) ]
+       ~outputs:[ (ready_exec, 1) ]
+      : Net.transition_id);
+  List.iteri
+    (fun i (cycles, freq) ->
+      ignore
+        (B.add_transition b
+           (Printf.sprintf "exec_type_%d" (i + 1))
+           ~inputs:[ (ready_exec, 1) ]
+           ~outputs:[ (exec_done, 1) ]
+           ~firing:(Net.Const cycles) ~frequency:freq
+          : Net.transition_id))
+    c.Config.exec_profile;
+  let storing = B.add_place b "storing" ~capacity:1 in
+  let store_wait = B.add_place b "Store_wait" ~capacity:1 in
+  if c.Config.store_prob > 0.0 then begin
+    ignore
+      (B.add_transition b "store_result"
+         ~inputs:[ (exec_done, 1) ]
+         ~outputs:[ (store_wait, 1) ]
+         ~frequency:c.Config.store_prob
+        : Net.transition_id);
+    ignore
+      (B.add_transition b "start_store"
+         ~inputs:[ (store_wait, 1); (bus_free, 1) ]
+         ~outputs:[ (bus_busy, 1); (storing, 1) ]
+        : Net.transition_id);
+    ignore
+      (B.add_transition b "end_store"
+         ~inputs:[ (storing, 1); (bus_busy, 1) ]
+         ~outputs:[ (bus_free, 1); (idle, 1) ]
+         ~enabling:(Net.Const c.Config.memory_cycles)
+        : Net.transition_id)
+  end;
+  if c.Config.store_prob < 1.0 then
+    ignore
+      (B.add_transition b "instruction_done"
+         ~inputs:[ (exec_done, 1) ]
+         ~outputs:[ (idle, 1) ]
+         ~frequency:(1.0 -. c.Config.store_prob)
+        : Net.transition_id);
+  B.build b
+
+let expected_cycles_per_instruction (c : Config.t) =
+  let m1, m2, m3 = c.Config.mix in
+  let total = m1 +. m2 +. m3 in
+  let p2 = m2 /. total and p3 = m3 /. total in
+  let operand_work =
+    (p2 *. (c.Config.eaddr_cycles +. c.Config.memory_cycles))
+    +. (p3 *. ((2.0 *. c.Config.eaddr_cycles) +. (2.0 *. c.Config.memory_cycles)))
+  in
+  c.Config.memory_cycles (* instruction fetch *)
+  +. c.Config.decode_cycles
+  +. operand_work
+  +. Config.expected_exec_cycles c
+  +. (c.Config.store_prob *. c.Config.memory_cycles)

@@ -1,0 +1,28 @@
+(** The non-pipelined baseline processor.
+
+    The paper's premise is that "the use of pipelining to speed up
+    instruction fetching, decoding and execution has become more
+    prevalent"; the implicit baseline is a serial machine that processes
+    one instruction at a time with {e no} overlap: fetch the word over
+    the bus, decode, calculate addresses and fetch operands, execute,
+    store — then start the next instruction.
+
+    The model reuses {!Config}: the same memory, decode,
+    address-calculation and execution timings, the same instruction mix
+    and store probability, so the pipelined/serial comparison isolates
+    exactly the architectural change.  Ablation A9 in the bench
+    quantifies the speedup (which {e grows} with memory latency — the
+    pipeline's whole point is hiding it — until both machines saturate
+    the bus). *)
+
+val full : Config.t -> Pnut_core.Net.t
+(** One-instruction-at-a-time machine.  Places of interest: [Bus_free] /
+    [Bus_busy] (same one-hot discipline) and the CPU-state markers
+    ([Idle], [Fetching_instruction], [Decoding], ...); the instruction
+    rate is the throughput of [Decode] (exactly one per instruction). *)
+
+val expected_cycles_per_instruction : Config.t -> float
+(** Analytic mean cycle count of the serial machine (no contention — the
+    single instruction owns the bus): fetch + decode + mix-weighted
+    address/operand work + mean execution + store share.  The simulated
+    rate must match its inverse exactly. *)

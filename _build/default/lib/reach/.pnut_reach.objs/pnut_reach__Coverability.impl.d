@@ -1,0 +1,1 @@
+lib/reach/coverability.ml: Array Buffer Format Hashtbl List Pnut_core Printf String

@@ -1,0 +1,1 @@
+lib/reach/coverability.mli: Format Pnut_core

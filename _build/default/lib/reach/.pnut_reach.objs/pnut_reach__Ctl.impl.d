@@ -1,0 +1,1 @@
+lib/reach/ctl.ml: Array Graph List Pnut_core Printf

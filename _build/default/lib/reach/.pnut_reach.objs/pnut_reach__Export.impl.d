@@ -1,0 +1,1 @@
+lib/reach/export.ml: Array Buffer Coverability Graph List Pnut_core Printf String

@@ -1,0 +1,1 @@
+lib/reach/export.mli: Coverability Graph Pnut_core

@@ -1,0 +1,1 @@
+lib/reach/graph.ml: Array Format Hashtbl List Pnut_core Queue String

@@ -1,0 +1,1 @@
+lib/reach/graph.mli: Format Pnut_core

@@ -1,0 +1,1 @@
+lib/reach/predicate.ml: Array Ctl Graph List Pnut_tracer

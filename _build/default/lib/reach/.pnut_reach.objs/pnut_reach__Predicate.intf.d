@@ -1,0 +1,1 @@
+lib/reach/predicate.mli: Graph Pnut_tracer

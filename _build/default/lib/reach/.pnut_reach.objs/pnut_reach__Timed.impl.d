@@ -1,0 +1,1 @@
+lib/reach/timed.ml: Array Buffer Float Format Hashtbl List Pnut_core Printf Queue Set

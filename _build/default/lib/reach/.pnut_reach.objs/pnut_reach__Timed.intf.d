@@ -1,0 +1,1 @@
+lib/reach/timed.mli: Format Pnut_core

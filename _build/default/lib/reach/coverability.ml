@@ -1,0 +1,216 @@
+module Net = Pnut_core.Net
+
+type token =
+  | Finite of int
+  | Omega
+
+type node = {
+  n_index : int;
+  n_marking : token array;
+}
+
+type edge = {
+  e_from : int;
+  e_transition : Net.transition_id;
+  e_to : int;
+}
+
+type t = {
+  nodes : node array;
+  succ : edge list array;
+  complete : bool;
+}
+
+let check_plain net =
+  Array.iter
+    (fun tr ->
+      if tr.Net.t_inhibitors <> [] then
+        invalid_arg
+          (Printf.sprintf "Coverability: transition %s has inhibitor arcs"
+             tr.Net.t_name);
+      if tr.Net.t_predicate <> None then
+        invalid_arg
+          (Printf.sprintf "Coverability: transition %s has a predicate"
+             tr.Net.t_name);
+      if tr.Net.t_action <> [] then
+        invalid_arg
+          (Printf.sprintf "Coverability: transition %s has an action"
+             tr.Net.t_name))
+    (Net.transitions net)
+
+let token_ge a b =
+  match a, b with
+  | Omega, _ -> true
+  | Finite _, Omega -> false
+  | Finite x, Finite y -> x >= y
+
+let token_gt a b =
+  match a, b with
+  | Omega, Omega -> false
+  | Omega, Finite _ -> true
+  | Finite _, Omega -> false
+  | Finite x, Finite y -> x > y
+
+let marking_ge a b =
+  let ok = ref true in
+  Array.iteri (fun i t -> if not (token_ge t b.(i)) then ok := false) a;
+  !ok
+
+let key marking =
+  let buf = Buffer.create 32 in
+  Array.iter
+    (fun t ->
+      (match t with
+      | Finite n -> Buffer.add_string buf (string_of_int n)
+      | Omega -> Buffer.add_char buf 'w');
+      Buffer.add_char buf ',')
+    marking;
+  Buffer.contents buf
+
+let enabled marking tr =
+  List.for_all
+    (fun { Net.a_place; a_weight } -> token_ge marking.(a_place) (Finite a_weight))
+    tr.Net.t_inputs
+
+let fire marking tr =
+  let m = Array.copy marking in
+  List.iter
+    (fun { Net.a_place; a_weight } ->
+      match m.(a_place) with
+      | Finite n -> m.(a_place) <- Finite (n - a_weight)
+      | Omega -> ())
+    tr.Net.t_inputs;
+  List.iter
+    (fun { Net.a_place; a_weight } ->
+      match m.(a_place) with
+      | Finite n -> m.(a_place) <- Finite (n + a_weight)
+      | Omega -> ())
+    tr.Net.t_outputs;
+  m
+
+(* Accelerate: if the new marking strictly dominates an ancestor, the
+   strictly-larger places grow without bound. *)
+let accelerate ancestors m =
+  let m = Array.copy m in
+  List.iter
+    (fun anc ->
+      if marking_ge m anc then begin
+        let strictly = ref false in
+        Array.iteri (fun i t -> if token_gt t anc.(i) then strictly := true) m;
+        if !strictly then
+          Array.iteri
+            (fun i t -> if token_gt t anc.(i) then m.(i) <- Omega)
+            m
+      end)
+    ancestors;
+  m
+
+let build ?(max_states = 100_000) net =
+  check_plain net;
+  let initial =
+    Array.map (fun c -> Finite c)
+      (Pnut_core.Marking.to_array (Net.initial_marking net))
+  in
+  let index = Hashtbl.create 256 in
+  let nodes = ref [] in
+  let n = ref 0 in
+  let truncated = ref false in
+  let edge_acc = ref [] in
+  (* work items carry the node index and the ancestor chain of
+     ω-markings *)
+  let intern marking =
+    let k = key marking in
+    match Hashtbl.find_opt index k with
+    | Some i -> (i, false)
+    | None ->
+      let i = !n in
+      Hashtbl.replace index k i;
+      nodes := { n_index = i; n_marking = Array.copy marking } :: !nodes;
+      incr n;
+      (i, true)
+  in
+  let i0, _ = intern initial in
+  let stack = ref [ (i0, initial, []) ] in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | (i, marking, ancestors) :: rest ->
+      stack := rest;
+      if !n >= max_states then truncated := true
+      else begin
+        Array.iter
+          (fun tr ->
+            if enabled marking tr then begin
+              let m' = accelerate (marking :: ancestors) (fire marking tr) in
+              let j, fresh = intern m' in
+              edge_acc := { e_from = i; e_transition = tr.Net.t_id; e_to = j } :: !edge_acc;
+              if fresh then stack := (j, m', marking :: ancestors) :: !stack
+            end)
+          (Net.transitions net);
+        loop ()
+      end
+  in
+  loop ();
+  let arr = Array.make !n { n_index = 0; n_marking = [||] } in
+  List.iter (fun nd -> arr.(nd.n_index) <- nd) !nodes;
+  let succ = Array.make !n [] in
+  List.iter (fun e -> succ.(e.e_from) <- e :: succ.(e.e_from)) !edge_acc;
+  Array.iteri (fun i l -> succ.(i) <- List.rev l) succ;
+  { nodes = arr; succ; complete = not !truncated }
+
+let num_nodes g = Array.length g.nodes
+let node g i = g.nodes.(i)
+let successors g i = g.succ.(i)
+let edges g = List.concat (Array.to_list g.succ)
+let complete g = g.complete
+
+let is_bounded g =
+  Array.for_all
+    (fun nd -> Array.for_all (fun t -> t <> Omega) nd.n_marking)
+    g.nodes
+
+let place_bound g p =
+  let bound = ref 0 in
+  let unbounded = ref false in
+  Array.iter
+    (fun nd ->
+      match nd.n_marking.(p) with
+      | Omega -> unbounded := true
+      | Finite c -> bound := max !bound c)
+    g.nodes;
+  if !unbounded then None else Some !bound
+
+let unbounded_places g =
+  match g.nodes with
+  | [||] -> []
+  | _ ->
+    let np = Array.length g.nodes.(0).n_marking in
+    List.init np (fun p -> p)
+    |> List.filter (fun p -> place_bound g p = None)
+
+let covers g target =
+  Array.exists
+    (fun nd ->
+      let ok = ref true in
+      Array.iteri
+        (fun i want ->
+          if not (token_ge nd.n_marking.(i) (Finite want)) then ok := false)
+        target;
+      !ok)
+    g.nodes
+
+let pp_token ppf = function
+  | Finite n -> Format.pp_print_int ppf n
+  | Omega -> Format.pp_print_string ppf "ω"
+
+let pp_summary net ppf g =
+  Format.fprintf ppf "@[<v>coverability graph of %s@,nodes: %d%s@,bounded: %b"
+    (Net.name net) (num_nodes g)
+    (if g.complete then "" else " (truncated)")
+    (is_bounded g);
+  (match unbounded_places g with
+  | [] -> ()
+  | l ->
+    Format.fprintf ppf "@,unbounded places: %s"
+      (String.concat ", " (List.map (fun p -> (Net.place net p).Net.p_name) l)));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,76 @@
+module Net = Pnut_core.Net
+
+let marking_label net marking =
+  let parts = ref [] in
+  Array.iteri
+    (fun p count ->
+      if count > 0 then begin
+        let name = (Net.place net p).Net.p_name in
+        parts :=
+          (if count = 1 then name else Printf.sprintf "%d.%s" count name)
+          :: !parts
+      end)
+    marking;
+  match List.rev !parts with
+  | [] -> "(empty)"
+  | l -> String.concat "\\n" l
+
+let graph_dot g =
+  let net = Graph.net g in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph reachability {\n  node [fontname=\"Helvetica\" shape=ellipse];\n";
+  for i = 0 to Graph.num_states g - 1 do
+    let s = Graph.state g i in
+    let attrs =
+      if i = Graph.initial g then " peripheries=2"
+      else if Graph.successors g i = [] then " style=filled fillcolor=lightpink"
+      else ""
+    in
+    out "  s%d [label=\"#%d\\n%s\"%s];\n" i i
+      (marking_label net s.Graph.s_marking)
+      attrs
+  done;
+  List.iter
+    (fun e ->
+      out "  s%d -> s%d [label=\"%s\"];\n" e.Graph.e_from e.Graph.e_to
+        (Net.transition net e.Graph.e_transition).Net.t_name)
+    (Graph.edges g);
+  out "}\n";
+  Buffer.contents buf
+
+let coverability_dot net g =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph coverability {\n  node [fontname=\"Helvetica\" shape=ellipse];\n";
+  for i = 0 to Coverability.num_nodes g - 1 do
+    let nd = Coverability.node g i in
+    let parts = ref [] in
+    let has_omega = ref false in
+    Array.iteri
+      (fun p t ->
+        let name = (Net.place net p).Net.p_name in
+        match t with
+        | Coverability.Omega ->
+          has_omega := true;
+          parts := (name ^ ":ω") :: !parts
+        | Coverability.Finite c when c > 0 ->
+          parts := Printf.sprintf "%s:%d" name c :: !parts
+        | Coverability.Finite _ -> ())
+      nd.Coverability.n_marking;
+    let label =
+      match List.rev !parts with [] -> "(empty)" | l -> String.concat "\\n" l
+    in
+    let attrs =
+      if !has_omega then " style=filled fillcolor=khaki" else ""
+    in
+    out "  n%d [label=\"%s\"%s];\n" i label attrs
+  done;
+  List.iter
+    (fun e ->
+      out "  n%d -> n%d [label=\"%s\"];\n" e.Coverability.e_from
+        e.Coverability.e_to
+        (Net.transition net e.Coverability.e_transition).Net.t_name)
+    (Coverability.edges g);
+  out "}\n";
+  Buffer.contents buf

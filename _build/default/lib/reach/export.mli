@@ -1,0 +1,9 @@
+(** Graphviz export of reachability structures. *)
+
+val graph_dot : Graph.t -> string
+(** Untimed reachability graph: states labelled with their markings
+    (non-empty places only), edges with transition names; the initial
+    state is doubly circled, deadlocks are shaded. *)
+
+val coverability_dot : Pnut_core.Net.t -> Coverability.t -> string
+(** Coverability nodes with [ω] entries highlighted. *)

@@ -1,0 +1,220 @@
+module Net = Pnut_core.Net
+module Marking = Pnut_core.Marking
+module Env = Pnut_core.Env
+module Expr = Pnut_core.Expr
+module Value = Pnut_core.Value
+
+type state = {
+  s_index : int;
+  s_marking : int array;
+  s_env : (string * Value.t) list;
+}
+
+type edge = {
+  e_from : int;
+  e_transition : Net.transition_id;
+  e_to : int;
+}
+
+type t = {
+  net : Net.t;
+  states : state array;
+  succ : edge list array;   (* indexed by source state *)
+  pred : edge list array;   (* indexed by target state *)
+  complete : bool;
+}
+
+let net g = g.net
+let complete g = g.complete
+let num_states g = Array.length g.states
+let num_edges g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.succ
+let state g i = g.states.(i)
+let initial _ = 0
+let successors g i = g.succ.(i)
+let predecessors g i = g.pred.(i)
+let edges g = List.concat (Array.to_list g.succ)
+
+let stochastic_parts net =
+  Array.to_list (Net.transitions net)
+  |> List.concat_map (fun tr ->
+         let pred_bad =
+           match tr.Net.t_predicate with
+           | Some p when not (Expr.is_deterministic p) -> [ tr.Net.t_name ]
+           | Some _ | None -> []
+         in
+         let action_bad =
+           if
+             List.exists
+               (fun s ->
+                 match s with
+                 | Expr.Assign (_, e) -> not (Expr.is_deterministic e)
+                 | Expr.Table_assign (_, i, e) ->
+                   not (Expr.is_deterministic i && Expr.is_deterministic e))
+               tr.Net.t_action
+           then [ tr.Net.t_name ]
+           else []
+         in
+         pred_bad @ action_bad)
+
+(* Canonical key of a (marking, env) pair. *)
+let key marking env = Marking.to_key marking ^ "|" ^ Env.snapshot env
+
+let build ?(max_states = 100_000) net =
+  (match stochastic_parts net with
+  | [] -> ()
+  | bad ->
+    invalid_arg
+      ("Reach.Graph.build: stochastic predicate/action on transitions: "
+      ^ String.concat ", " (List.sort_uniq String.compare bad)));
+  let index = Hashtbl.create 1024 in
+  let states = ref [] in
+  let n_states = ref 0 in
+  let succ_acc = Hashtbl.create 1024 in
+  (* work items carry live marking/env copies *)
+  let queue = Queue.create () in
+  let truncated = ref false in
+  let intern marking env =
+    let k = key marking env in
+    match Hashtbl.find_opt index k with
+    | Some i -> (i, false)
+    | None ->
+      let i = !n_states in
+      incr n_states;
+      Hashtbl.replace index k i;
+      states :=
+        {
+          s_index = i;
+          s_marking = Marking.to_array marking;
+          s_env = Env.bindings env;
+        }
+        :: !states;
+      (i, true)
+  in
+  let m0 = Net.initial_marking net in
+  let env0 = Net.initial_env net in
+  let i0, _ = intern m0 env0 in
+  assert (i0 = 0);
+  Queue.add (i0, m0, env0) queue;
+  while not (Queue.is_empty queue) do
+    let i, marking, env = Queue.pop queue in
+    let fire tr =
+      let m' = Marking.copy marking in
+      let env' = Env.copy env in
+      Net.consume net m' tr;
+      Net.produce net m' tr;
+      Expr.run_stmts env' tr.Net.t_action;
+      if !n_states >= max_states && not (Hashtbl.mem index (key m' env')) then
+        truncated := true
+      else begin
+        let j, fresh = intern m' env' in
+        Hashtbl.replace succ_acc i
+          ({ e_from = i; e_transition = tr.Net.t_id; e_to = j }
+          :: (try Hashtbl.find succ_acc i with Not_found -> []));
+        if fresh then Queue.add (j, m', env') queue
+      end
+    in
+    Array.iter
+      (fun tr -> if Net.enabled net marking env tr then fire tr)
+      (Net.transitions net)
+  done;
+  let n = !n_states in
+  let states_arr = Array.make n { s_index = 0; s_marking = [||]; s_env = [] } in
+  List.iter (fun s -> states_arr.(s.s_index) <- s) !states;
+  let succ = Array.make n [] in
+  Hashtbl.iter (fun i l -> succ.(i) <- List.rev l) succ_acc;
+  let pred = Array.make n [] in
+  Array.iter (fun l -> List.iter (fun e -> pred.(e.e_to) <- e :: pred.(e.e_to)) l) succ;
+  { net; states = states_arr; succ; pred; complete = not !truncated }
+
+let find_state g marking =
+  let n = num_states g in
+  let rec go i =
+    if i >= n then None
+    else if g.states.(i).s_marking = marking then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let deadlocks g =
+  let acc = ref [] in
+  for i = num_states g - 1 downto 0 do
+    if g.succ.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let bound g p =
+  Array.fold_left (fun acc s -> max acc s.s_marking.(p)) 0 g.states
+
+let is_safe g =
+  Array.for_all
+    (fun s -> Array.for_all (fun c -> c <= 1) s.s_marking)
+    g.states
+
+let live_transitions g =
+  let seen = Array.make (Net.num_transitions g.net) false in
+  Array.iter
+    (fun l -> List.iter (fun e -> seen.(e.e_transition) <- true) l)
+    g.succ;
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b then acc := i :: !acc) seen;
+  List.rev !acc
+
+let dead_transitions g =
+  let live = live_transitions g in
+  List.init (Net.num_transitions g.net) (fun i -> i)
+  |> List.filter (fun i -> not (List.mem i live))
+
+(* States from which [targets] is reachable: backward closure. *)
+let backward_closure g targets =
+  let marked = Array.make (num_states g) false in
+  let stack = ref targets in
+  List.iter (fun i -> marked.(i) <- true) targets;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+      stack := rest;
+      List.iter
+        (fun e ->
+          if not marked.(e.e_from) then begin
+            marked.(e.e_from) <- true;
+            stack := e.e_from :: !stack
+          end)
+        g.pred.(i)
+  done;
+  marked
+
+let is_reversible g =
+  let can_return = backward_closure g [ 0 ] in
+  Array.for_all (fun b -> b) can_return
+
+let home_states g =
+  let n = num_states g in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    let reach_i = backward_closure g [ i ] in
+    if Array.for_all (fun b -> b) reach_i then acc := i :: !acc
+  done;
+  !acc
+
+let check_invariant g p =
+  let n = num_states g in
+  let rec go i =
+    if i >= n then None else if not (p g.states.(i)) then Some i else go (i + 1)
+  in
+  go 0
+
+let pp_summary ppf g =
+  Format.fprintf ppf
+    "@[<v>reachability graph of %s@,states: %d%s@,edges: %d@,deadlocks: %d@,\
+     safe: %b@,reversible: %b@,dead transitions: %s@]"
+    (Net.name g.net) (num_states g)
+    (if g.complete then "" else " (truncated)")
+    (num_edges g)
+    (List.length (deadlocks g))
+    (is_safe g) (is_reversible g)
+    (match dead_transitions g with
+    | [] -> "none"
+    | l ->
+      String.concat ", "
+        (List.map (fun i -> (Net.transition g.net i).Net.t_name) l))

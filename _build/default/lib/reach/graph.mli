@@ -1,0 +1,70 @@
+(** Untimed reachability graphs [MR87].
+
+    Classical interleaving semantics: any fully enabled transition (token
+    conditions and predicate) may fire atomically, consuming, producing
+    and running its action.  Timing is ignored.  Interpreted nets are
+    supported as long as every predicate, action and duration involved is
+    deterministic (no [irand]); the environment is part of the state.
+
+    Construction is breadth-first with a state cap; a capped graph is
+    flagged [complete = false] and all analyses on it are reported as
+    bounds, not facts. *)
+
+type state = {
+  s_index : int;
+  s_marking : int array;
+  s_env : (string * Pnut_core.Value.t) list;  (** scalar bindings *)
+}
+
+type edge = {
+  e_from : int;
+  e_transition : Pnut_core.Net.transition_id;
+  e_to : int;
+}
+
+type t
+
+val build : ?max_states:int -> Pnut_core.Net.t -> t
+(** Default cap: 100_000 states.  Raises [Invalid_argument] if the net
+    has stochastic predicates or actions. *)
+
+val net : t -> Pnut_core.Net.t
+val complete : t -> bool
+val num_states : t -> int
+val num_edges : t -> int
+val state : t -> int -> state
+val initial : t -> int
+val successors : t -> int -> edge list
+val predecessors : t -> int -> edge list
+val edges : t -> edge list
+
+val find_state : t -> int array -> int option
+(** Look up a marking (ignores the environment if several states share
+    the marking — returns the first). *)
+
+(** {2 Analyses} *)
+
+val deadlocks : t -> int list
+(** States with no enabled transition. *)
+
+val bound : t -> Pnut_core.Net.place_id -> int
+(** Max token count of the place over all reachable states. *)
+
+val is_safe : t -> bool
+(** Every place holds at most one token in every reachable state. *)
+
+val live_transitions : t -> Pnut_core.Net.transition_id list
+(** Transitions that fire on at least one edge (L1-live). *)
+
+val dead_transitions : t -> Pnut_core.Net.transition_id list
+
+val is_reversible : t -> bool
+(** The initial state is reachable from every reachable state. *)
+
+val home_states : t -> int list
+(** States reachable from every reachable state. *)
+
+val check_invariant : t -> (state -> bool) -> int option
+(** First state violating a predicate, if any. *)
+
+val pp_summary : Format.formatter -> t -> unit

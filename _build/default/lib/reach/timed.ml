@@ -1,0 +1,426 @@
+module Net = Pnut_core.Net
+module Marking = Pnut_core.Marking
+module Env = Pnut_core.Env
+module Expr = Pnut_core.Expr
+module Value = Pnut_core.Value
+
+type label =
+  | Fire of Net.transition_id
+  | Complete of Net.transition_id
+  | Tick of float
+
+type state = {
+  ts_index : int;
+  ts_marking : int array;
+  ts_in_flight : (Net.transition_id * float) list;
+  ts_pending : (Net.transition_id * float) list;
+  ts_env : (string * Value.t) list;
+}
+
+type edge = {
+  e_from : int;
+  e_label : label;
+  e_to : int;
+}
+
+type t = {
+  net : Net.t;
+  states : state array;
+  succ : edge list array;
+  complete : bool;
+}
+
+let complete g = g.complete
+let num_states g = Array.length g.states
+let num_edges g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.succ
+let state g i = g.states.(i)
+let initial _ = 0
+let successors g i = g.succ.(i)
+
+let det_duration env = function
+  | Net.Zero -> 0.0
+  | Net.Const d -> d
+  | Net.Uniform (lo, hi) when Float.equal lo hi -> lo
+  | Net.Choice ((v, _) :: rest) when List.for_all (fun (v', _) -> Float.equal v v') rest
+    -> v
+  | Net.Dynamic e when Expr.is_deterministic e -> Expr.eval_float env e
+  | Net.Uniform _ | Net.Exponential _ | Net.Choice _ | Net.Dynamic _ ->
+    invalid_arg "Reach.Timed: stochastic duration in a timed reachability net"
+
+let check_deterministic net =
+  Array.iter
+    (fun tr ->
+      let check_dur what d =
+        match d with
+        | Net.Zero | Net.Const _ -> ()
+        | Net.Uniform (lo, hi) when Float.equal lo hi -> ()
+        | Net.Choice ((v, _) :: rest)
+          when List.for_all (fun (v', _) -> Float.equal v v') rest -> ()
+        | Net.Dynamic e when Expr.is_deterministic e -> ()
+        | Net.Uniform _ | Net.Exponential _ | Net.Choice _ | Net.Dynamic _ ->
+          invalid_arg
+            (Printf.sprintf "Reach.Timed: stochastic %s time on transition %s"
+               what tr.Net.t_name)
+      in
+      check_dur "firing" tr.Net.t_firing;
+      check_dur "enabling" tr.Net.t_enabling;
+      (match tr.Net.t_predicate with
+      | Some p when not (Expr.is_deterministic p) ->
+        invalid_arg
+          ("Reach.Timed: stochastic predicate on transition " ^ tr.Net.t_name)
+      | Some _ | None -> ());
+      if
+        List.exists
+          (fun s ->
+            match s with
+            | Expr.Assign (_, e) -> not (Expr.is_deterministic e)
+            | Expr.Table_assign (_, i, e) ->
+              not (Expr.is_deterministic i && Expr.is_deterministic e))
+          tr.Net.t_action
+      then
+        invalid_arg
+          ("Reach.Timed: stochastic action on transition " ^ tr.Net.t_name))
+    (Net.transitions net)
+
+(* Recompute the pending (enabling) list after a state change: enabled
+   transitions keep their old residual, newly enabled ones start at their
+   full enabling delay, [restart] names transitions whose clock restarts
+   regardless (the just-fired one). *)
+let refresh_pending net marking env old_pending ~restart =
+  Array.to_list (Net.transitions net)
+  |> List.filter_map (fun tr ->
+         if Net.enabled net marking env tr then
+           let residual =
+             match List.assoc_opt tr.Net.t_id old_pending with
+             | Some r when not (List.mem tr.Net.t_id restart) -> r
+             | Some _ | None -> det_duration env tr.Net.t_enabling
+           in
+           Some (tr.Net.t_id, residual)
+         else None)
+
+let float_key f = Printf.sprintf "%.9g" f
+
+let state_key marking in_flight pending env =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Marking.to_key marking);
+  Buffer.add_char buf '|';
+  List.iter
+    (fun (t, r) -> Buffer.add_string buf (Printf.sprintf "%d:%s;" t (float_key r)))
+    in_flight;
+  Buffer.add_char buf '|';
+  List.iter
+    (fun (t, r) -> Buffer.add_string buf (Printf.sprintf "%d:%s;" t (float_key r)))
+    pending;
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (Env.snapshot env);
+  Buffer.contents buf
+
+let sort_flight l =
+  List.sort
+    (fun (t1, r1) (t2, r2) ->
+      match compare t1 t2 with 0 -> Float.compare r1 r2 | c -> c)
+    l
+
+let build ?(max_states = 50_000) ?horizon net =
+  check_deterministic net;
+  let index = Hashtbl.create 1024 in
+  let states = ref [] in
+  let n_states = ref 0 in
+  let succ_acc = Hashtbl.create 1024 in
+  let truncated = ref false in
+  let queue = Queue.create () in
+  let intern marking in_flight pending env =
+    let in_flight = sort_flight in_flight in
+    let pending = sort_flight pending in
+    let k = state_key marking in_flight pending env in
+    match Hashtbl.find_opt index k with
+    | Some i -> (i, false)
+    | None ->
+      let i = !n_states in
+      incr n_states;
+      Hashtbl.replace index k i;
+      states :=
+        {
+          ts_index = i;
+          ts_marking = Marking.to_array marking;
+          ts_in_flight = in_flight;
+          ts_pending = pending;
+          ts_env = Env.bindings env;
+        }
+        :: !states;
+      (i, true)
+  in
+  let add_edge i label j =
+    Hashtbl.replace succ_acc i
+      ({ e_from = i; e_label = label; e_to = j }
+      :: (try Hashtbl.find succ_acc i with Not_found -> []))
+  in
+  let m0 = Net.initial_marking net in
+  let env0 = Net.initial_env net in
+  let pending0 = refresh_pending net m0 env0 [] ~restart:[] in
+  let i0, _ = intern m0 [] pending0 env0 in
+  assert (i0 = 0);
+  Queue.add (i0, m0, ([] : (int * float) list), pending0, env0, 0.0) queue;
+  let room () =
+    if !n_states >= max_states then begin
+      truncated := true;
+      false
+    end
+    else true
+  in
+  while not (Queue.is_empty queue) do
+    let i, marking, in_flight, pending, env, time = Queue.pop queue in
+    let visit label marking' in_flight' pending' env' time' =
+      let existing =
+        Hashtbl.mem index (state_key marking' (sort_flight in_flight')
+                             (sort_flight pending') env')
+      in
+      if existing || room () then begin
+        let j, fresh = intern marking' in_flight' pending' env' in
+        add_edge i label j;
+        if fresh then
+          Queue.add (j, marking', in_flight', pending', env', time') queue
+      end
+    in
+    (* 1. completions of in-flight firings whose residual reached zero *)
+    let completable =
+      List.filter (fun (_, r) -> Float.equal r 0.0) in_flight
+    in
+    List.iter
+      (fun (tid, _) ->
+        let tr = Net.transition net tid in
+        let m' = Marking.copy marking in
+        let env' = Env.copy env in
+        Net.produce net m' tr;
+        Expr.run_stmts env' tr.Net.t_action;
+        let remove l =
+          let rec go = function
+            | [] -> []
+            | (t, r) :: rest when t = tid && Float.equal r 0.0 -> rest
+            | x :: rest -> x :: go rest
+          in
+          go l
+        in
+        let in_flight' = remove in_flight in
+        let pending' = refresh_pending net m' env' pending ~restart:[] in
+        visit (Complete tid) m' in_flight' pending' env' time)
+      (List.sort_uniq compare completable);
+    (* 2. firings of fireable transitions *)
+    let fireable =
+      List.filter
+        (fun (tid, r) ->
+          Float.equal r 0.0
+          && Net.enabled net marking env (Net.transition net tid))
+        pending
+    in
+    List.iter
+      (fun (tid, _) ->
+        let tr = Net.transition net tid in
+        let m' = Marking.copy marking in
+        let env' = Env.copy env in
+        Net.consume net m' tr;
+        let d = det_duration env' tr.Net.t_firing in
+        if Float.equal d 0.0 then begin
+          Net.produce net m' tr;
+          Expr.run_stmts env' tr.Net.t_action;
+          let pending' = refresh_pending net m' env' pending ~restart:[ tid ] in
+          visit (Fire tid) m' in_flight pending' env' time
+        end
+        else begin
+          let in_flight' = (tid, d) :: in_flight in
+          let pending' = refresh_pending net m' env' pending ~restart:[ tid ] in
+          visit (Fire tid) m' in_flight' pending' env' time
+        end)
+      fireable;
+    (* 3. if nothing can happen now, advance time *)
+    if completable = [] && fireable = [] then begin
+      let residuals =
+        List.map snd in_flight
+        @ List.filter_map
+            (fun (_, r) -> if r > 0.0 then Some r else None)
+            pending
+      in
+      match residuals with
+      | [] -> ()  (* timed-dead state *)
+      | first :: rest ->
+        let d = List.fold_left Float.min first rest in
+        let time' = time +. d in
+        let within =
+          match horizon with None -> true | Some h -> time' <= h
+        in
+        if within then begin
+          let tick l =
+            List.map (fun (t, r) -> (t, Float.max 0.0 (r -. d))) l
+          in
+          visit (Tick d) marking (tick in_flight) (tick pending) env time'
+        end
+    end
+  done;
+  let n = !n_states in
+  let states_arr =
+    Array.make n
+      { ts_index = 0; ts_marking = [||]; ts_in_flight = []; ts_pending = [];
+        ts_env = [] }
+  in
+  List.iter (fun s -> states_arr.(s.ts_index) <- s) !states;
+  let succ = Array.make n [] in
+  Hashtbl.iter (fun i l -> succ.(i) <- List.rev l) succ_acc;
+  { net; states = states_arr; succ; complete = not !truncated }
+
+let deadlocks g =
+  let acc = ref [] in
+  for i = num_states g - 1 downto 0 do
+    if g.succ.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+(* Earliest accumulated time to reach each state: Dijkstra with Tick
+   weights (Fire/Complete edges cost nothing). *)
+let earliest_times g =
+  let n = num_states g in
+  let dist = Array.make n infinity in
+  dist.(0) <- 0.0;
+  let module Pq = Set.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  let pq = ref (Pq.singleton (0.0, 0)) in
+  while not (Pq.is_empty !pq) do
+    let ((d, i) as top) = Pq.min_elt !pq in
+    pq := Pq.remove top !pq;
+    if d <= dist.(i) then
+      List.iter
+        (fun e ->
+          let w = match e.e_label with Tick dt -> dt | Fire _ | Complete _ -> 0.0 in
+          let d' = d +. w in
+          if d' < dist.(e.e_to) then begin
+            dist.(e.e_to) <- d';
+            pq := Pq.add (d', e.e_to) !pq
+          end)
+        g.succ.(i)
+  done;
+  dist
+
+let min_cycle_time g tid =
+  let dist = earliest_times g in
+  let best = ref infinity in
+  Array.iteri
+    (fun i edges ->
+      List.iter
+        (fun e ->
+          match e.e_label with
+          | Fire t when t = tid -> best := Float.min !best dist.(i)
+          | Fire _ | Complete _ | Tick _ -> ())
+        edges)
+    g.succ;
+  if Float.is_finite !best then Some !best else None
+
+let max_tokens g p =
+  Array.fold_left (fun acc s -> max acc s.ts_marking.(p)) 0 g.states
+
+type cycle = {
+  cy_transient : float;
+  cy_period : float;
+  cy_firings : int array;
+}
+
+(* Deterministic walk: complete the lowest-id finished firing, else fire
+   the lowest-id fireable transition, else advance time by the minimum
+   residual; detect a repeated (marking, in-flight, pending) state. *)
+let steady_cycle ?(max_steps = 100_000) net =
+  check_deterministic net;
+  let nt = Net.num_transitions net in
+  let counts = Array.make nt 0 in
+  let seen = Hashtbl.create 256 in
+  let env = Net.initial_env net in
+  let marking = ref (Net.initial_marking net) in
+  let in_flight = ref ([] : (int * float) list) in
+  let pending = ref (refresh_pending net !marking env [] ~restart:[]) in
+  let clock = ref 0.0 in
+  let result = ref None in
+  let step = ref 0 in
+  (try
+     while !result = None && !step < max_steps do
+       incr step;
+       (* snapshot check only at "stable" instants: nothing completable
+          or fireable right now, i.e. just before a tick; this keeps the
+          key space small and the detection exact *)
+       let completable =
+         List.filter (fun (_, r) -> Float.equal r 0.0) !in_flight
+       in
+       let fireable =
+         List.filter
+           (fun (tid, r) ->
+             Float.equal r 0.0
+             && Net.enabled net !marking env (Net.transition net tid))
+           !pending
+       in
+       match completable, fireable with
+       | (tid, _) :: _, _ ->
+         let tr = Net.transition net tid in
+         Net.produce net !marking tr;
+         let rec remove = function
+           | [] -> []
+           | (t, r) :: rest when t = tid && Float.equal r 0.0 -> rest
+           | x :: rest -> x :: remove rest
+         in
+         in_flight := remove !in_flight;
+         pending := refresh_pending net !marking env !pending ~restart:[]
+       | [], (tid, _) :: _ ->
+         let tr = Net.transition net tid in
+         Net.consume net !marking tr;
+         counts.(tid) <- counts.(tid) + 1;
+         let d = det_duration env tr.Net.t_firing in
+         if d > 0.0 then in_flight := (tid, d) :: !in_flight;
+         pending := refresh_pending net !marking env !pending ~restart:[ tid ];
+         if Float.equal d 0.0 then begin
+           Net.produce net !marking tr;
+           pending := refresh_pending net !marking env !pending ~restart:[ tid ]
+         end
+       | [], [] -> (
+         let residuals =
+           List.map snd !in_flight
+           @ List.filter_map
+               (fun (_, r) -> if r > 0.0 then Some r else None)
+               !pending
+         in
+         match residuals with
+         | [] -> raise Exit (* dead *)
+         | first :: rest ->
+           (* stable instant: check for a repeat before ticking *)
+           let key =
+             state_key !marking (sort_flight !in_flight) (sort_flight !pending)
+               env
+           in
+           (match Hashtbl.find_opt seen key with
+           | Some (t0, counts0) ->
+             result :=
+               Some
+                 {
+                   cy_transient = t0;
+                   cy_period = !clock -. t0;
+                   cy_firings =
+                     Array.init nt (fun i -> counts.(i) - counts0.(i));
+                 }
+           | None ->
+             Hashtbl.replace seen key (!clock, Array.copy counts);
+             let d = List.fold_left Float.min first rest in
+             clock := !clock +. d;
+             let tick l =
+               List.map (fun (t, r) -> (t, Float.max 0.0 (r -. d))) l
+             in
+             in_flight := tick !in_flight;
+             pending := tick !pending))
+     done
+   with Exit -> ());
+  !result
+
+let pp_summary ppf g =
+  Format.fprintf ppf
+    "@[<v>timed reachability graph of %s@,states: %d%s@,edges: %d@,timed \
+     deadlocks: %d@]"
+    (Net.name g.net) (num_states g)
+    (if g.complete then "" else " (truncated)")
+    (num_edges g)
+    (List.length (deadlocks g))

@@ -1,0 +1,82 @@
+(** Timed reachability graphs [RP84].
+
+    Exhaustive exploration of a timed net with {e deterministic} delays:
+    each state carries the marking, the residual firing times of in-flight
+    firings, and the residual enabling times of enabled transitions.
+    Edges are:
+    - [Fire t] — a fireable transition starts firing (and completes
+      immediately if its firing time is zero),
+    - [Complete t] — an in-flight firing whose residual time reached zero
+      deposits its outputs,
+    - [Tick d] — time advances by [d], the minimum residual delay, when
+      nothing can happen at the current instant.
+
+    All delays must be deterministic (constants, degenerate choices, or
+    deterministic [Dynamic] expressions); stochastic nets have infinite
+    timed state spaces and are rejected.  Conflict resolution remains
+    nondeterministic — every fireable transition gets its own branch, so
+    the graph covers {e all} timings the simulator could exhibit. *)
+
+type label =
+  | Fire of Pnut_core.Net.transition_id
+  | Complete of Pnut_core.Net.transition_id
+  | Tick of float
+
+type state = {
+  ts_index : int;
+  ts_marking : int array;
+  ts_in_flight : (Pnut_core.Net.transition_id * float) list;
+      (** residual firing times, sorted *)
+  ts_pending : (Pnut_core.Net.transition_id * float) list;
+      (** residual enabling times of enabled transitions, sorted *)
+  ts_env : (string * Pnut_core.Value.t) list;
+}
+
+type edge = {
+  e_from : int;
+  e_label : label;
+  e_to : int;
+}
+
+type t
+
+val build : ?max_states:int -> ?horizon:float -> Pnut_core.Net.t -> t
+(** [horizon] bounds accumulated time along any path (default: none);
+    [max_states] defaults to 50_000.  Raises [Invalid_argument] on
+    stochastic delays, predicates or actions. *)
+
+val complete : t -> bool
+val num_states : t -> int
+val num_edges : t -> int
+val state : t -> int -> state
+val initial : t -> int
+val successors : t -> int -> edge list
+
+val deadlocks : t -> int list
+(** Timed-dead states: nothing fireable, nothing in flight, nothing
+    pending. *)
+
+val min_cycle_time : t -> Pnut_core.Net.transition_id -> float option
+(** Shortest accumulated time before the transition first starts firing
+    on any path (a best-case latency measure); [None] if it never
+    fires. *)
+
+val max_tokens : t -> Pnut_core.Net.place_id -> int
+
+(** Steady-state cycle of a deterministic timed net ([RP84]-style
+    performance analysis without simulation). *)
+type cycle = {
+  cy_transient : float;   (** time before the periodic regime starts *)
+  cy_period : float;      (** cycle length in time units *)
+  cy_firings : int array; (** firings of each transition per cycle *)
+}
+
+val steady_cycle : ?max_steps:int -> Pnut_core.Net.t -> cycle option
+(** Follows one deterministic execution (conflicts resolved by the lowest
+    transition id — any fixed rule yields {e a} steady cycle) until a
+    state repeats; [None] if the net dies or no repeat is found within
+    [max_steps] (default 100_000) steps.  Exact transition throughputs of
+    that execution are [firings.(t) / period].  Delays must be
+    deterministic, as for {!build}. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/explorer.ml: Array List Pnut_core Printf Simulator String

@@ -1,0 +1,1 @@
+lib/sim/explorer.mli: Pnut_core

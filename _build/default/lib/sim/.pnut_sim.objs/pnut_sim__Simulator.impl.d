@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Event_queue Float Hashtbl List Option Pnut_core Pnut_trace Printf

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Pnut_core Pnut_trace

@@ -1,0 +1,76 @@
+type 'a entry = {
+  time : float;
+  seq : int;
+  payload : 'a;
+}
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+let before a b = a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 in
+  let r = l + 1 in
+  let smallest = ref i in
+  if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q time payload =
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = Array.length q.heap then begin
+    (* grow, using the new entry as filler for the fresh slots *)
+    let capacity = max 16 (2 * q.size) in
+    let bigger = Array.make capacity entry in
+    Array.blit q.heap 0 bigger 0 q.size;
+    q.heap <- bigger
+  end;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let clear q =
+  q.heap <- [||];
+  q.size <- 0

@@ -1,0 +1,23 @@
+(** Future-event list: a binary min-heap keyed by (time, insertion order).
+
+    Events with equal timestamps pop in insertion (FIFO) order, which makes
+    simulation runs deterministic for a given random seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q time payload] schedules [payload] at [time]. *)
+
+val peek_time : 'a t -> float option
+(** Earliest scheduled time, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest event (FIFO among equal times). *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,27 @@
+(** Interactive state-space exploration.
+
+    A command REPL over a live simulation, after the interactive
+    state-space analysis style of [MR87]: inspect the state, see what is
+    enabled, resolve conflicts by hand (or let the engine draw), advance
+    time, and replay from the start.  Driven through channels so the CLI
+    can attach a terminal and tests can attach pipes.
+
+    Commands (one per line; [#] comments and blank lines ignored):
+    {v
+    show              clock, marking and variables
+    enabled           fireable transitions now, and pending enabling clocks
+    fire NAME         fire a specific fireable transition
+    step              one engine micro-step (random conflict resolution)
+    run T             simulate for T more time units
+    back              undo the last state-changing command (deterministic
+                      replay from the initial state, so arbitrarily deep)
+    history           the state-changing commands so far
+    reset             back to the initial state (same seed)
+    help              command summary
+    quit              leave the explorer
+    v} *)
+
+val run :
+  ?seed:int -> Pnut_core.Net.t -> in_channel -> out_channel -> unit
+(** Reads commands until [quit] or end of input; never raises on bad
+    commands (they are reported to the output channel). *)

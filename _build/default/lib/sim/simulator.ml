@@ -1,0 +1,401 @@
+module Net = Pnut_core.Net
+module Marking = Pnut_core.Marking
+module Env = Pnut_core.Env
+module Expr = Pnut_core.Expr
+module Prng = Pnut_core.Prng
+module Trace = Pnut_trace.Trace
+
+exception Sim_error of string
+
+let sim_error fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+
+type pending = {
+  pe_transition : Net.transition_id;
+  pe_firing : int;
+}
+
+type t = {
+  net : Net.t;
+  prng : Prng.t;
+  sink : Trace.sink;
+  max_instant_firings : int;
+  check_capacities : bool;
+  marking : Marking.t;
+  env : Env.t;
+  mutable clock : float;
+  queue : pending Event_queue.t;
+  (* enabling bookkeeping *)
+  deadline : float option array;  (* per transition: time it may fire *)
+  in_flight : int array;
+  (* incremental-refresh indexes: which transitions read each place
+     (input or inhibitor arcs), and which carry predicates (affected by
+     any environment change) *)
+  readers : Net.transition_id list array;  (* per place, ascending *)
+  predicated : Net.transition_id list;     (* ascending *)
+  mutable next_firing_id : int;
+  mutable started : int;
+  mutable finished : int;
+  mutable instant_firings : int;  (* firings at the current clock value *)
+  mutable finished_emitted : bool;
+}
+
+let net st = st.net
+let clock st = st.clock
+let marking st = Marking.copy st.marking
+let env st = st.env
+let in_flight st = Array.copy st.in_flight
+let events_started st = st.started
+let events_finished st = st.finished
+
+let tokens st name = Marking.get st.marking (Net.place_id st.net name)
+
+(* Re-evaluate enabledness and maintain enabling deadlines for one
+   transition: newly enabled transitions sample their enabling delay,
+   newly disabled ones lose their deadline, continuously enabled ones
+   keep it. *)
+let refresh_one st tr =
+  let id = tr.Net.t_id in
+  let is_enabled = Net.enabled st.net st.marking st.env tr in
+  match st.deadline.(id), is_enabled with
+  | Some _, true -> ()
+  | Some _, false -> st.deadline.(id) <- None
+  | None, false -> ()
+  | None, true ->
+    let d = Net.sample_duration ~prng:st.prng st.env tr.Net.t_enabling in
+    st.deadline.(id) <- Some (st.clock +. d)
+
+let refresh_enabling st =
+  Array.iter (refresh_one st) (Net.transitions st.net)
+
+(* Incremental refresh after a firing touched only [places] (and, when
+   [env_changed], the model variables): only transitions reading a
+   touched place or carrying a predicate can change enabledness.
+   Processed in ascending id order — the same order as the full scan —
+   so the random enabling-delay draws are identical to a full refresh
+   and traces are bit-for-bit reproducible either way. *)
+let refresh_after st ~places ~env_changed =
+  let affected = Array.make (Net.num_transitions st.net) false in
+  List.iter
+    (fun p -> List.iter (fun tid -> affected.(tid) <- true) st.readers.(p))
+    places;
+  if env_changed then
+    List.iter (fun tid -> affected.(tid) <- true) st.predicated;
+  Array.iteri
+    (fun tid hit -> if hit then refresh_one st (Net.transition st.net tid))
+    affected
+
+let create ?(seed = 1) ?prng ?(sink = Trace.null_sink)
+    ?(max_instant_firings = 10_000) ?(check_capacities = false) net =
+  let prng = match prng with Some g -> g | None -> Prng.create seed in
+  let st =
+    {
+      net;
+      prng;
+      sink;
+      max_instant_firings;
+      check_capacities;
+      marking = Net.initial_marking net;
+      env = Net.initial_env net;
+      clock = 0.0;
+      queue = Event_queue.create ();
+      deadline = Array.make (Net.num_transitions net) None;
+      in_flight = Array.make (Net.num_transitions net) 0;
+      readers =
+        (let idx = Array.make (Net.num_places net) [] in
+         (* build in descending id order so each list ends up ascending *)
+         for i = Net.num_transitions net - 1 downto 0 do
+           let tr = Net.transition net i in
+           let note { Net.a_place; _ } =
+             match idx.(a_place) with
+             | hd :: _ when hd = i -> ()
+             | l -> idx.(a_place) <- i :: l
+           in
+           List.iter note tr.Net.t_inputs;
+           List.iter note tr.Net.t_inhibitors
+         done;
+         idx);
+      predicated =
+        Array.to_list (Net.transitions net)
+        |> List.filter_map (fun tr ->
+               if tr.Net.t_predicate <> None then Some tr.Net.t_id else None);
+      next_firing_id = 0;
+      started = 0;
+      finished = 0;
+      instant_firings = 0;
+      finished_emitted = false;
+    }
+  in
+  sink.Trace.on_header (Trace.header_of_net net);
+  refresh_enabling st;
+  st
+
+(* Transitions that are enabled and whose enabling deadline has passed. *)
+let fireable st =
+  let acc = ref [] in
+  Array.iter
+    (fun tr ->
+      match st.deadline.(tr.Net.t_id) with
+      | Some d when d <= st.clock -> acc := tr :: !acc
+      | Some _ | None -> ())
+    (Net.transitions st.net);
+  List.rev !acc
+
+(* Run an action, recording every assignment for the trace delta.  Table
+   writes are recorded under the pseudo-variable name "tbl[i]". *)
+let run_action st stmts =
+  let changes = ref [] in
+  let record name v = changes := (name, v) :: !changes in
+  let run = function
+    | Expr.Assign (name, e) ->
+      let v = Expr.eval ~prng:st.prng st.env e in
+      Env.set st.env name v;
+      record name v
+    | Expr.Table_assign (tbl, ie, e) -> (
+      let i = Expr.eval_int ~prng:st.prng st.env ie in
+      let v = Expr.eval ~prng:st.prng st.env e in
+      try
+        Env.table_set st.env tbl i v;
+        record (Printf.sprintf "%s[%d]" tbl i) v
+      with
+      | Env.Unbound name -> sim_error "action writes unbound table %s" name
+      | Invalid_argument msg -> sim_error "%s" msg)
+  in
+  List.iter run stmts;
+  List.rev !changes
+
+let emit_delta st kind tr firing marking_changes env_changes =
+  st.sink.Trace.on_delta
+    {
+      Trace.d_time = st.clock;
+      d_kind = kind;
+      d_transition = tr.Net.t_id;
+      d_firing = firing;
+      d_marking = marking_changes;
+      d_env = env_changes;
+    }
+
+(* Merge (place, delta) lists, summing deltas per place and dropping
+   zero entries (self-loops). *)
+let merge_changes a b =
+  let tbl = Hashtbl.create 8 in
+  let add (p, d) =
+    Hashtbl.replace tbl p (d + try Hashtbl.find tbl p with Not_found -> 0)
+  in
+  List.iter add a;
+  List.iter add b;
+  Hashtbl.fold (fun p d acc -> if d = 0 then acc else (p, d) :: acc) tbl []
+  |> List.sort compare
+
+(* Capacity declarations are documentation by default; with
+   [check_capacities] the simulator turns an overflow into a loud
+   modeling-bug report at the moment it happens. *)
+let enforce_capacities st tr =
+  if st.check_capacities then
+    List.iter
+      (fun { Net.a_place; _ } ->
+        let p = Net.place st.net a_place in
+        match p.Net.p_capacity with
+        | Some cap when Marking.get st.marking a_place > cap ->
+          sim_error
+            "capacity violation: place %s holds %d tokens (capacity %d) \
+             after %s fired at t=%g"
+            p.Net.p_name
+            (Marking.get st.marking a_place)
+            cap tr.Net.t_name st.clock
+        | Some _ | None -> ())
+      tr.Net.t_outputs
+
+let complete_firing ?(extra_changes = []) st tr firing =
+  Net.produce st.net st.marking tr;
+  enforce_capacities st tr;
+  let env_changes = run_action st tr.Net.t_action in
+  let produced =
+    List.map (fun { Net.a_place; a_weight } -> (a_place, a_weight)) tr.Net.t_outputs
+  in
+  st.in_flight.(tr.Net.t_id) <- st.in_flight.(tr.Net.t_id) - 1;
+  st.finished <- st.finished + 1;
+  emit_delta st Trace.Fire_end tr firing (merge_changes extra_changes produced)
+    env_changes;
+  refresh_after st
+    ~places:(List.map (fun a -> a.Net.a_place) tr.Net.t_outputs)
+    ~env_changed:(tr.Net.t_action <> [])
+
+(* Starting a firing consumes the input tokens.  For a positive firing
+   time this is observable (tokens are on neither side while the
+   transition fires) so the Fire_start delta reports the consumption; a
+   zero firing time is atomic in the paper's semantics, so the Fire_start
+   delta is empty and the paired Fire_end delta carries the net marking
+   change — no intermediate trace state ever violates invariants such as
+   Bus_free + Bus_busy = 1. *)
+let start_firing st tr =
+  Net.consume st.net st.marking tr;
+  let firing = st.next_firing_id in
+  st.next_firing_id <- st.next_firing_id + 1;
+  st.started <- st.started + 1;
+  st.in_flight.(tr.Net.t_id) <- st.in_flight.(tr.Net.t_id) + 1;
+  let consumed =
+    List.map
+      (fun { Net.a_place; a_weight } -> (a_place, -a_weight))
+      tr.Net.t_inputs
+  in
+  (* The fired transition's own enabling clock restarts. *)
+  st.deadline.(tr.Net.t_id) <- None;
+  let consumed_places = List.map (fun a -> a.Net.a_place) tr.Net.t_inputs in
+  let duration = Net.sample_duration ~prng:st.prng st.env tr.Net.t_firing in
+  if duration <= 0.0 then begin
+    emit_delta st Trace.Fire_start tr firing [] [];
+    refresh_after st ~places:consumed_places ~env_changed:false;
+    complete_firing ~extra_changes:consumed st tr firing
+  end
+  else begin
+    emit_delta st Trace.Fire_start tr firing consumed [];
+    Event_queue.push st.queue (st.clock +. duration)
+      { pe_transition = tr.Net.t_id; pe_firing = firing };
+    refresh_after st ~places:consumed_places ~env_changed:false
+  end;
+  tr.Net.t_id
+
+type step_result =
+  | Fired of Net.transition_id
+  | Completed of Net.transition_id
+  | Advanced of float
+  | Quiescent
+
+(* Earliest instant at which something can happen after the current one:
+   the next scheduled fire-end or the earliest pending enabling deadline. *)
+let next_instant st =
+  let candidates = ref [] in
+  (match Event_queue.peek_time st.queue with
+  | Some t -> candidates := t :: !candidates
+  | None -> ());
+  Array.iter
+    (fun deadline ->
+      match deadline with
+      | Some d when d > st.clock -> candidates := d :: !candidates
+      | Some _ | None -> ())
+    st.deadline;
+  match !candidates with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left Float.min first rest)
+
+let step st =
+  match fireable st with
+  | _ :: _ as ready ->
+    if st.instant_firings >= st.max_instant_firings then
+      sim_error
+        "livelock: more than %d firings at time %g (zero-delay loop?)"
+        st.max_instant_firings st.clock;
+    st.instant_firings <- st.instant_firings + 1;
+    let weighted = List.map (fun tr -> (tr, tr.Net.t_frequency)) ready in
+    let chosen = Prng.choose_weighted st.prng weighted in
+    Fired (start_firing st chosen)
+  | [] -> (
+    match Event_queue.pop st.queue with
+    | Some (time, pe) when Float.equal time st.clock ->
+      let tr = Net.transition st.net pe.pe_transition in
+      complete_firing st tr pe.pe_firing;
+      Completed pe.pe_transition
+    | Some (time, pe) ->
+      (* strictly in the future: advance the clock first, re-queue *)
+      Event_queue.push st.queue time pe;
+      (match next_instant st with
+      | Some t ->
+        assert (t > st.clock);
+        st.clock <- t;
+        st.instant_firings <- 0;
+        Advanced t
+      | None -> assert false)
+    | None -> (
+      match next_instant st with
+      | Some t when t > st.clock ->
+        st.clock <- t;
+        st.instant_firings <- 0;
+        Advanced t
+      | Some _ ->
+        (* a deadline at the current instant with nothing fireable cannot
+           happen: fireable covers deadlines <= clock *)
+        assert false
+      | None -> Quiescent))
+
+let fireable_transitions st = List.map (fun tr -> tr.Net.t_id) (fireable st)
+
+let fire_transition st tid =
+  let ready = fireable st in
+  match List.find_opt (fun tr -> tr.Net.t_id = tid) ready with
+  | Some tr -> ignore (start_firing st tr : Net.transition_id)
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Simulator.fire_transition: %s is not fireable now"
+         (Net.transition st.net tid).Net.t_name)
+
+type stop_reason =
+  | Horizon
+  | Dead
+  | Event_limit
+
+type outcome = {
+  stop : stop_reason;
+  final_clock : float;
+  started : int;
+  finished : int;
+}
+
+let finish st final_clock =
+  if not st.finished_emitted then begin
+    st.finished_emitted <- true;
+    st.sink.Trace.on_finish final_clock
+  end
+
+let run ?until ?max_events (st : t) =
+  if until = None && max_events = None then
+    invalid_arg "Simulator.run: needs a horizon or an event limit";
+  let horizon = Option.value until ~default:infinity in
+  let limit = Option.value max_events ~default:max_int in
+  let rec loop () =
+    if st.started >= limit then begin
+      finish st st.clock;
+      { stop = Event_limit; final_clock = st.clock; started = st.started;
+        finished = st.finished }
+    end
+    else
+      (* Peek whether the next instant would overshoot the horizon. *)
+      match fireable st with
+      | _ :: _ ->
+        ignore (step st);
+        loop ()
+      | [] -> (
+        match next_instant st with
+        | Some t when t > horizon ->
+          st.clock <- horizon;
+          finish st horizon;
+          { stop = Horizon; final_clock = horizon; started = st.started;
+            finished = st.finished }
+        | Some _ ->
+          ignore (step st);
+          loop ()
+        | None ->
+          let final =
+            if Float.is_finite horizon then horizon else st.clock
+          in
+          st.clock <- final;
+          finish st final;
+          { stop = Dead; final_clock = final; started = st.started;
+            finished = st.finished })
+  in
+  loop ()
+
+let simulate ?seed ?prng ?max_instant_firings ?until ?max_events ?sink net =
+  let st = create ?seed ?prng ?sink ?max_instant_firings net in
+  run ?until ?max_events st
+
+let trace ?seed ?until ?max_events net =
+  let sink, get = Trace.collector () in
+  let outcome = simulate ?seed ?until ?max_events ~sink net in
+  (get (), outcome)
+
+let replications ?(seed = 1) ~runs ?until ?max_events net make_sink =
+  if runs <= 0 then invalid_arg "Simulator.replications: runs must be positive";
+  let master = Prng.create seed in
+  List.init runs (fun i ->
+      let prng = Prng.split master in
+      simulate ~prng ?until ?max_events ~sink:(make_sink i) net)

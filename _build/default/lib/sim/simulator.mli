@@ -1,0 +1,137 @@
+(** The P-NUT simulation engine.
+
+    "The P-NUT simulator is a simple simulation engine which pushes tokens
+    around a Timed Petri Net. [...] The simulator simply generates a
+    trace."  Analysis is left to downstream tools consuming the trace
+    through a {!Pnut_trace.Trace.sink}.
+
+    {2 Semantics}
+
+    - A transition is {e enabled} when every input place holds at least
+      the arc weight, every inhibitor place holds fewer tokens than the
+      arc weight, and its predicate (if any) evaluates to true.
+    - {e Enabling time}: when a transition becomes enabled its enabling
+      delay is sampled; it becomes {e fireable} after remaining
+      continuously enabled for that long.  Disabling or firing resets the
+      clock (restart policy, single enabling clock per transition).
+    - {e Firing time}: at fire-start the input tokens are consumed
+      (a [Fire_start] delta); at fire-end, after the sampled firing
+      duration, output tokens are produced and the action runs (a
+      [Fire_end] delta).  During firing, tokens are on neither side, as in
+      the paper.  Zero firing time produces both deltas at the same
+      instant.  A transition may accumulate several in-flight firings.
+    - {e Conflicts} among simultaneously fireable transitions are resolved
+      probabilistically: each is chosen with probability proportional to
+      its relative firing frequency among the currently fireable set,
+      recomputed after every firing (the dynamic semantics of [WPS86]).
+    - Actions may assign scalars ([x = e]) and table slots
+      ([tbl[i] = e]); both are recorded in the trace ([tbl[i]] appears as
+      a variable named ["tbl[3]"]).
+
+    A per-instant firing cap (default [10_000]) turns zero-delay livelocks
+    into a [Sim_error] instead of a hang. *)
+
+type t
+(** Simulation state: net, marking, environment, clock, future events. *)
+
+val create :
+  ?seed:int ->
+  ?prng:Pnut_core.Prng.t ->
+  ?sink:Pnut_trace.Trace.sink ->
+  ?max_instant_firings:int ->
+  ?check_capacities:bool ->
+  Pnut_core.Net.t -> t
+(** Builds the initial state and emits the trace header to [sink].
+    [prng] overrides [seed] (default seed 1).  With [check_capacities]
+    (default false), exceeding a place's declared capacity raises
+    [Sim_error] naming the place and the culprit transition — capacity
+    declarations are otherwise documentation checked only by static and
+    reachability analyses. *)
+
+val net : t -> Pnut_core.Net.t
+val clock : t -> float
+val marking : t -> Pnut_core.Marking.t
+(** A copy of the current marking. *)
+
+val tokens : t -> string -> int
+(** Current token count of a place by name. Raises [Not_found]. *)
+
+val env : t -> Pnut_core.Env.t
+(** The live environment (mutating it affects the run). *)
+
+val in_flight : t -> int array
+(** Current number of unfinished firings per transition id. *)
+
+val events_started : t -> int
+val events_finished : t -> int
+
+(** One micro-step of the engine. *)
+type step_result =
+  | Fired of Pnut_core.Net.transition_id
+      (** a firing started (and, for zero firing time, also ended) *)
+  | Completed of Pnut_core.Net.transition_id
+      (** an in-flight firing ended *)
+  | Advanced of float  (** clock moved to the given time; nothing fired *)
+  | Quiescent
+      (** no enabled transition and no pending event: the net is dead *)
+
+val step : t -> step_result
+
+val fireable_transitions : t -> Pnut_core.Net.transition_id list
+(** Transitions that could start firing at the current instant (enabled
+    with their enabling delay elapsed). *)
+
+val fire_transition : t -> Pnut_core.Net.transition_id -> unit
+(** Manually resolve the current conflict: start firing this specific
+    transition instead of drawing one probabilistically (interactive
+    state-space exploration).  Raises [Invalid_argument] if it is not
+    currently fireable. *)
+
+(** Why a run stopped. *)
+type stop_reason =
+  | Horizon     (** the [until] time was reached *)
+  | Dead        (** quiescence: deadlock or terminated net *)
+  | Event_limit (** [max_events] firings started *)
+
+type outcome = {
+  stop : stop_reason;
+  final_clock : float;
+  started : int;
+  finished : int;
+}
+
+val run : ?until:float -> ?max_events:int -> t -> outcome
+(** Runs until the horizon, the event limit, or quiescence; emits
+    [on_finish] to the sink.  When the horizon is hit, the final clock is
+    exactly [until] (in-flight events beyond it stay unprocessed).  At
+    least one of [until] and [max_events] must be given. *)
+
+val simulate :
+  ?seed:int ->
+  ?prng:Pnut_core.Prng.t ->
+  ?max_instant_firings:int ->
+  ?until:float ->
+  ?max_events:int ->
+  ?sink:Pnut_trace.Trace.sink ->
+  Pnut_core.Net.t -> outcome
+(** [create] + [run] in one call. *)
+
+val trace :
+  ?seed:int ->
+  ?until:float ->
+  ?max_events:int ->
+  Pnut_core.Net.t -> Pnut_trace.Trace.t * outcome
+(** Convenience: simulate into an in-memory trace. *)
+
+val replications :
+  ?seed:int ->
+  runs:int ->
+  ?until:float ->
+  ?max_events:int ->
+  Pnut_core.Net.t ->
+  (int -> Pnut_trace.Trace.sink) -> outcome list
+(** Independent replications: run [runs] experiments with split random
+    streams; the callback provides a sink per run index (the paper's
+    "one or more simulation experiments"). *)
+
+exception Sim_error of string

@@ -1,0 +1,1 @@
+lib/stat/batch.ml: Array Float List Pnut_trace Replication

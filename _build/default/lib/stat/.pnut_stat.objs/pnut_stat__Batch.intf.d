@@ -1,0 +1,1 @@
+lib/stat/batch.mli: Pnut_trace Replication

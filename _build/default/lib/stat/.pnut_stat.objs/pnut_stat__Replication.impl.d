@@ -1,0 +1,1 @@
+lib/stat/replication.ml: Array Float Format List Pnut_core Pnut_sim Stat

@@ -1,0 +1,1 @@
+lib/stat/replication.mli: Format Pnut_core Stat

@@ -1,0 +1,1 @@
+lib/stat/stat.ml: Array Buffer Float Format List Pnut_trace Printf String

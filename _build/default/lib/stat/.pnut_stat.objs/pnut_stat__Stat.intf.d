@@ -1,0 +1,1 @@
+lib/stat/stat.mli: Format Pnut_trace

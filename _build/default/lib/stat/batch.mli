@@ -1,0 +1,24 @@
+(** Batch-means output analysis of a single long run.
+
+    The alternative to independent replications: drop a warm-up prefix,
+    split the remaining observation window into equal batches, compute
+    the statistic per batch and treat the batch means as (approximately
+    independent) samples for a confidence interval.  Standard discrete-
+    event simulation methodology applied to P-NUT traces. *)
+
+val place_utilization :
+  ?warmup:float ->
+  ?batches:int ->
+  ?confidence:float ->
+  Pnut_trace.Trace.t -> string -> Replication.estimate
+(** Time-weighted mean token count of the place per batch.  [warmup]
+    (default 0) is excluded; [batches] defaults to 10.  Raises
+    [Not_found] for an unknown place and [Invalid_argument] when the
+    observation window is empty or has fewer than 2 batches. *)
+
+val transition_throughput :
+  ?warmup:float ->
+  ?batches:int ->
+  ?confidence:float ->
+  Pnut_trace.Trace.t -> string -> Replication.estimate
+(** Completed firings per unit time of the transition per batch. *)

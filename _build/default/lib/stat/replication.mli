@@ -1,0 +1,40 @@
+(** Confidence intervals over independent replications.
+
+    The paper's simulator supports "one or more simulation experiments";
+    classical output analysis turns those into interval estimates: run
+    [n] replications with split random streams, read one scalar per run
+    (a utilization, a throughput), and report mean, sample standard
+    deviation and a Student-t confidence interval. *)
+
+type estimate = {
+  runs : int;
+  mean : float;
+  stddev : float;      (** sample standard deviation (n-1) *)
+  half_width : float;  (** of the confidence interval *)
+  confidence : float;  (** e.g. 0.95 *)
+}
+
+val of_samples : ?confidence:float -> float list -> estimate
+(** [confidence] defaults to 0.95; supported levels are 0.90, 0.95 and
+    0.99 (two-sided).  Raises [Invalid_argument] on fewer than two
+    samples or an unsupported level. *)
+
+val interval : estimate -> float * float
+(** [mean -/+ half_width]. *)
+
+val contains : estimate -> float -> bool
+(** Is the value inside the confidence interval? *)
+
+val replicate :
+  ?seed:int ->
+  ?confidence:float ->
+  runs:int ->
+  until:float ->
+  Pnut_core.Net.t ->
+  (Stat.report -> float) -> estimate
+(** [replicate ~runs ~until net read] simulates [runs] independent
+    replications of [net] (split streams derived from [seed]) to the
+    horizon, applies [read] to each statistics report, and aggregates. *)
+
+val pp : Format.formatter -> estimate -> unit
+(** e.g. [0.6581 ± 0.0042 (95% CI, 10 runs)]. *)

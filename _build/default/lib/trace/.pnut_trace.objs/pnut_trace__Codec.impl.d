@@ -1,0 +1,1 @@
+lib/trace/codec.ml: Array Buffer List Pnut_core Printf String Trace

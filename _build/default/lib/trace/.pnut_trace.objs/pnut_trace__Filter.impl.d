@@ -1,0 +1,1 @@
+lib/trace/filter.ml: Array List Trace

@@ -1,0 +1,1 @@
+lib/trace/filter.mli: Trace

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Float Hashtbl List Pnut_core String

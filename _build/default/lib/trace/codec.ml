@@ -1,0 +1,263 @@
+exception Parse_error of int * string
+
+let float_str f =
+  (* Shortest representation that round-trips a double. *)
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let value_str v =
+  match v with
+  | Pnut_core.Value.Int i -> Printf.sprintf "i%d" i
+  | Pnut_core.Value.Float f -> Printf.sprintf "f%s" (float_str f)
+  | Pnut_core.Value.Bool b -> if b then "btrue" else "bfalse"
+
+let value_of_string line_no s =
+  let fail msg = raise (Parse_error (line_no, msg)) in
+  if String.length s < 2 then fail ("bad value: " ^ s)
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'i' -> (
+      match int_of_string_opt body with
+      | Some i -> Pnut_core.Value.Int i
+      | None -> fail ("bad int value: " ^ s))
+    | 'f' -> (
+      match float_of_string_opt body with
+      | Some f -> Pnut_core.Value.Float f
+      | None -> fail ("bad float value: " ^ s))
+    | 'b' -> (
+      match body with
+      | "true" -> Pnut_core.Value.Bool true
+      | "false" -> Pnut_core.Value.Bool false
+      | _ -> fail ("bad bool value: " ^ s))
+    | _ -> fail ("bad value tag: " ^ s)
+
+let emit_header out (h : Trace.header) =
+  out "%pnut-trace 1\n";
+  out (Printf.sprintf "net %s\n" h.Trace.h_net);
+  Array.iteri
+    (fun i name ->
+      out (Printf.sprintf "place %d %s %d\n" i name h.Trace.h_initial.(i)))
+    h.Trace.h_places;
+  Array.iteri
+    (fun i name -> out (Printf.sprintf "transition %d %s\n" i name))
+    h.Trace.h_transitions;
+  List.iter
+    (fun (name, v) -> out (Printf.sprintf "var %s %s\n" name (value_str v)))
+    h.Trace.h_variables;
+  out "begin\n"
+
+let emit_delta out (d : Trace.delta) =
+  let kind = match d.Trace.d_kind with Trace.Fire_start -> "S" | Trace.Fire_end -> "E" in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf
+    (Printf.sprintf "@ %s %s %d %d" (float_str d.Trace.d_time) kind
+       d.Trace.d_transition d.Trace.d_firing);
+  if d.Trace.d_marking <> [] then begin
+    Buffer.add_string buf " ;";
+    List.iter
+      (fun (p, dm) -> Buffer.add_string buf (Printf.sprintf " %d:%d" p dm))
+      d.Trace.d_marking
+  end;
+  if d.Trace.d_env <> [] then begin
+    Buffer.add_string buf " ;";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf " %s=%s" name (value_str v)))
+      d.Trace.d_env
+  end;
+  Buffer.add_char buf '\n';
+  out (Buffer.contents buf)
+
+let emit_finish out time = out (Printf.sprintf "end %s\n" (float_str time))
+
+let sink_of_out out =
+  {
+    Trace.on_header = emit_header out;
+    on_delta = emit_delta out;
+    on_finish = emit_finish out;
+  }
+
+let writer_sink buf = sink_of_out (Buffer.add_string buf)
+let channel_sink oc = sink_of_out (output_string oc)
+
+let write buf tr = Trace.replay tr (writer_sink buf)
+
+let to_string tr =
+  let buf = Buffer.create 4096 in
+  write buf tr;
+  Buffer.contents buf
+
+let write_channel oc tr = Trace.replay tr (channel_sink oc)
+
+(* -- parsing -- *)
+
+type parse_state = {
+  mutable net : string option;
+  mutable places : (int * string * int) list;  (* reversed *)
+  mutable transitions : (int * string) list;   (* reversed *)
+  mutable vars : (string * Pnut_core.Value.t) list;  (* reversed *)
+  mutable deltas : Trace.delta list;           (* reversed *)
+  mutable final : float option;
+  mutable in_body : bool;
+}
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+let parse_int line_no s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> raise (Parse_error (line_no, "expected integer, got " ^ s))
+
+let parse_float line_no s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> raise (Parse_error (line_no, "expected float, got " ^ s))
+
+(* "@ time kind tid fid ; p:d p:d ; v=x v=x" -- the two ';' sections are
+   optional but ordered: a section containing ':' entries is marking, '='
+   entries env. *)
+let parse_delta line_no rest =
+  let sections =
+    String.split_on_char ';' rest |> List.map String.trim
+  in
+  match sections with
+  | [] -> raise (Parse_error (line_no, "empty delta"))
+  | head :: extra ->
+    let time, kind, tid, fid =
+      match split_ws head with
+      | [ t; k; tr; f ] ->
+        let kind =
+          match k with
+          | "S" -> Trace.Fire_start
+          | "E" -> Trace.Fire_end
+          | _ -> raise (Parse_error (line_no, "bad event kind " ^ k))
+        in
+        (parse_float line_no t, kind, parse_int line_no tr, parse_int line_no f)
+      | _ -> raise (Parse_error (line_no, "bad delta header: " ^ head))
+    in
+    let marking = ref [] in
+    let env = ref [] in
+    let parse_entry tok =
+      match String.index_opt tok ':' with
+      | Some i ->
+        let p = parse_int line_no (String.sub tok 0 i) in
+        let d =
+          parse_int line_no (String.sub tok (i + 1) (String.length tok - i - 1))
+        in
+        marking := (p, d) :: !marking
+      | None -> (
+        match String.index_opt tok '=' with
+        | Some i ->
+          let name = String.sub tok 0 i in
+          let v =
+            value_of_string line_no
+              (String.sub tok (i + 1) (String.length tok - i - 1))
+          in
+          env := (name, v) :: !env
+        | None -> raise (Parse_error (line_no, "bad delta entry " ^ tok)))
+    in
+    List.iter (fun sec -> List.iter parse_entry (split_ws sec)) extra;
+    {
+      Trace.d_time = time;
+      d_kind = kind;
+      d_transition = tid;
+      d_firing = fid;
+      d_marking = List.rev !marking;
+      d_env = List.rev !env;
+    }
+
+let feed_line st line_no line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else if not st.in_body then begin
+    match split_ws line with
+    | [ "%pnut-trace"; "1" ] -> ()
+    | "%pnut-trace" :: v :: _ ->
+      raise (Parse_error (line_no, "unsupported trace version " ^ v))
+    | [ "net"; name ] -> st.net <- Some name
+    | [ "place"; id; name; init ] ->
+      st.places <- (parse_int line_no id, name, parse_int line_no init) :: st.places
+    | [ "transition"; id; name ] ->
+      st.transitions <- (parse_int line_no id, name) :: st.transitions
+    | [ "var"; name; v ] ->
+      st.vars <- (name, value_of_string line_no v) :: st.vars
+    | [ "begin" ] -> st.in_body <- true
+    | _ -> raise (Parse_error (line_no, "unexpected header line: " ^ line))
+  end
+  else if String.length line >= 1 && line.[0] = '@' then
+    let rest = String.sub line 1 (String.length line - 1) in
+    st.deltas <- parse_delta line_no rest :: st.deltas
+  else
+    match split_ws line with
+    | [ "end"; t ] -> st.final <- Some (parse_float line_no t)
+    | _ -> raise (Parse_error (line_no, "unexpected body line: " ^ line))
+
+let finish st =
+  let net =
+    match st.net with
+    | Some n -> n
+    | None -> raise (Parse_error (0, "missing net line"))
+  in
+  let final =
+    match st.final with
+    | Some t -> t
+    | None -> raise (Parse_error (0, "missing end line"))
+  in
+  let order l = List.sort (fun (a, _, _) (b, _, _) -> compare a b) l in
+  let places = order (List.rev_map (fun (i, n, v) -> (i, n, v)) st.places) in
+  let check_ids what l =
+    List.iteri
+      (fun expect (got, _, _) ->
+        if expect <> got then
+          raise (Parse_error (0, Printf.sprintf "%s ids not contiguous" what)))
+      l
+  in
+  check_ids "place" places;
+  let transitions =
+    List.sort (fun (a, _) (b, _) -> compare a b) (List.rev st.transitions)
+  in
+  List.iteri
+    (fun expect (got, _) ->
+      if expect <> got then raise (Parse_error (0, "transition ids not contiguous")))
+    transitions;
+  let header =
+    {
+      Trace.h_net = net;
+      h_places = Array.of_list (List.map (fun (_, n, _) -> n) places);
+      h_transitions = Array.of_list (List.map snd transitions);
+      h_initial = Array.of_list (List.map (fun (_, _, v) -> v) places);
+      h_variables = List.rev st.vars;
+    }
+  in
+  Trace.make header (List.rev st.deltas) final
+
+let fresh_state () =
+  {
+    net = None;
+    places = [];
+    transitions = [];
+    vars = [];
+    deltas = [];
+    final = None;
+    in_body = false;
+  }
+
+let parse text =
+  let st = fresh_state () in
+  let lines = String.split_on_char '\n' text in
+  List.iteri (fun i line -> feed_line st (i + 1) line) lines;
+  finish st
+
+let read_channel ic =
+  let st = fresh_state () in
+  let rec go line_no =
+    match input_line ic with
+    | line ->
+      feed_line st line_no line;
+      go (line_no + 1)
+    | exception End_of_file -> ()
+  in
+  go 1;
+  finish st

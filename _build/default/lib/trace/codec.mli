@@ -1,0 +1,36 @@
+(** Textual trace serialization.
+
+    Line-oriented, human-inspectable, and producer-agnostic: the format
+    references places and transitions by id with a name table in the
+    header, so any simulation tool (the paper names SIMSCRIPT) can emit it.
+
+    Grammar (one record per line):
+    {v
+    %pnut-trace 1
+    net <name>
+    place <id> <name> <initial-tokens>
+    transition <id> <name>
+    var <name> <value>
+    begin
+    @ <time> S|E <transition-id> <firing-id> [; <place>:<delta> ...] [; <var>=<value> ...]
+    end <final-time>
+    v}
+    Floats are written in round-trippable precision. *)
+
+val write : Buffer.t -> Trace.t -> unit
+
+val to_string : Trace.t -> string
+
+val write_channel : out_channel -> Trace.t -> unit
+
+val writer_sink : Buffer.t -> Trace.sink
+(** Streaming writer: serializes records as they arrive. *)
+
+val channel_sink : out_channel -> Trace.sink
+
+val parse : string -> Trace.t
+(** Raises [Parse_error (line, message)] on malformed input. *)
+
+val read_channel : in_channel -> Trace.t
+
+exception Parse_error of int * string

@@ -1,0 +1,110 @@
+type spec = {
+  keep_places : string list option;
+  keep_transitions : string list option;
+  keep_vars : bool;
+}
+
+let all = { keep_places = None; keep_transitions = None; keep_vars = true }
+
+let make_spec ?places ?transitions ?(vars = true) () =
+  { keep_places = places; keep_transitions = transitions; keep_vars = vars }
+
+(* Renumbering maps computed from a header: old id -> new id (or -1). *)
+type maps = {
+  place_map : int array;
+  trans_map : int array;
+}
+
+let build_maps spec (h : Trace.header) =
+  let select keep names =
+    match keep with
+    | None -> Array.map (fun _ -> true) names
+    | Some wanted -> Array.map (fun n -> List.mem n wanted) names
+  in
+  let renumber mask =
+    let next = ref 0 in
+    Array.map
+      (fun keep ->
+        if keep then begin
+          let id = !next in
+          incr next;
+          id
+        end
+        else -1)
+      mask
+  in
+  let place_map = renumber (select spec.keep_places h.Trace.h_places) in
+  let trans_map = renumber (select spec.keep_transitions h.Trace.h_transitions) in
+  { place_map; trans_map }
+
+(* Deltas from dropped transitions that still change kept places or
+   variables are preserved so that place signals stay exact; they are
+   attributed to a reserved pseudo-transition named below, appended after
+   the kept transitions. *)
+let other_name = "_filtered"
+
+let keep_by map arr =
+  Array.to_list arr
+  |> List.filteri (fun i _ -> map.(i) >= 0)
+  |> Array.of_list
+
+let needs_other maps =
+  Array.exists (fun id -> id < 0) maps.trans_map
+
+let filter_header maps spec (h : Trace.header) =
+  let transitions = keep_by maps.trans_map h.Trace.h_transitions in
+  let transitions =
+    if needs_other maps then Array.append transitions [| other_name |]
+    else transitions
+  in
+  {
+    Trace.h_net = h.Trace.h_net;
+    h_places = keep_by maps.place_map h.Trace.h_places;
+    h_transitions = transitions;
+    h_initial = keep_by maps.place_map h.Trace.h_initial;
+    h_variables = (if spec.keep_vars then h.Trace.h_variables else []);
+  }
+
+let filter_delta maps spec ~other_id (d : Trace.delta) =
+  let marking =
+    List.filter_map
+      (fun (p, dm) ->
+        let p' = maps.place_map.(p) in
+        if p' >= 0 then Some (p', dm) else None)
+      d.Trace.d_marking
+  in
+  let env = if spec.keep_vars then d.Trace.d_env else [] in
+  let t' = maps.trans_map.(d.Trace.d_transition) in
+  if t' >= 0 then
+    Some { d with Trace.d_transition = t'; d_marking = marking; d_env = env }
+  else if marking <> [] || env <> [] then
+    Some { d with Trace.d_transition = other_id; d_marking = marking; d_env = env }
+  else None
+
+let sink spec downstream =
+  let maps = ref None in
+  let other = ref (-1) in
+  {
+    Trace.on_header =
+      (fun h ->
+        let m = build_maps spec h in
+        maps := Some m;
+        let h' = filter_header m spec h in
+        if needs_other m then
+          other := Array.length h'.Trace.h_transitions - 1;
+        downstream.Trace.on_header h');
+    on_delta =
+      (fun d ->
+        match !maps with
+        | None -> invalid_arg "Filter.sink: delta before header"
+        | Some m -> (
+          match filter_delta m spec ~other_id:!other d with
+          | Some d' -> downstream.Trace.on_delta d'
+          | None -> ()));
+    on_finish = (fun t -> downstream.Trace.on_finish t);
+  }
+
+let apply spec tr =
+  let s, get = Trace.collector () in
+  Trace.replay tr (sink spec s);
+  get ()

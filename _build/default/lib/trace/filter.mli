@@ -1,0 +1,33 @@
+(** The trace filtering tool.
+
+    "Usually only a handful of places and transitions are of interest in
+    performing a particular analysis. The P-NUT system therefore provides
+    a filtering tool from which significantly smaller traces can be
+    obtained."
+
+    A filter keeps a subset of places and transitions.  Kept places and
+    transitions are {e renumbered} contiguously; the header's name tables
+    shrink accordingly.  A delta survives if its transition is kept or if
+    it still changes a kept place or variable (so place signals remain
+    exact); such orphaned deltas are attributed to a reserved
+    pseudo-transition ["_filtered"] appended to the transition table.
+    Marking changes to dropped places are erased.  Variable updates are
+    kept or dropped wholesale via [keep_vars]. *)
+
+type spec = {
+  keep_places : string list option;
+      (** [None] keeps all; names absent from the trace are ignored *)
+  keep_transitions : string list option;
+  keep_vars : bool;
+}
+
+val all : spec
+(** Keeps everything (identity filter). *)
+
+val make_spec :
+  ?places:string list -> ?transitions:string list -> ?vars:bool -> unit -> spec
+
+val sink : spec -> Trace.sink -> Trace.sink
+(** [sink spec downstream] filters a stream on the fly. *)
+
+val apply : spec -> Trace.t -> Trace.t

@@ -1,0 +1,144 @@
+type event_kind =
+  | Fire_start
+  | Fire_end
+
+type delta = {
+  d_time : float;
+  d_kind : event_kind;
+  d_transition : int;
+  d_firing : int;
+  d_marking : (int * int) list;
+  d_env : (string * Pnut_core.Value.t) list;
+}
+
+type header = {
+  h_net : string;
+  h_places : string array;
+  h_transitions : string array;
+  h_initial : int array;
+  h_variables : (string * Pnut_core.Value.t) list;
+}
+
+let header_of_net net =
+  let module Net = Pnut_core.Net in
+  {
+    h_net = Net.name net;
+    h_places = Array.map (fun p -> p.Net.p_name) (Net.places net);
+    h_transitions = Array.map (fun t -> t.Net.t_name) (Net.transitions net);
+    h_initial = Pnut_core.Marking.to_array (Net.initial_marking net);
+    h_variables = Net.variables net;
+  }
+
+type sink = {
+  on_header : header -> unit;
+  on_delta : delta -> unit;
+  on_finish : float -> unit;
+}
+
+let null_sink =
+  { on_header = (fun _ -> ()); on_delta = (fun _ -> ()); on_finish = (fun _ -> ()) }
+
+let tee sinks =
+  {
+    on_header = (fun h -> List.iter (fun s -> s.on_header h) sinks);
+    on_delta = (fun d -> List.iter (fun s -> s.on_delta d) sinks);
+    on_finish = (fun t -> List.iter (fun s -> s.on_finish t) sinks);
+  }
+
+type t = {
+  header : header;
+  deltas : delta array;
+  final_time : float;
+}
+
+let header tr = tr.header
+let deltas tr = tr.deltas
+let final_time tr = tr.final_time
+let length tr = Array.length tr.deltas
+
+let make header deltas final_time =
+  { header; deltas = Array.of_list deltas; final_time }
+
+let collector () =
+  let hdr = ref None in
+  let acc = ref [] in
+  let fin = ref None in
+  let sink =
+    {
+      on_header = (fun h -> hdr := Some h);
+      on_delta = (fun d -> acc := d :: !acc);
+      on_finish = (fun t -> fin := Some t);
+    }
+  in
+  let get () =
+    match !hdr, !fin with
+    | Some h, Some t ->
+      { header = h; deltas = Array.of_list (List.rev !acc); final_time = t }
+    | None, _ -> invalid_arg "Trace.collector: no header received"
+    | _, None -> invalid_arg "Trace.collector: trace not finished"
+  in
+  (sink, get)
+
+let replay tr sink =
+  sink.on_header tr.header;
+  Array.iter sink.on_delta tr.deltas;
+  sink.on_finish tr.final_time
+
+let apply_marking marking changes =
+  List.iter (fun (p, dm) -> marking.(p) <- marking.(p) + dm) changes
+
+let states tr =
+  let n = Array.length tr.deltas in
+  let result = Array.make (n + 1) (0.0, [||]) in
+  let current = Array.copy tr.header.h_initial in
+  let t0 = if n = 0 then 0.0 else Float.min 0.0 tr.deltas.(0).d_time in
+  result.(0) <- (t0, Array.copy current);
+  Array.iteri
+    (fun i d ->
+      apply_marking current d.d_marking;
+      result.(i + 1) <- (d.d_time, Array.copy current))
+    tr.deltas;
+  result
+
+let marking_after tr i =
+  if i < 0 || i > Array.length tr.deltas then
+    invalid_arg "Trace.marking_after: index out of range";
+  let current = Array.copy tr.header.h_initial in
+  for k = 0 to i - 1 do
+    apply_marking current tr.deltas.(k).d_marking
+  done;
+  current
+
+let state_at tr time =
+  let current = Array.copy tr.header.h_initial in
+  (try
+     Array.iter
+       (fun d ->
+         if d.d_time > time then raise Exit;
+         apply_marking current d.d_marking)
+       tr.deltas
+   with Exit -> ());
+  current
+
+let env_after tr i =
+  if i < 0 || i > Array.length tr.deltas then
+    invalid_arg "Trace.env_after: index out of range";
+  let table = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace table k v) tr.header.h_variables;
+  for k = 0 to i - 1 do
+    List.iter (fun (nm, v) -> Hashtbl.replace table nm v) tr.deltas.(k).d_env
+  done;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let in_flight_after tr i =
+  if i < 0 || i > Array.length tr.deltas then
+    invalid_arg "Trace.in_flight_after: index out of range";
+  let counts = Array.make (Array.length tr.header.h_transitions) 0 in
+  for k = 0 to i - 1 do
+    let d = tr.deltas.(k) in
+    match d.d_kind with
+    | Fire_start -> counts.(d.d_transition) <- counts.(d.d_transition) + 1
+    | Fire_end -> counts.(d.d_transition) <- counts.(d.d_transition) - 1
+  done;
+  counts

@@ -1,0 +1,92 @@
+(** Simulation traces.
+
+    Following the paper, a trace is "the description of the initial state
+    of the system, followed by a series of state deltas describing how the
+    state of the system changes over time".  The simulator knows nothing
+    about analysis; it emits a trace, and analysis tools consume traces.
+
+    Two consumption styles are supported, mirroring P-NUT:
+    - {b streaming}: the simulator output is "plugged" into an analysis
+      tool through a {!sink}, avoiding large intermediate files;
+    - {b stored}: an in-memory {!t} (or its textual serialization, see
+      {!Codec}) that can be replayed into any sink.
+
+    The textual format is deliberately independent of the Petri-net tooling
+    so that traces "can be easily generated from SIMSCRIPT simulations as
+    well as any other simulation language" — any producer emitting the
+    documented format interoperates. *)
+
+type event_kind =
+  | Fire_start  (** a transition began firing: input tokens consumed *)
+  | Fire_end    (** a transition completed: output tokens produced *)
+
+type delta = {
+  d_time : float;
+  d_kind : event_kind;
+  d_transition : int;               (** transition id *)
+  d_firing : int;                   (** firing-instance id, pairs start/end *)
+  d_marking : (int * int) list;     (** (place id, token delta) *)
+  d_env : (string * Pnut_core.Value.t) list;
+      (** variable updates applied by the event's action *)
+}
+
+(** Static description heading every trace. *)
+type header = {
+  h_net : string;                      (** net name *)
+  h_places : string array;             (** index = place id *)
+  h_transitions : string array;        (** index = transition id *)
+  h_initial : int array;               (** initial marking *)
+  h_variables : (string * Pnut_core.Value.t) list;  (** initial bindings *)
+}
+
+val header_of_net : Pnut_core.Net.t -> header
+
+(** Streaming consumer. *)
+type sink = {
+  on_header : header -> unit;
+  on_delta : delta -> unit;
+  on_finish : float -> unit;  (** called once with the final clock value *)
+}
+
+val null_sink : sink
+
+val tee : sink list -> sink
+(** Broadcasts to several sinks in order. *)
+
+(** {2 Stored traces} *)
+
+type t
+
+val header : t -> header
+val deltas : t -> delta array
+val final_time : t -> float
+val length : t -> int
+
+val make : header -> delta list -> float -> t
+
+val collector : unit -> sink * (unit -> t)
+(** [collector ()] returns a sink and a function producing the stored
+    trace once [on_finish] has been seen. The function raises
+    [Invalid_argument] if the trace is incomplete. *)
+
+val replay : t -> sink -> unit
+
+val states : t -> (float * int array) array
+(** State sequence: entry 0 is the initial state at the initial time;
+    entry [i+1] is the marking after delta [i], stamped with its time.
+    Each array is fresh. *)
+
+val state_at : t -> float -> int array
+(** Marking in effect at the given time (last delta at or before it). *)
+
+val marking_after : t -> int -> int array
+(** [marking_after tr i] is the marking after applying deltas [0..i-1];
+    [marking_after tr 0] is the initial marking. *)
+
+val env_after : t -> int -> (string * Pnut_core.Value.t) list
+(** Variable bindings after applying deltas [0..i-1], sorted by name. *)
+
+val in_flight_after : t -> int -> int array
+(** Per-transition count of firings started but not yet ended after
+    deltas [0..i-1] (the "concurrent firings" signal of the paper's
+    statistics and tracer displays). *)

@@ -1,0 +1,1 @@
+lib/tracer/query.ml: Array Format Hashtbl List Pnut_core Pnut_trace Printf

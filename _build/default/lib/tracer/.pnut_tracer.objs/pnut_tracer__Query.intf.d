@@ -1,0 +1,1 @@
+lib/tracer/query.mli: Format Pnut_core Pnut_trace

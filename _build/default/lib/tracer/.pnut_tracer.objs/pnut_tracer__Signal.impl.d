@@ -1,0 +1,1 @@
+lib/tracer/signal.ml: Array Buffer Float List Pnut_core Pnut_trace Printf

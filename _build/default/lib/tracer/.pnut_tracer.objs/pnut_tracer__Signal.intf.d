@@ -1,0 +1,1 @@
+lib/tracer/signal.mli: Pnut_core Pnut_trace

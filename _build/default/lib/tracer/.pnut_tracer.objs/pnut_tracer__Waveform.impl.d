@@ -1,0 +1,1 @@
+lib/tracer/waveform.ml: Array Buffer Bytes Char Float List Option Pnut_trace Printf Signal String

@@ -1,0 +1,1 @@
+lib/tracer/waveform.mli: Pnut_trace Signal

@@ -1,0 +1,172 @@
+module Trace = Pnut_trace.Trace
+module Expr = Pnut_core.Expr
+module Env = Pnut_core.Env
+module Value = Pnut_core.Value
+
+exception Unknown_signal of string
+
+type t =
+  | Place of string
+  | Transition of string
+  | Var of string
+  | Fun of string * Expr.t
+
+let label = function
+  | Place name | Transition name | Var name | Fun (name, _) -> name
+
+type series = {
+  times : float array;
+  values : float array;
+  t_end : float;
+}
+
+let value_at s time =
+  let n = Array.length s.times in
+  if n = 0 then 0.0
+  else begin
+    (* binary search: greatest i with times.(i) <= time *)
+    let rec go lo hi =
+      (* invariant: times.(lo) <= time < times.(hi) (hi may be n) *)
+      if hi - lo <= 1 then s.values.(lo)
+      else
+        let mid = (lo + hi) / 2 in
+        if s.times.(mid) <= time then go mid hi else go lo mid
+    in
+    if time < s.times.(0) then s.values.(0) else go 0 n
+  end
+
+(* Index of a name in a name table. *)
+let find_index names name =
+  let n = Array.length names in
+  let rec go i = if i >= n then None else if names.(i) = name then Some i else go (i + 1) in
+  go 0
+
+type probe = {
+  signal : t;
+  compute : unit -> float;  (* reads the live cursor state *)
+  mutable times_rev : float list;
+  mutable values_rev : float list;
+  mutable last : float;
+  mutable started : bool;
+}
+
+let sample trace signals =
+  let h = Trace.header trace in
+  let marking = Array.copy h.Trace.h_initial in
+  let in_flight = Array.make (Array.length h.Trace.h_transitions) 0 in
+  let env = Env.of_bindings h.Trace.h_variables in
+  let resolve name =
+    match find_index h.Trace.h_places name with
+    | Some p -> Some (fun () -> float_of_int marking.(p))
+    | None -> (
+      match find_index h.Trace.h_transitions name with
+      | Some t -> Some (fun () -> float_of_int in_flight.(t))
+      | None ->
+        if Env.mem env name then
+          Some (fun () -> Value.to_float (Env.get env name))
+        else None)
+  in
+  let compute_of_signal = function
+    | Place name -> (
+      match find_index h.Trace.h_places name with
+      | Some p -> fun () -> float_of_int marking.(p)
+      | None -> raise (Unknown_signal name))
+    | Transition name -> (
+      match find_index h.Trace.h_transitions name with
+      | Some t -> fun () -> float_of_int in_flight.(t)
+      | None -> raise (Unknown_signal name))
+    | Var name ->
+      if Env.mem env name then fun () -> Value.to_float (Env.get env name)
+      else raise (Unknown_signal name)
+    | Fun (_, expr) ->
+      (* Bind every free variable of the expression to a live reader. *)
+      let readers =
+        List.map
+          (fun v ->
+            match resolve v with
+            | Some f -> (v, f)
+            | None -> raise (Unknown_signal v))
+          (Expr.variables expr)
+      in
+      fun () ->
+        let scratch = Env.create () in
+        List.iter (fun (v, f) -> Env.set scratch v (Value.Float (f ()))) readers;
+        Expr.eval_float scratch expr
+  in
+  let probes =
+    List.map
+      (fun s ->
+        {
+          signal = s;
+          compute = compute_of_signal s;
+          times_rev = [];
+          values_rev = [];
+          last = 0.0;
+          started = false;
+        })
+      signals
+  in
+  (* Every value change is recorded, including several at the same
+     instant: intermediate breakpoints keep zero-width pulses visible to
+     the waveform renderer, and [value_at] resolves a repeated time to
+     the last value recorded at it. *)
+  let record time p =
+    let v = p.compute () in
+    if (not p.started) || not (Float.equal v p.last) then begin
+      p.times_rev <- time :: p.times_rev;
+      p.values_rev <- v :: p.values_rev;
+      p.last <- v;
+      p.started <- true
+    end
+  in
+  List.iter (record 0.0) probes;
+  Array.iter
+    (fun (d : Trace.delta) ->
+      List.iter
+        (fun (pl, dm) -> marking.(pl) <- marking.(pl) + dm)
+        d.Trace.d_marking;
+      (match d.Trace.d_kind with
+      | Trace.Fire_start ->
+        in_flight.(d.Trace.d_transition) <- in_flight.(d.Trace.d_transition) + 1
+      | Trace.Fire_end ->
+        in_flight.(d.Trace.d_transition) <- in_flight.(d.Trace.d_transition) - 1);
+      List.iter (fun (name, v) -> Env.set env name v) d.Trace.d_env;
+      List.iter (record d.Trace.d_time) probes)
+    (Trace.deltas trace);
+  let t_end = Trace.final_time trace in
+  List.map
+    (fun p ->
+      ( p.signal,
+        {
+          times = Array.of_list (List.rev p.times_rev);
+          values = Array.of_list (List.rev p.values_rev);
+          t_end;
+        } ))
+    probes
+
+let to_csv trace signals =
+  let sampled = sample trace signals in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time";
+  List.iter
+    (fun (sg, _) ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (label sg))
+    sampled;
+  Buffer.add_char buf '\n';
+  (* union of breakpoint times, deduplicated *)
+  let times =
+    List.concat_map (fun (_, s) -> Array.to_list s.times) sampled
+    @ [ Trace.final_time trace ]
+    |> List.sort_uniq Float.compare
+  in
+  List.iter
+    (fun t ->
+      Buffer.add_string buf (Printf.sprintf "%.12g" t);
+      List.iter
+        (fun (_, s) ->
+          Buffer.add_string buf (Printf.sprintf ",%.12g" (value_at s t)))
+        sampled;
+      Buffer.add_char buf '\n')
+    times;
+  Buffer.contents buf

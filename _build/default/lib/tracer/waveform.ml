@@ -1,0 +1,131 @@
+type style = {
+  width : int;
+  low : char;
+  high : char;
+  show_scale : bool;
+}
+
+let default_style = { width = 72; low = '_'; high = '#'; show_scale = true }
+
+type marker = {
+  m_label : string;
+  m_time : float;
+}
+
+let interval a b = Float.abs (b.m_time -. a.m_time)
+
+(* Maximum signal value within [t0, t1): breakpoints inside the slice and
+   the value in effect at the start. *)
+let max_in_slice (s : Signal.series) t0 t1 =
+  let v = ref (Signal.value_at s t0) in
+  Array.iteri
+    (fun i t ->
+      if t >= t0 && t < t1 then v := Float.max !v s.Signal.values.(i))
+    s.Signal.times;
+  !v
+
+let is_binary (s : Signal.series) =
+  Array.for_all (fun v -> Float.equal v 0.0 || Float.equal v 1.0) s.Signal.values
+
+let cell style binary v =
+  if binary then (if v >= 0.5 then style.high else style.low)
+  else begin
+    let n = int_of_float (Float.round v) in
+    if n < 0 then '-'
+    else if n <= 9 then Char.chr (Char.code '0' + n)
+    else '*'
+  end
+
+let render ?(style = default_style) ?from_time ?to_time ?(markers = []) trace
+    signals =
+  let sampled = Signal.sample trace signals in
+  let t1 =
+    Option.value to_time ~default:(Pnut_trace.Trace.final_time trace)
+  in
+  let t0 = Option.value from_time ~default:0.0 in
+  if t1 <= t0 then invalid_arg "Waveform.render: empty time window";
+  let width = max 8 style.width in
+  let dt = (t1 -. t0) /. float_of_int width in
+  let label_width =
+    List.fold_left
+      (fun acc (sg, _) -> max acc (String.length (Signal.label sg)))
+      0 sampled
+    |> max 4
+  in
+  let buf = Buffer.create 4096 in
+  let pad s =
+    let s = if String.length s > label_width then String.sub s 0 label_width else s in
+    s ^ String.make (label_width - String.length s) ' ' ^ " |"
+  in
+  let marker_column m =
+    let c = int_of_float ((m.m_time -. t0) /. dt) in
+    if c >= 0 && c < width then Some c else None
+  in
+  (* marker header line *)
+  if markers <> [] then begin
+    let line = Bytes.make width ' ' in
+    List.iter
+      (fun m ->
+        match marker_column m with
+        | Some c ->
+          let lbl = m.m_label in
+          let len = min (String.length lbl) (width - c) in
+          Bytes.blit_string lbl 0 line c len
+        | None -> ())
+      markers;
+    Buffer.add_string buf (pad "");
+    Buffer.add_string buf (Bytes.to_string line);
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (fun (sg, series) ->
+      let binary = is_binary series in
+      Buffer.add_string buf (pad (Signal.label sg));
+      for col = 0 to width - 1 do
+        let c0 = t0 +. (float_of_int col *. dt) in
+        let v = max_in_slice series c0 (c0 +. dt) in
+        let ch = cell style binary v in
+        let ch =
+          if
+            List.exists
+              (fun m ->
+                match marker_column m with
+                | Some mc -> mc = col
+                | None -> false)
+              markers
+            && ch = style.low
+          then '|'
+          else ch
+        in
+        Buffer.add_char buf ch
+      done;
+      Buffer.add_char buf '\n')
+    sampled;
+  if style.show_scale then begin
+    Buffer.add_string buf (pad "");
+    let line = Bytes.make width '-' in
+    let n_ticks = 6 in
+    Buffer.add_string buf (Bytes.to_string line);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad "time");
+    let scale = Bytes.make width ' ' in
+    for k = 0 to n_ticks - 1 do
+      let col = k * (width - 1) / (n_ticks - 1) in
+      let t = t0 +. (float_of_int col *. dt) in
+      let lbl = Printf.sprintf "%g" t in
+      let col = min col (width - String.length lbl) in
+      Bytes.blit_string lbl 0 scale col (String.length lbl)
+    done;
+    Buffer.add_string buf (Bytes.to_string scale);
+    Buffer.add_char buf '\n'
+  end;
+  (* marker interval readouts, pairwise in order *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s <-> %s : %g\n" a.m_label b.m_label (interval a b));
+      pairs rest
+    | [ _ ] | [] -> ()
+  in
+  pairs (List.sort (fun a b -> Float.compare a.m_time b.m_time) markers);
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** ASCII logic-analyzer rendering (the Figure-7 display).
+
+    Signals are plotted as character rows over a time window.  Binary
+    signals render as waveforms ([_] low, [#] high by default); wider-range
+    signals render their sampled value as a digit ([0]-[9], [*] beyond).
+    Markers (named time positions) draw a column and report the time
+    distance between pairs, which is how tracertool "assists the user in
+    timing these events". *)
+
+type style = {
+  width : int;        (** plot columns (excluding labels); default 72 *)
+  low : char;         (** binary low; default '_' *)
+  high : char;        (** binary high; default '#' *)
+  show_scale : bool;  (** print a time axis below; default true *)
+}
+
+val default_style : style
+
+type marker = {
+  m_label : string;
+  m_time : float;
+}
+
+val render :
+  ?style:style ->
+  ?from_time:float ->
+  ?to_time:float ->
+  ?markers:marker list ->
+  Pnut_trace.Trace.t ->
+  Signal.t list ->
+  string
+(** Plot the signals over [from_time, to_time] (defaulting to the whole
+    trace).  Each column shows the {e maximum} value attained in its time
+    slice, so short pulses remain visible. *)
+
+val interval : marker -> marker -> float
+(** Time distance between two markers (the "O <-> X" readout of
+    Figure 7). *)

@@ -1,0 +1,1 @@
+test/test_anim.ml: Alcotest Filename List Pnut_anim Pnut_core Pnut_pipeline Pnut_sim Pnut_trace Sys Testutil

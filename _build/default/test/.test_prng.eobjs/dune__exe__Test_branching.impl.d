@@ -1,0 +1,1 @@
+test/test_branching.ml: Alcotest Float List Option Pnut_core Pnut_lang Pnut_pipeline Pnut_sim Pnut_stat Pnut_tracer Printf

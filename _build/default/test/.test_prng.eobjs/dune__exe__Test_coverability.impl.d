@@ -1,0 +1,1 @@
+test/test_coverability.ml: Alcotest Array Format List Pnut_core Pnut_pipeline Pnut_reach Testutil

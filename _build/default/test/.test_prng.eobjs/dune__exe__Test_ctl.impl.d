@@ -1,0 +1,1 @@
+test/test_ctl.ml: Alcotest Array Pnut_core Pnut_lang Pnut_pipeline Pnut_reach Testutil

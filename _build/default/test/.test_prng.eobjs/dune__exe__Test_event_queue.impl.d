@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Float Fun List Pnut_sim QCheck2 QCheck_alcotest

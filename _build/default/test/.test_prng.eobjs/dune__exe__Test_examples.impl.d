@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Filename List Printf String Sys Testutil

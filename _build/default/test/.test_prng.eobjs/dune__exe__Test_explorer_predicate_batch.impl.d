@@ -1,0 +1,1 @@
+test/test_explorer_predicate_batch.ml: Alcotest Array Filename Float Format Pnut_core Pnut_lang Pnut_pipeline Pnut_reach Pnut_sim Pnut_stat Pnut_trace Pnut_tracer String Sys Testutil

@@ -1,0 +1,1 @@
+test/test_gspn.ml: Alcotest Float List Pnut_analytic Pnut_core Pnut_pipeline Pnut_sim Pnut_stat Printf Testutil

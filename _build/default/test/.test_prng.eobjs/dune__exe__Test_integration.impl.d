@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Format List Pnut_anim Pnut_core Pnut_lang Pnut_pipeline Pnut_reach Pnut_sim Pnut_stat Pnut_trace Pnut_tracer Printf String Testutil

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Format List Pnut_core Pnut_lang Pnut_pipeline Pnut_sim Pnut_trace Pnut_tracer Printf QCheck2 QCheck_alcotest Testutil

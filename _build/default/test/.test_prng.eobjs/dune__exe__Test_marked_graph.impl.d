@@ -1,0 +1,1 @@
+test/test_marked_graph.ml: Alcotest List Pnut_analytic Pnut_core Pnut_reach Pnut_sim Pnut_stat Printf String Testutil

@@ -1,0 +1,1 @@
+test/test_marking_incidence.ml: Alcotest Array Format Hashtbl List Pnut_core Pnut_pipeline Pnut_sim Pnut_trace QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_marking_incidence.mli:

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Float Format List Pnut_core Testutil

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Float List Option Pnut_core Pnut_pipeline Pnut_sim Pnut_stat Printf Testutil

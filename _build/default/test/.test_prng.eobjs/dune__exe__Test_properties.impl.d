@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Float Fun Hashtbl List Pnut_anim Pnut_core Pnut_reach Pnut_sim Pnut_stat Pnut_trace Pnut_tracer Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Format Pnut_core Pnut_lang Pnut_pipeline Pnut_sim Pnut_trace Pnut_tracer Testutil

@@ -1,0 +1,1 @@
+test/test_reach.ml: Alcotest Array Format List Pnut_core Pnut_pipeline Pnut_reach QCheck2 QCheck_alcotest Testutil

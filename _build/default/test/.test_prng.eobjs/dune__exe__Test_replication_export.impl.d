@@ -1,0 +1,1 @@
+test/test_replication_export.ml: Alcotest Format List Pnut_core Pnut_pipeline Pnut_reach Pnut_stat Testutil

@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Float List Pnut_core Pnut_lang Pnut_pipeline Pnut_sim Pnut_stat Pnut_tracer Printf Testutil

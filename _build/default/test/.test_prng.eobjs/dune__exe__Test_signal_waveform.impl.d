@@ -1,0 +1,1 @@
+test/test_signal_waveform.ml: Alcotest List Pnut_core Pnut_pipeline Pnut_sim Pnut_trace Pnut_tracer String Testutil

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Float List Pnut_core Pnut_pipeline Pnut_sim Pnut_stat Pnut_trace Printf String Testutil

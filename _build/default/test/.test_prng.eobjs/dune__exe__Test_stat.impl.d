@@ -1,0 +1,1 @@
+test/test_stat.ml: Alcotest Array List Pnut_core Pnut_pipeline Pnut_sim Pnut_stat Pnut_trace QCheck2 QCheck_alcotest String Testutil

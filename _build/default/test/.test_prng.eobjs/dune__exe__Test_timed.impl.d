@@ -1,0 +1,1 @@
+test/test_timed.ml: Alcotest Array Float Format Fun List Pnut_core Pnut_pipeline Pnut_reach Pnut_sim Pnut_stat Pnut_trace Printf Testutil

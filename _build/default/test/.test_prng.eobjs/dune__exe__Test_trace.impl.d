@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Buffer Float List Pnut_core Pnut_pipeline Pnut_sim Pnut_trace Printf QCheck2 QCheck_alcotest String Testutil

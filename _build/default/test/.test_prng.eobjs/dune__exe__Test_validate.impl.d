@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest List Pnut_core Pnut_pipeline Testutil

@@ -1,0 +1,1 @@
+test/test_value_expr.ml: Alcotest Pnut_core QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Float Printf String

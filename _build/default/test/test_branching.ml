@@ -1,0 +1,134 @@
+(* Tests for the branching-pipeline extension (flush-on-branch). *)
+
+module Net = Pnut_core.Net
+module Config = Pnut_pipeline.Config
+module Model = Pnut_pipeline.Model
+module Branching = Pnut_pipeline.Branching
+module Sim = Pnut_sim.Simulator
+module Stat = Pnut_stat.Stat
+module Query = Pnut_tracer.Query
+
+let default = Config.default
+
+let stats ?(seed = 42) ?(until = 10_000.0) net =
+  let sink, get = Stat.sink () in
+  let outcome = Sim.simulate ~seed ~until ~sink net in
+  Alcotest.(check bool) "run survives to the horizon" true
+    (outcome.Sim.stop = Sim.Horizon);
+  get ()
+
+let test_validation () =
+  Alcotest.check_raises "bad ratio"
+    (Invalid_argument "Branching.full: branch_ratio must be in [0, 1)")
+    (fun () -> ignore (Branching.full ~branch_ratio:1.0 default));
+  let net = Branching.full default in
+  Alcotest.(check (list string)) "model clean" []
+    (List.map
+       (fun d -> d.Pnut_core.Validate.message)
+       (Pnut_core.Validate.check net))
+
+let test_zero_ratio_matches_baseline () =
+  (* with no branches, the model behaves like the plain pipeline *)
+  let branchy = Branching.full ~branch_ratio:0.0 default in
+  Alcotest.(check bool) "no branch transition" true
+    (Net.find_transition branchy "branch_taken" = None);
+  let rb = stats branchy in
+  let rp = stats (Model.full default) in
+  let ib = Stat.throughput rb "Issue" in
+  let ip = Stat.throughput rp "Issue" in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughputs close: %.4f vs %.4f" ib ip)
+    true
+    (Float.abs (ib -. ip) /. ip < 0.05)
+
+let test_branches_fire_and_flush () =
+  let net = Branching.full ~branch_ratio:0.2 default in
+  let r = stats net in
+  let issues = (Stat.transition r "Issue").Stat.ts_starts in
+  let branches = (Stat.transition r "branch_taken").Stat.ts_starts in
+  let share = float_of_int branches /. float_of_int issues in
+  Alcotest.(check bool)
+    (Printf.sprintf "branch share %.3f near 0.2" share)
+    true
+    (Float.abs (share -. 0.2) < 0.03);
+  (* every branch completes its flush *)
+  Alcotest.(check bool) "flushes complete" true
+    (abs ((Stat.transition r "flush_done").Stat.ts_ends - branches) <= 1);
+  (* flushed words exist: prefetched work gets thrown away *)
+  Alcotest.(check bool) "words squashed" true
+    ((Stat.transition r "flush_buffer_word").Stat.ts_starts > 0)
+
+let test_branches_hurt_throughput () =
+  let rate ratio = Stat.throughput (stats (Branching.full ~branch_ratio:ratio default)) "Issue" in
+  let none = rate 0.0 in
+  let some = rate 0.15 in
+  let many = rate 0.4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %.4f > %.4f > %.4f" none some many)
+    true
+    (none > some && some > many)
+
+let test_deep_buffer_hurts_with_branches () =
+  (* the signature interaction: without branches deeper buffers never
+     hurt; with frequent branches the wasted prefetch traffic costs
+     bus bandwidth, so the benefit inverts or vanishes *)
+  let rate ~buffer_words ~ratio =
+    Stat.throughput
+      (stats ~until:20_000.0
+         (Branching.full ~branch_ratio:ratio { default with Config.buffer_words }))
+      "Issue"
+  in
+  let no_branch_gain = rate ~buffer_words:12 ~ratio:0.0 -. rate ~buffer_words:2 ~ratio:0.0 in
+  let branch_gain = rate ~buffer_words:12 ~ratio:0.3 -. rate ~buffer_words:2 ~ratio:0.3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "buffer gain shrinks under branches: %.4f -> %.4f"
+       no_branch_gain branch_gain)
+    true
+    (branch_gain < no_branch_gain +. 0.002)
+
+let test_invariants_under_flush () =
+  let net = Branching.full ~branch_ratio:0.25 default in
+  let trace, _ = Sim.trace ~seed:9 ~until:5000.0 net in
+  let holds q =
+    Query.holds (Query.eval trace (Pnut_lang.Parser.parse_query q))
+  in
+  Alcotest.(check bool) "bus one-hot survives flushes" true
+    (holds "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]");
+  Alcotest.(check bool) "flushing is one-hot" true
+    (holds "forall s in S [ Flushing(s) <= 1 ]");
+  Alcotest.(check bool) "buffer conservation" true
+    (holds
+       "forall s in S [ Full_I_buffers(s) + Empty_I_buffers(s) + 2 * \
+        pre_fetching(s) + Decode(s) <= 6 ]");
+  Alcotest.(check bool) "no prefetch while flushing" true
+    (holds "forall s in S [ Flushing(s) = 0 or Start_prefetch(s) = 0 ]")
+
+let test_flush_transition_names () =
+  let net = Branching.full ~branch_ratio:0.1 default in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true
+        (Option.is_some (Net.find_transition net name)))
+    Branching.flush_transitions
+
+let () =
+  Alcotest.run "branching"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "zero ratio baseline" `Slow
+            test_zero_ratio_matches_baseline;
+          Alcotest.test_case "flush machinery" `Quick test_flush_transition_names;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "branches fire and flush" `Slow
+            test_branches_fire_and_flush;
+          Alcotest.test_case "branches hurt" `Slow test_branches_hurt_throughput;
+          Alcotest.test_case "deep buffers vs branches" `Slow
+            test_deep_buffer_hurts_with_branches;
+          Alcotest.test_case "invariants under flush" `Slow
+            test_invariants_under_flush;
+        ] );
+    ]

@@ -1,0 +1,254 @@
+(* End-to-end tests of the pnut command-line driver: each subcommand is
+   exercised as a real process, piping files between tools like the
+   original P-NUT. *)
+
+let pnut = "../bin/pnut.exe"
+
+let tmp_dir = Filename.get_temp_dir_name ()
+
+let tmp name = Filename.concat tmp_dir ("pnut_cli_" ^ name)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run the binary, capturing stdout; returns (exit code, output). *)
+let run args =
+  let out_file = tmp "out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s"
+      (Filename.quote pnut)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out_file)
+      (Filename.quote (tmp "err"))
+  in
+  let code = Sys.command cmd in
+  (code, read_file out_file)
+
+let check_run what args =
+  let code, out = run args in
+  Alcotest.(check int) (what ^ " exit code") 0 code;
+  out
+
+let model_file = tmp "pipeline.pn"
+let trace_file = tmp "run.trace"
+
+let test_model_emit () =
+  let out = check_run "model" [ "model"; "pipeline"; "-o"; model_file ] in
+  ignore out;
+  let text = read_file model_file in
+  Testutil.check_contains "model file" text "net pipeline3";
+  Testutil.check_contains "model file" text "transition Start_prefetch"
+
+let test_validate () =
+  let out = check_run "validate" [ "validate"; model_file ] in
+  Testutil.check_contains "validate" out "no diagnostics"
+
+let test_sim_with_trace_and_stats () =
+  let out =
+    check_run "sim"
+      [ "sim"; model_file; "--until"; "2000"; "--seed"; "42"; "--trace";
+        trace_file; "--stats" ]
+  in
+  Testutil.check_contains "stats printed" out "RUN STATISTICS";
+  Testutil.check_contains "stats printed" out "PLACE STATISTICS";
+  let trace = read_file trace_file in
+  Testutil.check_contains "trace file" trace "%pnut-trace 1";
+  Testutil.check_contains "trace file" trace "end 2000"
+
+let test_stat_from_trace () =
+  let out = check_run "stat" [ "stat"; trace_file ] in
+  Testutil.check_contains "report" out "EVENT STATISTICS";
+  let tsv = check_run "stat tsv" [ "stat"; trace_file; "--tsv" ] in
+  Testutil.check_contains "tsv" tsv "place\tBus_busy"
+
+let test_filter () =
+  let filtered = tmp "filtered.trace" in
+  let _ =
+    check_run "filter"
+      [ "filter"; trace_file; "--places"; "Bus_busy,Bus_free";
+        "--transitions"; "Start_prefetch,End_prefetch"; "-o"; filtered ]
+  in
+  let text = read_file filtered in
+  Testutil.check_contains "kept place" text "Bus_busy";
+  Alcotest.(check bool) "smaller than original" true
+    (String.length text < String.length (read_file trace_file))
+
+let test_tracer () =
+  let out =
+    check_run "tracer"
+      [ "tracer"; trace_file; "-s"; "Bus_busy"; "-s"; "pre_fetching";
+        "--from"; "0"; "--to"; "100"; "--marker"; "O:20"; "--marker"; "X:80" ]
+  in
+  Testutil.check_contains "waveform" out "Bus_busy";
+  Testutil.check_contains "interval" out "O <-> X : 60"
+
+let test_tracer_csv () =
+  let out =
+    check_run "tracer csv" [ "tracer"; trace_file; "-s"; "Bus_busy"; "--csv" ]
+  in
+  Testutil.check_contains "csv header" out "time,Bus_busy";
+  Alcotest.(check bool) "many rows" true
+    (List.length (String.split_on_char '\n' out) > 10)
+
+let test_check_queries () =
+  let out =
+    check_run "check"
+      [ "check"; trace_file;
+        "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]" ]
+  in
+  Testutil.check_contains "query result" out "holds";
+  (* a failing query exits 1 *)
+  let code, out2 =
+    run [ "check"; trace_file; "exists s in S [ Bus_busy(s) > 5 ]" ]
+  in
+  Alcotest.(check int) "failing query exit" 1 code;
+  Testutil.check_contains "failure reported" out2 "fails"
+
+let test_reach_and_ctl () =
+  let out =
+    check_run "reach"
+      [ "reach"; model_file; "--ctl"; "Bus_free + Bus_busy == 1" ]
+  in
+  Testutil.check_contains "summary" out "reachability graph";
+  Testutil.check_contains "ctl" out "AG(Bus_free + Bus_busy == 1): true"
+
+let test_reach_query () =
+  let out =
+    check_run "reach query"
+      [ "reach"; model_file; "--query";
+        "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]" ]
+  in
+  Testutil.check_contains "proof result" out "holds";
+  let code, _ =
+    run [ "reach"; model_file; "--query"; "forall s in S [ Bus_free(s) = 1 ]" ]
+  in
+  Alcotest.(check int) "refuted query exits 1" 1 code
+
+let test_invariants () =
+  let out = check_run "invariants" [ "invariants"; model_file ] in
+  Testutil.check_contains "p-invariants" out "Bus_busy + Bus_free";
+  Testutil.check_contains "t-invariants header" out "T-invariants:"
+
+let test_anim () =
+  let out =
+    check_run "anim" [ "anim"; model_file; "--steps"; "3"; "--places";
+                       "Bus_free,Bus_busy" ]
+  in
+  Testutil.check_contains "frames" out "Start_prefetch";
+  Testutil.check_contains "separator" out "----"
+
+let test_analytic () =
+  let out =
+    check_run "analytic" [ "analytic"; model_file; "--exponentialize";
+                           "--max-states"; "5000" ]
+  in
+  Testutil.check_contains "states" out "tangible states";
+  Testutil.check_contains "throughputs" out "Issue"
+
+let test_dot () =
+  let out = check_run "dot" [ "dot"; model_file ] in
+  Testutil.check_contains "digraph" out "digraph \"pipeline3\"";
+  let out2 = check_run "dot reach" [ "dot"; model_file; "--kind"; "reach" ] in
+  Testutil.check_contains "reach digraph" out2 "digraph reachability"
+
+let test_replicate () =
+  let out =
+    check_run "replicate"
+      [ "replicate"; model_file; "--runs"; "3"; "--until"; "1000";
+        "--place"; "Bus_busy"; "--throughput"; "Issue" ]
+  in
+  Testutil.check_contains "place estimate" out "Bus_busy mean tokens";
+  Testutil.check_contains "ci format" out "95% CI, 3 runs"
+
+let test_coverability_cli () =
+  (* write an unbounded inhibitor-free model by hand *)
+  let pump = tmp "pump.pn" in
+  let oc = open_out pump in
+  output_string oc
+    "net pump\nplace p init 1\nplace q\ntransition t\n  in p\n  out p, q\n";
+  close_out oc;
+  let code, out = run [ "coverability"; pump ] in
+  Alcotest.(check int) "unbounded exits 1" 1 code;
+  Testutil.check_contains "verdict" out "bounded: false";
+  Testutil.check_contains "culprit" out "unbounded places: q"
+
+let test_explore () =
+  let script = tmp "explore.in" in
+  let oc = open_out script in
+  output_string oc "show\nenabled\nfire Start_prefetch\nrun 50\nquit\n";
+  close_out oc;
+  let out_file = tmp "explore.out" in
+  let cmd =
+    Printf.sprintf "%s explore %s < %s > %s 2>&1"
+      (Filename.quote pnut) (Filename.quote model_file)
+      (Filename.quote script) (Filename.quote out_file)
+  in
+  Alcotest.(check int) "explore exit" 0 (Sys.command cmd);
+  let out = read_file out_file in
+  Testutil.check_contains "banner" out "exploring pipeline3";
+  Testutil.check_contains "fireable" out "fireable: Start_prefetch";
+  Testutil.check_contains "manual fire" out "fired Start_prefetch";
+  Testutil.check_contains "run" out "ran to t=50"
+
+let test_batch () =
+  let out =
+    check_run "batch"
+      [ "batch"; trace_file; "--warmup"; "200"; "--batches"; "6";
+        "--place"; "Bus_busy"; "--throughput"; "Issue" ]
+  in
+  Testutil.check_contains "place CI" out "Bus_busy mean tokens";
+  Testutil.check_contains "throughput CI" out "Issue throughput";
+  Testutil.check_contains "runs = batches" out "6 runs"
+
+let test_cycle () =
+  (* the prefetch model is deterministic: exact steady-cycle analysis *)
+  let prefetch = tmp "prefetch_cycle.pn" in
+  let _ = check_run "model prefetch" [ "model"; "prefetch"; "-o"; prefetch ] in
+  let out = check_run "cycle" [ "cycle"; prefetch ] in
+  Testutil.check_contains "period" out "period:    5";
+  Testutil.check_contains "decode throughput" out "0.400000"
+
+let test_bad_model_error () =
+  let bad = tmp "bad.pn" in
+  let oc = open_out bad in
+  output_string oc "net broken\ntransition t\n  in nowhere\n";
+  close_out oc;
+  let code, _ = run [ "validate"; bad ] in
+  Alcotest.(check int) "parse error exit" 2 code
+
+let () =
+  if not (Sys.file_exists pnut) then begin
+    (* the binary is declared as a dune dependency; this is a safeguard
+       for running the test executable by hand from another directory *)
+    print_endline "pnut binary not found; skipping CLI tests";
+    exit 0
+  end;
+  Alcotest.run "cli"
+    [
+      ( "subcommands",
+        [
+          Alcotest.test_case "model" `Quick test_model_emit;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "sim" `Quick test_sim_with_trace_and_stats;
+          Alcotest.test_case "stat" `Quick test_stat_from_trace;
+          Alcotest.test_case "filter" `Quick test_filter;
+          Alcotest.test_case "tracer" `Quick test_tracer;
+          Alcotest.test_case "tracer csv" `Quick test_tracer_csv;
+          Alcotest.test_case "check" `Quick test_check_queries;
+          Alcotest.test_case "reach" `Quick test_reach_and_ctl;
+          Alcotest.test_case "reach query" `Quick test_reach_query;
+          Alcotest.test_case "invariants" `Quick test_invariants;
+          Alcotest.test_case "anim" `Quick test_anim;
+          Alcotest.test_case "analytic" `Quick test_analytic;
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "replicate" `Quick test_replicate;
+          Alcotest.test_case "coverability" `Quick test_coverability_cli;
+          Alcotest.test_case "explore" `Quick test_explore;
+          Alcotest.test_case "batch" `Quick test_batch;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "bad model" `Quick test_bad_model_error;
+        ] );
+    ]

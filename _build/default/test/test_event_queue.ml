@@ -1,0 +1,99 @@
+(* Tests for the future-event list (binary heap with FIFO tie-breaking). *)
+
+module Q = Pnut_sim.Event_queue
+
+let drain q =
+  let rec go acc =
+    match Q.pop q with
+    | Some (t, v) -> go ((t, v) :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_empty () =
+  let q = Q.create () in
+  Alcotest.(check bool) "is_empty" true (Q.is_empty q);
+  Alcotest.(check int) "length" 0 (Q.length q);
+  Alcotest.(check bool) "peek none" true (Q.peek_time q = None);
+  Alcotest.(check bool) "pop none" true (Q.pop q = None)
+
+let test_ordering () =
+  let q = Q.create () in
+  List.iter (fun (t, v) -> Q.push q t v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  Alcotest.(check int) "length" 3 (Q.length q);
+  Alcotest.(check (option (float 0.0))) "peek min" (Some 1.0) (Q.peek_time q);
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "sorted"
+    [ (1.0, "a"); (2.0, "b"); (3.0, "c") ]
+    (drain q)
+
+let test_fifo_ties () =
+  let q = Q.create () in
+  List.iteri (fun i v -> Q.push q 5.0 (i, v)) [ "x"; "y"; "z" ];
+  Q.push q 1.0 (99, "first");
+  let order = List.map snd (drain q) in
+  Alcotest.(check (list (pair int string)))
+    "insertion order among equals"
+    [ (99, "first"); (0, "x"); (1, "y"); (2, "z") ]
+    order
+
+let test_interleaved_push_pop () =
+  let q = Q.create () in
+  Q.push q 2.0 "b";
+  Q.push q 1.0 "a";
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (Q.pop q);
+  Q.push q 0.5 "pre";
+  Alcotest.(check (option (pair (float 0.0) string))) "pop pre" (Some (0.5, "pre")) (Q.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (Q.pop q);
+  Alcotest.(check bool) "drained" true (Q.is_empty q)
+
+let test_growth () =
+  let q = Q.create () in
+  for i = 999 downto 0 do
+    Q.push q (float_of_int i) i
+  done;
+  Alcotest.(check int) "length 1000" 1000 (Q.length q);
+  let popped = drain q in
+  Alcotest.(check int) "all popped" 1000 (List.length popped);
+  let sorted = List.for_all2 (fun (t, _) i -> Float.equal t (float_of_int i)) popped (List.init 1000 Fun.id) in
+  Alcotest.(check bool) "ascending" true sorted
+
+let test_clear () =
+  let q = Q.create () in
+  Q.push q 1.0 "x";
+  Q.clear q;
+  Alcotest.(check bool) "cleared" true (Q.is_empty q);
+  Q.push q 2.0 "y";
+  Alcotest.(check (option (pair (float 0.0) string))) "usable after clear"
+    (Some (2.0, "y")) (Q.pop q)
+
+(* property: popping a random push sequence yields times in ascending
+   order, and equal times preserve insertion order *)
+let prop_heap_order =
+  QCheck2.Test.make ~name:"heap pops in (time, insertion) order" ~count:200
+    QCheck2.Gen.(list (int_range 0 20))
+    (fun times ->
+      let q = Q.create () in
+      List.iteri (fun i t -> Q.push q (float_of_int t) i) times;
+      let popped = drain q in
+      let rec ordered = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+          (t1 < t2 || (Float.equal t1 t2 && i1 < i2)) && ordered rest
+        | [ _ ] | [] -> true
+      in
+      List.length popped = List.length times && ordered popped)
+
+let () =
+  Alcotest.run "event-queue"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_interleaved_push_pop;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "clear" `Quick test_clear;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_heap_order ]);
+    ]

@@ -1,0 +1,72 @@
+(* Smoke tests for the example executables: each one must run cleanly
+   and produce the landmarks of its narrative — guarding the documented
+   entry points against bit-rot. *)
+
+let example name = Printf.sprintf "../examples/%s.exe" name
+
+let run name =
+  let out_file =
+    Filename.concat (Filename.get_temp_dir_name ()) ("pnut_example_" ^ name)
+  in
+  let cmd =
+    Printf.sprintf "%s > %s 2>&1" (Filename.quote (example name))
+      (Filename.quote out_file)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out_file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (code, text)
+
+let check name landmarks =
+  let code, out = run name in
+  Alcotest.(check int) (name ^ " exit code") 0 code;
+  Alcotest.(check bool) (name ^ " nonempty") true (String.length out > 100);
+  List.iter (fun needle -> Testutil.check_contains name out needle) landmarks
+
+let test_quickstart () =
+  check "quickstart"
+    [ "P-invariants"; "Bus_free + Bus_busy"; "RUN STATISTICS";
+      "bus utilization" ]
+
+let test_pipeline_study () =
+  check "pipeline_study"
+    [ "Memory-speed sweep"; "Clock-rate sweep"; "Instruction-buffer sweep";
+      "Bus_busy" ]
+
+let test_interpreted_isa () =
+  check "interpreted_isa"
+    [ "Model sizes"; "30-addressing-mode"; "net operand_fetch";
+      "number_of_operands_needed" ]
+
+let test_cache_study () =
+  check "cache_study"
+    [ "Instruction-cache sweep"; "Joint i-cache + d-cache";
+      "forall s in S [ Bus_free(s) + Bus_busy(s) = 1 ]" ]
+
+let test_protocol_timeout () =
+  check "protocol_timeout"
+    [ "Stop-and-wait"; "transmissions/exchange"; "timeout_retransmit" ]
+
+let test_verification () =
+  check "verification"
+    [ "Level 1"; "Level 2"; "Level 3"; "blind to timing";
+      "fails (counterexample state" ]
+
+let () =
+  if not (Sys.file_exists (example "quickstart")) then begin
+    print_endline "example binaries not found; skipping";
+    exit 0
+  end;
+  Alcotest.run "examples"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "quickstart" `Quick test_quickstart;
+          Alcotest.test_case "pipeline_study" `Slow test_pipeline_study;
+          Alcotest.test_case "interpreted_isa" `Slow test_interpreted_isa;
+          Alcotest.test_case "cache_study" `Slow test_cache_study;
+          Alcotest.test_case "protocol_timeout" `Slow test_protocol_timeout;
+          Alcotest.test_case "verification" `Slow test_verification;
+        ] );
+    ]

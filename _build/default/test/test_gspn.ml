@@ -1,0 +1,328 @@
+(* Tests for the analytical (GSPN / CTMC) performance evaluator, checked
+   against closed-form Markov results and against the simulator. *)
+
+module Net = Pnut_core.Net
+module B = Net.Builder
+module Gspn = Pnut_analytic.Gspn
+module Sim = Pnut_sim.Simulator
+module Stat = Pnut_stat.Stat
+
+(* Two-state machine: free -> busy at rate lambda, busy -> free at rate
+   mu.  Closed form: P(busy) = lambda / (lambda + mu). *)
+let machine ~lambda ~mu =
+  let b = B.create "machine" in
+  let free = B.add_place b "free" ~initial:1 in
+  let busy = B.add_place b "busy" in
+  let _ =
+    B.add_transition b "start" ~inputs:[ (free, 1) ] ~outputs:[ (busy, 1) ]
+      ~enabling:(Net.Exponential (1.0 /. lambda))
+  in
+  let _ =
+    B.add_transition b "finish" ~inputs:[ (busy, 1) ] ~outputs:[ (free, 1) ]
+      ~enabling:(Net.Exponential (1.0 /. mu))
+  in
+  B.build b
+
+let test_two_state_machine () =
+  let lambda = 2.0 and mu = 3.0 in
+  let net = machine ~lambda ~mu in
+  let r = Gspn.analyze net in
+  Alcotest.(check int) "two tangible states" 2 r.Gspn.tangible_states;
+  Alcotest.(check int) "no vanishing states" 0 r.Gspn.vanishing_states;
+  let expected = lambda /. (lambda +. mu) in
+  Testutil.check_close ~tolerance:1e-9 "P(busy)" expected
+    (Gspn.place_mean r net "busy");
+  Testutil.check_close ~tolerance:1e-9 "P(free)" (1.0 -. expected)
+    (Gspn.place_mean r net "free");
+  (* flow balance: both transitions fire at the same rate
+     lambda * P(free) *)
+  let flow = lambda *. (1.0 -. expected) in
+  Testutil.check_close ~tolerance:1e-9 "start throughput" flow
+    (Gspn.throughput r net "start");
+  Testutil.check_close ~tolerance:1e-9 "finish throughput" flow
+    (Gspn.throughput r net "finish")
+
+(* M/M/1/K queue: arrivals rate lambda (blocked when full), service rate
+   mu.  Closed form: pi_n = rho^n * (1-rho)/(1-rho^{K+1}). *)
+let mm1k ~lambda ~mu ~k =
+  let b = B.create "mm1k" in
+  let slots = B.add_place b "slots" ~initial:k in
+  let queue = B.add_place b "queue" in
+  let _ =
+    B.add_transition b "arrive" ~inputs:[ (slots, 1) ] ~outputs:[ (queue, 1) ]
+      ~enabling:(Net.Exponential (1.0 /. lambda))
+  in
+  let _ =
+    B.add_transition b "serve" ~inputs:[ (queue, 1) ] ~outputs:[ (slots, 1) ]
+      ~enabling:(Net.Exponential (1.0 /. mu))
+  in
+  B.build b
+
+let mm1k_mean_queue ~rho ~k =
+  (* sum n rho^n / sum rho^n for n in 0..k *)
+  let num = ref 0.0 and den = ref 0.0 in
+  for n = 0 to k do
+    let p = rho ** float_of_int n in
+    num := !num +. (float_of_int n *. p);
+    den := !den +. p
+  done;
+  !num /. !den
+
+let test_mm1k_queue () =
+  let lambda = 1.0 and mu = 1.5 and k = 5 in
+  let net = mm1k ~lambda ~mu ~k in
+  let r = Gspn.analyze net in
+  Alcotest.(check int) "k+1 states" (k + 1) r.Gspn.tangible_states;
+  let rho = lambda /. mu in
+  Testutil.check_close ~tolerance:1e-9 "mean queue length"
+    (mm1k_mean_queue ~rho ~k)
+    (Gspn.place_mean r net "queue");
+  (* loss system throughput: mu * P(queue > 0) = lambda * P(not full) *)
+  let p_n n =
+    let den = ref 0.0 in
+    for i = 0 to k do
+      den := !den +. (rho ** float_of_int i)
+    done;
+    (rho ** float_of_int n) /. !den
+  in
+  Testutil.check_close ~tolerance:1e-9 "served throughput"
+    (mu *. (1.0 -. p_n 0))
+    (Gspn.throughput r net "serve");
+  Testutil.check_close ~tolerance:1e-9 "accepted = served"
+    (Gspn.throughput r net "arrive")
+    (Gspn.throughput r net "serve")
+
+(* Immediate transitions and vanishing states: exponential source, then
+   an immediate probabilistic split 3:1. *)
+let split_net () =
+  let b = B.create "split" in
+  let src = B.add_place b "src" ~initial:1 in
+  let mid = B.add_place b "mid" in
+  let left = B.add_place b "left" in
+  let right = B.add_place b "right" in
+  let _ =
+    B.add_transition b "produce" ~inputs:[ (src, 1) ] ~outputs:[ (mid, 1) ]
+      ~enabling:(Net.Exponential 2.0)
+  in
+  let _ =
+    B.add_transition b "go_left" ~inputs:[ (mid, 1) ] ~outputs:[ (left, 1) ]
+      ~frequency:3.0
+  in
+  let _ =
+    B.add_transition b "go_right" ~inputs:[ (mid, 1) ] ~outputs:[ (right, 1) ]
+      ~frequency:1.0
+  in
+  let _ =
+    B.add_transition b "drain_left" ~inputs:[ (left, 1) ] ~outputs:[ (src, 1) ]
+      ~enabling:(Net.Exponential 1.0)
+  in
+  let _ =
+    B.add_transition b "drain_right" ~inputs:[ (right, 1) ] ~outputs:[ (src, 1) ]
+      ~enabling:(Net.Exponential 1.0)
+  in
+  B.build b
+
+let test_vanishing_split () =
+  let net = split_net () in
+  let r = Gspn.analyze net in
+  Alcotest.(check bool) "has vanishing states" true (r.Gspn.vanishing_states > 0);
+  (* immediate throughputs split 3:1 and sum to the producer's rate *)
+  let tp = Gspn.throughput r net "produce" in
+  let tl = Gspn.throughput r net "go_left" in
+  let tr_ = Gspn.throughput r net "go_right" in
+  Testutil.check_close ~tolerance:1e-9 "split sums" tp (tl +. tr_);
+  Testutil.check_close ~tolerance:1e-9 "3:1 ratio" (3.0 *. tr_) tl;
+  (* closed form: cycle = produce (mean 2) then drain (mean 1), so
+     produce throughput = 1/3 *)
+  Testutil.check_close ~tolerance:1e-9 "cycle rate" (1.0 /. 3.0) tp
+
+let test_chained_vanishing () =
+  (* two immediate transitions in a row (vanishing -> vanishing) *)
+  let b = B.create "chain" in
+  let a = B.add_place b "a" ~initial:1 in
+  let v1 = B.add_place b "v1" in
+  let v2 = B.add_place b "v2" in
+  let z = B.add_place b "z" in
+  let _ =
+    B.add_transition b "slow" ~inputs:[ (a, 1) ] ~outputs:[ (v1, 1) ]
+      ~enabling:(Net.Exponential 1.0)
+  in
+  let _ = B.add_transition b "hop1" ~inputs:[ (v1, 1) ] ~outputs:[ (v2, 1) ] in
+  let _ = B.add_transition b "hop2" ~inputs:[ (v2, 1) ] ~outputs:[ (z, 1) ] in
+  let _ =
+    B.add_transition b "back" ~inputs:[ (z, 1) ] ~outputs:[ (a, 1) ]
+      ~enabling:(Net.Exponential 1.0)
+  in
+  let net = B.build b in
+  let r = Gspn.analyze net in
+  (* cycle time 2, every transition fires at rate 1/2 *)
+  List.iter
+    (fun name ->
+      Testutil.check_close ~tolerance:1e-9 (name ^ " rate") 0.5
+        (Gspn.throughput r net name))
+    [ "slow"; "hop1"; "hop2"; "back" ];
+  (* vanishing states hold no probability mass: a + z means sum to 1 *)
+  Testutil.check_close ~tolerance:1e-9 "mass on tangible markings" 1.0
+    (Gspn.place_mean r net "a" +. Gspn.place_mean r net "z")
+
+let test_absorbing_net () =
+  (* one-shot net: all mass ends in the dead marking *)
+  let b = B.create "oneshot" in
+  let p = B.add_place b "p" ~initial:1 in
+  let q = B.add_place b "q" in
+  let _ =
+    B.add_transition b "t" ~inputs:[ (p, 1) ] ~outputs:[ (q, 1) ]
+      ~enabling:(Net.Exponential 1.0)
+  in
+  let net = B.build b in
+  let r = Gspn.analyze net in
+  Testutil.check_close ~tolerance:1e-6 "stationary mass at q" 1.0
+    (Gspn.place_mean r net "q");
+  Testutil.check_close ~tolerance:1e-6 "throughput dies" 0.0
+    (Gspn.throughput r net "t")
+
+let test_rejections () =
+  let deterministic =
+    let b = B.create "det" in
+    let p = B.add_place b "p" ~initial:1 in
+    let _ =
+      B.add_transition b "t" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ]
+        ~firing:(Net.Const 1.0)
+    in
+    B.build b
+  in
+  (match Gspn.analyze deterministic with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument msg ->
+    Testutil.check_contains "message" msg "non-exponential");
+  let exponential_firing =
+    let b = B.create "expf" in
+    let p = B.add_place b "p" ~initial:1 in
+    let _ =
+      B.add_transition b "t" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ]
+        ~firing:(Net.Exponential 1.0)
+    in
+    B.build b
+  in
+  (match Gspn.analyze exponential_firing with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument msg ->
+    Testutil.check_contains "message" msg "exponential firing time");
+  let unbounded =
+    let b = B.create "unb" in
+    let p = B.add_place b "p" ~initial:1 in
+    let q = B.add_place b "q" in
+    let _ =
+      B.add_transition b "t" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1); (q, 1) ]
+        ~enabling:(Net.Exponential 1.0)
+    in
+    B.build b
+  in
+  match Gspn.analyze ~max_states:50 unbounded with
+  | _ -> Alcotest.fail "expected state cap"
+  | exception Invalid_argument msg ->
+    Testutil.check_contains "message" msg "max_states"
+
+let test_exponential_variant_rebuild () =
+  (* a Choice delay has no single exponential equivalent: rejected *)
+  let choicy =
+    let b = B.create "choicy" in
+    let p = B.add_place b "p" ~initial:1 in
+    let _ =
+      B.add_transition b "t" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ]
+        ~firing:(Net.Choice [ (1.0, 0.5); (2.0, 0.5) ])
+    in
+    B.build b
+  in
+  (match Gspn.exponential_variant choicy with
+  | _ -> Alcotest.fail "expected rejection of Choice delays"
+  | exception Invalid_argument msg ->
+    Testutil.check_contains "message" msg "unsupported delay shape");
+  (* a deterministic-delay net converts cleanly *)
+  let simple = Pnut_pipeline.Model.prefetch_only Pnut_pipeline.Config.default in
+  let exp_net = Gspn.exponential_variant simple in
+  Alcotest.(check int) "same places" (Net.num_places simple) (Net.num_places exp_net);
+  Alcotest.(check int) "same transitions" (Net.num_transitions simple)
+    (Net.num_transitions exp_net);
+  let ep = Net.transition exp_net (Net.transition_id exp_net "End_prefetch") in
+  Alcotest.(check bool) "delay became exponential" true
+    (ep.Net.t_enabling = Net.Exponential 5.0)
+
+(* the full pipeline is all-Const: the exponential variant is analyzable
+   exactly, and the analytic answer matches a long simulation *)
+let test_full_pipeline_analytic () =
+  let net =
+    Gspn.exponential_variant (Pnut_pipeline.Model.full Pnut_pipeline.Config.default)
+  in
+  let r = Gspn.analyze ~max_states:5000 net in
+  Alcotest.(check bool) "nontrivial state space" true (r.Gspn.tangible_states > 50);
+  let sink, get = Stat.sink () in
+  let _ = Sim.simulate ~seed:11 ~until:300_000.0 ~sink net in
+  let sim = get () in
+  let compare name =
+    let analytic = Gspn.place_mean r net name in
+    let simulated = Stat.utilization sim name in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: analytic %.4f vs simulated %.4f" name analytic simulated)
+      true
+      (Float.abs (analytic -. simulated) < 0.03 *. Float.max 1.0 analytic)
+  in
+  List.iter compare [ "Bus_busy"; "Execution_unit"; "Full_I_buffers" ];
+  let thr_a = Gspn.throughput r net "Issue" in
+  let thr_s = Stat.throughput sim "Issue" in
+  Alcotest.(check bool)
+    (Printf.sprintf "Issue rate: analytic %.4f vs simulated %.4f" thr_a thr_s)
+    true
+    (Float.abs (thr_a -. thr_s) /. thr_a < 0.04)
+
+(* cross-validation: the analytic answer matches a long simulation of the
+   same exponential net *)
+let test_analytic_matches_simulation () =
+  let net =
+    Gspn.exponential_variant
+      (Pnut_pipeline.Model.prefetch_only Pnut_pipeline.Config.default)
+  in
+  let r = Gspn.analyze net in
+  let sink, get = Stat.sink () in
+  let _ = Sim.simulate ~seed:42 ~until:200_000.0 ~sink net in
+  let sim = get () in
+  let compare name =
+    let analytic = Gspn.place_mean r net name in
+    let simulated = Stat.utilization sim name in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: analytic %.4f vs simulated %.4f" name analytic simulated)
+      true
+      (Float.abs (analytic -. simulated) < 0.02 *. Float.max 1.0 analytic)
+  in
+  List.iter compare [ "Bus_busy"; "Full_I_buffers"; "Decoder_ready"; "pre_fetching" ];
+  let thr_a = Gspn.throughput r net "Decode" in
+  let thr_s = Stat.throughput sim "Decode" in
+  Alcotest.(check bool)
+    (Printf.sprintf "Decode rate: %.4f vs %.4f" thr_a thr_s)
+    true
+    (Float.abs (thr_a -. thr_s) /. thr_a < 0.03)
+
+let () =
+  Alcotest.run "gspn"
+    [
+      ( "closed-form",
+        [
+          Alcotest.test_case "two-state machine" `Quick test_two_state_machine;
+          Alcotest.test_case "M/M/1/K" `Quick test_mm1k_queue;
+          Alcotest.test_case "vanishing split" `Quick test_vanishing_split;
+          Alcotest.test_case "chained vanishing" `Quick test_chained_vanishing;
+          Alcotest.test_case "absorbing" `Quick test_absorbing_net;
+        ] );
+      ( "interface",
+        [
+          Alcotest.test_case "rejections" `Quick test_rejections;
+          Alcotest.test_case "exponential variant" `Quick
+            test_exponential_variant_rebuild;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "matches simulation" `Slow
+            test_analytic_matches_simulation;
+          Alcotest.test_case "full pipeline" `Slow test_full_pipeline_analytic;
+        ] );
+    ]

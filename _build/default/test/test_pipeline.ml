@@ -1,0 +1,408 @@
+(* Tests for the pipelined-processor models: structure, invariants, the
+   Figure-5 statistics shape, and the Section-3 extensions. *)
+
+module Net = Pnut_core.Net
+module Config = Pnut_pipeline.Config
+module Model = Pnut_pipeline.Model
+module Interpreted = Pnut_pipeline.Interpreted
+module Extensions = Pnut_pipeline.Extensions
+module Sim = Pnut_sim.Simulator
+module Stat = Pnut_stat.Stat
+
+let default = Config.default
+
+let stats ?(seed = 42) ?(until = 10000.0) net =
+  let sink, get = Stat.sink () in
+  let _ = Sim.simulate ~seed ~until ~sink net in
+  get ()
+
+(* -- configuration -- *)
+
+let test_config_validation () =
+  Config.validate default;
+  let bad = { default with Config.buffer_words = 0 } in
+  Alcotest.check_raises "zero buffer"
+    (Invalid_argument "Pipeline.Config: buffer_words must be positive")
+    (fun () -> Config.validate bad);
+  let bad2 = { default with Config.store_prob = 1.5 } in
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Pipeline.Config: store_prob must be a probability")
+    (fun () -> Config.validate bad2);
+  let bad3 = { default with Config.prefetch_words = 9 } in
+  Alcotest.check_raises "prefetch wider than buffer"
+    (Invalid_argument "Pipeline.Config: prefetch_words cannot exceed buffer_words")
+    (fun () -> Config.validate bad3)
+
+let test_config_expectations () =
+  (* the paper's numbers: E[exec] = 4.6 cycles, E[operands] = 0.4,
+     bus demand = 2.5 + 2 + 1 = 5.5 cycles per instruction *)
+  Testutil.check_close "exec cycles" 4.6 (Config.expected_exec_cycles default);
+  Testutil.check_close "operands" 0.4 (Config.expected_operands default);
+  Testutil.check_close "bus demand" 5.5
+    (Config.expected_bus_cycles_per_instruction default)
+
+(* -- structural model -- *)
+
+let test_full_structure () =
+  let net = Model.full default in
+  Alcotest.(check string) "name" "pipeline3" (Net.name net);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true
+        (Option.is_some (Net.find_place net name)))
+    [ "Full_I_buffers"; "Empty_I_buffers"; "pre_fetching"; "fetching";
+      "storing"; "Bus_busy"; "Bus_free"; "Decoder_ready"; "Execution_unit";
+      "ready_to_issue_instruction" ];
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true
+        (Option.is_some (Net.find_transition net name)))
+    ([ "Start_prefetch"; "End_prefetch"; "Decode"; "Type_1"; "Type_2";
+       "Type_3"; "Issue" ]
+    @ Model.exec_transition_names default)
+
+let test_prefetch_arcs () =
+  let net = Model.full default in
+  let sp = Net.transition net (Net.transition_id net "Start_prefetch") in
+  Alcotest.(check int) "prefetch inhibitors" 2 (List.length sp.Net.t_inhibitors);
+  let empty_id = Net.place_id net "Empty_I_buffers" in
+  let weight =
+    List.assoc empty_id
+      (List.map (fun a -> (a.Net.a_place, a.Net.a_weight)) sp.Net.t_inputs)
+  in
+  Alcotest.(check int) "two words per prefetch" 2 weight
+
+let test_exec_profile_transitions () =
+  Alcotest.(check (list string)) "five exec transitions"
+    [ "exec_type_1"; "exec_type_2"; "exec_type_3"; "exec_type_4"; "exec_type_5" ]
+    (Model.exec_transition_names default);
+  let short = { default with Config.exec_profile = [ (1.0, 1.0) ] } in
+  Alcotest.(check (list string)) "profile-driven" [ "exec_type_1" ]
+    (Model.exec_transition_names short)
+
+let test_store_prob_edges () =
+  let none = Model.full { default with Config.store_prob = 0.0 } in
+  Alcotest.(check bool) "no store_result" true
+    (Net.find_transition none "store_result" = None);
+  let always = Model.full { default with Config.store_prob = 1.0 } in
+  Alcotest.(check bool) "no no_store" true
+    (Net.find_transition always "no_store" = None);
+  Alcotest.(check bool) "store path present" true
+    (Option.is_some (Net.find_transition always "store_result"))
+
+(* -- Figure 5 shape (paper values, generous tolerances: the PRNG and
+      minor model details differ, the shape must not) -- *)
+
+let test_figure5_shape () =
+  let r = stats (Model.full default) in
+  let issue = Stat.throughput r "Issue" in
+  (* paper: 0.1238 instructions per cycle *)
+  Alcotest.(check bool)
+    (Printf.sprintf "issue rate %.4f in [0.09, 0.15]" issue)
+    true
+    (issue > 0.09 && issue < 0.15);
+  (* paper: bus utilization 0.6582 *)
+  let bus = Stat.utilization r "Bus_busy" in
+  Alcotest.(check bool)
+    (Printf.sprintf "bus utilization %.3f in [0.5, 0.75]" bus)
+    true (bus > 0.5 && bus < 0.75);
+  (* the bus breakdown ordering: prefetch > operand fetch > store *)
+  let pf = Stat.utilization r "pre_fetching" in
+  let ft = Stat.utilization r "fetching" in
+  let st = Stat.utilization r "storing" in
+  Alcotest.(check bool) "prefetch > fetch" true (pf > ft);
+  Alcotest.(check bool) "fetch > store" true (ft > st);
+  Testutil.check_close ~tolerance:1e-6 "breakdown sums" bus (pf +. ft +. st);
+  (* paper: buffers nearly full on average (4.62 of 6) *)
+  let full_buf = Stat.utilization r "Full_I_buffers" in
+  Alcotest.(check bool)
+    (Printf.sprintf "buffers %.2f in [3.5, 5.5]" full_buf)
+    true
+    (full_buf > 3.5 && full_buf < 5.5);
+  (* paper: decoder almost never idle (0.0014), execution unit idle ~0.27 *)
+  Alcotest.(check bool) "decoder busy" true (Stat.utilization r "Decoder_ready" < 0.05);
+  let eu = Stat.utilization r "Execution_unit" in
+  Alcotest.(check bool)
+    (Printf.sprintf "execution unit idle %.3f in [0.15, 0.40]" eu)
+    true (eu > 0.15 && eu < 0.40)
+
+let test_figure5_shape_robust_to_seed () =
+  (* the headline reproduction must not be a seed lottery: the Issue
+     rate stays in the paper's band across unrelated seeds *)
+  List.iter
+    (fun seed ->
+      let r = stats ~seed (Model.full default) in
+      let issue = Stat.throughput r "Issue" in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: issue %.4f in band" seed issue)
+        true
+        (issue > 0.09 && issue < 0.15))
+    [ 1; 7; 1234 ]
+
+let test_figure5_instruction_mix () =
+  let r = stats (Model.full default) in
+  let count name = float_of_int (Stat.transition r name).Stat.ts_starts in
+  let t1 = count "Type_1" and t2 = count "Type_2" and t3 = count "Type_3" in
+  let total = t1 +. t2 +. t3 in
+  Alcotest.(check bool) "type 1 near 70%" true (Float.abs ((t1 /. total) -. 0.7) < 0.03);
+  Alcotest.(check bool) "type 2 near 20%" true (Float.abs ((t2 /. total) -. 0.2) < 0.03);
+  Alcotest.(check bool) "type 3 near 10%" true (Float.abs ((t3 /. total) -. 0.1) < 0.03);
+  let issues = float_of_int (Stat.transition r "Issue").Stat.ts_starts in
+  List.iter2
+    (fun name expected ->
+      let share = count name /. issues in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s share %.3f near %.2f" name share expected)
+        true
+        (Float.abs (share -. expected) < 0.04))
+    (Model.exec_transition_names default)
+    [ 0.5; 0.3; 0.1; 0.05; 0.05 ]
+
+let test_figure5_conservation_identities () =
+  let r = stats (Model.full default) in
+  (* every exec transition: avg concurrency = throughput * firing time
+     (Little's law for a single station) *)
+  List.iter2
+    (fun name cycles ->
+      let t = Stat.transition r name in
+      Testutil.check_close ~tolerance:0.01
+        (Printf.sprintf "%s concurrency = rate * time" name)
+        (t.Stat.ts_throughput *. cycles)
+        t.Stat.ts_avg)
+    (Model.exec_transition_names default)
+    (List.map fst default.Config.exec_profile);
+  Testutil.check_close ~tolerance:1e-6 "bus one-hot average" 1.0
+    (Stat.utilization r "Bus_free" +. Stat.utilization r "Bus_busy")
+
+let test_prefetch_only_model () =
+  let net = Model.prefetch_only default in
+  let r = stats ~until:2000.0 net in
+  let rate = Stat.throughput r "Decode" in
+  Alcotest.(check bool)
+    (Printf.sprintf "decode rate %.3f in (0.2, 0.45)" rate)
+    true
+    (rate > 0.2 && rate < 0.45);
+  Alcotest.(check bool) "prefetch active" true
+    (Stat.utilization r "pre_fetching" > 0.3)
+
+(* -- memory-speed sensitivity (the paper's motivating question) -- *)
+
+let test_memory_speed_monotonicity () =
+  let rate memory_cycles =
+    let net = Model.full { default with Config.memory_cycles } in
+    Stat.throughput (stats ~until:5000.0 net) "Issue"
+  in
+  let fast = rate 1.0 in
+  let normal = rate 5.0 in
+  let slow = rate 15.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "faster memory helps: %.4f > %.4f > %.4f" fast normal slow)
+    true
+    (fast > normal && normal > slow)
+
+let test_buffer_size_effect () =
+  let rate buffer_words =
+    let net = Model.full { default with Config.buffer_words } in
+    Stat.throughput (stats ~until:5000.0 net) "Issue"
+  in
+  let tiny = rate 2 in
+  let normal = rate 6 in
+  let large = rate 12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "buffer starvation: %.4f <= %.4f" tiny normal)
+    true (tiny <= normal +. 0.005);
+  Alcotest.(check bool)
+    (Printf.sprintf "diminishing returns: |%.4f - %.4f| small" large normal)
+    true
+    (Float.abs (large -. normal) < 0.02)
+
+(* -- interpreted model (Figure 4 / Section 3) -- *)
+
+let test_interpreted_structure () =
+  let net = Interpreted.full default in
+  Alcotest.(check bool) "single execute" true
+    (Option.is_some (Net.find_transition net "execute"));
+  Alcotest.(check bool) "no exec_type_1" true
+    (Net.find_transition net "exec_type_1" = None);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true
+        (Option.is_some (Net.find_transition net name)))
+    [ "fetch_operand"; "end_fetch"; "operand_fetching_done"; "Decode" ];
+  Alcotest.(check bool) "operands table" true
+    (List.mem_assoc "operands" (Net.tables net))
+
+let test_interpreted_matches_structural () =
+  (* differential oracle: same workload parameters, two modeling styles;
+     stationary throughput and bus utilization must agree within a few
+     percent *)
+  let rs = stats ~seed:11 (Model.full default) in
+  let ri = stats ~seed:11 (Interpreted.full default) in
+  let issue_s = Stat.throughput rs "Issue" in
+  let issue_i = Stat.throughput ri "Issue" in
+  Alcotest.(check bool)
+    (Printf.sprintf "issue rates agree: %.4f vs %.4f" issue_s issue_i)
+    true
+    (Float.abs (issue_s -. issue_i) /. issue_s < 0.12);
+  let bus_s = Stat.utilization rs "Bus_busy" in
+  let bus_i = Stat.utilization ri "Bus_busy" in
+  Alcotest.(check bool)
+    (Printf.sprintf "bus agrees: %.3f vs %.3f" bus_s bus_i)
+    true
+    (Float.abs (bus_s -. bus_i) < 0.08)
+
+let test_interpreted_operand_counts () =
+  (* fetch_operand fires once per memory operand: ~0.4 per instruction *)
+  let r = stats ~seed:4 (Interpreted.full default) in
+  let fetches = float_of_int (Stat.transition r "fetch_operand").Stat.ts_starts in
+  let issues = float_of_int (Stat.transition r "Issue").Stat.ts_starts in
+  let per_instr = fetches /. issues in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.3f operands per instruction near 0.4" per_instr)
+    true
+    (Float.abs (per_instr -. 0.4) < 0.05)
+
+let test_wide_instruction_set_runs () =
+  let isa = Interpreted.wide_instruction_set () in
+  Alcotest.(check int) "30 classes" 30 (List.length isa);
+  let net = Interpreted.full ~instruction_set:isa default in
+  let r = stats ~seed:3 ~until:5000.0 net in
+  let issues = (Stat.transition r "Issue").Stat.ts_starts in
+  Alcotest.(check bool) "progress" true (issues > 100);
+  let extra = (Stat.transition r "consume_word").Stat.ts_starts in
+  Alcotest.(check bool) "extra words consumed" true (extra > 0)
+
+let test_exec_memory_traffic () =
+  (* an ISA where every instruction performs exactly 2 memory accesses
+     during execution: exec_mem_access fires twice per issue and loads
+     the bus *)
+  let isa =
+    [
+      { Interpreted.ic_operands = 0; ic_extra_words = 0; ic_exec_mem_ops = 2;
+        ic_weight = 1.0 };
+    ]
+  in
+  let with_mem = Interpreted.full ~instruction_set:isa default in
+  let without =
+    Interpreted.full
+      ~instruction_set:
+        [ { Interpreted.ic_operands = 0; ic_extra_words = 0;
+            ic_exec_mem_ops = 0; ic_weight = 1.0 } ]
+      default
+  in
+  let rm = stats ~seed:5 ~until:5000.0 with_mem in
+  let r0 = stats ~seed:5 ~until:5000.0 without in
+  let issues = (Stat.transition rm "Issue").Stat.ts_starts in
+  let accesses = (Stat.transition rm "exec_mem_access").Stat.ts_starts in
+  let per_instr = float_of_int accesses /. float_of_int issues in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f accesses per instruction near 2" per_instr)
+    true
+    (Float.abs (per_instr -. 2.0) < 0.1);
+  Alcotest.(check bool) "memory traffic slows the pipeline" true
+    (Stat.throughput rm "Issue" < Stat.throughput r0 "Issue");
+  Alcotest.(check bool) "and loads the bus" true
+    (Stat.utilization rm "Bus_busy" > Stat.utilization r0 "Bus_busy");
+  (* exec memory traffic shows in its own bus-breakdown place *)
+  Alcotest.(check bool) "exec_accessing visible" true
+    (Stat.utilization rm "exec_accessing" > 0.05)
+
+let test_operand_fetch_skeleton () =
+  let net = Interpreted.operand_fetch_skeleton default in
+  let r = stats ~seed:8 ~until:3000.0 net in
+  let fetches = float_of_int (Stat.transition r "fetch_operand").Stat.ts_starts in
+  let decodes = float_of_int (Stat.transition r "Decode").Stat.ts_starts in
+  Alcotest.(check bool) "runs" true (decodes > 100.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "%.3f fetches per decode near 0.4" (fetches /. decodes))
+    true
+    (Float.abs ((fetches /. decodes) -. 0.4) < 0.05)
+
+(* -- caches (Section 3) -- *)
+
+let test_cache_improves_throughput () =
+  let rate net = Stat.throughput (stats ~until:5000.0 net) "Issue" in
+  let base = rate (Model.full default) in
+  let cached =
+    rate (Extensions.with_caches ~icache_hit_ratio:0.9 ~dcache_hit_ratio:0.9 default)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "caches help: %.4f > %.4f" cached base)
+    true (cached > base)
+
+let test_cache_reduces_bus_load () =
+  let bus net = Stat.utilization (stats ~until:5000.0 net) "Bus_busy" in
+  let base = bus (Extensions.with_caches ~icache_hit_ratio:0.0 default) in
+  let cached = bus (Extensions.with_caches ~icache_hit_ratio:0.95 default) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bus load drops: %.3f < %.3f" cached base)
+    true (cached < base)
+
+let test_cache_hit_ratio_monotone () =
+  let rate h =
+    Stat.throughput
+      (stats ~until:5000.0
+         (Extensions.with_caches ~icache_hit_ratio:h ~dcache_hit_ratio:h default))
+      "Issue"
+  in
+  let lo = rate 0.1 and mid = rate 0.5 and hi = rate 0.95 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone-ish: %.4f <= %.4f <= %.4f" lo mid hi)
+    true
+    (lo <= mid +. 0.01 && mid <= hi +. 0.01)
+
+let test_cache_validation () =
+  Alcotest.check_raises "ratio out of range"
+    (Invalid_argument "Extensions.with_caches: icache_hit_ratio out of [0,1]")
+    (fun () -> ignore (Extensions.with_caches ~icache_hit_ratio:1.5 default))
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "analytic expectations" `Quick test_config_expectations;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "full model" `Quick test_full_structure;
+          Alcotest.test_case "prefetch arcs" `Quick test_prefetch_arcs;
+          Alcotest.test_case "exec profile" `Quick test_exec_profile_transitions;
+          Alcotest.test_case "store probability edges" `Quick test_store_prob_edges;
+        ] );
+      ( "figure5",
+        [
+          Alcotest.test_case "shape" `Slow test_figure5_shape;
+          Alcotest.test_case "seed robustness" `Slow
+            test_figure5_shape_robust_to_seed;
+          Alcotest.test_case "instruction mix" `Slow test_figure5_instruction_mix;
+          Alcotest.test_case "conservation identities" `Slow
+            test_figure5_conservation_identities;
+          Alcotest.test_case "prefetch-only model" `Quick test_prefetch_only_model;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "memory speed" `Slow test_memory_speed_monotonicity;
+          Alcotest.test_case "buffer size" `Slow test_buffer_size_effect;
+        ] );
+      ( "interpreted",
+        [
+          Alcotest.test_case "structure" `Quick test_interpreted_structure;
+          Alcotest.test_case "matches structural model" `Slow
+            test_interpreted_matches_structural;
+          Alcotest.test_case "operand counts" `Slow test_interpreted_operand_counts;
+          Alcotest.test_case "wide instruction set" `Slow
+            test_wide_instruction_set_runs;
+          Alcotest.test_case "exec memory traffic" `Slow
+            test_exec_memory_traffic;
+          Alcotest.test_case "figure-4 skeleton" `Quick test_operand_fetch_skeleton;
+        ] );
+      ( "caches",
+        [
+          Alcotest.test_case "throughput" `Slow test_cache_improves_throughput;
+          Alcotest.test_case "bus load" `Slow test_cache_reduces_bus_load;
+          Alcotest.test_case "hit-ratio monotone" `Slow test_cache_hit_ratio_monotone;
+          Alcotest.test_case "validation" `Quick test_cache_validation;
+        ] );
+    ]

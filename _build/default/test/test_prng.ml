@@ -1,0 +1,168 @@
+(* Unit and property tests for the SplitMix64 generator. *)
+
+module Prng = Pnut_core.Prng
+
+let test_determinism () =
+  let a = Prng.create 42 in
+  let b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 in
+  let b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Prng.create 7 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  let va = Prng.bits64 a in
+  let vb = Prng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" va vb;
+  (* consuming from a must not affect b *)
+  let _ = Prng.bits64 a in
+  let _ = Prng.bits64 a in
+  let va' = Prng.bits64 a in
+  let vb' = Prng.bits64 b in
+  Alcotest.(check bool) "streams diverge after unequal draws" false
+    (Int64.equal va' vb')
+
+let test_split_independent () =
+  let parent = Prng.create 3 in
+  let child = Prng.split parent in
+  let xs = List.init 50 (fun _ -> Prng.bits64 parent) in
+  let ys = List.init 50 (fun _ -> Prng.bits64 child) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let g = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (v >= 0 && v < 7)
+  done
+
+let test_int_invalid () =
+  let g = Prng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_int_range_inclusive () =
+  let g = Prng.create 5 in
+  let seen = Array.make 3 false in
+  for _ = 1 to 300 do
+    let v = Prng.int_range g 4 6 in
+    Alcotest.(check bool) "in [4,6]" true (v >= 4 && v <= 6);
+    seen.(v - 4) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_int_range_singleton () =
+  let g = Prng.create 5 in
+  Alcotest.(check int) "degenerate range" 9 (Prng.int_range g 9 9)
+
+let test_float_bounds () =
+  let g = Prng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    Alcotest.(check bool) "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_uniform_mean () =
+  let g = Prng.create 17 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.uniform g 10.0 20.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 15" true (Float.abs (mean -. 15.0) < 0.2)
+
+let test_exponential_mean () =
+  let g = Prng.create 19 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Prng.exponential g 4.0 in
+    Alcotest.(check bool) "non-negative" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 4" true (Float.abs (mean -. 4.0) < 0.15)
+
+let test_choose_weighted_ratio () =
+  let g = Prng.create 23 in
+  let n = 30_000 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to n do
+    let v = Prng.choose_weighted g [ ("a", 7.0); ("b", 2.0); ("c", 1.0) ] in
+    Hashtbl.replace counts v (1 + try Hashtbl.find counts v with Not_found -> 0)
+  done;
+  let freq k = float_of_int (try Hashtbl.find counts k with Not_found -> 0) /. float_of_int n in
+  Alcotest.(check bool) "a near 0.7" true (Float.abs (freq "a" -. 0.7) < 0.02);
+  Alcotest.(check bool) "b near 0.2" true (Float.abs (freq "b" -. 0.2) < 0.02);
+  Alcotest.(check bool) "c near 0.1" true (Float.abs (freq "c" -. 0.1) < 0.02)
+
+let test_choose_weighted_single () =
+  let g = Prng.create 1 in
+  Alcotest.(check string) "singleton" "only"
+    (Prng.choose_weighted g [ ("only", 0.5) ])
+
+let test_choose_weighted_errors () =
+  let g = Prng.create 1 in
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Prng.choose_weighted: non-positive total weight")
+    (fun () -> ignore (Prng.choose_weighted g []));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Prng.choose_weighted: negative weight") (fun () ->
+      ignore (Prng.choose_weighted g [ ("x", -1.0); ("y", 2.0) ]))
+
+(* property: Prng.int is within bounds and rejection sampling terminates *)
+let prop_int_in_bounds =
+  QCheck2.Test.make ~name:"Prng.int stays in bounds"
+    QCheck2.Gen.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_uniform_in_bounds =
+  QCheck2.Test.make ~name:"Prng.uniform stays in bounds"
+    QCheck2.Gen.(triple int (float_bound_inclusive 1000.0) (float_bound_inclusive 1000.0))
+    (fun (seed, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let g = Prng.create seed in
+      let v = Prng.uniform g lo hi in
+      v >= lo && (v < hi || Float.equal lo hi))
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int_range inclusive" `Quick test_int_range_inclusive;
+          Alcotest.test_case "int_range singleton" `Quick test_int_range_singleton;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "uniform mean" `Slow test_uniform_mean;
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+          Alcotest.test_case "weighted choice ratios" `Slow test_choose_weighted_ratio;
+          Alcotest.test_case "weighted choice singleton" `Quick test_choose_weighted_single;
+          Alcotest.test_case "weighted choice errors" `Quick test_choose_weighted_errors;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_int_in_bounds;
+          QCheck_alcotest.to_alcotest prop_uniform_in_bounds;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for replication statistics (confidence intervals) and the
+   Graphviz exports. *)
+
+module Replication = Pnut_stat.Replication
+module Stat = Pnut_stat.Stat
+module Net = Pnut_core.Net
+module B = Net.Builder
+
+(* -- replication -- *)
+
+let test_of_samples_basic () =
+  let e = Replication.of_samples [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check int) "runs" 5 e.Replication.runs;
+  Testutil.check_close "mean" 3.0 e.Replication.mean;
+  (* sample stddev of 1..5 = sqrt(2.5) *)
+  Testutil.check_close ~tolerance:1e-9 "stddev" (sqrt 2.5) e.Replication.stddev;
+  (* t(0.975, df=4) = 2.776 *)
+  Testutil.check_close ~tolerance:1e-9 "half width"
+    (2.776 *. sqrt 2.5 /. sqrt 5.0)
+    e.Replication.half_width
+
+let test_confidence_levels () =
+  let samples = [ 10.0; 12.0; 11.0; 13.0; 9.0; 11.5 ] in
+  let e90 = Replication.of_samples ~confidence:0.90 samples in
+  let e95 = Replication.of_samples ~confidence:0.95 samples in
+  let e99 = Replication.of_samples ~confidence:0.99 samples in
+  Alcotest.(check bool) "nested intervals" true
+    (e90.Replication.half_width < e95.Replication.half_width
+    && e95.Replication.half_width < e99.Replication.half_width);
+  Alcotest.check_raises "unsupported level"
+    (Invalid_argument "Replication: supported confidence levels are 0.90, 0.95, 0.99")
+    (fun () -> ignore (Replication.of_samples ~confidence:0.42 samples))
+
+let test_interval_and_contains () =
+  let e = Replication.of_samples [ 4.0; 6.0 ] in
+  let lo, hi = Replication.interval e in
+  Testutil.check_close "centered" 5.0 ((lo +. hi) /. 2.0);
+  Alcotest.(check bool) "contains mean" true (Replication.contains e 5.0);
+  Alcotest.(check bool) "excludes far value" false (Replication.contains e 100.0)
+
+let test_too_few_samples () =
+  Alcotest.check_raises "one sample"
+    (Invalid_argument "Replication.of_samples: need at least two samples")
+    (fun () -> ignore (Replication.of_samples [ 1.0 ]))
+
+let test_identical_samples () =
+  let e = Replication.of_samples [ 7.0; 7.0; 7.0 ] in
+  Testutil.check_close "zero variance" 0.0 e.Replication.stddev;
+  Testutil.check_close "zero width" 0.0 e.Replication.half_width
+
+let test_replicate_pipeline () =
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let e =
+    Replication.replicate ~seed:3 ~runs:5 ~until:2000.0 net (fun r ->
+        Stat.utilization r "Bus_busy")
+  in
+  Alcotest.(check int) "five runs" 5 e.Replication.runs;
+  (* the interval lands around the known utilization and is informative *)
+  Alcotest.(check bool)
+    (Format.asprintf "interval sane: %a" Replication.pp e)
+    true
+    (e.Replication.mean > 0.5 && e.Replication.mean < 0.75
+    && e.Replication.half_width > 0.0 && e.Replication.half_width < 0.1);
+  (* independent streams: nonzero spread *)
+  Alcotest.(check bool) "spread" true (e.Replication.stddev > 0.0)
+
+let test_pp_format () =
+  let e = Replication.of_samples [ 1.0; 2.0 ] in
+  let text = Format.asprintf "%a" Replication.pp e in
+  Testutil.check_contains "format" text "95% CI, 2 runs";
+  Testutil.check_contains "format" text "±"
+
+(* -- DOT exports -- *)
+
+let small_net () =
+  let b = B.create "dot_demo" in
+  let p = B.add_place b "p" ~initial:2 in
+  let q = B.add_place b "q" in
+  let blocker = B.add_place b "blocker" in
+  let _ =
+    B.add_transition b "move"
+      ~inputs:[ (p, 2) ]
+      ~inhibitors:[ (blocker, 1) ]
+      ~outputs:[ (q, 1) ]
+      ~firing:(Net.Const 3.0)
+  in
+  B.build b
+
+let test_net_dot () =
+  let text = Pnut_core.Dot.net (small_net ()) in
+  List.iter
+    (fun needle -> Testutil.check_contains "dot" text needle)
+    [
+      "digraph \"dot_demo\"";
+      "\"p_p\" [shape=circle";
+      "\"t_move\" [shape=box";
+      "firing 3";
+      "label=\"2\"";          (* arc weight *)
+      "arrowhead=odot";       (* inhibitor styling *)
+      "}";
+    ]
+
+let test_graph_dot () =
+  let net = small_net () in
+  let g = Pnut_reach.Graph.build net in
+  let text = Pnut_reach.Export.graph_dot g in
+  List.iter
+    (fun needle -> Testutil.check_contains "graph dot" text needle)
+    [ "digraph reachability"; "peripheries=2"; "move"; "2.p" ];
+  (* the final state is a deadlock: shaded *)
+  Testutil.check_contains "deadlock shading" text "lightpink"
+
+let test_coverability_dot () =
+  let b = B.create "pump" in
+  let p = B.add_place b "p" ~initial:1 in
+  let q = B.add_place b "q" in
+  let _ = B.add_transition b "pump" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1); (q, 1) ] in
+  let net = B.build b in
+  let g = Pnut_reach.Coverability.build net in
+  let text = Pnut_reach.Export.coverability_dot net g in
+  Testutil.check_contains "omega highlighted" text "ω";
+  Testutil.check_contains "khaki fill" text "khaki";
+  Testutil.check_contains "edges drawn" text "->"
+
+let () =
+  Alcotest.run "replication-export"
+    [
+      ( "replication",
+        [
+          Alcotest.test_case "basic estimate" `Quick test_of_samples_basic;
+          Alcotest.test_case "confidence levels" `Quick test_confidence_levels;
+          Alcotest.test_case "interval/contains" `Quick test_interval_and_contains;
+          Alcotest.test_case "too few samples" `Quick test_too_few_samples;
+          Alcotest.test_case "identical samples" `Quick test_identical_samples;
+          Alcotest.test_case "pipeline replications" `Slow test_replicate_pipeline;
+          Alcotest.test_case "formatting" `Quick test_pp_format;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "net export" `Quick test_net_dot;
+          Alcotest.test_case "reachability export" `Quick test_graph_dot;
+          Alcotest.test_case "coverability export" `Quick test_coverability_dot;
+        ] );
+    ]

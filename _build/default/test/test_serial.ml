@@ -1,0 +1,108 @@
+(* Tests for the non-pipelined baseline machine. *)
+
+module Net = Pnut_core.Net
+module Config = Pnut_pipeline.Config
+module Serial = Pnut_pipeline.Serial
+module Model = Pnut_pipeline.Model
+module Sim = Pnut_sim.Simulator
+module Stat = Pnut_stat.Stat
+
+let default = Config.default
+
+let stats ?(seed = 42) ?(until = 50_000.0) net =
+  let sink, get = Stat.sink () in
+  let _ = Sim.simulate ~seed ~until ~sink net in
+  get ()
+
+let test_validates () =
+  let net = Serial.full default in
+  Alcotest.(check (list string)) "no errors" []
+    (List.map
+       (fun d -> d.Pnut_core.Validate.message)
+       (Pnut_core.Validate.errors (Pnut_core.Validate.check net)))
+
+let test_analytic_expectation () =
+  (* paper parameters: 5 + 1 + (0.2*7 + 0.1*14) + 4.6 + 1 = 14.4 *)
+  Testutil.check_close "expected cycles" 14.4
+    (Serial.expected_cycles_per_instruction default)
+
+let test_simulated_rate_matches_analytic () =
+  (* the 50-cycle instruction class dominates the variance of the mean,
+     so average over a long run; SD of the per-instruction mean is then
+     ~0.4% of the analytic value *)
+  let r = stats ~until:500_000.0 (Serial.full default) in
+  let rate = Stat.throughput r "Decode" in
+  let expected = 1.0 /. Serial.expected_cycles_per_instruction default in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.4f vs analytic %.4f" rate expected)
+    true
+    (Float.abs (rate -. expected) /. expected < 0.02)
+
+let test_one_instruction_at_a_time () =
+  let net = Serial.full default in
+  let trace, _ = Sim.trace ~seed:3 ~until:5000.0 net in
+  let q =
+    Pnut_lang.Parser.parse_query
+      "forall s in S [ Idle(s) + Fetching_instruction(s) + Decoding(s) + \
+       Typed(s) + T2_addr_calc(s) + T3_addr_calc(s) + Operand_gate(s) + \
+       Ready_to_execute(s) + Exec_done(s) + Store_wait(s) + storing(s) <= 1 ]"
+  in
+  Alcotest.(check bool) "single instruction in flight" true
+    (Pnut_tracer.Query.holds (Pnut_tracer.Query.eval trace q))
+
+let test_pipelining_speedup () =
+  let serial_rate = Stat.throughput (stats (Serial.full default)) "Decode" in
+  let pipelined_rate = Stat.throughput (stats (Model.full default)) "Issue" in
+  let speedup = pipelined_rate /. serial_rate in
+  (* the paper-parameter pipeline runs ~1.5-1.8x the serial machine *)
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.2f in [1.3, 2.2]" speedup)
+    true
+    (speedup > 1.3 && speedup < 2.2)
+
+let test_speedup_grows_with_memory_latency () =
+  (* pipelining hides memory latency: the slower the memory, the more
+     there is to overlap, so the speedup over the serial machine GROWS
+     with the access time (until both saturate on the bus) *)
+  let speedup memory_cycles =
+    let c = { default with Config.memory_cycles } in
+    Stat.throughput (stats (Model.full c)) "Issue"
+    /. Stat.throughput (stats (Serial.full c)) "Decode"
+  in
+  let fast = speedup 1.0 in
+  let slow = speedup 20.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency hiding: %.2f (mem=1) < %.2f (mem=20)" fast slow)
+    true
+    (fast < slow)
+
+let test_bus_never_contended () =
+  (* internal consistency against the REALIZED workload of the same run:
+     the single instruction owns the bus, so Bus_busy must equal exactly
+     (ifetch + operand fetches + stores) * memory_cycles * rate *)
+  let r = stats (Serial.full default) in
+  let count name = float_of_int (Stat.transition r name).Stat.ts_ends in
+  let bus_transactions =
+    count "end_ifetch" +. count "end_fetch" +. count "end_store"
+  in
+  Testutil.check_close ~tolerance:0.002 "bus utilization consistent"
+    (bus_transactions *. default.Config.memory_cycles /. r.Stat.length)
+    (Stat.utilization r "Bus_busy")
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "baseline",
+        [
+          Alcotest.test_case "validates" `Quick test_validates;
+          Alcotest.test_case "analytic cycles" `Quick test_analytic_expectation;
+          Alcotest.test_case "rate matches analytic" `Slow
+            test_simulated_rate_matches_analytic;
+          Alcotest.test_case "serial execution" `Quick
+            test_one_instruction_at_a_time;
+          Alcotest.test_case "pipelining speedup" `Slow test_pipelining_speedup;
+          Alcotest.test_case "speedup vs memory" `Slow
+            test_speedup_grows_with_memory_latency;
+          Alcotest.test_case "bus utilization" `Slow test_bus_never_contended;
+        ] );
+    ]

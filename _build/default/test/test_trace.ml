@@ -1,0 +1,333 @@
+(* Tests for trace representation, codec round-trips, sinks and filtering. *)
+
+module Trace = Pnut_trace.Trace
+module Codec = Pnut_trace.Codec
+module Filter = Pnut_trace.Filter
+module Value = Pnut_core.Value
+
+let sample_header () =
+  {
+    Trace.h_net = "demo";
+    h_places = [| "p"; "q"; "r" |];
+    h_transitions = [| "t"; "u" |];
+    h_initial = [| 2; 0; 1 |];
+    h_variables = [ ("n", Value.Int 3); ("x", Value.Float 1.5); ("b", Value.Bool true) ];
+  }
+
+let sample_trace () =
+  let d1 =
+    {
+      Trace.d_time = 1.0;
+      d_kind = Trace.Fire_start;
+      d_transition = 0;
+      d_firing = 0;
+      d_marking = [ (0, -1) ];
+      d_env = [];
+    }
+  in
+  let d2 =
+    {
+      Trace.d_time = 3.5;
+      d_kind = Trace.Fire_end;
+      d_transition = 0;
+      d_firing = 0;
+      d_marking = [ (1, 1) ];
+      d_env = [ ("n", Value.Int 2) ];
+    }
+  in
+  let d3 =
+    {
+      Trace.d_time = 4.0;
+      d_kind = Trace.Fire_start;
+      d_transition = 1;
+      d_firing = 1;
+      d_marking = [ (1, -1); (2, -1) ];
+      d_env = [];
+    }
+  in
+  Trace.make (sample_header ()) [ d1; d2; d3 ] 10.0
+
+let test_accessors () =
+  let tr = sample_trace () in
+  Alcotest.(check int) "length" 3 (Trace.length tr);
+  Alcotest.(check (float 0.0)) "final time" 10.0 (Trace.final_time tr);
+  Alcotest.(check string) "net name" "demo" (Trace.header tr).Trace.h_net
+
+let test_states_reconstruction () =
+  let tr = sample_trace () in
+  let states = Trace.states tr in
+  Alcotest.(check int) "n+1 states" 4 (Array.length states);
+  let _, s0 = states.(0) in
+  Alcotest.(check (array int)) "initial" [| 2; 0; 1 |] s0;
+  let t1, s1 = states.(1) in
+  Alcotest.(check (float 0.0)) "time 1" 1.0 t1;
+  Alcotest.(check (array int)) "after d1" [| 1; 0; 1 |] s1;
+  let _, s3 = states.(3) in
+  Alcotest.(check (array int)) "after d3" [| 1; 0; 0 |] s3
+
+let test_marking_after_and_state_at () =
+  let tr = sample_trace () in
+  Alcotest.(check (array int)) "after 0" [| 2; 0; 1 |] (Trace.marking_after tr 0);
+  Alcotest.(check (array int)) "after 2" [| 1; 1; 1 |] (Trace.marking_after tr 2);
+  Alcotest.(check (array int)) "state at 2.0" [| 1; 0; 1 |] (Trace.state_at tr 2.0);
+  Alcotest.(check (array int)) "state at 3.5" [| 1; 1; 1 |] (Trace.state_at tr 3.5);
+  Alcotest.(check (array int)) "state before any delta" [| 2; 0; 1 |]
+    (Trace.state_at tr 0.5);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Trace.marking_after: index out of range") (fun () ->
+      ignore (Trace.marking_after tr 9))
+
+let test_env_after () =
+  let tr = sample_trace () in
+  Alcotest.(check bool) "initial n" true
+    (List.assoc "n" (Trace.env_after tr 0) = Value.Int 3);
+  Alcotest.(check bool) "updated n" true
+    (List.assoc "n" (Trace.env_after tr 2) = Value.Int 2);
+  Alcotest.(check bool) "floats kept" true
+    (List.assoc "x" (Trace.env_after tr 2) = Value.Float 1.5)
+
+let test_in_flight_after () =
+  let tr = sample_trace () in
+  Alcotest.(check (array int)) "none initially" [| 0; 0 |] (Trace.in_flight_after tr 0);
+  Alcotest.(check (array int)) "t in flight" [| 1; 0 |] (Trace.in_flight_after tr 1);
+  Alcotest.(check (array int)) "t done" [| 0; 0 |] (Trace.in_flight_after tr 2);
+  Alcotest.(check (array int)) "u in flight" [| 0; 1 |] (Trace.in_flight_after tr 3)
+
+let test_collector_and_replay () =
+  let tr = sample_trace () in
+  let sink, get = Trace.collector () in
+  Trace.replay tr sink;
+  let copy = get () in
+  Alcotest.(check string) "replay reproduces" (Codec.to_string tr)
+    (Codec.to_string copy)
+
+let test_collector_incomplete () =
+  let _, get = Trace.collector () in
+  Alcotest.check_raises "no header"
+    (Invalid_argument "Trace.collector: no header received") (fun () ->
+      ignore (get ()))
+
+let test_tee () =
+  let tr = sample_trace () in
+  let s1, get1 = Trace.collector () in
+  let s2, get2 = Trace.collector () in
+  Trace.replay tr (Trace.tee [ s1; s2 ]);
+  Alcotest.(check string) "both sinks fed" (Codec.to_string (get1 ()))
+    (Codec.to_string (get2 ()))
+
+(* -- codec -- *)
+
+let test_codec_roundtrip () =
+  let tr = sample_trace () in
+  let text = Codec.to_string tr in
+  let back = Codec.parse text in
+  Alcotest.(check string) "round trip" text (Codec.to_string back)
+
+let test_codec_float_precision () =
+  let header = { (sample_header ()) with Trace.h_variables = [] } in
+  let d =
+    {
+      Trace.d_time = 0.1 +. 0.2;  (* not representable exactly *)
+      d_kind = Trace.Fire_start;
+      d_transition = 0;
+      d_firing = 0;
+      d_marking = [];
+      d_env = [ ("v", Value.Float 1.0e-17) ];
+    }
+  in
+  let tr = Trace.make header [ d ] 1000000.25 in
+  let back = Codec.parse (Codec.to_string tr) in
+  let d' = (Trace.deltas back).(0) in
+  Alcotest.(check (float 0.0)) "time exact" (0.1 +. 0.2) d'.Trace.d_time;
+  Alcotest.(check bool) "tiny float exact" true
+    (List.assoc "v" d'.Trace.d_env = Value.Float 1.0e-17)
+
+let test_codec_foreign_trace () =
+  (* a hand-written trace, as a SIMSCRIPT-style external producer would
+     emit (the paper stresses the format is tool-agnostic) *)
+  let text =
+    String.concat "\n"
+      [
+        "%pnut-trace 1";
+        "net external";
+        "place 0 queue 5";
+        "transition 0 serve";
+        "var load f0.5";
+        "begin";
+        "@ 2 S 0 0 ; 0:-1";
+        "@ 4 E 0 0 ; 0:1 ; load=f0.75";
+        "end 10";
+      ]
+  in
+  let tr = Codec.parse text in
+  Alcotest.(check int) "deltas" 2 (Trace.length tr);
+  Alcotest.(check (array int)) "marking applies" [| 5 |] (Trace.marking_after tr 2);
+  Alcotest.(check bool) "env parsed" true
+    (List.assoc "load" (Trace.env_after tr 2) = Value.Float 0.75)
+
+let test_codec_errors () =
+  let expect_error text fragment =
+    match Codec.parse text with
+    | _ -> Alcotest.failf "expected parse error for %S" fragment
+    | exception Codec.Parse_error (_, msg) ->
+      Testutil.check_contains "message" msg fragment
+  in
+  expect_error "%pnut-trace 2\nnet x\nbegin\nend 1" "unsupported trace version";
+  expect_error "net x\nbegin\n@ 1 Q 0 0\nend 1" "bad event kind";
+  expect_error "net x\nbegin\nend 1\njunk" "unexpected body line";
+  expect_error "net x\nbegin\n@ 1 S 0\nend 1" "bad delta header";
+  expect_error "begin\nend 1" "missing net line";
+  expect_error "net x\nbegin" "missing end line";
+  expect_error "net x\nplace 1 late 0\nbegin\nend 1" "ids not contiguous"
+
+let test_writer_sink_streams () =
+  let tr = sample_trace () in
+  let buf = Buffer.create 256 in
+  Trace.replay tr (Codec.writer_sink buf);
+  Alcotest.(check string) "streaming write equals batch write"
+    (Codec.to_string tr) (Buffer.contents buf)
+
+(* -- filter -- *)
+
+let sim_trace () =
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let tr, _ = Pnut_sim.Simulator.trace ~seed:3 ~until:300.0 net in
+  tr
+
+let test_filter_identity () =
+  let tr = sample_trace () in
+  let filtered = Filter.apply Filter.all tr in
+  Alcotest.(check string) "identity" (Codec.to_string tr)
+    (Codec.to_string filtered)
+
+let test_filter_places_renumbered () =
+  let tr = sample_trace () in
+  let spec = Filter.make_spec ~places:[ "q" ] ~transitions:[ "t"; "u" ] () in
+  let filtered = Filter.apply spec tr in
+  let h = Trace.header filtered in
+  Alcotest.(check (array string)) "only q" [| "q" |] h.Trace.h_places;
+  Alcotest.(check (array int)) "initial renumbered" [| 0 |] h.Trace.h_initial;
+  (* marking changes now reference the renumbered place 0 *)
+  let d2 = (Trace.deltas filtered).(1) in
+  Alcotest.(check bool) "delta remapped" true (d2.Trace.d_marking = [ (0, 1) ])
+
+let test_filter_drops_empty_deltas () =
+  let tr = sample_trace () in
+  (* keep only place r and transition u: d1/d2 (about t, p, q) vanish
+     except d2's... d2 touches q only, so it is dropped entirely *)
+  let spec = Filter.make_spec ~places:[ "r" ] ~transitions:[ "u" ] ~vars:false () in
+  let filtered = Filter.apply spec tr in
+  Alcotest.(check int) "only u's delta remains" 1 (Trace.length filtered)
+
+let test_filter_orphan_attribution () =
+  let tr = sample_trace () in
+  (* keep place q but drop all transitions: q's changes must survive,
+     attributed to the _filtered pseudo-transition *)
+  let spec = Filter.make_spec ~places:[ "q" ] ~transitions:[] () in
+  let filtered = Filter.apply spec tr in
+  let h = Trace.header filtered in
+  Alcotest.(check bool) "_filtered present" true
+    (Array.exists (fun n -> n = "_filtered") h.Trace.h_transitions);
+  Alcotest.(check bool) "q signal exact" true
+    (Trace.marking_after filtered (Trace.length filtered) = [| 0 |])
+
+let test_filter_preserves_place_signals () =
+  let tr = sim_trace () in
+  let spec = Filter.make_spec ~places:[ "Bus_busy" ] ~transitions:[] () in
+  let filtered = Filter.apply spec tr in
+  (* the Bus_busy time series must be identical before and after *)
+  let busy_before =
+    let h = Trace.header tr in
+    let rec find i = if h.Trace.h_places.(i) = "Bus_busy" then i else find (i + 1) in
+    find 0
+  in
+  let samples = [ 0.0; 10.0; 55.5; 100.0; 250.0 ] in
+  List.iter
+    (fun t ->
+      Alcotest.(check int)
+        (Printf.sprintf "Bus_busy at %g" t)
+        (Trace.state_at tr t).(busy_before)
+        (Trace.state_at filtered t).(0))
+    samples;
+  (* and the filtered trace is much smaller *)
+  Alcotest.(check bool) "smaller" true
+    (String.length (Codec.to_string filtered)
+    < String.length (Codec.to_string tr))
+
+let test_filter_streaming_matches_batch () =
+  let tr = sim_trace () in
+  let spec =
+    Filter.make_spec ~places:[ "Bus_busy"; "Bus_free" ]
+      ~transitions:[ "Start_prefetch"; "End_prefetch" ] ()
+  in
+  let sink, get = Trace.collector () in
+  Trace.replay tr (Filter.sink spec sink);
+  Alcotest.(check string) "streaming = batch"
+    (Codec.to_string (Filter.apply spec tr))
+    (Codec.to_string (get ()))
+
+(* property: codec round-trips arbitrary well-formed traces *)
+let gen_trace =
+  QCheck2.Gen.(
+    let gen_delta =
+      map2
+        (fun time bits ->
+          {
+            Trace.d_time = float_of_int time;
+            d_kind = (if bits land 1 = 0 then Trace.Fire_start else Trace.Fire_end);
+            d_transition = (bits lsr 1) land 1;
+            d_firing = bits lsr 2;
+            d_marking = [ (bits mod 3, (bits mod 5) - 2) ];
+            d_env = (if bits land 4 = 0 then [] else [ ("v", Value.Int bits) ]);
+          })
+        (int_range 0 100) (int_range 0 63)
+    in
+    map (fun deltas ->
+        let sorted =
+          List.sort (fun a b -> Float.compare a.Trace.d_time b.Trace.d_time) deltas
+        in
+        Trace.make (sample_header ()) sorted 200.0)
+      (list_size (int_range 0 40) gen_delta))
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"codec round-trips arbitrary traces" ~count:100
+    gen_trace (fun tr ->
+      let text = Codec.to_string tr in
+      String.equal text (Codec.to_string (Codec.parse text)))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "state reconstruction" `Quick test_states_reconstruction;
+          Alcotest.test_case "marking_after/state_at" `Quick
+            test_marking_after_and_state_at;
+          Alcotest.test_case "env_after" `Quick test_env_after;
+          Alcotest.test_case "in_flight_after" `Quick test_in_flight_after;
+          Alcotest.test_case "collector" `Quick test_collector_and_replay;
+          Alcotest.test_case "collector incomplete" `Quick test_collector_incomplete;
+          Alcotest.test_case "tee" `Quick test_tee;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "round trip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "float precision" `Quick test_codec_float_precision;
+          Alcotest.test_case "foreign producer" `Quick test_codec_foreign_trace;
+          Alcotest.test_case "errors" `Quick test_codec_errors;
+          Alcotest.test_case "streaming writer" `Quick test_writer_sink_streams;
+        ] );
+      ( "filter",
+        [
+          Alcotest.test_case "identity" `Quick test_filter_identity;
+          Alcotest.test_case "renumbering" `Quick test_filter_places_renumbered;
+          Alcotest.test_case "drops empty deltas" `Quick test_filter_drops_empty_deltas;
+          Alcotest.test_case "orphan attribution" `Quick test_filter_orphan_attribution;
+          Alcotest.test_case "place signals preserved" `Quick
+            test_filter_preserves_place_signals;
+          Alcotest.test_case "streaming matches batch" `Quick
+            test_filter_streaming_matches_batch;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_codec_roundtrip ]);
+    ]

@@ -1,0 +1,23 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let check_contains what haystack needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s contains %S" what needle)
+    true (contains haystack needle)
+
+(* Is |actual - expected| within tolerance? *)
+let close ?(tolerance = 1e-9) expected actual =
+  Float.abs (expected -. actual) <= tolerance
+
+let check_close what ?tolerance expected actual =
+  if not (close ?tolerance expected actual) then
+    Alcotest.failf "%s: expected %g, got %g" what expected actual
