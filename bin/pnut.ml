@@ -16,19 +16,36 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
+(* Exit codes, used consistently by every subcommand:
+   0  success;
+   1  negative analysis verdict (failing query, unbounded net, dying
+      cycle, aborted simulation, fault campaign with deadlocks/errors);
+   2  usage, parse or specification errors. *)
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+(* Parse a mini-language argument (query, signal, CTL formula), exiting
+   2 with a uniform location message on failure. *)
+let parse_arg what parse text =
+  try parse text
+  with Pnut_lang.Parser.Parse_error (_, col, msg) ->
+    die "%s %S: column %d: %s" what text col msg
+
+(* Run an analysis that reports bad input via Invalid_argument. *)
+let or_die f = try f () with Invalid_argument msg -> die "%s" msg
+
 let load_net path =
   try Pnut_lang.Parser.parse_net (read_file path)
   with Pnut_lang.Parser.Parse_error (line, col, msg) ->
-    Printf.eprintf "%s:%d:%d: %s\n" path line col msg;
-    exit 2
+    die "%s:%d:%d: %s" path line col msg
 
 let load_trace path =
   try
     if path = "-" then Pnut_trace.Codec.read_channel stdin
     else Pnut_trace.Codec.parse (read_file path)
-  with Pnut_trace.Codec.Parse_error (line, msg) ->
-    Printf.eprintf "%s:%d: %s\n" path line msg;
-    exit 2
+  with
+  | Pnut_trace.Codec.Parse_error (line, msg) -> die "%s:%d: %s" path line msg
+  | Sys_error msg -> die "%s" msg
 
 (* -- shared arguments -- *)
 
@@ -119,12 +136,35 @@ let sim_cmd =
                  statistics report is printed per run (run numbers 1..N). \
                  --trace applies to the first run only.")
   in
-  let run path seed until max_events trace_out stats runs =
+  let explain =
+    Arg.(value & flag & info [ "explain-deadlock" ]
+           ~doc:"When a run dies, explain per transition which input \
+                 place, inhibitor or predicate blocks it.")
+  in
+  let wall_limit =
+    Arg.(value & opt (some float) None & info [ "wall-limit" ] ~docv:"SECONDS"
+           ~doc:"Abort (exit 1) if the run consumes more than SECONDS of \
+                 wall clock; guards against pathological models.")
+  in
+  let save_state =
+    Arg.(value & opt (some string) None & info [ "save-state" ] ~docv:"FILE"
+           ~doc:"Checkpoint the engine state when the (first) run stops, \
+                 so $(b,--load-state) can resume it later.")
+  in
+  let load_state =
+    Arg.(value & opt (some string) None & info [ "load-state" ] ~docv:"FILE"
+           ~doc:"Resume from a checkpoint written by $(b,--save-state) \
+                 instead of starting fresh. $(b,--seed) is ignored: the \
+                 random stream continues from the snapshot, so the resumed \
+                 run replays exactly what the uninterrupted run would have \
+                 done.")
+  in
+  let run path seed until max_events trace_out stats runs explain wall_limit
+      save_state load_state =
     let net = load_net path in
-    if runs < 1 then begin
-      Printf.eprintf "--runs must be at least 1\n";
-      exit 2
-    end;
+    if runs < 1 then die "--runs must be at least 1";
+    if load_state <> None && runs > 1 then
+      die "--load-state resumes a single run; drop --runs %d" runs;
     (match Pnut_core.Validate.check net with
     | [] -> ()
     | diags ->
@@ -135,13 +175,8 @@ let sim_cmd =
     let until = if until = None && max_events = None then Some 10000.0 else until in
     let master = Pnut_core.Prng.create seed in
     let buffer = Buffer.create 65536 in
+    let aborted = ref false in
     for run_number = 1 to runs do
-      (* a single run uses the seed directly (same trace as the library
-         API); multiple runs draw split, independent streams *)
-      let prng =
-        if runs = 1 then Pnut_core.Prng.create seed
-        else Pnut_core.Prng.split master
-      in
       let stat_sink, stat_get = Pnut_stat.Stat.sink ~run:run_number () in
       let sinks =
         (if stats || trace_out = None then [ stat_sink ] else [])
@@ -150,30 +185,162 @@ let sim_cmd =
         | Some _ when run_number = 1 -> [ Pnut_trace.Codec.writer_sink buffer ]
         | Some _ | None -> []
       in
-      let outcome =
-        Pnut_sim.Simulator.simulate ~prng ?until ?max_events
-          ~sink:(Pnut_trace.Trace.tee sinks) net
+      let sink = Pnut_trace.Trace.tee sinks in
+      let st =
+        match load_state with
+        | Some file ->
+          let ck =
+            try Pnut_sim.Checkpoint.load file with
+            | Pnut_sim.Checkpoint.Parse_error (line, msg) ->
+              die "%s:%d: %s" file line msg
+            | Sys_error msg -> die "%s" msg
+          in
+          (try Pnut_sim.Simulator.restore ~sink net ck
+           with Pnut_sim.Simulator.Sim_error e ->
+             die "%s" (Pnut_sim.Simulator.error_message e))
+        | None ->
+          (* a single run uses the seed directly (same trace as the
+             library API); multiple runs draw split, independent streams *)
+          let prng =
+            if runs = 1 then Pnut_core.Prng.create seed
+            else Pnut_core.Prng.split master
+          in
+          Pnut_sim.Simulator.create ~prng ~sink net
       in
-      if stats || trace_out = None then
-        print_string (Pnut_stat.Stat.render (stat_get ()));
-      if runs > 1 then print_newline ();
-      Printf.eprintf "run %d stopped: %s at t=%g (%d events started, %d finished)\n"
-        run_number
+      match
+        Pnut_sim.Simulator.run ?until ?max_events ?wall_limit_s:wall_limit st
+      with
+      | outcome ->
+        if stats || trace_out = None then
+          print_string (Pnut_stat.Stat.render (stat_get ()));
+        if runs > 1 then print_newline ();
+        Printf.eprintf
+          "run %d stopped: %s at t=%g (%d events started, %d finished)\n"
+          run_number
+          (match outcome.Pnut_sim.Simulator.stop with
+          | Pnut_sim.Simulator.Horizon -> "horizon"
+          | Pnut_sim.Simulator.Dead -> "dead (no enabled transition)"
+          | Pnut_sim.Simulator.Event_limit -> "event limit")
+          outcome.Pnut_sim.Simulator.final_clock
+          outcome.Pnut_sim.Simulator.started
+          outcome.Pnut_sim.Simulator.finished;
         (match outcome.Pnut_sim.Simulator.stop with
-        | Pnut_sim.Simulator.Horizon -> "horizon"
-        | Pnut_sim.Simulator.Dead -> "dead (no enabled transition)"
-        | Pnut_sim.Simulator.Event_limit -> "event limit")
-        outcome.Pnut_sim.Simulator.final_clock
-        outcome.Pnut_sim.Simulator.started outcome.Pnut_sim.Simulator.finished
+        | Pnut_sim.Simulator.Dead when explain ->
+          Format.eprintf "%a@." Pnut_sim.Simulator.pp_diagnosis
+            (Pnut_sim.Simulator.diagnose st)
+        | _ -> ());
+        (match save_state with
+        | Some file when run_number = 1 ->
+          Pnut_sim.Checkpoint.save file (Pnut_sim.Simulator.checkpoint st)
+        | Some _ | None -> ())
+      | exception Pnut_sim.Simulator.Sim_error e ->
+        Printf.eprintf "run %d aborted: %s\n" run_number
+          (Pnut_sim.Simulator.error_message e);
+        aborted := true
     done;
-    match trace_out with
+    (match trace_out with
     | Some "-" -> print_string (Buffer.contents buffer)
     | Some path -> write_file path (Buffer.contents buffer)
-    | None -> ()
+    | None -> ());
+    if !aborted then exit 1
   in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(const run $ net_arg $ seed_arg $ until_arg $ max_events_arg
-          $ trace_out $ stats $ runs)
+          $ trace_out $ stats $ runs $ explain $ wall_limit $ save_state
+          $ load_state)
+
+(* -- pnut faults -- *)
+
+let faults_cmd =
+  let doc =
+    "Fault-injection campaign: compare faulty runs against their \
+     fault-free baselines."
+  in
+  let spec_file =
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE"
+           ~doc:"Fault specification file (one fault per line; see \
+                 docs/ROBUSTNESS.md).")
+  in
+  let inline_faults =
+    Arg.(value & opt_all string [] & info [ "fault"; "f" ] ~docv:"SPEC"
+           ~doc:"Inline fault spec, e.g. 'stuck Start_memory from 100 \
+                 until 500' or 'delay-scale Start_memory factor 3'. \
+                 Repeatable; combines with --spec.")
+  in
+  let runs =
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N"
+           ~doc:"Baseline/faulty run pairs with split random streams.")
+  in
+  let until =
+    Arg.(value & opt float 10000.0 & info [ "until" ] ~docv:"T" ~doc:"Horizon.")
+  in
+  let observe =
+    Arg.(value & opt (some string) None & info [ "observe" ] ~docv:"T"
+           ~doc:"Transition whose throughput is compared (default: the \
+                 busiest transition of the first baseline run).")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ]
+           ~doc:"Machine-readable CSV output instead of the table.")
+  in
+  let wall_limit =
+    Arg.(value & opt (some float) None & info [ "wall-limit" ] ~docv:"SECONDS"
+           ~doc:"Per-run wall-clock watchdog.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain-deadlock" ]
+           ~doc:"Print the deadlock diagnosis of every faulty run that \
+                 died.")
+  in
+  let run path seed spec_file inline_faults runs until observe csv wall_limit
+      explain =
+    let net = load_net path in
+    let file_specs =
+      match spec_file with
+      | None -> []
+      | Some file -> (
+        try Pnut_fault.Fault.parse (read_file file)
+        with Pnut_fault.Fault.Parse_error (line, msg) ->
+          die "%s:%d: %s" file line msg)
+    in
+    let flag_specs =
+      List.concat_map
+        (fun text ->
+          try Pnut_fault.Fault.parse text
+          with Pnut_fault.Fault.Parse_error (_, msg) ->
+            die "fault %S: %s" text msg)
+        inline_faults
+    in
+    let specs = file_specs @ flag_specs in
+    if specs = [] then die "no faults given: pass --spec FILE or --fault SPEC";
+    match
+      Pnut_fault.Campaign.run ~seed ~runs ~until ?observe
+        ?wall_limit_s:wall_limit net specs
+    with
+    | report ->
+      print_string
+        (if csv then Pnut_fault.Campaign.render_csv report
+         else Pnut_fault.Campaign.render report);
+      if explain then
+        List.iter
+          (fun r ->
+            match r.Pnut_fault.Campaign.rr_diagnosis with
+            | Some d ->
+              Printf.printf "\nrun %d deadlock diagnosis:\n%s"
+                r.Pnut_fault.Campaign.rr_run d
+            | None -> ())
+          report.Pnut_fault.Campaign.cr_faulty;
+      if
+        Pnut_fault.Campaign.deadlocks report > 0
+        || Pnut_fault.Campaign.errors report > 0
+      then exit 1
+    | exception Pnut_sim.Simulator.Sim_error e ->
+      die "%s" (Pnut_sim.Simulator.error_message e)
+    | exception Invalid_argument msg -> die "%s" msg
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const run $ net_arg $ seed_arg $ spec_file $ inline_faults $ runs
+          $ until $ observe $ csv $ wall_limit $ explain)
 
 (* -- pnut stat -- *)
 
@@ -252,13 +419,7 @@ let tracer_cmd =
   let run path signals from_t to_t width markers csv =
     let trace = load_trace path in
     let sigs =
-      List.map
-        (fun s ->
-          try Pnut_lang.Parser.parse_signal s
-          with Pnut_lang.Parser.Parse_error (_, col, msg) ->
-            Printf.eprintf "signal %S: column %d: %s\n" s col msg;
-            exit 2)
-        signals
+      List.map (parse_arg "signal" Pnut_lang.Parser.parse_signal) signals
     in
     let markers =
       List.map
@@ -291,14 +452,10 @@ let check_cmd =
     let failures = ref 0 in
     List.iter
       (fun q ->
-        match Pnut_lang.Parser.parse_query q with
-        | query ->
-          let result = Pnut_tracer.Query.eval trace query in
-          if not (Pnut_tracer.Query.holds result) then incr failures;
-          Format.printf "%-60s %a@." q Pnut_tracer.Query.pp_result result
-        | exception Pnut_lang.Parser.Parse_error (_, col, msg) ->
-          Printf.eprintf "query %S: column %d: %s\n" q col msg;
-          exit 2)
+        let query = parse_arg "query" Pnut_lang.Parser.parse_query q in
+        let result = Pnut_tracer.Query.eval trace query in
+        if not (Pnut_tracer.Query.holds result) then incr failures;
+        Format.printf "%-60s %a@." q Pnut_tracer.Query.pp_result result)
       queries;
     if !failures > 0 then exit 1
   in
@@ -337,29 +494,20 @@ let reach_cmd =
       let failures = ref 0 in
       List.iter
         (fun f ->
-          match Pnut_lang.Parser.parse_expr f with
-          | e ->
-            let ok = Pnut_reach.Ctl.check g (Pnut_reach.Ctl.AG (Pnut_reach.Ctl.Atom e)) in
-            if not ok then incr failures;
-            Format.printf "AG(%s): %b@." f ok
-          | exception Pnut_lang.Parser.Parse_error (_, col, msg) ->
-            Printf.eprintf "formula %S: column %d: %s\n" f col msg;
-            exit 2)
+          let e = parse_arg "formula" Pnut_lang.Parser.parse_expr f in
+          let ok = Pnut_reach.Ctl.check g (Pnut_reach.Ctl.AG (Pnut_reach.Ctl.Atom e)) in
+          if not ok then incr failures;
+          Format.printf "AG(%s): %b@." f ok)
         ctl;
       List.iter
         (fun q ->
-          match Pnut_lang.Parser.parse_query q with
-          | parsed -> (
-            match Pnut_reach.Predicate.eval g parsed with
-            | result ->
-              if not (Pnut_tracer.Query.holds result) then incr failures;
-              Format.printf "%-60s %a@." q Pnut_tracer.Query.pp_result result
-            | exception Pnut_tracer.Query.Query_error msg ->
-              Printf.eprintf "query %S: %s\n" q msg;
-              exit 2)
-          | exception Pnut_lang.Parser.Parse_error (_, col, msg) ->
-            Printf.eprintf "query %S: column %d: %s\n" q col msg;
-            exit 2)
+          let parsed = parse_arg "query" Pnut_lang.Parser.parse_query q in
+          match Pnut_reach.Predicate.eval g parsed with
+          | result ->
+            if not (Pnut_tracer.Query.holds result) then incr failures;
+            Format.printf "%-60s %a@." q Pnut_tracer.Query.pp_result result
+          | exception Pnut_tracer.Query.Query_error msg ->
+            die "query %S: %s" q msg)
         query;
       if !failures > 0 then exit 1
     end
@@ -447,31 +595,24 @@ let analytic_cmd =
     let net = load_net path in
     let net =
       if exponentialize then
-        try Pnut_analytic.Gspn.exponential_variant net
-        with Invalid_argument msg ->
-          Printf.eprintf "%s\n" msg;
-          exit 2
+        or_die (fun () -> Pnut_analytic.Gspn.exponential_variant net)
       else net
     in
-    match Pnut_analytic.Gspn.analyze ~max_states net with
-    | r ->
-      Printf.printf "tangible states:  %d\n" r.Pnut_analytic.Gspn.tangible_states;
-      Printf.printf "vanishing states: %d\n\n" r.Pnut_analytic.Gspn.vanishing_states;
-      Printf.printf "%-32s %12s\n" "place" "mean tokens";
-      Array.iteri
-        (fun p mean ->
-          Printf.printf "%-32s %12.6f\n"
-            (Pnut_core.Net.place net p).Pnut_core.Net.p_name mean)
-        r.Pnut_analytic.Gspn.place_means;
-      Printf.printf "\n%-32s %12s\n" "transition" "throughput";
-      Array.iteri
-        (fun t thr ->
-          Printf.printf "%-32s %12.6f\n"
-            (Pnut_core.Net.transition net t).Pnut_core.Net.t_name thr)
-        r.Pnut_analytic.Gspn.throughputs
-    | exception Invalid_argument msg ->
-      Printf.eprintf "%s\n" msg;
-      exit 2
+    let r = or_die (fun () -> Pnut_analytic.Gspn.analyze ~max_states net) in
+    Printf.printf "tangible states:  %d\n" r.Pnut_analytic.Gspn.tangible_states;
+    Printf.printf "vanishing states: %d\n\n" r.Pnut_analytic.Gspn.vanishing_states;
+    Printf.printf "%-32s %12s\n" "place" "mean tokens";
+    Array.iteri
+      (fun p mean ->
+        Printf.printf "%-32s %12.6f\n"
+          (Pnut_core.Net.place net p).Pnut_core.Net.p_name mean)
+      r.Pnut_analytic.Gspn.place_means;
+    Printf.printf "\n%-32s %12s\n" "transition" "throughput";
+    Array.iteri
+      (fun t thr ->
+        Printf.printf "%-32s %12.6f\n"
+          (Pnut_core.Net.transition net t).Pnut_core.Net.t_name thr)
+      r.Pnut_analytic.Gspn.throughputs
   in
   Cmd.v (Cmd.info "analytic" ~doc)
     Term.(const run $ net_arg $ exponentialize $ max_states)
@@ -482,13 +623,9 @@ let coverability_cmd =
   let doc = "Boundedness analysis via the Karp-Miller construction." in
   let run path =
     let net = load_net path in
-    match Pnut_reach.Coverability.build net with
-    | g ->
-      Format.printf "%a@." (Pnut_reach.Coverability.pp_summary net) g;
-      if not (Pnut_reach.Coverability.is_bounded g) then exit 1
-    | exception Invalid_argument msg ->
-      Printf.eprintf "%s\n" msg;
-      exit 2
+    let g = or_die (fun () -> Pnut_reach.Coverability.build net) in
+    Format.printf "%a@." (Pnut_reach.Coverability.pp_summary net) g;
+    if not (Pnut_reach.Coverability.is_bounded g) then exit 1
   in
   Cmd.v (Cmd.info "coverability" ~doc) Term.(const run $ net_arg)
 
@@ -513,12 +650,9 @@ let dot_cmd =
       | `Net_graph -> Pnut_core.Dot.net net
       | `Reach ->
         Pnut_reach.Export.graph_dot (Pnut_reach.Graph.build ~max_states:20_000 net)
-      | `Cov -> (
-        match Pnut_reach.Coverability.build net with
-        | g -> Pnut_reach.Export.coverability_dot net g
-        | exception Invalid_argument msg ->
-          Printf.eprintf "%s\n" msg;
-          exit 2)
+      | `Cov ->
+        Pnut_reach.Export.coverability_dot net
+          (or_die (fun () -> Pnut_reach.Coverability.build net))
     in
     match out with
     | Some path -> write_file path text
@@ -552,18 +686,14 @@ let replicate_cmd =
   in
   let run path seed runs until place transition confidence =
     let net = load_net path in
-    if place = [] && transition = [] then begin
-      Printf.eprintf "nothing to estimate: pass --place and/or --throughput\n";
-      exit 2
-    end;
+    if place = [] && transition = [] then
+      die "nothing to estimate: pass --place and/or --throughput";
     let estimate what read =
       match
         Pnut_stat.Replication.replicate ~seed ~confidence ~runs ~until net read
       with
       | e -> Format.printf "%-40s %a@." what Pnut_stat.Replication.pp e
-      | exception Not_found ->
-        Printf.eprintf "unknown place/transition in %s\n" what;
-        exit 2
+      | exception Not_found -> die "unknown place/transition in %s" what
     in
     List.iter
       (fun p ->
@@ -614,9 +744,7 @@ let cycle_cmd =
         exit 1
       | Pnut_analytic.Marked_graph.Unbounded_rate ->
         Printf.printf "no circuit constrains the net (unbounded rate)\n"
-      | exception Invalid_argument msg ->
-        Printf.eprintf "%s\n" msg;
-        exit 2
+      | exception Invalid_argument msg -> die "%s" msg
     end
     else
       match Pnut_reach.Timed.steady_cycle ~max_steps net with
@@ -634,9 +762,7 @@ let cycle_cmd =
       | None ->
         Printf.eprintf "no steady cycle found (net dies or bound too small)\n";
         exit 1
-      | exception Invalid_argument msg ->
-        Printf.eprintf "%s\n" msg;
-        exit 2
+      | exception Invalid_argument msg -> die "%s" msg
   in
   Cmd.v (Cmd.info "cycle" ~doc)
     Term.(const run $ net_arg $ max_steps $ marked_graph)
@@ -672,19 +798,13 @@ let batch_cmd =
   in
   let run path warmup batches place transition =
     let trace = load_trace path in
-    if place = [] && transition = [] then begin
-      Printf.eprintf "nothing to estimate: pass --place and/or --throughput\n";
-      exit 2
-    end;
+    if place = [] && transition = [] then
+      die "nothing to estimate: pass --place and/or --throughput";
     let report what compute =
       match compute () with
       | e -> Format.printf "%-40s %a@." what Pnut_stat.Replication.pp e
-      | exception Not_found ->
-        Printf.eprintf "unknown name in %s\n" what;
-        exit 2
-      | exception Invalid_argument msg ->
-        Printf.eprintf "%s\n" msg;
-        exit 2
+      | exception Not_found -> die "unknown name in %s" what
+      | exception Invalid_argument msg -> die "%s" msg
     in
     List.iter
       (fun p ->
@@ -704,9 +824,9 @@ let main =
   let doc = "P-NUT: Petri-Net Utility Tools" in
   let info = Cmd.info "pnut" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ model_cmd; sim_cmd; stat_cmd; filter_cmd; tracer_cmd; check_cmd;
-      reach_cmd; invariants_cmd; anim_cmd; validate_cmd; analytic_cmd;
-      coverability_cmd; dot_cmd; replicate_cmd; explore_cmd; batch_cmd;
-      cycle_cmd ]
+    [ model_cmd; sim_cmd; faults_cmd; stat_cmd; filter_cmd; tracer_cmd;
+      check_cmd; reach_cmd; invariants_cmd; anim_cmd; validate_cmd;
+      analytic_cmd; coverability_cmd; dot_cmd; replicate_cmd; explore_cmd;
+      batch_cmd; cycle_cmd ]
 
 let () = exit (Cmd.eval main)

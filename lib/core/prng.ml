@@ -8,6 +8,10 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
 
+let state g = g.state
+
+let of_state s = { state = s }
+
 let copy g = { state = g.state }
 
 let bits64 g =

@@ -12,6 +12,14 @@ type t
 val create : int -> t
 (** [create seed] builds a generator from an arbitrary integer seed. *)
 
+val state : t -> int64
+(** The raw 64-bit internal state, for checkpointing a stream
+    mid-flight. *)
+
+val of_state : int64 -> t
+(** Rebuilds a generator from a saved {!state}; the restored stream
+    continues exactly where the captured one left off. *)
+
 val copy : t -> t
 (** Independent copy sharing no future state with the original. *)
 

@@ -1,0 +1,250 @@
+module Net = Pnut_core.Net
+module Prng = Pnut_core.Prng
+module Simulator = Pnut_sim.Simulator
+module Stat = Pnut_stat.Stat
+
+type run_class =
+  | Completed
+  | Deadlocked of float
+  | Errored of string
+
+type run_result = {
+  rr_run : int;
+  rr_class : run_class;
+  rr_throughput : float;
+  rr_started : int;
+  rr_diagnosis : string option;
+}
+
+type report = {
+  cr_net : string;
+  cr_observe : string;
+  cr_until : float;
+  cr_runs : int;
+  cr_specs : Fault.spec list;
+  cr_baseline : run_result list;
+  cr_faulty : run_result list;
+  cr_tokens_dropped : int;
+  cr_tokens_injected : int;
+}
+
+(* Result of one simulation before the observed transition is known. *)
+type raw_run = {
+  raw_class : run_class;
+  raw_stats : Stat.report option;  (* None when the run errored *)
+  raw_started : int;
+  raw_diagnosis : string option;
+}
+
+(* One experiment: plain when [compiled] is None, segmented around the
+   fault token pulses otherwise.  [finish:false] keeps the stat sink
+   open across segments; the final call closes it. *)
+let one_run ?wall_limit_s ~prng ~until ~compiled net =
+  let stat_sink, stat_get = Stat.sink () in
+  let hooks =
+    match compiled with
+    | Some c -> Fault.hooks c
+    | None -> Simulator.no_hooks
+  in
+  let st = Simulator.create ~prng ~sink:stat_sink ~hooks net in
+  match
+    let rec segments () =
+      match compiled with
+      | None -> Simulator.run ~until ?wall_limit_s st
+      | Some c -> (
+        match Fault.next_pulse c ~after:(Simulator.clock st) with
+        | Some t when t < until ->
+          if t > Simulator.clock st then
+            ignore (Simulator.run ~until:t ?wall_limit_s ~finish:false st
+                    : Simulator.outcome);
+          Fault.apply_pulses c ~at:t st;
+          segments ()
+        | Some _ | None -> Simulator.run ~until ?wall_limit_s st)
+    in
+    segments ()
+  with
+  | outcome ->
+    let raw_class =
+      match outcome.Simulator.stop with
+      | Simulator.Horizon | Simulator.Event_limit -> Completed
+      | Simulator.Dead -> Deadlocked (Simulator.last_activity st)
+    in
+    let raw_diagnosis =
+      match raw_class with
+      | Deadlocked _ ->
+        Some (Format.asprintf "%a" Simulator.pp_diagnosis (Simulator.diagnose st))
+      | Completed | Errored _ -> None
+    in
+    {
+      raw_class;
+      raw_stats = Some (stat_get ());
+      raw_started = outcome.Simulator.started;
+      raw_diagnosis;
+    }
+  | exception Simulator.Sim_error e ->
+    {
+      raw_class = Errored (Simulator.error_message e);
+      raw_stats = None;
+      raw_started = Simulator.events_started st;
+      raw_diagnosis = None;
+    }
+
+let pick_observe net = function
+  | Some stats ->
+    let best = ref None in
+    Array.iter
+      (fun ts ->
+        match !best with
+        | Some b when b.Stat.ts_ends >= ts.Stat.ts_ends -> ()
+        | _ -> best := Some ts)
+      stats.Stat.transitions;
+    (match !best with
+    | Some b -> b.Stat.ts_name
+    | None -> (Net.transition net 0).Net.t_name)
+  | None -> (Net.transition net 0).Net.t_name
+
+let finalize ~observe run raw =
+  {
+    rr_run = run;
+    rr_class = raw.raw_class;
+    rr_throughput =
+      (match raw.raw_stats with
+      | Some stats -> ( try Stat.throughput stats observe with Not_found -> 0.0)
+      | None -> 0.0);
+    rr_started = raw.raw_started;
+    rr_diagnosis = raw.raw_diagnosis;
+  }
+
+let fault_error fmt =
+  Printf.ksprintf
+    (fun s -> raise (Simulator.Sim_error (Simulator.Fault_error s)))
+    fmt
+
+let run ?(seed = 1) ?(runs = 5) ?(until = 10_000.0) ?observe ?wall_limit_s net
+    specs =
+  if runs <= 0 then invalid_arg "Campaign.run: runs must be positive";
+  if until <= 0.0 then invalid_arg "Campaign.run: horizon must be positive";
+  Fault.validate net specs;
+  (match observe with
+  | Some name when Net.find_transition net name = None ->
+    fault_error "net %s has no transition %S to observe" (Net.name net) name
+  | Some _ | None -> ());
+  let master = Prng.create seed in
+  let dropped = ref 0 and injected = ref 0 in
+  let pairs =
+    List.init runs (fun i ->
+        (* Per run: one stream for the experiment randomness (shared by
+           the baseline and the faulty twin so they are comparable) and
+           an independent one for fault activation and jitter. *)
+        let sim_stream = Prng.split master in
+        let fault_stream = Prng.split master in
+        let baseline =
+          one_run ?wall_limit_s ~prng:(Prng.copy sim_stream) ~until
+            ~compiled:None net
+        in
+        (match baseline.raw_class with
+        | Errored msg ->
+          fault_error "baseline run %d failed without any fault: %s" (i + 1) msg
+        | Completed | Deadlocked _ -> ());
+        let compiled = Fault.compile ~prng:fault_stream net specs in
+        let faulty =
+          one_run ?wall_limit_s ~prng:(Prng.copy sim_stream) ~until
+            ~compiled:(Some compiled) net
+        in
+        dropped := !dropped + Fault.tokens_dropped compiled;
+        injected := !injected + Fault.tokens_injected compiled;
+        (baseline, faulty))
+  in
+  let observe =
+    match observe with
+    | Some name -> name
+    | None -> pick_observe net (fst (List.hd pairs)).raw_stats
+  in
+  {
+    cr_net = Net.name net;
+    cr_observe = observe;
+    cr_until = until;
+    cr_runs = runs;
+    cr_specs = specs;
+    cr_baseline =
+      List.mapi (fun i (b, _) -> finalize ~observe (i + 1) b) pairs;
+    cr_faulty = List.mapi (fun i (_, f) -> finalize ~observe (i + 1) f) pairs;
+    cr_tokens_dropped = !dropped;
+    cr_tokens_injected = !injected;
+  }
+
+let mean_throughput results =
+  match results with
+  | [] -> 0.0
+  | _ ->
+    List.fold_left (fun acc r -> acc +. r.rr_throughput) 0.0 results
+    /. float_of_int (List.length results)
+
+let degradation r =
+  let base = mean_throughput r.cr_baseline in
+  if base <= 0.0 then 0.0 else 1.0 -. (mean_throughput r.cr_faulty /. base)
+
+let count f results = List.length (List.filter f results)
+
+let deadlocks r =
+  count (fun x -> match x.rr_class with Deadlocked _ -> true | _ -> false)
+    r.cr_faulty
+
+let errors r =
+  count (fun x -> match x.rr_class with Errored _ -> true | _ -> false)
+    r.cr_faulty
+
+let class_label = function
+  | Completed -> "completed"
+  | Deadlocked t -> Printf.sprintf "deadlocked at t=%g" t
+  | Errored msg -> "error: " ^ msg
+
+let delta_pct baseline faulty =
+  if baseline <= 0.0 then 0.0 else 100.0 *. (faulty -. baseline) /. baseline
+
+let render r =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "FAULT CAMPAIGN  net %s, %d run%s x %g cycles, observing %s\n"
+    r.cr_net r.cr_runs
+    (if r.cr_runs = 1 then "" else "s")
+    r.cr_until r.cr_observe;
+  Printf.bprintf b "faults:\n";
+  List.iter
+    (fun s -> Printf.bprintf b "  %s\n" (Format.asprintf "%a" Fault.pp_spec s))
+    r.cr_specs;
+  Printf.bprintf b "\n%4s %14s %14s %9s  %s\n" "run" "baseline thr"
+    "faulty thr" "delta" "outcome";
+  List.iter2
+    (fun base faulty ->
+      Printf.bprintf b "%4d %14.6f %14.6f %8.1f%%  %s\n" base.rr_run
+        base.rr_throughput faulty.rr_throughput
+        (delta_pct base.rr_throughput faulty.rr_throughput)
+        (class_label faulty.rr_class))
+    r.cr_baseline r.cr_faulty;
+  let base = mean_throughput r.cr_baseline in
+  let faulty = mean_throughput r.cr_faulty in
+  Printf.bprintf b "%4s %14.6f %14.6f %8.1f%%\n" "mean" base faulty
+    (delta_pct base faulty);
+  Printf.bprintf b
+    "\ndeadlocked %d/%d, errored %d/%d, tokens dropped %d, injected %d\n"
+    (deadlocks r) r.cr_runs (errors r) r.cr_runs r.cr_tokens_dropped
+    r.cr_tokens_injected;
+  Buffer.contents b
+
+let render_csv r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "run,baseline_throughput,faulty_throughput,delta_pct,outcome,detail\n";
+  List.iter2
+    (fun base faulty ->
+      let outcome, detail =
+        match faulty.rr_class with
+        | Completed -> ("completed", "")
+        | Deadlocked t -> ("deadlocked", Printf.sprintf "t=%g" t)
+        | Errored msg -> ("error", msg)
+      in
+      Printf.bprintf b "%d,%.6f,%.6f,%.2f,%s,%S\n" base.rr_run
+        base.rr_throughput faulty.rr_throughput
+        (delta_pct base.rr_throughput faulty.rr_throughput)
+        outcome detail)
+    r.cr_baseline r.cr_faulty;
+  Buffer.contents b

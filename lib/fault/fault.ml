@@ -1,0 +1,390 @@
+module Net = Pnut_core.Net
+module Prng = Pnut_core.Prng
+module Simulator = Pnut_sim.Simulator
+
+type window = {
+  w_from : float;
+  w_until : float;
+}
+
+let always = { w_from = 0.0; w_until = infinity }
+
+let in_window w t = t >= w.w_from && t < w.w_until
+
+type kind =
+  | Stuck_transition of string
+  | Drop_tokens of { place : string; count : int; period : float option }
+  | Spurious_tokens of { place : string; count : int; period : float option }
+  | Delay_scale of {
+      transition : string option;
+      factor : float;
+      jitter : float;
+    }
+
+type spec = {
+  fs_kind : kind;
+  fs_window : window;
+  fs_probability : float;
+}
+
+let pp_spec ppf s =
+  let window ppf w =
+    if w.w_from > 0.0 then Format.fprintf ppf " from %g" w.w_from;
+    if w.w_until < infinity then Format.fprintf ppf " until %g" w.w_until
+  in
+  let prob ppf p = if p < 1.0 then Format.fprintf ppf " p %g" p in
+  (match s.fs_kind with
+  | Stuck_transition t -> Format.fprintf ppf "stuck %s%a" t window s.fs_window
+  | Drop_tokens { place; count; period }
+  | Spurious_tokens { place; count; period } ->
+    let verb =
+      match s.fs_kind with Drop_tokens _ -> "drop" | _ -> "spurious"
+    in
+    Format.fprintf ppf "%s %s %d at %g" verb place count s.fs_window.w_from;
+    (match period with
+    | Some p ->
+      Format.fprintf ppf " every %g" p;
+      if s.fs_window.w_until < infinity then
+        Format.fprintf ppf " until %g" s.fs_window.w_until
+    | None -> ())
+  | Delay_scale { transition; factor; jitter } ->
+    Format.fprintf ppf "delay-scale %s factor %g"
+      (Option.value transition ~default:"*")
+      factor;
+    if jitter > 0.0 then Format.fprintf ppf " jitter %g" jitter;
+    window ppf s.fs_window);
+  prob ppf s.fs_probability
+
+(* -- textual spec parsing -- *)
+
+exception Parse_error of int * string
+
+let parse_line ln line =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error (ln, s))) fmt in
+  let num what s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail "%s: expected a number, got %S" what s
+  in
+  let nat what s =
+    match int_of_string_opt s with
+    | Some i when i > 0 -> i
+    | Some _ | None -> fail "%s: expected a positive count, got %S" what s
+  in
+  (* Trailing [key value] pairs shared by every fault form. *)
+  let rec options ~verb acc = function
+    | [] -> acc
+    | [ key ] -> fail "%s: option %S is missing its value" verb key
+    | key :: v :: rest ->
+      let acc =
+        match key with
+        | "from" -> (`From (num "from" v), ln) :: acc
+        | "until" -> (`Until (num "until" v), ln) :: acc
+        | "at" -> (`At (num "at" v), ln) :: acc
+        | "every" -> (`Every (num "every" v), ln) :: acc
+        | "factor" -> (`Factor (num "factor" v), ln) :: acc
+        | "jitter" -> (`Jitter (num "jitter" v), ln) :: acc
+        | "p" -> (`P (num "p" v), ln) :: acc
+        | _ -> fail "%s: unknown option %S" verb key
+      in
+      options ~verb acc rest
+  in
+  let find f opts = List.find_map (fun (o, _) -> f o) opts in
+  let window ?(start = `From) opts =
+    let from =
+      match start with
+      | `From -> find (function `From t -> Some t | _ -> None) opts
+      | `At -> find (function `At t -> Some t | _ -> None) opts
+    in
+    {
+      w_from = Option.value from ~default:0.0;
+      w_until =
+        Option.value
+          (find (function `Until t -> Some t | _ -> None) opts)
+          ~default:infinity;
+    }
+  in
+  let probability opts =
+    Option.value (find (function `P p -> Some p | _ -> None) opts) ~default:1.0
+  in
+  let reject verb opts allowed =
+    List.iter
+      (fun (o, _) ->
+        let name =
+          match o with
+          | `From _ -> "from" | `Until _ -> "until" | `At _ -> "at"
+          | `Every _ -> "every" | `Factor _ -> "factor"
+          | `Jitter _ -> "jitter" | `P _ -> "p"
+        in
+        if not (List.mem name allowed) then
+          fail "%s does not take option %S" verb name)
+      opts
+  in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> None
+  | "stuck" :: name :: rest ->
+    let opts = options ~verb:"stuck" [] rest in
+    reject "stuck" opts [ "from"; "until"; "p" ];
+    Some
+      {
+        fs_kind = Stuck_transition name;
+        fs_window = window opts;
+        fs_probability = probability opts;
+      }
+  | (("drop" | "spurious") as verb) :: name :: count :: rest ->
+    let opts = options ~verb [] rest in
+    reject verb opts [ "at"; "every"; "until"; "p" ];
+    let count = nat verb count in
+    let period = find (function `Every p -> Some (Some p) | _ -> None) opts in
+    let period = Option.value period ~default:None in
+    let kind =
+      if verb = "drop" then Drop_tokens { place = name; count; period }
+      else Spurious_tokens { place = name; count; period }
+    in
+    Some
+      {
+        fs_kind = kind;
+        fs_window = window ~start:`At opts;
+        fs_probability = probability opts;
+      }
+  | "delay-scale" :: name :: rest ->
+    let opts = options ~verb:"delay-scale" [] rest in
+    reject "delay-scale" opts [ "factor"; "jitter"; "from"; "until"; "p" ];
+    let factor =
+      match find (function `Factor f -> Some f | _ -> None) opts with
+      | Some f -> f
+      | None -> fail "delay-scale needs a factor"
+    in
+    let jitter =
+      Option.value
+        (find (function `Jitter j -> Some j | _ -> None) opts)
+        ~default:0.0
+    in
+    Some
+      {
+        fs_kind =
+          Delay_scale
+            {
+              transition = (if name = "*" then None else Some name);
+              factor;
+              jitter;
+            };
+        fs_window = window opts;
+        fs_probability = probability opts;
+      }
+  | verb :: _ ->
+    fail "unknown fault kind %S (expected stuck, drop, spurious or delay-scale)"
+      verb
+
+let parse text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         parse_line (i + 1) (String.trim line))
+  |> List.filter_map Fun.id
+
+(* -- validation -- *)
+
+let fault_error fmt =
+  Printf.ksprintf
+    (fun s -> raise (Simulator.Sim_error (Simulator.Fault_error s)))
+    fmt
+
+let validate net specs =
+  let check_transition name =
+    if Net.find_transition net name = None then
+      fault_error "net %s has no transition %S" (Net.name net) name
+  in
+  let check_place name =
+    if Net.find_place net name = None then
+      fault_error "net %s has no place %S" (Net.name net) name
+  in
+  List.iter
+    (fun s ->
+      if s.fs_probability < 0.0 || s.fs_probability > 1.0 then
+        fault_error "activation probability %g is not in [0, 1]"
+          s.fs_probability;
+      if s.fs_window.w_from > s.fs_window.w_until then
+        fault_error "fault window [%g, %g) is empty" s.fs_window.w_from
+          s.fs_window.w_until;
+      match s.fs_kind with
+      | Stuck_transition t -> check_transition t
+      | Drop_tokens { place; count; period }
+      | Spurious_tokens { place; count; period } ->
+        check_place place;
+        if count <= 0 then fault_error "token count must be positive";
+        (match period with
+        | Some p when p <= 0.0 -> fault_error "pulse period must be positive"
+        | Some _ | None -> ())
+      | Delay_scale { transition; factor; jitter } ->
+        Option.iter check_transition transition;
+        if factor < 0.0 then fault_error "delay factor must be non-negative";
+        if jitter < 0.0 || jitter > 1.0 then
+          fault_error "jitter %g is not in [0, 1]" jitter)
+    specs
+
+(* -- compilation -- *)
+
+type pulse = {
+  p_place : Net.place_id;
+  p_delta : int;  (* negative = drop *)
+  p_until : float;
+  p_period : float option;
+  mutable p_next : float;  (* infinity once exhausted *)
+}
+
+type veto_rule = { v_transition : Net.transition_id; v_window : window }
+
+type scale_rule = {
+  s_transition : Net.transition_id option;
+  s_window : window;
+  s_factor : float;
+  s_jitter : float;
+}
+
+type compiled = {
+  c_prng : Prng.t;
+  c_active : spec list;
+  c_pulses : pulse list;
+  c_vetoes : veto_rule list;
+  c_scales : scale_rule list;
+  mutable c_dropped : int;
+  mutable c_injected : int;
+}
+
+let compile ~prng net specs =
+  validate net specs;
+  let active =
+    List.filter
+      (fun s -> s.fs_probability >= 1.0 || Prng.float prng 1.0 < s.fs_probability)
+      specs
+  in
+  let pulses =
+    List.filter_map
+      (fun s ->
+        match s.fs_kind with
+        | Drop_tokens { place; count; period }
+        | Spurious_tokens { place; count; period } ->
+          let delta =
+            match s.fs_kind with Drop_tokens _ -> -count | _ -> count
+          in
+          Some
+            {
+              p_place = Net.place_id net place;
+              p_delta = delta;
+              p_until = s.fs_window.w_until;
+              p_period = period;
+              p_next = s.fs_window.w_from;
+            }
+        | Stuck_transition _ | Delay_scale _ -> None)
+      active
+  in
+  let vetoes =
+    List.filter_map
+      (fun s ->
+        match s.fs_kind with
+        | Stuck_transition t ->
+          Some { v_transition = Net.transition_id net t; v_window = s.fs_window }
+        | _ -> None)
+      active
+  in
+  let scales =
+    List.filter_map
+      (fun s ->
+        match s.fs_kind with
+        | Delay_scale { transition; factor; jitter } ->
+          Some
+            {
+              s_transition = Option.map (Net.transition_id net) transition;
+              s_window = s.fs_window;
+              s_factor = factor;
+              s_jitter = jitter;
+            }
+        | _ -> None)
+      active
+  in
+  {
+    c_prng = prng;
+    c_active = active;
+    c_pulses = pulses;
+    c_vetoes = vetoes;
+    c_scales = scales;
+    c_dropped = 0;
+    c_injected = 0;
+  }
+
+let active_specs c = c.c_active
+
+let hooks c =
+  let hk_veto ~clock tr =
+    List.exists
+      (fun v ->
+        v.v_transition = tr.Net.t_id && in_window v.v_window clock)
+      c.c_vetoes
+  in
+  let hk_delay ~clock ~kind:_ tr d =
+    List.fold_left
+      (fun d s ->
+        let applies =
+          (match s.s_transition with
+          | Some tid -> tid = tr.Net.t_id
+          | None -> true)
+          && in_window s.s_window clock
+        in
+        if not applies then d
+        else
+          let wobble =
+            if s.s_jitter > 0.0 then
+              Prng.uniform c.c_prng (-.s.s_jitter) s.s_jitter
+            else 0.0
+          in
+          d *. s.s_factor *. (1.0 +. wobble))
+      d c.c_scales
+  in
+  let hk_wakeup ~clock =
+    (* The only verdict that changes spontaneously with time is a veto
+       window opening or closing. *)
+    List.fold_left
+      (fun best v ->
+        let consider best t =
+          if Float.is_finite t && t > clock then
+            match best with Some b -> Some (Float.min b t) | None -> Some t
+          else best
+        in
+        consider (consider best v.v_window.w_from) v.v_window.w_until)
+      None c.c_vetoes
+  in
+  { Simulator.hk_veto; hk_delay; hk_wakeup }
+
+let next_pulse c ~after =
+  List.fold_left
+    (fun best p ->
+      if p.p_next >= after && Float.is_finite p.p_next then
+        match best with
+        | Some b -> Some (Float.min b p.p_next)
+        | None -> Some p.p_next
+      else best)
+    None c.c_pulses
+
+let apply_pulses c ~at st =
+  List.iter
+    (fun p ->
+      if Float.equal p.p_next at then begin
+        let applied = Simulator.perturb_tokens st p.p_place p.p_delta in
+        if applied < 0 then c.c_dropped <- c.c_dropped - applied
+        else c.c_injected <- c.c_injected + applied;
+        p.p_next <-
+          (match p.p_period with
+          | Some period ->
+            let next = at +. period in
+            if next < p.p_until then next else infinity
+          | None -> infinity)
+      end)
+    c.c_pulses
+
+let tokens_dropped c = c.c_dropped
+let tokens_injected c = c.c_injected

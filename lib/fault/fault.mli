@@ -1,0 +1,101 @@
+(** Fault injection for Timed Petri Net simulations.
+
+    Razouk's pitch is that timed nets make "what if the timing
+    assumptions break?" questions cheap to ask.  This module makes the
+    question first-class: a {!spec} describes a perturbation of a
+    running simulation — a stalled transition, lost or spurious tokens,
+    or scaled/jittered delays — active inside a time window and gated by
+    an activation probability.  Specs compile against a net into
+    {!Pnut_sim.Simulator.hooks} plus a schedule of token pulses; the
+    campaign runner ({!Campaign}) sweeps them across seeds and compares
+    against the fault-free baseline.
+
+    {2 Spec syntax}
+
+    One fault per line; [#] starts a comment.  Times default to
+    [from 0], windows are half-open [\[from, until)], and [p] is the
+    per-run activation probability (default 1):
+
+    {v
+    stuck End_prefetch from 100 until 500
+    drop Full_I_buffers 2 at 250
+    drop Full_I_buffers 1 at 100 every 50 until 1000
+    spurious Bus_free 1 at 300 p 0.5
+    delay-scale End_prefetch factor 3.0 from 200
+    delay-scale * factor 1.5 jitter 0.2
+    v} *)
+
+type window = {
+  w_from : float;
+  w_until : float;  (** [infinity] for an open-ended fault *)
+}
+
+val always : window
+
+type kind =
+  | Stuck_transition of string
+      (** the transition cannot start firing while the fault is active;
+          in-flight firings still complete *)
+  | Drop_tokens of { place : string; count : int; period : float option }
+      (** remove up to [count] tokens at the window start and, with
+          [period], every period after that while the window lasts *)
+  | Spurious_tokens of { place : string; count : int; period : float option }
+      (** inject [count] tokens on the same schedule *)
+  | Delay_scale of {
+      transition : string option;  (** [None] applies to every transition *)
+      factor : float;
+      jitter : float;
+          (** relative uniform jitter: each affected delay is multiplied
+              by [factor * (1 + u)], [u ~ U(-jitter, jitter)] *)
+    }
+
+type spec = {
+  fs_kind : kind;
+  fs_window : window;
+  fs_probability : float;  (** per-run activation probability in [0, 1] *)
+}
+
+val pp_spec : Format.formatter -> spec -> unit
+(** Prints a spec back in the textual syntax. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse : string -> spec list
+(** Parses the textual spec format above; raises {!Parse_error}. *)
+
+val validate : Pnut_core.Net.t -> spec list -> unit
+(** Checks that every named place/transition exists and counts/factors
+    are sane.  Raises
+    [Pnut_sim.Simulator.Sim_error (Fault_error _)] otherwise. *)
+
+(** {2 Compiled faults} *)
+
+type compiled
+(** Fault specs bound to a net and an activation stream.  Activation
+    draws (one per probabilistic spec) happen at compile time, so a
+    campaign re-compiles per run to re-roll them. *)
+
+val compile :
+  prng:Pnut_core.Prng.t -> Pnut_core.Net.t -> spec list -> compiled
+(** Validates and compiles.  [prng] drives activation draws and delay
+    jitter; give it a stream independent of the simulator's so the
+    underlying experiment randomness stays comparable to the
+    baseline. *)
+
+val hooks : compiled -> Pnut_sim.Simulator.hooks
+(** Veto (stuck), delay rescaling and window-boundary wakeups. *)
+
+val active_specs : compiled -> spec list
+(** The specs that survived their activation draw for this run. *)
+
+val next_pulse : compiled -> after:float -> float option
+(** Earliest still-due token pulse at or after the given time. *)
+
+val apply_pulses : compiled -> at:float -> Pnut_sim.Simulator.t -> unit
+(** Applies every drop/spurious pulse scheduled at exactly [at] to the
+    simulator state (clamped at zero tokens).  Counts the moved tokens
+    (see {!tokens_dropped}/{!tokens_injected}). *)
+
+val tokens_dropped : compiled -> int
+val tokens_injected : compiled -> int

@@ -71,6 +71,11 @@ let pop q =
     Some (top.time, top.payload)
   end
 
+let to_sorted_list q =
+  let entries = Array.sub q.heap 0 q.size in
+  Array.sort (fun a b -> if before a b then -1 else 1) entries;
+  Array.to_list (Array.map (fun e -> (e.time, e.payload)) entries)
+
 let clear q =
   q.heap <- [||];
   q.size <- 0

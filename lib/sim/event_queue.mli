@@ -20,4 +20,9 @@ val peek_time : 'a t -> float option
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the earliest event (FIFO among equal times). *)
 
+val to_sorted_list : 'a t -> (float * 'a) list
+(** All pending events in pop order, without disturbing the queue.
+    Re-pushing them in this order into a fresh queue preserves the FIFO
+    tie-breaking — the basis of checkpoint/restore. *)
+
 val clear : 'a t -> unit

@@ -5,9 +5,58 @@ module Expr = Pnut_core.Expr
 module Prng = Pnut_core.Prng
 module Trace = Pnut_trace.Trace
 
-exception Sim_error of string
+type error =
+  | Livelock of { clock : float; firings : int }
+  | Capacity_violation of {
+      place : string;
+      tokens : int;
+      capacity : int;
+      transition : string;
+      clock : float;
+    }
+  | Action_error of { transition : string; clock : float; message : string }
+  | Watchdog of { wall_seconds : float; clock : float; started : int }
+  | Fault_error of string
+  | Restore_error of string
 
-let sim_error fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+exception Sim_error of error
+
+let error_message = function
+  | Livelock { clock; firings } ->
+    Printf.sprintf
+      "livelock: more than %d firings at time %g (zero-delay loop?)" firings
+      clock
+  | Capacity_violation { place; tokens; capacity; transition; clock } ->
+    Printf.sprintf
+      "capacity violation: place %s holds %d tokens (capacity %d) after %s \
+       fired at t=%g"
+      place tokens capacity transition clock
+  | Action_error { transition; clock; message } ->
+    Printf.sprintf "action of %s failed at t=%g: %s" transition clock message
+  | Watchdog { wall_seconds; clock; started } ->
+    Printf.sprintf
+      "watchdog: simulation exceeded %g s of wall clock at t=%g (%d events \
+       started)"
+      wall_seconds clock started
+  | Fault_error msg -> Printf.sprintf "fault specification error: %s" msg
+  | Restore_error msg -> Printf.sprintf "checkpoint restore error: %s" msg
+
+let sim_error e = raise (Sim_error e)
+
+type delay_kind = Enabling_delay | Firing_delay
+
+type hooks = {
+  hk_veto : clock:float -> Net.transition -> bool;
+  hk_delay : clock:float -> kind:delay_kind -> Net.transition -> float -> float;
+  hk_wakeup : clock:float -> float option;
+}
+
+let no_hooks =
+  {
+    hk_veto = (fun ~clock:_ _ -> false);
+    hk_delay = (fun ~clock:_ ~kind:_ _ d -> d);
+    hk_wakeup = (fun ~clock:_ -> None);
+  }
 
 type pending = {
   pe_transition : Net.transition_id;
@@ -20,6 +69,7 @@ type t = {
   sink : Trace.sink;
   max_instant_firings : int;
   check_capacities : bool;
+  hooks : hooks;
   marking : Marking.t;
   env : Env.t;
   mutable clock : float;
@@ -36,6 +86,7 @@ type t = {
   mutable started : int;
   mutable finished : int;
   mutable instant_firings : int;  (* firings at the current clock value *)
+  mutable last_activity : float;  (* clock of the latest start/completion *)
   mutable finished_emitted : bool;
 }
 
@@ -46,6 +97,7 @@ let env st = st.env
 let in_flight st = Array.copy st.in_flight
 let events_started st = st.started
 let events_finished st = st.finished
+let last_activity st = st.last_activity
 
 let tokens st name = Marking.get st.marking (Net.place_id st.net name)
 
@@ -62,6 +114,10 @@ let refresh_one st tr =
   | None, false -> ()
   | None, true ->
     let d = Net.sample_duration ~prng:st.prng st.env tr.Net.t_enabling in
+    let d =
+      Float.max 0.0
+        (st.hooks.hk_delay ~clock:st.clock ~kind:Enabling_delay tr d)
+    in
     st.deadline.(id) <- Some (st.clock +. d)
 
 let refresh_enabling st =
@@ -84,8 +140,31 @@ let refresh_after st ~places ~env_changed =
     (fun tid hit -> if hit then refresh_one st (Net.transition st.net tid))
     affected
 
+(* Which transitions read each place (input or inhibitor arcs), per
+   place, in ascending transition order. *)
+let build_readers net =
+  let idx = Array.make (Net.num_places net) [] in
+  (* build in descending id order so each list ends up ascending *)
+  for i = Net.num_transitions net - 1 downto 0 do
+    let tr = Net.transition net i in
+    let note { Net.a_place; _ } =
+      match idx.(a_place) with
+      | hd :: _ when hd = i -> ()
+      | l -> idx.(a_place) <- i :: l
+    in
+    List.iter note tr.Net.t_inputs;
+    List.iter note tr.Net.t_inhibitors
+  done;
+  idx
+
+let build_predicated net =
+  Array.to_list (Net.transitions net)
+  |> List.filter_map (fun tr ->
+         if tr.Net.t_predicate <> None then Some tr.Net.t_id else None)
+
 let create ?(seed = 1) ?prng ?(sink = Trace.null_sink)
-    ?(max_instant_firings = 10_000) ?(check_capacities = false) net =
+    ?(max_instant_firings = 10_000) ?(check_capacities = false)
+    ?(hooks = no_hooks) net =
   let prng = match prng with Some g -> g | None -> Prng.create seed in
   let st =
     {
@@ -94,34 +173,20 @@ let create ?(seed = 1) ?prng ?(sink = Trace.null_sink)
       sink;
       max_instant_firings;
       check_capacities;
+      hooks;
       marking = Net.initial_marking net;
       env = Net.initial_env net;
       clock = 0.0;
       queue = Event_queue.create ();
       deadline = Array.make (Net.num_transitions net) None;
       in_flight = Array.make (Net.num_transitions net) 0;
-      readers =
-        (let idx = Array.make (Net.num_places net) [] in
-         (* build in descending id order so each list ends up ascending *)
-         for i = Net.num_transitions net - 1 downto 0 do
-           let tr = Net.transition net i in
-           let note { Net.a_place; _ } =
-             match idx.(a_place) with
-             | hd :: _ when hd = i -> ()
-             | l -> idx.(a_place) <- i :: l
-           in
-           List.iter note tr.Net.t_inputs;
-           List.iter note tr.Net.t_inhibitors
-         done;
-         idx);
-      predicated =
-        Array.to_list (Net.transitions net)
-        |> List.filter_map (fun tr ->
-               if tr.Net.t_predicate <> None then Some tr.Net.t_id else None);
+      readers = build_readers net;
+      predicated = build_predicated net;
       next_firing_id = 0;
       started = 0;
       finished = 0;
       instant_firings = 0;
+      last_activity = 0.0;
       finished_emitted = false;
     }
   in
@@ -129,20 +194,27 @@ let create ?(seed = 1) ?prng ?(sink = Trace.null_sink)
   refresh_enabling st;
   st
 
-(* Transitions that are enabled and whose enabling deadline has passed. *)
+(* Transitions that are enabled, past their enabling deadline, and not
+   vetoed by an active fault. *)
 let fireable st =
   let acc = ref [] in
   Array.iter
     (fun tr ->
       match st.deadline.(tr.Net.t_id) with
-      | Some d when d <= st.clock -> acc := tr :: !acc
+      | Some d when d <= st.clock ->
+        if not (st.hooks.hk_veto ~clock:st.clock tr) then acc := tr :: !acc
       | Some _ | None -> ())
     (Net.transitions st.net);
   List.rev !acc
 
 (* Run an action, recording every assignment for the trace delta.  Table
-   writes are recorded under the pseudo-variable name "tbl[i]". *)
-let run_action st stmts =
+   writes are recorded under the pseudo-variable name "tbl[i]".  Failures
+   surface as structured [Action_error]s naming the transition. *)
+let run_action st tr stmts =
+  let action_error message =
+    sim_error
+      (Action_error { transition = tr.Net.t_name; clock = st.clock; message })
+  in
   let changes = ref [] in
   let record name v = changes := (name, v) :: !changes in
   let run = function
@@ -157,8 +229,9 @@ let run_action st stmts =
         Env.table_set st.env tbl i v;
         record (Printf.sprintf "%s[%d]" tbl i) v
       with
-      | Env.Unbound name -> sim_error "action writes unbound table %s" name
-      | Invalid_argument msg -> sim_error "%s" msg)
+      | Env.Unbound name ->
+        action_error (Printf.sprintf "action writes unbound table %s" name)
+      | Invalid_argument msg -> action_error msg)
   in
   List.iter run stmts;
   List.rev !changes
@@ -197,23 +270,27 @@ let enforce_capacities st tr =
         match p.Net.p_capacity with
         | Some cap when Marking.get st.marking a_place > cap ->
           sim_error
-            "capacity violation: place %s holds %d tokens (capacity %d) \
-             after %s fired at t=%g"
-            p.Net.p_name
-            (Marking.get st.marking a_place)
-            cap tr.Net.t_name st.clock
+            (Capacity_violation
+               {
+                 place = p.Net.p_name;
+                 tokens = Marking.get st.marking a_place;
+                 capacity = cap;
+                 transition = tr.Net.t_name;
+                 clock = st.clock;
+               })
         | Some _ | None -> ())
       tr.Net.t_outputs
 
 let complete_firing ?(extra_changes = []) st tr firing =
   Net.produce st.net st.marking tr;
   enforce_capacities st tr;
-  let env_changes = run_action st tr.Net.t_action in
+  let env_changes = run_action st tr tr.Net.t_action in
   let produced =
     List.map (fun { Net.a_place; a_weight } -> (a_place, a_weight)) tr.Net.t_outputs
   in
   st.in_flight.(tr.Net.t_id) <- st.in_flight.(tr.Net.t_id) - 1;
   st.finished <- st.finished + 1;
+  st.last_activity <- st.clock;
   emit_delta st Trace.Fire_end tr firing (merge_changes extra_changes produced)
     env_changes;
   refresh_after st
@@ -233,6 +310,7 @@ let start_firing st tr =
   st.next_firing_id <- st.next_firing_id + 1;
   st.started <- st.started + 1;
   st.in_flight.(tr.Net.t_id) <- st.in_flight.(tr.Net.t_id) + 1;
+  st.last_activity <- st.clock;
   let consumed =
     List.map
       (fun { Net.a_place; a_weight } -> (a_place, -a_weight))
@@ -242,6 +320,10 @@ let start_firing st tr =
   st.deadline.(tr.Net.t_id) <- None;
   let consumed_places = List.map (fun a -> a.Net.a_place) tr.Net.t_inputs in
   let duration = Net.sample_duration ~prng:st.prng st.env tr.Net.t_firing in
+  let duration =
+    Float.max 0.0
+      (st.hooks.hk_delay ~clock:st.clock ~kind:Firing_delay tr duration)
+  in
   if duration <= 0.0 then begin
     emit_delta st Trace.Fire_start tr firing [] [];
     refresh_after st ~places:consumed_places ~env_changed:false;
@@ -262,12 +344,16 @@ type step_result =
   | Quiescent
 
 (* Earliest instant at which something can happen after the current one:
-   the next scheduled fire-end or the earliest pending enabling deadline. *)
+   the next scheduled fire-end, the earliest pending enabling deadline,
+   or a fault-window boundary announced by the hooks. *)
 let next_instant st =
   let candidates = ref [] in
   (match Event_queue.peek_time st.queue with
   | Some t -> candidates := t :: !candidates
   | None -> ());
+  (match st.hooks.hk_wakeup ~clock:st.clock with
+  | Some t when t > st.clock -> candidates := t :: !candidates
+  | Some _ | None -> ());
   Array.iter
     (fun deadline ->
       match deadline with
@@ -283,8 +369,7 @@ let step st =
   | _ :: _ as ready ->
     if st.instant_firings >= st.max_instant_firings then
       sim_error
-        "livelock: more than %d firings at time %g (zero-delay loop?)"
-        st.max_instant_firings st.clock;
+        (Livelock { clock = st.clock; firings = st.max_instant_firings });
     st.instant_firings <- st.instant_firings + 1;
     let weighted = List.map (fun tr -> (tr, tr.Net.t_frequency)) ready in
     let chosen = Prng.choose_weighted st.prng weighted in
@@ -312,9 +397,10 @@ let step st =
         st.instant_firings <- 0;
         Advanced t
       | Some _ ->
-        (* a deadline at the current instant with nothing fireable cannot
-           happen: fireable covers deadlines <= clock *)
-        assert false
+        (* a deadline at the current instant with nothing fireable can
+           only be a vetoed transition; with no other activity and no
+           wakeup the net is stuck for good *)
+        Quiescent
       | None -> Quiescent))
 
 let fireable_transitions st = List.map (fun tr -> tr.Net.t_id) (fireable st)
@@ -328,6 +414,15 @@ let fire_transition st tid =
       (Printf.sprintf "Simulator.fire_transition: %s is not fireable now"
          (Net.transition st.net tid).Net.t_name)
 
+let perturb_tokens st p delta =
+  let have = Marking.get st.marking p in
+  let applied = if delta < 0 then -(min have (-delta)) else delta in
+  if applied <> 0 then begin
+    Marking.add st.marking p applied;
+    refresh_after st ~places:[ p ] ~env_changed:false
+  end;
+  applied
+
 type stop_reason =
   | Horizon
   | Dead
@@ -340,20 +435,37 @@ type outcome = {
   finished : int;
 }
 
-let finish st final_clock =
-  if not st.finished_emitted then begin
-    st.finished_emitted <- true;
-    st.sink.Trace.on_finish final_clock
-  end
-
-let run ?until ?max_events (st : t) =
+let run ?until ?max_events ?wall_limit_s ?(finish = true) (st : t) =
   if until = None && max_events = None then
     invalid_arg "Simulator.run: needs a horizon or an event limit";
   let horizon = Option.value until ~default:infinity in
   let limit = Option.value max_events ~default:max_int in
+  let emit_finish t = if finish then begin
+    if not st.finished_emitted then begin
+      st.finished_emitted <- true;
+      st.sink.Trace.on_finish t
+    end
+  end in
+  (* The watchdog costs one [Unix.gettimeofday] every 256 engine steps —
+     cheap enough to leave armed on production runs. *)
+  let wall_start =
+    match wall_limit_s with Some _ -> Unix.gettimeofday () | None -> 0.0
+  in
+  let steps = ref 0 in
+  let check_watchdog () =
+    incr steps;
+    match wall_limit_s with
+    | Some limit_s when !steps land 255 = 0 ->
+      if Unix.gettimeofday () -. wall_start > limit_s then
+        sim_error
+          (Watchdog
+             { wall_seconds = limit_s; clock = st.clock; started = st.started })
+    | Some _ | None -> ()
+  in
   let rec loop () =
+    check_watchdog ();
     if st.started >= limit then begin
-      finish st st.clock;
+      emit_finish st.clock;
       { stop = Event_limit; final_clock = st.clock; started = st.started;
         finished = st.finished }
     end
@@ -367,7 +479,8 @@ let run ?until ?max_events (st : t) =
         match next_instant st with
         | Some t when t > horizon ->
           st.clock <- horizon;
-          finish st horizon;
+          st.instant_firings <- 0;
+          emit_finish horizon;
           { stop = Horizon; final_clock = horizon; started = st.started;
             finished = st.finished }
         | Some _ ->
@@ -378,7 +491,8 @@ let run ?until ?max_events (st : t) =
             if Float.is_finite horizon then horizon else st.clock
           in
           st.clock <- final;
-          finish st final;
+          st.instant_firings <- 0;
+          emit_finish final;
           { stop = Dead; final_clock = final; started = st.started;
             finished = st.finished })
   in
@@ -399,3 +513,220 @@ let replications ?(seed = 1) ~runs ?until ?max_events net make_sink =
   List.init runs (fun i ->
       let prng = Prng.split master in
       simulate ~prng ?until ?max_events ~sink:(make_sink i) net)
+
+(* -- deadlock diagnosis -- *)
+
+type block_reason =
+  | Missing_tokens of { place : string; have : int; need : int }
+  | Inhibited of { place : string; have : int; limit : int }
+  | Predicate_false of string
+  | Awaiting_enabling of { ready_at : float }
+  | Vetoed_by_fault
+
+type transition_diagnosis = {
+  td_name : string;
+  td_reasons : block_reason list;
+}
+
+type diagnosis = {
+  dg_clock : float;
+  dg_last_activity : float;
+  dg_marking : (string * int) list;
+  dg_transitions : transition_diagnosis list;
+}
+
+let diagnose st =
+  let place_name p = (Net.place st.net p).Net.p_name in
+  let diagnose_transition tr =
+    let token_blocks =
+      List.filter_map
+        (fun { Net.a_place; a_weight } ->
+          let have = Marking.get st.marking a_place in
+          if have < a_weight then
+            Some
+              (Missing_tokens
+                 { place = place_name a_place; have; need = a_weight })
+          else None)
+        tr.Net.t_inputs
+      @ List.filter_map
+          (fun { Net.a_place; a_weight } ->
+            let have = Marking.get st.marking a_place in
+            if have >= a_weight then
+              Some
+                (Inhibited { place = place_name a_place; have; limit = a_weight })
+            else None)
+          tr.Net.t_inhibitors
+    in
+    let predicate_blocks =
+      match tr.Net.t_predicate with
+      | Some p
+        when token_blocks = []
+             (* predicates may call irand: evaluate against a copy so
+                diagnosis never perturbs the simulation stream *)
+             && not (Expr.eval_bool ~prng:(Prng.copy st.prng) st.env p) ->
+        [ Predicate_false (Expr.to_string p) ]
+      | Some _ | None -> []
+    in
+    let timing_blocks =
+      if token_blocks <> [] || predicate_blocks <> [] then []
+      else
+        match st.deadline.(tr.Net.t_id) with
+        | Some d when d > st.clock -> [ Awaiting_enabling { ready_at = d } ]
+        | Some _ when st.hooks.hk_veto ~clock:st.clock tr -> [ Vetoed_by_fault ]
+        | Some _ | None -> []
+    in
+    { td_name = tr.Net.t_name;
+      td_reasons = token_blocks @ predicate_blocks @ timing_blocks }
+  in
+  {
+    dg_clock = st.clock;
+    dg_last_activity = st.last_activity;
+    dg_marking =
+      Array.to_list (Net.places st.net)
+      |> List.filter_map (fun p ->
+             let n = Marking.get st.marking p.Net.p_id in
+             if n > 0 then Some (p.Net.p_name, n) else None);
+    dg_transitions =
+      Array.to_list (Net.transitions st.net) |> List.map diagnose_transition;
+  }
+
+let pp_reason ppf = function
+  | Missing_tokens { place; have; need } ->
+    Format.fprintf ppf "input %s has %d token%s, needs %d" place have
+      (if have = 1 then "" else "s")
+      need
+  | Inhibited { place; have; limit } ->
+    Format.fprintf ppf "inhibitor %s holds %d (fires only below %d)" place
+      have limit
+  | Predicate_false p -> Format.fprintf ppf "predicate is false: %s" p
+  | Awaiting_enabling { ready_at } ->
+    Format.fprintf ppf "enabled, fireable at t=%g" ready_at
+  | Vetoed_by_fault -> Format.fprintf ppf "vetoed by an injected fault"
+
+let pp_diagnosis ppf d =
+  Format.fprintf ppf "@[<v>deadlock diagnosis at t=%g (last event at t=%g)@,"
+    d.dg_clock d.dg_last_activity;
+  (match d.dg_marking with
+  | [] -> Format.fprintf ppf "marking: empty (every place holds 0 tokens)@,"
+  | m ->
+    Format.fprintf ppf "marking: %s@,"
+      (String.concat ", "
+         (List.map (fun (p, n) -> Printf.sprintf "%s=%d" p n) m)));
+  List.iter
+    (fun td ->
+      match td.td_reasons with
+      | [] -> Format.fprintf ppf "  %s: fireable@," td.td_name
+      | reasons ->
+        Format.fprintf ppf "  %s: %a@," td.td_name
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+             pp_reason)
+          reasons)
+    d.dg_transitions;
+  Format.fprintf ppf "@]"
+
+(* -- checkpoint / restore -- *)
+
+let checkpoint st =
+  {
+    Checkpoint.ck_net = Net.name st.net;
+    ck_clock = st.clock;
+    ck_prng = Prng.state st.prng;
+    ck_marking = Marking.to_array st.marking;
+    ck_deadlines =
+      (let acc = ref [] in
+       Array.iteri
+         (fun tid d ->
+           match d with Some t -> acc := (tid, t) :: !acc | None -> ())
+         st.deadline;
+       List.rev !acc);
+    ck_in_flight =
+      (let acc = ref [] in
+       Array.iteri
+         (fun tid n -> if n <> 0 then acc := (tid, n) :: !acc)
+         st.in_flight;
+       List.rev !acc);
+    ck_pending =
+      List.map
+        (fun (time, pe) -> (time, pe.pe_transition, pe.pe_firing))
+        (Event_queue.to_sorted_list st.queue);
+    ck_variables = Env.bindings st.env;
+    ck_tables = Env.tables st.env;
+    ck_next_firing_id = st.next_firing_id;
+    ck_started = st.started;
+    ck_finished = st.finished;
+    ck_instant_firings = st.instant_firings;
+  }
+
+let restore ?(sink = Trace.null_sink) ?(max_instant_firings = 10_000)
+    ?(check_capacities = false) ?(hooks = no_hooks) net ck =
+  let restore_error fmt =
+    Printf.ksprintf (fun s -> sim_error (Restore_error s)) fmt
+  in
+  if Net.name net <> ck.Checkpoint.ck_net then
+    restore_error "checkpoint is for net %S, not %S" ck.Checkpoint.ck_net
+      (Net.name net);
+  if Array.length ck.Checkpoint.ck_marking <> Net.num_places net then
+    restore_error "checkpoint has %d places, net has %d"
+      (Array.length ck.Checkpoint.ck_marking)
+      (Net.num_places net);
+  let check_tid what tid =
+    if tid < 0 || tid >= Net.num_transitions net then
+      restore_error "%s entry names transition id %d (net has %d)" what tid
+        (Net.num_transitions net)
+  in
+  List.iter (fun (tid, _) -> check_tid "deadline" tid) ck.Checkpoint.ck_deadlines;
+  List.iter (fun (tid, _) -> check_tid "inflight" tid) ck.Checkpoint.ck_in_flight;
+  List.iter
+    (fun (_, tid, _) -> check_tid "pending" tid)
+    ck.Checkpoint.ck_pending;
+  let marking =
+    try Marking.of_array ck.Checkpoint.ck_marking
+    with Invalid_argument msg -> restore_error "bad marking: %s" msg
+  in
+  let env =
+    try
+      Env.of_bindings ~tables:ck.Checkpoint.ck_tables
+        ck.Checkpoint.ck_variables
+    with Invalid_argument msg -> restore_error "bad environment: %s" msg
+  in
+  let deadline = Array.make (Net.num_transitions net) None in
+  List.iter
+    (fun (tid, t) -> deadline.(tid) <- Some t)
+    ck.Checkpoint.ck_deadlines;
+  let in_flight = Array.make (Net.num_transitions net) 0 in
+  List.iter (fun (tid, n) -> in_flight.(tid) <- n) ck.Checkpoint.ck_in_flight;
+  let queue = Event_queue.create () in
+  List.iter
+    (fun (time, tid, fid) ->
+      Event_queue.push queue time { pe_transition = tid; pe_firing = fid })
+    ck.Checkpoint.ck_pending;
+  let st =
+    {
+      net;
+      prng = Prng.of_state ck.Checkpoint.ck_prng;
+      sink;
+      max_instant_firings;
+      check_capacities;
+      hooks;
+      marking;
+      env;
+      clock = ck.Checkpoint.ck_clock;
+      queue;
+      deadline;
+      in_flight;
+      readers = build_readers net;
+      predicated = build_predicated net;
+      next_firing_id = ck.Checkpoint.ck_next_firing_id;
+      started = ck.Checkpoint.ck_started;
+      finished = ck.Checkpoint.ck_finished;
+      instant_firings = ck.Checkpoint.ck_instant_firings;
+      last_activity = ck.Checkpoint.ck_clock;
+      finished_emitted = false;
+    }
+  in
+  (* The deadlines were captured live, so no [refresh_enabling] here:
+     re-sampling enabling delays would fork the random stream and break
+     the identical-suffix guarantee. *)
+  sink.Trace.on_header (Trace.header_of_net net);
+  st

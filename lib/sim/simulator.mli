@@ -34,12 +34,71 @@
 type t
 (** Simulation state: net, marking, environment, clock, future events. *)
 
+(** {2 Structured errors}
+
+    Every way a simulation can abort carries its context: the clock, the
+    offending transition or place, and the limit that was breached. *)
+
+type error =
+  | Livelock of { clock : float; firings : int }
+      (** more than [max_instant_firings] firings at one instant *)
+  | Capacity_violation of {
+      place : string;
+      tokens : int;
+      capacity : int;
+      transition : string;  (** the transition whose firing overflowed *)
+      clock : float;
+    }
+  | Action_error of { transition : string; clock : float; message : string }
+      (** a transition action failed (unbound table, index out of bounds) *)
+  | Watchdog of { wall_seconds : float; clock : float; started : int }
+      (** the optional wall-clock budget of {!run} was exhausted *)
+  | Fault_error of string
+      (** a fault specification refers to unknown names or is malformed *)
+  | Restore_error of string
+      (** a checkpoint does not match the net it is restored into *)
+
+exception Sim_error of error
+
+val error_message : error -> string
+(** One-line human-readable rendering of an {!error}. *)
+
+(** {2 Fault-injection hooks}
+
+    Hooks let an external layer (see [Pnut_fault]) perturb a running
+    simulation without the engine knowing about fault specs: vetoing
+    firings (a stuck stage), rescaling sampled delays (memory jitter),
+    and announcing future instants at which a veto may lapse so the
+    clock advances across fault windows instead of declaring the net
+    dead. *)
+
+type delay_kind = Enabling_delay | Firing_delay
+
+type hooks = {
+  hk_veto : clock:float -> Pnut_core.Net.transition -> bool;
+      (** [true] forbids the transition from starting a firing now;
+          its enabling clock keeps running. *)
+  hk_delay :
+    clock:float -> kind:delay_kind -> Pnut_core.Net.transition ->
+    float -> float;
+      (** Transforms a freshly sampled delay; the result is clamped to
+          be non-negative. *)
+  hk_wakeup : clock:float -> float option;
+      (** Earliest future instant at which a veto verdict may change
+          (e.g. a fault window boundary); [None] when no such instant
+          exists.  Ignored unless strictly greater than [clock]. *)
+}
+
+val no_hooks : hooks
+(** Identity hooks: never veto, never rescale, never wake. *)
+
 val create :
   ?seed:int ->
   ?prng:Pnut_core.Prng.t ->
   ?sink:Pnut_trace.Trace.sink ->
   ?max_instant_firings:int ->
   ?check_capacities:bool ->
+  ?hooks:hooks ->
   Pnut_core.Net.t -> t
 (** Builds the initial state and emits the trace header to [sink].
     [prng] overrides [seed] (default seed 1).  With [check_capacities]
@@ -64,6 +123,20 @@ val in_flight : t -> int array
 
 val events_started : t -> int
 val events_finished : t -> int
+
+val last_activity : t -> float
+(** Clock value of the most recent firing start or completion (the
+    initial clock if nothing fired yet).  After a [Dead] outcome this is
+    when the net actually died, even though the final clock was
+    fast-forwarded to the horizon. *)
+
+val perturb_tokens : t -> Pnut_core.Net.place_id -> int -> int
+(** [perturb_tokens st p delta] force-adds [delta] tokens to place [p]
+    (negative to drop), clamping at zero, and re-evaluates the
+    enabledness of the transitions reading [p].  Returns the delta
+    actually applied.  This is the fault-injection primitive behind
+    [Drop_tokens]/[Spurious_tokens]; the change happens outside any
+    transition so it is {e not} visible as a trace delta. *)
 
 (** One micro-step of the engine. *)
 type step_result =
@@ -100,11 +173,22 @@ type outcome = {
   finished : int;
 }
 
-val run : ?until:float -> ?max_events:int -> t -> outcome
+val run :
+  ?until:float -> ?max_events:int -> ?wall_limit_s:float -> ?finish:bool ->
+  t -> outcome
 (** Runs until the horizon, the event limit, or quiescence; emits
     [on_finish] to the sink.  When the horizon is hit, the final clock is
     exactly [until] (in-flight events beyond it stay unprocessed).  At
-    least one of [until] and [max_events] must be given. *)
+    least one of [until] and [max_events] must be given.
+
+    [wall_limit_s] arms a wall-clock watchdog: if the run consumes more
+    than that many real seconds it raises [Sim_error (Watchdog _)]
+    instead of hanging the process on a pathological model.
+
+    [finish] (default [true]) controls whether [on_finish] is emitted
+    when this call stops at its horizon; pass [false] to pause a run
+    that will be continued with a later horizon (segmented runs,
+    fault-pulse injection, checkpointing). *)
 
 val simulate :
   ?seed:int ->
@@ -134,4 +218,57 @@ val replications :
     streams; the callback provides a sink per run index (the paper's
     "one or more simulation experiments"). *)
 
-exception Sim_error of string
+(** {2 Deadlock diagnosis}
+
+    When a run ends [Dead], the quiescence has a concrete, explainable
+    cause: every transition is blocked by specific places, inhibitors,
+    predicates or fault vetoes.  [diagnose] computes that explanation
+    from the current state. *)
+
+type block_reason =
+  | Missing_tokens of { place : string; have : int; need : int }
+  | Inhibited of { place : string; have : int; limit : int }
+  | Predicate_false of string  (** the predicate in concrete syntax *)
+  | Awaiting_enabling of { ready_at : float }
+      (** enabled but its enabling delay has not elapsed *)
+  | Vetoed_by_fault
+
+type transition_diagnosis = {
+  td_name : string;
+  td_reasons : block_reason list;
+      (** empty means the transition is fireable right now *)
+}
+
+type diagnosis = {
+  dg_clock : float;
+  dg_last_activity : float;
+  dg_marking : (string * int) list;  (** places with a nonzero count *)
+  dg_transitions : transition_diagnosis list;
+}
+
+val diagnose : t -> diagnosis
+(** Never mutates the state (predicates are evaluated against a copy of
+    the random stream). *)
+
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
+
+(** {2 Checkpoint / restore} *)
+
+val checkpoint : t -> Checkpoint.t
+(** Snapshot of the full engine state (marking, environment, clock,
+    random stream, enabling deadlines, in-flight firings, pending
+    events, counters).  The trace sink is {e not} part of the snapshot;
+    supply a fresh one on restore. *)
+
+val restore :
+  ?sink:Pnut_trace.Trace.sink ->
+  ?max_instant_firings:int ->
+  ?check_capacities:bool ->
+  ?hooks:hooks ->
+  Pnut_core.Net.t -> Checkpoint.t -> t
+(** Rebuilds a simulator mid-flight from a checkpoint taken on the same
+    net.  Continuing the restored state produces exactly the same event
+    sequence as the uninterrupted run (the header is re-emitted to the
+    new [sink]; deltas then continue from the checkpointed instant).
+    Raises [Sim_error (Restore_error _)] if the checkpoint does not
+    match the net (name, place or transition count). *)

@@ -211,6 +211,97 @@ let test_cycle () =
   Testutil.check_contains "period" out "period:    5";
   Testutil.check_contains "decode throughput" out "0.400000"
 
+let test_faults_campaign () =
+  let out =
+    check_run "faults"
+      [ "faults"; model_file; "--fault"; "delay-scale End_prefetch factor 3";
+        "--runs"; "2"; "--until"; "1000"; "--observe"; "Decode"; "--seed"; "7" ]
+  in
+  Testutil.check_contains "banner" out "FAULT CAMPAIGN";
+  Testutil.check_contains "spec echoed" out "delay-scale End_prefetch factor 3";
+  Testutil.check_contains "summary row" out "mean";
+  let csv =
+    check_run "faults csv"
+      [ "faults"; model_file; "--fault"; "delay-scale End_prefetch factor 3";
+        "--runs"; "2"; "--until"; "1000"; "--observe"; "Decode"; "--seed"; "7";
+        "--csv" ]
+  in
+  Testutil.check_contains "csv header" csv
+    "run,baseline_throughput,faulty_throughput"
+
+let test_faults_deadlock_exit () =
+  (* a decoder stuck forever fills the instruction buffers and starves
+     the whole pipeline: the campaign must report the deadlock and
+     exit 1 *)
+  let spec = tmp "stuck.faults" in
+  let oc = open_out spec in
+  output_string oc "# decoder dies outright\nstuck Decode\n";
+  close_out oc;
+  let code, out =
+    run
+      [ "faults"; model_file; "--spec"; spec; "--runs"; "1"; "--until"; "500";
+        "--observe"; "Decode"; "--explain-deadlock" ]
+  in
+  Alcotest.(check int) "deadlock exit code" 1 code;
+  Testutil.check_contains "outcome" out "deadlocked";
+  Testutil.check_contains "diagnosis printed" out "deadlock diagnosis";
+  Testutil.check_contains "diagnosis names the veto" out
+    "vetoed by an injected fault"
+
+let test_faults_bad_spec () =
+  let code, _ = run [ "faults"; model_file; "--fault"; "teleport X" ] in
+  Alcotest.(check int) "spec error exit code" 2 code;
+  let code, _ = run [ "faults"; model_file; "--fault"; "stuck Warp_drive" ] in
+  Alcotest.(check int) "unknown name exit code" 2 code;
+  let code, _ = run [ "faults"; model_file ] in
+  Alcotest.(check int) "no faults exit code" 2 code
+
+let test_sim_checkpoint_resume () =
+  (* an interrupted-and-resumed run must replay exactly what the
+     uninterrupted run would have done *)
+  let full_trace = tmp "full.trace" in
+  let resumed_trace = tmp "resumed.trace" in
+  let state = tmp "sim.ck" in
+  let _ =
+    check_run "uninterrupted"
+      [ "sim"; model_file; "--until"; "600"; "--seed"; "5"; "--trace";
+        full_trace ]
+  in
+  let _ =
+    check_run "first half"
+      [ "sim"; model_file; "--until"; "300"; "--seed"; "5"; "--save-state";
+        state ]
+  in
+  Testutil.check_contains "checkpoint file" (read_file state)
+    "%pnut-checkpoint 1";
+  let _ =
+    check_run "resumed"
+      [ "sim"; model_file; "--load-state"; state; "--until"; "600"; "--trace";
+        resumed_trace ]
+  in
+  let tail n text =
+    let lines = String.split_on_char '\n' (String.trim text) in
+    let len = List.length lines in
+    List.filteri (fun i _ -> i >= len - n) lines
+  in
+  Testutil.check_contains "resumed horizon" (read_file resumed_trace) "end 600";
+  Alcotest.(check (list string)) "identical trace tail"
+    (tail 20 (read_file full_trace))
+    (tail 20 (read_file resumed_trace))
+
+let test_sim_explain_deadlock () =
+  let dead = tmp "dead.pn" in
+  let oc = open_out dead in
+  output_string oc "net deadnet\nplace p\nplace q init 1\ntransition t\n  in p\n  out q\n";
+  close_out oc;
+  let code, _ =
+    run [ "sim"; dead; "--until"; "10"; "--explain-deadlock" ]
+  in
+  Alcotest.(check int) "dead run still exits 0" 0 code;
+  let err = read_file (tmp "err") in
+  Testutil.check_contains "explains the blocker" err "t";
+  Testutil.check_contains "names the empty place" err "p"
+
 let test_bad_model_error () =
   let bad = tmp "bad.pn" in
   let oc = open_out bad in
@@ -249,6 +340,12 @@ let () =
           Alcotest.test_case "explore" `Quick test_explore;
           Alcotest.test_case "batch" `Quick test_batch;
           Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "faults" `Quick test_faults_campaign;
+          Alcotest.test_case "faults deadlock" `Quick test_faults_deadlock_exit;
+          Alcotest.test_case "faults bad spec" `Quick test_faults_bad_spec;
+          Alcotest.test_case "sim checkpoint" `Quick test_sim_checkpoint_resume;
+          Alcotest.test_case "sim explain deadlock" `Quick
+            test_sim_explain_deadlock;
           Alcotest.test_case "bad model" `Quick test_bad_model_error;
         ] );
     ]

@@ -1,0 +1,264 @@
+(* Tests for the fault-injection layer: spec parsing, each fault kind's
+   effect on a running simulation, and the baseline-vs-faulty campaign. *)
+
+module Net = Pnut_core.Net
+module B = Net.Builder
+module Sim = Pnut_sim.Simulator
+module Trace = Pnut_trace.Trace
+module Fault = Pnut_fault.Fault
+module Campaign = Pnut_fault.Campaign
+
+(* -- spec parsing -- *)
+
+let spec_text =
+  "# fault set for the prefetch pipeline\n\
+   stuck End_prefetch from 100 until 500\n\
+   drop Full_I_buffers 2 at 250\n\
+   spurious Bus_free 1 at 300 every 50 until 600 p 0.5\n\
+   delay-scale * factor 1.5 jitter 0.2 from 10\n"
+
+let test_parse () =
+  let specs = Fault.parse spec_text in
+  Alcotest.(check int) "four specs" 4 (List.length specs);
+  (match List.nth specs 0 with
+  | {
+   Fault.fs_kind = Fault.Stuck_transition "End_prefetch";
+   fs_window = { w_from = 100.0; w_until = 500.0 };
+   fs_probability = 1.0;
+  } ->
+    ()
+  | _ -> Alcotest.fail "stuck spec mis-parsed");
+  (match List.nth specs 1 with
+  | { Fault.fs_kind = Fault.Drop_tokens { place = "Full_I_buffers"; count = 2; period = None }; _ }
+    ->
+    ()
+  | _ -> Alcotest.fail "drop spec mis-parsed");
+  (match List.nth specs 2 with
+  | {
+   Fault.fs_kind =
+     Fault.Spurious_tokens { place = "Bus_free"; count = 1; period = Some 50.0 };
+   fs_window = { w_from = 300.0; w_until = 600.0 };
+   fs_probability = 0.5;
+  } ->
+    ()
+  | _ -> Alcotest.fail "spurious spec mis-parsed");
+  match List.nth specs 3 with
+  | {
+   Fault.fs_kind =
+     Fault.Delay_scale { transition = None; factor = 1.5; jitter = 0.2 };
+   fs_window = { w_from = 10.0; w_until };
+   _;
+  }
+    when w_until = infinity ->
+    ()
+  | _ -> Alcotest.fail "delay-scale spec mis-parsed"
+
+let test_parse_roundtrip () =
+  (* printing a parsed spec and re-parsing it is the identity *)
+  let specs = Fault.parse spec_text in
+  List.iter
+    (fun s ->
+      let text = Format.asprintf "%a" Fault.pp_spec s in
+      match Fault.parse text with
+      | [ s' ] when s' = s -> ()
+      | _ -> Alcotest.failf "round-trip failed for %S" text)
+    specs
+
+let check_parse_error ~line text =
+  match Fault.parse text with
+  | _ -> Alcotest.failf "expected a parse error for %S" text
+  | exception Fault.Parse_error (l, _) ->
+    Alcotest.(check int) "error line" line l
+
+let test_parse_errors () =
+  check_parse_error ~line:1 "teleport P 1";
+  check_parse_error ~line:1 "drop P zero";
+  check_parse_error ~line:1 "delay-scale T";
+  check_parse_error ~line:1 "stuck T warp 1";
+  check_parse_error ~line:2 "stuck T\ndrop P 1 every"
+
+let stuck ?(window = Fault.always) ?(p = 1.0) name =
+  { Fault.fs_kind = Fault.Stuck_transition name; fs_window = window;
+    fs_probability = p }
+
+let test_validate_unknown_names () =
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  (match Fault.validate net [ stuck "Warp_drive" ] with
+  | () -> Alcotest.fail "expected a fault error"
+  | exception Sim.Sim_error (Sim.Fault_error msg) ->
+    Testutil.check_contains "names the culprit" msg "Warp_drive"
+  | exception Sim.Sim_error e ->
+    Alcotest.failf "wrong error: %s" (Sim.error_message e));
+  match Fault.validate net [ stuck ~p:1.5 "Decode" ] with
+  | () -> Alcotest.fail "expected a probability error"
+  | exception Sim.Sim_error (Sim.Fault_error _) -> ()
+
+(* -- fault kinds against a running simulation -- *)
+
+(* a 1 Hz heartbeat: [beat] fires at t = 0, 1, 2, ... *)
+let heartbeat () =
+  let b = B.create "heartbeat" in
+  let p = B.add_place b "p" ~initial:1 in
+  let _ =
+    B.add_transition b "beat" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ]
+      ~firing:(Net.Const 1.0)
+  in
+  B.build b
+
+let start_times trace =
+  Array.to_list (Trace.deltas trace)
+  |> List.filter (fun d -> d.Trace.d_kind = Trace.Fire_start)
+  |> List.map (fun d -> d.Trace.d_time)
+
+let test_stuck_transition () =
+  let net = heartbeat () in
+  let window = { Fault.w_from = 2.0; w_until = 5.0 } in
+  let compiled =
+    Fault.compile ~prng:(Pnut_core.Prng.create 1) net [ stuck ~window "beat" ]
+  in
+  let sink, get = Trace.collector () in
+  let st = Sim.create ~sink ~hooks:(Fault.hooks compiled) net in
+  let outcome = Sim.run ~until:8.0 st in
+  (* the veto must not read as a deadlock: the wakeup hook carries the
+     clock across the fault window *)
+  Alcotest.(check bool) "reaches the horizon" true
+    (outcome.Sim.stop = Sim.Horizon);
+  let starts = start_times (get ()) in
+  Alcotest.(check bool) "silent inside the window" true
+    (List.for_all (fun t -> t < window.Fault.w_from || t >= window.Fault.w_until) starts);
+  Alcotest.(check bool) "resumes at the window end" true
+    (List.mem window.Fault.w_until starts)
+
+(* a finite workload: [consume] drains [stock] at 1 Hz (enabling time, so
+   firings are serialized), then the net dies *)
+let workload init =
+  let b = B.create "workload" in
+  let stock = B.add_place b "stock" ~initial:init in
+  let sunk = B.add_place b "sunk" in
+  let _ =
+    B.add_transition b "consume" ~inputs:[ (stock, 1) ] ~outputs:[ (sunk, 1) ]
+      ~enabling:(Net.Const 1.0)
+  in
+  B.build b
+
+let pulse kind place count at =
+  let k =
+    match kind with
+    | `Drop -> Fault.Drop_tokens { place; count; period = None }
+    | `Spurious -> Fault.Spurious_tokens { place; count; period = None }
+  in
+  { Fault.fs_kind = k; fs_window = { Fault.w_from = at; w_until = infinity };
+    fs_probability = 1.0 }
+
+let test_drop_tokens () =
+  let report =
+    Campaign.run ~seed:2 ~runs:1 ~until:20.0 ~observe:"consume"
+      (workload 5)
+      [ pulse `Drop "stock" 3 2.5 ]
+  in
+  let base = List.hd report.Campaign.cr_baseline in
+  let faulty = List.hd report.Campaign.cr_faulty in
+  (* at t = 2.5 the stock holds 3 tokens; all are stolen *)
+  Alcotest.(check int) "tokens dropped" 3 report.Campaign.cr_tokens_dropped;
+  Alcotest.(check int) "baseline drains everything" 5 base.Campaign.rr_started;
+  Alcotest.(check int) "faulty loses the stolen work" 2 faulty.Campaign.rr_started;
+  Alcotest.(check bool) "throughput degraded" true
+    (faulty.Campaign.rr_throughput < base.Campaign.rr_throughput);
+  match faulty.Campaign.rr_class with
+  | Campaign.Deadlocked t ->
+    Alcotest.(check bool) "died at the second firing" true (t <= 2.5);
+    (match faulty.Campaign.rr_diagnosis with
+    | Some d -> Testutil.check_contains "diagnosis names stock" d "stock"
+    | None -> Alcotest.fail "deadlocked run should carry a diagnosis")
+  | _ -> Alcotest.fail "expected the drained net to deadlock"
+
+let test_spurious_tokens () =
+  let report =
+    Campaign.run ~seed:2 ~runs:1 ~until:20.0 ~observe:"consume"
+      (workload 5)
+      [ pulse `Spurious "stock" 4 2.5 ]
+  in
+  let base = List.hd report.Campaign.cr_baseline in
+  let faulty = List.hd report.Campaign.cr_faulty in
+  Alcotest.(check int) "tokens injected" 4 report.Campaign.cr_tokens_injected;
+  Alcotest.(check int) "baseline work" 5 base.Campaign.rr_started;
+  Alcotest.(check int) "injected work shows up" 9 faulty.Campaign.rr_started
+
+let test_delay_scale_campaign () =
+  (* the acceptance scenario: slow the pipeline's memory access down and
+     measure the throughput hit against the fault-free baseline *)
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let spec =
+    {
+      Fault.fs_kind =
+        Fault.Delay_scale
+          { transition = Some "End_prefetch"; factor = 3.0; jitter = 0.1 };
+      fs_window = Fault.always;
+      fs_probability = 1.0;
+    }
+  in
+  let report =
+    Campaign.run ~seed:3 ~runs:3 ~until:2000.0 ~observe:"Decode" net [ spec ]
+  in
+  Alcotest.(check int) "three pairs" 3 (List.length report.Campaign.cr_faulty);
+  Alcotest.(check bool) "memory 3x slower degrades throughput" true
+    (Campaign.degradation report > 0.05);
+  List.iter2
+    (fun b f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "run %d pairwise degraded" b.Campaign.rr_run)
+        true
+        (f.Campaign.rr_throughput < b.Campaign.rr_throughput))
+    report.Campaign.cr_baseline report.Campaign.cr_faulty;
+  (* the report renders with per-run rows and a summary *)
+  let table = Campaign.render report in
+  Testutil.check_contains "table names the net" table "pipeline3";
+  Testutil.check_contains "table has a mean row" table "mean";
+  let csv = Campaign.render_csv report in
+  Alcotest.(check int) "csv rows" 4
+    (List.length
+       (String.split_on_char '\n' (String.trim csv)))
+
+let test_activation_probability () =
+  let net = heartbeat () in
+  let prng = Pnut_core.Prng.create 1 in
+  let off = Fault.compile ~prng net [ stuck ~p:0.0 "beat" ] in
+  Alcotest.(check int) "p=0 never activates" 0
+    (List.length (Fault.active_specs off));
+  let on = Fault.compile ~prng net [ stuck ~p:1.0 "beat" ] in
+  Alcotest.(check int) "p=1 always activates" 1
+    (List.length (Fault.active_specs on))
+
+let test_campaign_deterministic () =
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let specs = Fault.parse "delay-scale End_prefetch factor 2 jitter 0.3" in
+  let go () =
+    Campaign.render (Campaign.run ~seed:9 ~runs:2 ~until:500.0 net specs)
+  in
+  Alcotest.(check string) "same seed, same report" (go ()) (go ())
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "specs",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "round-trip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "validation" `Quick test_validate_unknown_names;
+          Alcotest.test_case "activation probability" `Quick
+            test_activation_probability;
+        ] );
+      ( "kinds",
+        [
+          Alcotest.test_case "stuck transition" `Quick test_stuck_transition;
+          Alcotest.test_case "drop tokens" `Quick test_drop_tokens;
+          Alcotest.test_case "spurious tokens" `Quick test_spurious_tokens;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "delay-scale degradation" `Slow
+            test_delay_scale_campaign;
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+        ] );
+    ]

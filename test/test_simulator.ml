@@ -136,8 +136,11 @@ let test_zero_delay_livelock_detected () =
   let st = Sim.create ~max_instant_firings:100 net in
   (match Sim.run ~until:10.0 st with
   | _ -> Alcotest.fail "expected livelock error"
-  | exception Sim.Sim_error msg ->
-    Testutil.check_contains "error message" msg "livelock")
+  | exception Sim.Sim_error (Sim.Livelock { firings; _ } as e) ->
+    Alcotest.(check int) "firing cap" 100 firings;
+    Testutil.check_contains "error message" (Sim.error_message e) "livelock"
+  | exception Sim.Sim_error e ->
+    Alcotest.failf "wrong error: %s" (Sim.error_message e))
 
 let test_timed_self_loop_ok () =
   (* The same loop with a firing time is fine: it just beats at 1 Hz. *)
@@ -370,8 +373,11 @@ let test_action_error_surfaces () =
   let net = B.build b in
   match Sim.trace ~until:10.0 net with
   | _ -> Alcotest.fail "expected Sim_error"
-  | exception Sim.Sim_error msg ->
-    Testutil.check_contains "message" msg "out of bounds"
+  | exception Sim.Sim_error (Sim.Action_error { transition; _ } as e) ->
+    Alcotest.(check string) "culprit" "boom" transition;
+    Testutil.check_contains "message" (Sim.error_message e) "out of bounds"
+  | exception Sim.Sim_error e ->
+    Alcotest.failf "wrong error: %s" (Sim.error_message e)
 
 let test_capacity_monitoring () =
   (* a producer overfilling a capacity-2 place: silent by default, a
@@ -394,9 +400,15 @@ let test_capacity_monitoring () =
   let st2 = Sim.create ~check_capacities:true (make ()) in
   match Sim.run ~until:100.0 st2 with
   | _ -> Alcotest.fail "expected capacity violation"
-  | exception Sim.Sim_error msg ->
+  | exception Sim.Sim_error (Sim.Capacity_violation { place; capacity; _ } as e)
+    ->
+    Alcotest.(check string) "place" "buf" place;
+    Alcotest.(check int) "capacity" 2 capacity;
+    let msg = Sim.error_message e in
     Testutil.check_contains "message" msg "capacity violation: place buf";
     Testutil.check_contains "culprit" msg "after fill fired"
+  | exception Sim.Sim_error e ->
+    Alcotest.failf "wrong error: %s" (Sim.error_message e)
 
 let test_manual_fire_api () =
   let net = one_shot_net ~firing:Net.Zero ~enabling:Net.Zero in
@@ -416,6 +428,117 @@ let test_tokens_accessor () =
   Alcotest.(check int) "initial q" 0 (Sim.tokens st "q");
   Alcotest.check_raises "unknown place" Not_found (fun () ->
       ignore (Sim.tokens st "nope"))
+
+(* -- robustness: deadlock diagnosis, watchdog, checkpoint/restore -- *)
+
+let test_deadlock_diagnosis () =
+  (* one transition starved, one self-inhibited, one with a false
+     predicate: the diagnosis must name the exact blocker of each *)
+  let b = B.create "dead" in
+  let fuel = B.add_place b "fuel" in
+  let full = B.add_place b "full" ~initial:2 in
+  let out = B.add_place b "out" in
+  let _ = B.add_transition b "go" ~inputs:[ (fuel, 1) ] ~outputs:[ (out, 1) ] in
+  let _ =
+    B.add_transition b "stall" ~inputs:[ (full, 1) ]
+      ~inhibitors:[ (full, 1) ] ~outputs:[ (out, 1) ]
+  in
+  let _ =
+    B.add_transition b "guarded" ~inputs:[ (full, 1) ]
+      ~predicate:(Expr.bool false) ~outputs:[ (out, 1) ]
+  in
+  let net = B.build b in
+  let st = Sim.create net in
+  let outcome = Sim.run ~until:50.0 st in
+  Alcotest.(check bool) "dead" true (outcome.Sim.stop = Sim.Dead);
+  let d = Sim.diagnose st in
+  let reasons name =
+    (List.find (fun t -> t.Sim.td_name = name) d.Sim.dg_transitions)
+      .Sim.td_reasons
+  in
+  (match reasons "go" with
+  | [ Sim.Missing_tokens { place = "fuel"; have = 0; need = 1 } ] -> ()
+  | _ -> Alcotest.fail "go should report missing fuel");
+  (match reasons "stall" with
+  | [ Sim.Inhibited { place = "full"; have = 2; limit = 1 } ] -> ()
+  | _ -> Alcotest.fail "stall should report the inhibitor");
+  (match reasons "guarded" with
+  | [ Sim.Predicate_false _ ] -> ()
+  | _ -> Alcotest.fail "guarded should report its predicate");
+  let rendered = Format.asprintf "%a" Sim.pp_diagnosis d in
+  Testutil.check_contains "names the starved place" rendered "fuel";
+  Testutil.check_contains "names the inhibitor" rendered "full"
+
+let test_watchdog_fires () =
+  (* a 1 Hz self-loop never dies; with a zero wall budget the watchdog
+     must abort the unbounded run instead of hanging *)
+  let b = B.create "spin" in
+  let p = B.add_place b "p" ~initial:1 in
+  let _ =
+    B.add_transition b "beat" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ]
+      ~firing:(Net.Const 1.0)
+  in
+  let net = B.build b in
+  let st = Sim.create net in
+  match Sim.run ~until:infinity ~wall_limit_s:0.0 st with
+  | _ -> Alcotest.fail "expected watchdog abort"
+  | exception Sim.Sim_error (Sim.Watchdog { wall_seconds; _ } as e) ->
+    Alcotest.(check (float 0.0)) "budget" 0.0 wall_seconds;
+    Testutil.check_contains "message" (Sim.error_message e) "watchdog"
+  | exception Sim.Sim_error e ->
+    Alcotest.failf "wrong error: %s" (Sim.error_message e)
+
+let suffix_of trace ~after =
+  Array.to_list (Trace.deltas trace)
+  |> List.filter (fun d -> d.Trace.d_time > after)
+  |> List.map (fun d ->
+         Format.asprintf "%g %s #%d %s"
+           d.Trace.d_time
+           (match d.Trace.d_kind with
+           | Trace.Fire_start -> "start"
+           | Trace.Fire_end -> "end")
+           d.Trace.d_transition
+           (String.concat ","
+              (List.map
+                 (fun (p, dl) -> Printf.sprintf "%d:%+d" p dl)
+                 d.Trace.d_marking)))
+
+let test_checkpoint_restore_identical () =
+  (* pause the pipeline model mid-run, serialize the checkpoint through
+     its textual codec, restore, and compare against the uninterrupted
+     run: the trace suffixes must match event for event *)
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let cut = 150.0 and stop = 300.0 in
+  let full_sink, full_get = Trace.collector () in
+  let st = Sim.create ~seed:11 ~sink:full_sink net in
+  let _ = Sim.run ~until:stop st in
+  let uninterrupted = full_get () in
+  (* same seed, but stop at the cut and snapshot *)
+  let st1 = Sim.create ~seed:11 net in
+  let _ = Sim.run ~until:cut ~finish:false st1 in
+  let ck = Sim.checkpoint st1 in
+  let text = Pnut_sim.Checkpoint.to_string ck in
+  let ck = Pnut_sim.Checkpoint.of_string text in
+  let rest_sink, rest_get = Trace.collector () in
+  let st2 = Sim.restore ~sink:rest_sink net ck in
+  Alcotest.(check (float 0.0)) "clock restored" cut (Sim.clock st2);
+  let _ = Sim.run ~until:stop st2 in
+  let resumed = rest_get () in
+  let expected = suffix_of uninterrupted ~after:cut in
+  let got = suffix_of resumed ~after:cut in
+  Alcotest.(check bool) "suffix is non-trivial" true (List.length expected > 10);
+  Alcotest.(check (list string)) "identical suffix" expected got
+
+let test_restore_rejects_wrong_net () =
+  let net = one_shot_net ~firing:Net.Zero ~enabling:(Net.Const 1.0) in
+  let st = Sim.create net in
+  let ck = Sim.checkpoint st in
+  let other = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  match Sim.restore other ck with
+  | _ -> Alcotest.fail "expected restore error"
+  | exception Sim.Sim_error (Sim.Restore_error _) -> ()
+  | exception Sim.Sim_error e ->
+    Alcotest.failf "wrong error: %s" (Sim.error_message e)
 
 let () =
   Alcotest.run "simulator"
@@ -461,4 +584,13 @@ let () =
       ( "interpreted",
         [ Alcotest.test_case "predicates and actions" `Quick test_predicates_and_actions ]
       );
+      ( "robustness",
+        [
+          Alcotest.test_case "deadlock diagnosis" `Quick test_deadlock_diagnosis;
+          Alcotest.test_case "watchdog" `Quick test_watchdog_fires;
+          Alcotest.test_case "checkpoint restore" `Quick
+            test_checkpoint_restore_identical;
+          Alcotest.test_case "restore wrong net" `Quick
+            test_restore_rejects_wrong_net;
+        ] );
     ]
