@@ -574,7 +574,147 @@ let shape_verdicts () =
     (if !failures = 0 then "All shape verdicts PASS."
      else Printf.sprintf "%d shape verdict(s) FAILED." !failures)
 
-let () =
+(* -- Machine-readable parallel benchmarks (--bench-json) -- *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* The pre-hashconsing reachability construction: states keyed by
+   [Marking.to_key m ^ "|" ^ Env.snapshot env] strings.  Kept here (and
+   only here) as the baseline the structural keys are measured
+   against. *)
+let legacy_string_key_build ?(max_states = 100_000) net =
+  let key m env =
+    Pnut_core.Marking.to_key m ^ "|" ^ Pnut_core.Env.snapshot env
+  in
+  let index = Hashtbl.create 1024 in
+  let n = ref 0 in
+  let m0 = Net.initial_marking net in
+  let env0 = Net.initial_env net in
+  Hashtbl.replace index (key m0 env0) !n;
+  incr n;
+  let q = Queue.create () in
+  Queue.add (m0, env0) q;
+  while not (Queue.is_empty q) do
+    let m, env = Queue.pop q in
+    Array.iter
+      (fun tr ->
+        if Net.enabled net m env tr then begin
+          let m' = Pnut_core.Marking.copy m in
+          let env' = Pnut_core.Env.copy env in
+          Net.consume net m' tr;
+          Net.produce net m' tr;
+          Pnut_core.Expr.run_stmts env' tr.Net.t_action;
+          let k = key m' env' in
+          if (not (Hashtbl.mem index k)) && !n < max_states then begin
+            Hashtbl.replace index k !n;
+            incr n;
+            Queue.add (m', env') q
+          end
+        end)
+      (Net.transitions net)
+  done;
+  !n
+
+let bench_json ~quick ~file () =
+  let cores = Domain.recommended_domain_count () in
+  let job_counts = [ 1; 2; 4 ] in
+  let b = Buffer.create 4096 in
+  (* replicate sweep *)
+  let rep_runs = if quick then 16 else 64 in
+  let rep_until = if quick then 1_000.0 else 2_000.0 in
+  let net = Model.full default in
+  let read r = Stat.throughput r "Issue" in
+  let rep =
+    List.map
+      (fun jobs ->
+        let e, s =
+          wall (fun () ->
+              Pnut_stat.Replication.replicate ~seed:7 ~jobs ~runs:rep_runs
+                ~until:rep_until net read)
+        in
+        (jobs, e, s))
+      job_counts
+  in
+  let _, e1, rep_serial_s = List.hd rep in
+  let rep_identical = List.for_all (fun (_, e, _) -> e = e1) rep in
+  (* reachability: legacy string keys vs hashconsed, serial vs parallel *)
+  let reach_cap = if quick then 10_000 else 20_000 in
+  let legacy_states, legacy_s =
+    wall (fun () -> legacy_string_key_build ~max_states:reach_cap net)
+  in
+  let reach =
+    List.map
+      (fun jobs ->
+        let g, s =
+          wall (fun () ->
+              Pnut_reach.Graph.build ~max_states:reach_cap ~jobs net)
+        in
+        (jobs, Pnut_reach.Graph.num_states g, s))
+      job_counts
+  in
+  let _, hc_states, hc_serial_s = List.hd reach in
+  (* raw simulation events/sec (single stream; the per-run engine) *)
+  let sim_until = if quick then 2_000.0 else 10_000.0 in
+  let outcome, sim_s =
+    wall (fun () -> Sim.simulate ~seed:42 ~until:sim_until net)
+  in
+  let events = outcome.Sim.started in
+  (* emit *)
+  let rate count s = if s > 0.0 then float_of_int count /. s else 0.0 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"bench\": \"pr2\",\n";
+  Printf.bprintf b "  \"model\": \"pipeline (Model.full default)\",\n";
+  Printf.bprintf b "  \"cores\": %d,\n" cores;
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Printf.bprintf b "  \"replicate\": {\n";
+  Printf.bprintf b "    \"runs\": %d,\n" rep_runs;
+  Printf.bprintf b "    \"until\": %g,\n" rep_until;
+  Printf.bprintf b "    \"identical_across_jobs\": %b,\n" rep_identical;
+  Printf.bprintf b "    \"sweep\": [\n";
+  List.iteri
+    (fun i (jobs, _, s) ->
+      Printf.bprintf b
+        "      { \"jobs\": %d, \"seconds\": %.6f, \"speedup\": %.3f }%s\n" jobs
+        s
+        (if s > 0.0 then rep_serial_s /. s else 0.0)
+        (if i = List.length rep - 1 then "" else ","))
+    rep;
+  Printf.bprintf b "    ]\n  },\n";
+  Printf.bprintf b "  \"reach\": {\n";
+  Printf.bprintf b "    \"max_states\": %d,\n" reach_cap;
+  Printf.bprintf b
+    "    \"legacy_string_keys\": { \"states\": %d, \"seconds\": %.6f, \
+     \"states_per_sec\": %.0f },\n"
+    legacy_states legacy_s (rate legacy_states legacy_s);
+  Printf.bprintf b "    \"hashconsed\": [\n";
+  List.iteri
+    (fun i (jobs, states, s) ->
+      Printf.bprintf b
+        "      { \"jobs\": %d, \"states\": %d, \"seconds\": %.6f, \
+         \"states_per_sec\": %.0f, \"speedup_vs_legacy\": %.3f }%s\n"
+        jobs states s (rate states s)
+        (if s > 0.0 then legacy_s /. s else 0.0)
+        (if i = List.length reach - 1 then "" else ","))
+    reach;
+  Printf.bprintf b "    ],\n";
+  Printf.bprintf b
+    "    \"hashconsed_serial_faster_than_legacy\": %b\n" (hc_serial_s < legacy_s);
+  Printf.bprintf b "  },\n";
+  Printf.bprintf b
+    "  \"sim\": { \"until\": %g, \"events\": %d, \"seconds\": %.6f, \
+     \"events_per_sec\": %.0f }\n"
+    sim_until events sim_s (rate events sim_s);
+  Printf.bprintf b "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s (cores=%d, reach %d vs %d states, identical=%b)\n"
+    file cores legacy_states hc_states rep_identical
+
+let run_figures () =
   figure_1_to_3 ();
   figure_4 ();
   figure_5 ();
@@ -593,3 +733,17 @@ let () =
   bechamel_micro ();
   shape_verdicts ();
   print_newline ()
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let rec json_file = function
+    | "--bench-json" :: next :: _ when String.length next > 0 && next.[0] <> '-'
+      ->
+      Some next
+    | "--bench-json" :: _ -> Some "BENCH_pr2.json"
+    | _ :: rest -> json_file rest
+    | [] -> None
+  in
+  match json_file argv with
+  | Some file -> bench_json ~quick:(List.mem "--quick" argv) ~file ()
+  | None -> run_figures ()

@@ -61,6 +61,20 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
          ~doc:"Random seed for the simulation experiment.")
 
+let jobs_arg =
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | Some _ -> Error (`Msg "worker count must be >= 0")
+      | None -> Error (`Msg (Printf.sprintf "invalid worker count %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt jobs_conv 0 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains (0 = auto: $(b,PNUT_JOBS) or the core \
+               count).  Results are identical for every value.")
+
 let until_arg =
   Arg.(value & opt (some float) None & info [ "until" ] ~docv:"T"
          ~doc:"Simulate until the clock reaches T.")
@@ -293,7 +307,7 @@ let faults_cmd =
                  died.")
   in
   let run path seed spec_file inline_faults runs until observe csv wall_limit
-      explain =
+      explain jobs =
     let net = load_net path in
     let file_specs =
       match spec_file with
@@ -315,7 +329,7 @@ let faults_cmd =
     if specs = [] then die "no faults given: pass --spec FILE or --fault SPEC";
     match
       Pnut_fault.Campaign.run ~seed ~runs ~until ?observe
-        ?wall_limit_s:wall_limit net specs
+        ?wall_limit_s:wall_limit ~jobs net specs
     with
     | report ->
       print_string
@@ -340,7 +354,7 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(const run $ net_arg $ seed_arg $ spec_file $ inline_faults $ runs
-          $ until $ observe $ csv $ wall_limit $ explain)
+          $ until $ observe $ csv $ wall_limit $ explain $ jobs_arg)
 
 (* -- pnut stat -- *)
 
@@ -483,13 +497,13 @@ let reach_cmd =
                  (inev/alw are branching-time AF/AG), e.g. \
                  'forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]'.")
   in
-  let run path timed max_states ctl query =
+  let run path timed max_states ctl query jobs =
     let net = load_net path in
     if timed then
-      let g = Pnut_reach.Timed.build ~max_states net in
+      let g = Pnut_reach.Timed.build ~max_states ~jobs net in
       Format.printf "%a@." Pnut_reach.Timed.pp_summary g
     else begin
-      let g = Pnut_reach.Graph.build ~max_states net in
+      let g = Pnut_reach.Graph.build ~max_states ~jobs net in
       Format.printf "%a@." Pnut_reach.Graph.pp_summary g;
       let failures = ref 0 in
       List.iter
@@ -513,7 +527,7 @@ let reach_cmd =
     end
   in
   Cmd.v (Cmd.info "reach" ~doc)
-    Term.(const run $ net_arg $ timed $ max_states $ ctl $ query)
+    Term.(const run $ net_arg $ timed $ max_states $ ctl $ query $ jobs_arg)
 
 (* -- pnut invariants -- *)
 
@@ -684,13 +698,14 @@ let replicate_cmd =
     Arg.(value & opt float 0.95 & info [ "confidence" ] ~docv:"LEVEL"
            ~doc:"0.90, 0.95 or 0.99.")
   in
-  let run path seed runs until place transition confidence =
+  let run path seed runs until place transition confidence jobs =
     let net = load_net path in
     if place = [] && transition = [] then
       die "nothing to estimate: pass --place and/or --throughput";
     let estimate what read =
       match
-        Pnut_stat.Replication.replicate ~seed ~confidence ~runs ~until net read
+        Pnut_stat.Replication.replicate ~seed ~confidence ~jobs ~runs ~until
+          net read
       with
       | e -> Format.printf "%-40s %a@." what Pnut_stat.Replication.pp e
       | exception Not_found -> die "unknown place/transition in %s" what
@@ -706,7 +721,7 @@ let replicate_cmd =
   in
   Cmd.v (Cmd.info "replicate" ~doc)
     Term.(const run $ net_arg $ seed_arg $ runs $ until $ place $ transition
-          $ confidence)
+          $ confidence $ jobs_arg)
 
 (* -- pnut cycle -- *)
 

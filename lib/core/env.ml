@@ -89,4 +89,38 @@ let snapshot env =
   List.iter add_table (tables env);
   Buffer.contents buf
 
-let equal a b = String.equal (snapshot a) (snapshot b)
+(* Structural equality over the canonical (sorted) views.  The previous
+   snapshot-string comparison aliased distinct environments whose names
+   contain the separator characters — e.g. the single binding
+   ["a=1;b" = 2] against the pair [a = 1; b = 2]. *)
+
+let bindings_equal a b =
+  List.equal
+    (fun (ka, va) (kb, vb) -> String.equal ka kb && Value.equal va vb)
+    a b
+
+let tables_equal a b =
+  List.equal
+    (fun (ka, va) (kb, vb) ->
+      String.equal ka kb
+      && Array.length va = Array.length vb
+      && Array.for_all2 Value.equal va vb)
+    a b
+
+let equal a b =
+  bindings_equal (bindings a) (bindings b) && tables_equal (tables a) (tables b)
+
+let hash env =
+  let h = ref 17 in
+  let mix v = h := (!h * 31) lxor v in
+  List.iter
+    (fun (k, v) ->
+      mix (Hashtbl.hash k);
+      mix (Value.hash v))
+    (bindings env);
+  List.iter
+    (fun (k, arr) ->
+      mix (Hashtbl.hash k);
+      Array.iter (fun v -> mix (Value.hash v)) arr)
+    (tables env);
+  !h land max_int

@@ -42,9 +42,17 @@ val tables : t -> (string * Value.t array) list
 (** Current tables, sorted by name; arrays are copies. *)
 
 val snapshot : t -> string
-(** Canonical serialization of the full environment state, usable as a
-    hash key in reachability analysis. *)
+(** Human-readable serialization of the full environment state (trace
+    and debug output).  {b Not} injective — names containing [=], [;]
+    or [,] can make distinct environments render alike — so state-space
+    exploration keys on {!hash}/{!equal}, not on this string. *)
 
 val equal : t -> t -> bool
+(** Structural equality over sorted bindings and tables (values compared
+    with {!Value.equal}). *)
+
+val hash : t -> int
+(** Structural hash compatible with {!equal}; folds over every binding
+    and table cell. *)
 
 exception Unbound of string

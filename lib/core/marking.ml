@@ -33,7 +33,13 @@ let equal (a : t) b = a = b
 
 let compare (a : t) b = Stdlib.compare a b
 
-let hash (m : t) = Hashtbl.hash m
+(* Fold over every place: [Hashtbl.hash] only samples a prefix of the
+   array, which collides badly on large nets during state-space
+   exploration. *)
+let hash (m : t) =
+  let h = ref (Array.length m) in
+  Array.iter (fun c -> h := (!h * 31) + c) m;
+  !h land max_int
 
 let total m = Array.fold_left ( + ) 0 m
 

@@ -9,6 +9,10 @@ type t =
 val equal : t -> t -> bool
 (** Structural equality with numeric promotion: [Int 1] equals [Float 1.]. *)
 
+val hash : t -> int
+(** Compatible with {!equal}: numerically equal values hash alike
+    ([Int 1] and [Float 1.] collide on purpose). *)
+
 val compare_num : t -> t -> int
 (** Numeric comparison; raises [Type_error] on booleans. *)
 

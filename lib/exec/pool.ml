@@ -1,0 +1,58 @@
+let max_workers = 64
+
+let env_jobs () =
+  match Sys.getenv_opt "PNUT_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let auto () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let resolve ?jobs () =
+  let n =
+    match jobs with
+    | Some n when n >= 1 -> n
+    | Some 0 -> auto ()
+    | Some n -> invalid_arg (Printf.sprintf "Pool: jobs must be >= 0, got %d" n)
+    | None -> ( match env_jobs () with Some n -> n | None -> 1)
+  in
+  min n max_workers
+
+(* Worker [d] computes tasks d, d+jobs, d+2*jobs, ...  Results and
+   exceptions land in per-index slots, so no two domains ever write the
+   same cell and the merge is a plain in-order scan. *)
+let run_striped jobs n f =
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let worker d =
+    let i = ref d in
+    while !i < n do
+      (try results.(!i) <- Some (f !i) with e -> errors.(!i) <- Some e);
+      i := !i + jobs
+    done
+  in
+  let spawned =
+    List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+  in
+  worker 0;
+  List.iter Domain.join spawned;
+  for i = 0 to n - 1 do
+    match errors.(i) with Some e -> raise e | None -> ()
+  done;
+  Array.map
+    (function Some v -> v | None -> assert false (* no error, so filled *))
+    results
+
+let init ?jobs n f =
+  if n < 0 then invalid_arg "Pool.init: negative size";
+  let jobs = min (resolve ?jobs ()) (max 1 n) in
+  if jobs <= 1 then Array.init n f else run_striped jobs n f
+
+let map_list ?jobs f l =
+  let arr = Array.of_list l in
+  Array.to_list (init ?jobs (Array.length arr) (fun i -> f arr.(i)))

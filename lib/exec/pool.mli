@@ -1,0 +1,40 @@
+(** Deterministic multicore execution.
+
+    A small [Domain]-based worker pool for the embarrassingly parallel
+    hot paths (independent replications, fault campaigns, frontier
+    expansion in reachability).  Work is assigned statically: task [i]
+    always runs the same computation regardless of how many workers
+    exist, and results are collected into an array indexed by task
+    number, so the output of every pool operation is {e bit-identical}
+    for any [jobs] value.  Parallelism changes wall-clock time only.
+
+    Jobs resolution, everywhere a [?jobs] argument appears in the
+    library:
+    - [Some n] with [n >= 1]: exactly [n] workers;
+    - [Some 0]: auto — [PNUT_JOBS] if set, else
+      [Domain.recommended_domain_count ()];
+    - [None]: [PNUT_JOBS] if set, else [1] (serial).  The conservative
+      library default keeps embedders single-domain unless they, or the
+      environment, opt in. *)
+
+val auto : unit -> int
+(** [PNUT_JOBS] when set to a positive integer, else
+    [Domain.recommended_domain_count ()] (at least 1). *)
+
+val resolve : ?jobs:int -> unit -> int
+(** Resolve a [?jobs] argument to a concrete worker count (see the
+    table above).  Raises [Invalid_argument] on a negative count.
+    The result is clamped to at most 64 workers. *)
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [[| f 0; ...; f (n-1) |]], computed by [jobs]
+    domains with a static round-robin assignment (worker [d] runs the
+    tasks [i] with [i mod jobs = d]).  [f] must not depend on shared
+    mutable state.  If several tasks raise, the exception of the
+    {e lowest-numbered} task is re-raised after all workers join, so
+    failures are deterministic too.  With one worker (or fewer than two
+    tasks) everything runs inline in the calling domain — no spawns. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~jobs f l] maps [f] over [l] in parallel, preserving
+    order; same guarantees as {!init}. *)

@@ -120,8 +120,8 @@ let fault_error fmt =
     (fun s -> raise (Simulator.Sim_error (Simulator.Fault_error s)))
     fmt
 
-let run ?(seed = 1) ?(runs = 5) ?(until = 10_000.0) ?observe ?wall_limit_s net
-    specs =
+let run ?(seed = 1) ?(runs = 5) ?(until = 10_000.0) ?observe ?wall_limit_s
+    ?jobs net specs =
   if runs <= 0 then invalid_arg "Campaign.run: runs must be positive";
   if until <= 0.0 then invalid_arg "Campaign.run: horizon must be positive";
   Fault.validate net specs;
@@ -130,30 +130,53 @@ let run ?(seed = 1) ?(runs = 5) ?(until = 10_000.0) ?observe ?wall_limit_s net
     fault_error "net %s has no transition %S to observe" (Net.name net) name
   | Some _ | None -> ());
   let master = Prng.create seed in
-  let dropped = ref 0 and injected = ref 0 in
-  let pairs =
-    List.init runs (fun i ->
-        (* Per run: one stream for the experiment randomness (shared by
-           the baseline and the faulty twin so they are comparable) and
-           an independent one for fault activation and jitter. *)
+  (* Per run: one stream for the experiment randomness (shared by the
+     baseline and the faulty twin so they are comparable) and an
+     independent one for fault activation and jitter.  All streams are
+     split from the master up front, in run order, so the campaign is
+     bit-identical for every [jobs] value. *)
+  let streams =
+    Array.init runs (fun _ ->
         let sim_stream = Prng.split master in
         let fault_stream = Prng.split master in
+        (sim_stream, fault_stream))
+  in
+  let results =
+    Pnut_exec.Pool.init ?jobs runs (fun i ->
+        let sim_stream, fault_stream = streams.(i) in
         let baseline =
           one_run ?wall_limit_s ~prng:(Prng.copy sim_stream) ~until
             ~compiled:None net
         in
-        (match baseline.raw_class with
-        | Errored msg ->
-          fault_error "baseline run %d failed without any fault: %s" (i + 1) msg
-        | Completed | Deadlocked _ -> ());
         let compiled = Fault.compile ~prng:fault_stream net specs in
         let faulty =
           one_run ?wall_limit_s ~prng:(Prng.copy sim_stream) ~until
             ~compiled:(Some compiled) net
         in
-        dropped := !dropped + Fault.tokens_dropped compiled;
-        injected := !injected + Fault.tokens_injected compiled;
-        (baseline, faulty))
+        (* The hooks mutate [compiled] during the run; read the counters
+           here, on the worker, once the faulty twin is done. *)
+        ( baseline,
+          faulty,
+          Fault.tokens_dropped compiled,
+          Fault.tokens_injected compiled ))
+  in
+  (* A baseline failure aborts the campaign; check in run order so the
+     reported run matches the serial behaviour. *)
+  Array.iteri
+    (fun i (baseline, _, _, _) ->
+      match baseline.raw_class with
+      | Errored msg ->
+        fault_error "baseline run %d failed without any fault: %s" (i + 1) msg
+      | Completed | Deadlocked _ -> ())
+    results;
+  let dropped = ref 0 and injected = ref 0 in
+  Array.iter
+    (fun (_, _, d, j) ->
+      dropped := !dropped + d;
+      injected := !injected + j)
+    results;
+  let pairs =
+    Array.to_list (Array.map (fun (b, f, _, _) -> (b, f)) results)
   in
   let observe =
     match observe with

@@ -43,6 +43,7 @@ val run :
   ?until:float ->
   ?observe:string ->
   ?wall_limit_s:float ->
+  ?jobs:int ->
   Pnut_core.Net.t ->
   Fault.spec list ->
   report
@@ -52,7 +53,12 @@ val run :
     first baseline run is picked.  [wall_limit_s] arms the per-run
     watchdog.  Simulation errors in faulty runs are caught and reported
     as [Errored]; an error in a {e baseline} run propagates, since it
-    means the model is broken without any fault. *)
+    means the model is broken without any fault.
+
+    [jobs] (resolved by {!Pnut_exec.Pool.resolve}) distributes the runs
+    over that many domains.  All random streams are split from the
+    master before any run starts and results are merged in run order,
+    so the report is bit-identical for every [jobs] value. *)
 
 val mean_throughput : run_result list -> float
 (** Mean over all runs (deadlocked runs count with their degraded

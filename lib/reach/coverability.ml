@@ -56,16 +56,22 @@ let marking_ge a b =
   Array.iteri (fun i t -> if not (token_ge t b.(i)) then ok := false) a;
   !ok
 
-let key marking =
-  let buf = Buffer.create 32 in
-  Array.iter
-    (fun t ->
-      (match t with
-      | Finite n -> Buffer.add_string buf (string_of_int n)
-      | Omega -> Buffer.add_char buf 'w');
-      Buffer.add_char buf ',')
-    marking;
-  Buffer.contents buf
+(* ω-markings keyed structurally: no string rendering, and a hash that
+   folds over every place (the generic [Hashtbl.hash] only samples a
+   prefix). *)
+module Mark_tbl = Hashtbl.Make (struct
+  type t = token array
+
+  let equal (a : t) b = a = b
+
+  let hash (m : t) =
+    let h = ref (Array.length m) in
+    Array.iter
+      (fun t ->
+        h := (!h * 31) + (match t with Finite n -> n | Omega -> -1))
+      m;
+    !h land max_int
+end)
 
 let enabled marking tr =
   List.for_all
@@ -111,7 +117,7 @@ let build ?(max_states = 100_000) net =
     Array.map (fun c -> Finite c)
       (Pnut_core.Marking.to_array (Net.initial_marking net))
   in
-  let index = Hashtbl.create 256 in
+  let index = Mark_tbl.create 256 in
   let nodes = ref [] in
   let n = ref 0 in
   let truncated = ref false in
@@ -119,13 +125,13 @@ let build ?(max_states = 100_000) net =
   (* work items carry the node index and the ancestor chain of
      ω-markings *)
   let intern marking =
-    let k = key marking in
-    match Hashtbl.find_opt index k with
+    match Mark_tbl.find_opt index marking with
     | Some i -> (i, false)
     | None ->
       let i = !n in
-      Hashtbl.replace index k i;
-      nodes := { n_index = i; n_marking = Array.copy marking } :: !nodes;
+      let marking = Array.copy marking in
+      Mark_tbl.replace index marking i;
+      nodes := { n_index = i; n_marking = marking } :: !nodes;
       incr n;
       (i, true)
   in

@@ -56,66 +56,99 @@ let stochastic_parts net =
          in
          pred_bad @ action_bad)
 
-(* Canonical key of a (marking, env) pair. *)
-let key marking env = Marking.to_key marking ^ "|" ^ Env.snapshot env
+(* Successors of one concrete state: fire every enabled transition on
+   fresh copies and snapshot the result into a hashconsed key.  Pure
+   (reads the net, touches only the copies), so frontier states can be
+   expanded on worker domains. *)
+let expand net marking env =
+  let out = ref [] in
+  Array.iter
+    (fun tr ->
+      if Net.enabled net marking env tr then begin
+        let m' = Marking.copy marking in
+        let env' = Env.copy env in
+        Net.consume net m' tr;
+        Net.produce net m' tr;
+        Expr.run_stmts env' tr.Net.t_action;
+        out := (tr.Net.t_id, Statekey.make m' env', m', env') :: !out
+      end)
+    (Net.transitions net);
+  List.rev !out
 
-let build ?(max_states = 100_000) net =
+let build ?(max_states = 100_000) ?jobs net =
   (match stochastic_parts net with
   | [] -> ()
   | bad ->
     invalid_arg
       ("Reach.Graph.build: stochastic predicate/action on transitions: "
       ^ String.concat ", " (List.sort_uniq String.compare bad)));
-  let index = Hashtbl.create 1024 in
+  let jobs = Pnut_exec.Pool.resolve ?jobs () in
+  let index = Statekey.Tbl.create 1024 in
   let states = ref [] in
   let n_states = ref 0 in
   let succ_acc = Hashtbl.create 1024 in
-  (* work items carry live marking/env copies *)
-  let queue = Queue.create () in
   let truncated = ref false in
-  let intern marking env =
-    let k = key marking env in
-    match Hashtbl.find_opt index k with
-    | Some i -> (i, false)
+  (* Intern a key, computed exactly once per explored edge.  [None]
+     means the target would be a fresh state beyond the cap: the edge
+     is dropped and the graph flagged incomplete (edges into
+     already-interned states are still recorded at the cap). *)
+  let intern k =
+    match Statekey.Tbl.find_opt index k with
+    | Some i -> Some (i, false)
     | None ->
-      let i = !n_states in
-      incr n_states;
-      Hashtbl.replace index k i;
-      states :=
-        {
-          s_index = i;
-          s_marking = Marking.to_array marking;
-          s_env = Env.bindings env;
-        }
-        :: !states;
-      (i, true)
+      if !n_states >= max_states then begin
+        truncated := true;
+        None
+      end
+      else begin
+        let i = !n_states in
+        incr n_states;
+        Statekey.Tbl.replace index k i;
+        states :=
+          { s_index = i; s_marking = k.Statekey.k_marking;
+            s_env = k.Statekey.k_bindings }
+          :: !states;
+        Some (i, true)
+      end
   in
   let m0 = Net.initial_marking net in
   let env0 = Net.initial_env net in
-  let i0, _ = intern m0 env0 in
-  assert (i0 = 0);
-  Queue.add (i0, m0, env0) queue;
-  while not (Queue.is_empty queue) do
-    let i, marking, env = Queue.pop queue in
-    let fire tr =
-      let m' = Marking.copy marking in
-      let env' = Env.copy env in
-      Net.consume net m' tr;
-      Net.produce net m' tr;
-      Expr.run_stmts env' tr.Net.t_action;
-      if !n_states >= max_states && not (Hashtbl.mem index (key m' env')) then
-        truncated := true
-      else begin
-        let j, fresh = intern m' env' in
-        Hashtbl.replace succ_acc i
-          ({ e_from = i; e_transition = tr.Net.t_id; e_to = j }
-          :: (try Hashtbl.find succ_acc i with Not_found -> []));
-        if fresh then Queue.add (j, m', env') queue
-      end
+  (match intern (Statekey.make m0 env0) with
+  | Some (0, true) -> ()
+  | Some _ | None -> assert false);
+  (* Breadth-first by layers.  Workers expand the frontier in parallel
+     (the expensive part: enabling tests, predicate/action evaluation,
+     structural hashing); the single interning pass then walks the
+     results in frontier order, so state numbering, edge order and
+     truncation behaviour are identical to the serial construction for
+     every [jobs] value. *)
+  let frontier = ref [ (0, m0, env0) ] in
+  while !frontier <> [] do
+    let layer = Array.of_list !frontier in
+    let expanded =
+      if jobs = 1 || Array.length layer < 2 then
+        Array.map (fun (_, m, e) -> expand net m e) layer
+      else
+        Pnut_exec.Pool.init ~jobs (Array.length layer) (fun x ->
+            let _, m, e = layer.(x) in
+            expand net m e)
     in
-    Array.iter
-      (fun tr -> if Net.enabled net marking env tr then fire tr)
-      (Net.transitions net)
+    let next = ref [] in
+    Array.iteri
+      (fun x succs ->
+        let i, _, _ = layer.(x) in
+        List.iter
+          (fun (tid, k, m', env') ->
+            match intern k with
+            | None -> ()
+            | Some (j, fresh) ->
+              Hashtbl.replace succ_acc i
+                ({ e_from = i; e_transition = tid; e_to = j }
+                :: (try Hashtbl.find succ_acc i with Not_found -> []));
+              if fresh then next := (j, m', env') :: !next)
+          succs)
+      expanded;
+    frontier := List.rev !next
   done;
   let n = !n_states in
   let states_arr = Array.make n { s_index = 0; s_marking = [||]; s_env = [] } in

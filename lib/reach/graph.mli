@@ -24,9 +24,14 @@ type edge = {
 
 type t
 
-val build : ?max_states:int -> Pnut_core.Net.t -> t
+val build : ?max_states:int -> ?jobs:int -> Pnut_core.Net.t -> t
 (** Default cap: 100_000 states.  Raises [Invalid_argument] if the net
-    has stochastic predicates or actions. *)
+    has stochastic predicates or actions.
+
+    [jobs] (resolved by {!Pnut_exec.Pool.resolve}) expands the BFS
+    frontier on that many domains; interning stays sequential in
+    frontier order, so the resulting graph — state numbering, edge
+    order, truncation — is identical for every [jobs] value. *)
 
 val net : t -> Pnut_core.Net.t
 val complete : t -> bool

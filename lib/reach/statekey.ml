@@ -1,0 +1,61 @@
+module Marking = Pnut_core.Marking
+module Env = Pnut_core.Env
+module Value = Pnut_core.Value
+
+type t = {
+  k_hash : int;
+  k_marking : int array;
+  k_bindings : (string * Value.t) list;
+  k_tables : (string * Value.t array) list;
+  k_clocks : string;
+}
+
+let make ?(clocks = "") marking env =
+  let km = Marking.to_array marking in
+  let kb = Env.bindings env in
+  let kt = Env.tables env in
+  let h = ref (Array.length km) in
+  let mix v = h := (!h * 31) lxor v in
+  Array.iter mix km;
+  List.iter
+    (fun (k, v) ->
+      mix (Hashtbl.hash k);
+      mix (Value.hash v))
+    kb;
+  List.iter
+    (fun (k, arr) ->
+      mix (Hashtbl.hash k);
+      Array.iter (fun v -> mix (Value.hash v)) arr)
+    kt;
+  if clocks <> "" then mix (Hashtbl.hash clocks);
+  { k_hash = !h land max_int; k_marking = km; k_bindings = kb;
+    k_tables = kt; k_clocks = clocks }
+
+let bindings_equal a b =
+  List.equal
+    (fun (ka, va) (kb, vb) -> String.equal ka kb && Value.equal va vb)
+    a b
+
+let tables_equal a b =
+  List.equal
+    (fun (ka, va) (kb, vb) ->
+      String.equal ka kb
+      && Array.length va = Array.length vb
+      && Array.for_all2 Value.equal va vb)
+    a b
+
+let equal a b =
+  a.k_hash = b.k_hash
+  && a.k_marking = b.k_marking
+  && String.equal a.k_clocks b.k_clocks
+  && bindings_equal a.k_bindings b.k_bindings
+  && tables_equal a.k_tables b.k_tables
+
+let hash k = k.k_hash
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -100,10 +100,12 @@ let refresh_pending net marking env old_pending ~restart =
 
 let float_key f = Printf.sprintf "%.9g" f
 
-let state_key marking in_flight pending env =
-  let buf = Buffer.create 64 in
-  Buffer.add_string buf (Marking.to_key marking);
-  Buffer.add_char buf '|';
+(* Canonical rendering of the two timer lists (must already be sorted).
+   Kept textual so residuals that agree to 9 significant digits keep
+   merging; marking and environment are hashed structurally by
+   {!Statekey}, never stringified. *)
+let clocks_repr in_flight pending =
+  let buf = Buffer.create 32 in
   List.iter
     (fun (t, r) -> Buffer.add_string buf (Printf.sprintf "%d:%s;" t (float_key r)))
     in_flight;
@@ -111,8 +113,6 @@ let state_key marking in_flight pending env =
   List.iter
     (fun (t, r) -> Buffer.add_string buf (Printf.sprintf "%d:%s;" t (float_key r)))
     pending;
-  Buffer.add_char buf '|';
-  Buffer.add_string buf (Env.snapshot env);
   Buffer.contents buf
 
 let sort_flight l =
@@ -121,31 +121,131 @@ let sort_flight l =
       match compare t1 t2 with 0 -> Float.compare r1 r2 | c -> c)
     l
 
-let build ?(max_states = 50_000) ?horizon net =
+(* One candidate successor: everything needed to intern it and to keep
+   exploring from it, with the state key computed exactly once. *)
+type succ = {
+  c_label : label;
+  c_marking : Marking.t;
+  c_in_flight : (Net.transition_id * float) list;  (* sorted *)
+  c_pending : (Net.transition_id * float) list;  (* sorted *)
+  c_env : Env.t;
+  c_time : float;
+  c_key : Statekey.t;
+}
+
+(* All successors of one timed state, in the fixed completion / firing /
+   tick order.  Pure with respect to shared state, so frontier states
+   can be expanded on worker domains. *)
+let successors_of net horizon (marking, in_flight, pending, env, time) =
+  let acc = ref [] in
+  let visit label marking' in_flight' pending' env' time' =
+    let in_flight' = sort_flight in_flight' in
+    let pending' = sort_flight pending' in
+    let key =
+      Statekey.make ~clocks:(clocks_repr in_flight' pending') marking' env'
+    in
+    acc :=
+      { c_label = label; c_marking = marking'; c_in_flight = in_flight';
+        c_pending = pending'; c_env = env'; c_time = time'; c_key = key }
+      :: !acc
+  in
+  (* 1. completions of in-flight firings whose residual reached zero *)
+  let completable =
+    List.filter (fun (_, r) -> Float.equal r 0.0) in_flight
+  in
+  List.iter
+    (fun (tid, _) ->
+      let tr = Net.transition net tid in
+      let m' = Marking.copy marking in
+      let env' = Env.copy env in
+      Net.produce net m' tr;
+      Expr.run_stmts env' tr.Net.t_action;
+      let remove l =
+        let rec go = function
+          | [] -> []
+          | (t, r) :: rest when t = tid && Float.equal r 0.0 -> rest
+          | x :: rest -> x :: go rest
+        in
+        go l
+      in
+      let in_flight' = remove in_flight in
+      let pending' = refresh_pending net m' env' pending ~restart:[] in
+      visit (Complete tid) m' in_flight' pending' env' time)
+    (List.sort_uniq compare completable);
+  (* 2. firings of fireable transitions *)
+  let fireable =
+    List.filter
+      (fun (tid, r) ->
+        Float.equal r 0.0
+        && Net.enabled net marking env (Net.transition net tid))
+      pending
+  in
+  List.iter
+    (fun (tid, _) ->
+      let tr = Net.transition net tid in
+      let m' = Marking.copy marking in
+      let env' = Env.copy env in
+      Net.consume net m' tr;
+      let d = det_duration env' tr.Net.t_firing in
+      if Float.equal d 0.0 then begin
+        Net.produce net m' tr;
+        Expr.run_stmts env' tr.Net.t_action;
+        let pending' = refresh_pending net m' env' pending ~restart:[ tid ] in
+        visit (Fire tid) m' in_flight pending' env' time
+      end
+      else begin
+        let in_flight' = (tid, d) :: in_flight in
+        let pending' = refresh_pending net m' env' pending ~restart:[ tid ] in
+        visit (Fire tid) m' in_flight' pending' env' time
+      end)
+    fireable;
+  (* 3. if nothing can happen now, advance time *)
+  if completable = [] && fireable = [] then begin
+    let residuals =
+      List.map snd in_flight
+      @ List.filter_map
+          (fun (_, r) -> if r > 0.0 then Some r else None)
+          pending
+    in
+    match residuals with
+    | [] -> ()  (* timed-dead state *)
+    | first :: rest ->
+      let d = List.fold_left Float.min first rest in
+      let time' = time +. d in
+      let within =
+        match horizon with None -> true | Some h -> time' <= h
+      in
+      if within then begin
+        let tick l =
+          List.map (fun (t, r) -> (t, Float.max 0.0 (r -. d))) l
+        in
+        visit (Tick d) marking (tick in_flight) (tick pending) env time'
+      end
+  end;
+  List.rev !acc
+
+let build ?(max_states = 50_000) ?jobs ?horizon net =
   check_deterministic net;
-  let index = Hashtbl.create 1024 in
+  let jobs = Pnut_exec.Pool.resolve ?jobs () in
+  let index = Statekey.Tbl.create 1024 in
   let states = ref [] in
   let n_states = ref 0 in
   let succ_acc = Hashtbl.create 1024 in
   let truncated = ref false in
-  let queue = Queue.create () in
-  let intern marking in_flight pending env =
-    let in_flight = sort_flight in_flight in
-    let pending = sort_flight pending in
-    let k = state_key marking in_flight pending env in
-    match Hashtbl.find_opt index k with
+  let intern c =
+    match Statekey.Tbl.find_opt index c.c_key with
     | Some i -> (i, false)
     | None ->
       let i = !n_states in
       incr n_states;
-      Hashtbl.replace index k i;
+      Statekey.Tbl.replace index c.c_key i;
       states :=
         {
           ts_index = i;
-          ts_marking = Marking.to_array marking;
-          ts_in_flight = in_flight;
-          ts_pending = pending;
-          ts_env = Env.bindings env;
+          ts_marking = c.c_key.Statekey.k_marking;
+          ts_in_flight = c.c_in_flight;
+          ts_pending = c.c_pending;
+          ts_env = c.c_key.Statekey.k_bindings;
         }
         :: !states;
       (i, true)
@@ -157,10 +257,14 @@ let build ?(max_states = 50_000) ?horizon net =
   in
   let m0 = Net.initial_marking net in
   let env0 = Net.initial_env net in
-  let pending0 = refresh_pending net m0 env0 [] ~restart:[] in
-  let i0, _ = intern m0 [] pending0 env0 in
+  let pending0 = sort_flight (refresh_pending net m0 env0 [] ~restart:[]) in
+  let c0 =
+    { c_label = Tick 0.0 (* unused *); c_marking = m0; c_in_flight = [];
+      c_pending = pending0; c_env = env0; c_time = 0.0;
+      c_key = Statekey.make ~clocks:(clocks_repr [] pending0) m0 env0 }
+  in
+  let i0, _ = intern c0 in
   assert (i0 = 0);
-  Queue.add (i0, m0, ([] : (int * float) list), pending0, env0, 0.0) queue;
   let room () =
     if !n_states >= max_states then begin
       truncated := true;
@@ -168,93 +272,39 @@ let build ?(max_states = 50_000) ?horizon net =
     end
     else true
   in
-  while not (Queue.is_empty queue) do
-    let i, marking, in_flight, pending, env, time = Queue.pop queue in
-    let visit label marking' in_flight' pending' env' time' =
-      let existing =
-        Hashtbl.mem index (state_key marking' (sort_flight in_flight')
-                             (sort_flight pending') env')
-      in
-      if existing || room () then begin
-        let j, fresh = intern marking' in_flight' pending' env' in
-        add_edge i label j;
-        if fresh then
-          Queue.add (j, marking', in_flight', pending', env', time') queue
-      end
+  (* Layered BFS, like {!Graph.build}: workers generate candidate
+     successors (firing semantics, pending refresh, hashing); the
+     interning pass stays sequential in frontier order, so the graph is
+     identical for every [jobs] value. *)
+  let frontier = ref [ (i0, (m0, [], pending0, env0, 0.0)) ] in
+  while !frontier <> [] do
+    let layer = Array.of_list !frontier in
+    let expanded =
+      if jobs = 1 || Array.length layer < 2 then
+        Array.map (fun (_, st) -> successors_of net horizon st) layer
+      else
+        Pnut_exec.Pool.init ~jobs (Array.length layer) (fun x ->
+            successors_of net horizon (snd layer.(x)))
     in
-    (* 1. completions of in-flight firings whose residual reached zero *)
-    let completable =
-      List.filter (fun (_, r) -> Float.equal r 0.0) in_flight
-    in
-    List.iter
-      (fun (tid, _) ->
-        let tr = Net.transition net tid in
-        let m' = Marking.copy marking in
-        let env' = Env.copy env in
-        Net.produce net m' tr;
-        Expr.run_stmts env' tr.Net.t_action;
-        let remove l =
-          let rec go = function
-            | [] -> []
-            | (t, r) :: rest when t = tid && Float.equal r 0.0 -> rest
-            | x :: rest -> x :: go rest
-          in
-          go l
-        in
-        let in_flight' = remove in_flight in
-        let pending' = refresh_pending net m' env' pending ~restart:[] in
-        visit (Complete tid) m' in_flight' pending' env' time)
-      (List.sort_uniq compare completable);
-    (* 2. firings of fireable transitions *)
-    let fireable =
-      List.filter
-        (fun (tid, r) ->
-          Float.equal r 0.0
-          && Net.enabled net marking env (Net.transition net tid))
-        pending
-    in
-    List.iter
-      (fun (tid, _) ->
-        let tr = Net.transition net tid in
-        let m' = Marking.copy marking in
-        let env' = Env.copy env in
-        Net.consume net m' tr;
-        let d = det_duration env' tr.Net.t_firing in
-        if Float.equal d 0.0 then begin
-          Net.produce net m' tr;
-          Expr.run_stmts env' tr.Net.t_action;
-          let pending' = refresh_pending net m' env' pending ~restart:[ tid ] in
-          visit (Fire tid) m' in_flight pending' env' time
-        end
-        else begin
-          let in_flight' = (tid, d) :: in_flight in
-          let pending' = refresh_pending net m' env' pending ~restart:[ tid ] in
-          visit (Fire tid) m' in_flight' pending' env' time
-        end)
-      fireable;
-    (* 3. if nothing can happen now, advance time *)
-    if completable = [] && fireable = [] then begin
-      let residuals =
-        List.map snd in_flight
-        @ List.filter_map
-            (fun (_, r) -> if r > 0.0 then Some r else None)
-            pending
-      in
-      match residuals with
-      | [] -> ()  (* timed-dead state *)
-      | first :: rest ->
-        let d = List.fold_left Float.min first rest in
-        let time' = time +. d in
-        let within =
-          match horizon with None -> true | Some h -> time' <= h
-        in
-        if within then begin
-          let tick l =
-            List.map (fun (t, r) -> (t, Float.max 0.0 (r -. d))) l
-          in
-          visit (Tick d) marking (tick in_flight) (tick pending) env time'
-        end
-    end
+    let next = ref [] in
+    Array.iteri
+      (fun x succs ->
+        let i = fst layer.(x) in
+        List.iter
+          (fun c ->
+            let existing = Statekey.Tbl.mem index c.c_key in
+            if existing || room () then begin
+              let j, fresh = intern c in
+              add_edge i c.c_label j;
+              if fresh then
+                next :=
+                  (j, (c.c_marking, c.c_in_flight, c.c_pending, c.c_env,
+                       c.c_time))
+                  :: !next
+            end)
+          succs)
+      expanded;
+    frontier := List.rev !next
   done;
   let n = !n_states in
   let states_arr =
@@ -332,7 +382,7 @@ let steady_cycle ?(max_steps = 100_000) net =
   check_deterministic net;
   let nt = Net.num_transitions net in
   let counts = Array.make nt 0 in
-  let seen = Hashtbl.create 256 in
+  let seen = Statekey.Tbl.create 256 in
   let env = Net.initial_env net in
   let marking = ref (Net.initial_marking net) in
   let in_flight = ref ([] : (int * float) list) in
@@ -390,10 +440,12 @@ let steady_cycle ?(max_steps = 100_000) net =
          | first :: rest ->
            (* stable instant: check for a repeat before ticking *)
            let key =
-             state_key !marking (sort_flight !in_flight) (sort_flight !pending)
-               env
+             Statekey.make
+               ~clocks:
+                 (clocks_repr (sort_flight !in_flight) (sort_flight !pending))
+               !marking env
            in
-           (match Hashtbl.find_opt seen key with
+           (match Statekey.Tbl.find_opt seen key with
            | Some (t0, counts0) ->
              result :=
                Some
@@ -404,7 +456,7 @@ let steady_cycle ?(max_steps = 100_000) net =
                      Array.init nt (fun i -> counts.(i) - counts0.(i));
                  }
            | None ->
-             Hashtbl.replace seen key (!clock, Array.copy counts);
+             Statekey.Tbl.replace seen key (!clock, Array.copy counts);
              let d = List.fold_left Float.min first rest in
              clock := !clock +. d;
              let tick l =

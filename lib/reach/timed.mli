@@ -40,10 +40,14 @@ type edge = {
 
 type t
 
-val build : ?max_states:int -> ?horizon:float -> Pnut_core.Net.t -> t
+val build : ?max_states:int -> ?jobs:int -> ?horizon:float -> Pnut_core.Net.t -> t
 (** [horizon] bounds accumulated time along any path (default: none);
     [max_states] defaults to 50_000.  Raises [Invalid_argument] on
-    stochastic delays, predicates or actions. *)
+    stochastic delays, predicates or actions.
+
+    [jobs] (resolved by {!Pnut_exec.Pool.resolve}) expands the BFS
+    frontier on that many domains; the resulting graph is identical for
+    every [jobs] value. *)
 
 val complete : t -> bool
 val num_states : t -> int

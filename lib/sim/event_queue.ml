@@ -10,6 +10,12 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Filler for unused slots so they never retain a popped payload.  The
+   value is an immediate int masquerading as an entry; it is only ever
+   stored, never read: every heap access is bounds-checked against
+   [size]. *)
+let blank : unit -> 'a entry = fun () -> Obj.magic 0
+
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let is_empty q = q.size = 0
@@ -47,9 +53,8 @@ let push q time payload =
   let entry = { time; seq = q.next_seq; payload } in
   q.next_seq <- q.next_seq + 1;
   if q.size = Array.length q.heap then begin
-    (* grow, using the new entry as filler for the fresh slots *)
     let capacity = max 16 (2 * q.size) in
-    let bigger = Array.make capacity entry in
+    let bigger = Array.make capacity (blank ()) in
     Array.blit q.heap 0 bigger 0 q.size;
     q.heap <- bigger
   end;
@@ -66,8 +71,12 @@ let pop q =
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.heap.(0) <- q.heap.(q.size);
+      (* blank the vacated slot: a long-lived queue must not pin the
+         moved entry (or, on the last pop, the popped payload) *)
+      q.heap.(q.size) <- blank ();
       sift_down q 0
-    end;
+    end
+    else q.heap.(0) <- blank ();
     Some (top.time, top.payload)
   end
 
@@ -78,4 +87,5 @@ let to_sorted_list q =
 
 let clear q =
   q.heap <- [||];
-  q.size <- 0
+  q.size <- 0;
+  q.next_seq <- 0

@@ -26,3 +26,6 @@ val to_sorted_list : 'a t -> (float * 'a) list
     tie-breaking — the basis of checkpoint/restore. *)
 
 val clear : 'a t -> unit
+(** Drops all entries (releasing their payloads) and resets the
+    insertion counter, restoring the queue to its freshly-created
+    state. *)

@@ -51,17 +51,22 @@ let contains e x =
   let lo, hi = interval e in
   x >= lo && x <= hi
 
-let replicate ?(seed = 1) ?confidence ~runs ~until net read =
+let replicate ?(seed = 1) ?confidence ?jobs ~runs ~until net read =
   if runs < 2 then invalid_arg "Replication.replicate: need at least two runs";
   let master = Pnut_core.Prng.create seed in
+  (* Split every stream up front, in run order: [Prng.split] mutates the
+     master, so the streams — and hence the samples — are the same
+     regardless of how the runs are later scheduled. *)
+  let streams = Array.init runs (fun _ -> Pnut_core.Prng.split master) in
   let samples =
-    List.init runs (fun _ ->
-        let prng = Pnut_core.Prng.split master in
+    Pnut_exec.Pool.init ?jobs runs (fun i ->
         let sink, get = Stat.sink () in
-        let _ = Pnut_sim.Simulator.simulate ~prng ~until ~sink net in
+        let _ =
+          Pnut_sim.Simulator.simulate ~prng:streams.(i) ~until ~sink net
+        in
         read (get ()))
   in
-  of_samples ?confidence samples
+  of_samples ?confidence (Array.to_list samples)
 
 let pp ppf e =
   Format.fprintf ppf "%.4f ± %.4f (%.0f%% CI, %d runs)" e.mean e.half_width

@@ -28,13 +28,19 @@ val contains : estimate -> float -> bool
 val replicate :
   ?seed:int ->
   ?confidence:float ->
+  ?jobs:int ->
   runs:int ->
   until:float ->
   Pnut_core.Net.t ->
   (Stat.report -> float) -> estimate
 (** [replicate ~runs ~until net read] simulates [runs] independent
     replications of [net] (split streams derived from [seed]) to the
-    horizon, applies [read] to each statistics report, and aggregates. *)
+    horizon, applies [read] to each statistics report, and aggregates.
+
+    [jobs] (resolved by {!Pnut_exec.Pool.resolve}) distributes the runs
+    over that many domains.  All random streams are split from the
+    master before any run starts, so the estimate is bit-identical for
+    every [jobs] value. *)
 
 val pp : Format.formatter -> estimate -> unit
 (** e.g. [0.6581 ± 0.0042 (95% CI, 10 runs)]. *)

@@ -67,6 +67,52 @@ let test_clear () =
   Alcotest.(check (option (pair (float 0.0) string))) "usable after clear"
     (Some (2.0, "y")) (Q.pop q)
 
+(* A popped payload must not stay reachable from the queue's backing
+   array (the vacated slot used to keep the moved entry alive; the
+   growth filler used to pin one payload in every unused slot). *)
+let test_pop_releases_payloads () =
+  let n = 20 (* crosses the initial capacity of 16, forcing a growth *) in
+  let q = Q.create () in
+  let w = Weak.create n in
+  (* fill from a separate function so no local keeps the payloads alive *)
+  let fill () =
+    for i = 0 to n - 1 do
+      let payload = ref i in
+      Weak.set w i (Some payload);
+      Q.push q (float_of_int i) payload
+    done
+  in
+  fill ();
+  let rec drop () = match Q.pop q with Some _ -> drop () | None -> () in
+  drop ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check w i then incr live
+  done;
+  Alcotest.(check int) "no payload pinned by the drained queue" 0 !live;
+  (* the queue (with its grown backing array) is still usable *)
+  Q.push q 1.0 (ref 7);
+  Alcotest.(check bool) "usable after drain" true (Q.pop q <> None)
+
+(* [clear] resets the insertion counter: a cleared queue behaves exactly
+   like a fresh one on the same push sequence (the checkpoint/restore
+   path depends on this). *)
+let test_clear_resets_sequence () =
+  let used = Q.create () in
+  for i = 0 to 9 do
+    Q.push used (float_of_int i) i
+  done;
+  Q.clear used;
+  let fresh = Q.create () in
+  List.iter
+    (fun (t, v) ->
+      Q.push used t v;
+      Q.push fresh t v)
+    [ (5.0, 0); (5.0, 1); (2.0, 2); (5.0, 3) ];
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "same drain as a fresh queue" (drain fresh) (drain used)
+
 (* property: popping a random push sequence yields times in ascending
    order, and equal times preserve insertion order *)
 let prop_heap_order =
@@ -94,6 +140,10 @@ let () =
           Alcotest.test_case "interleaved" `Quick test_interleaved_push_pop;
           Alcotest.test_case "growth" `Quick test_growth;
           Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "pop releases payloads" `Quick
+            test_pop_releases_payloads;
+          Alcotest.test_case "clear resets sequence" `Quick
+            test_clear_resets_sequence;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_heap_order ]);
     ]

@@ -1,0 +1,78 @@
+(* Tests for the deterministic worker pool. *)
+
+module Pool = Pnut_exec.Pool
+
+let test_resolve () =
+  Alcotest.(check int) "explicit count" 3 (Pool.resolve ~jobs:3 ());
+  Alcotest.(check bool) "auto is at least 1" true (Pool.resolve ~jobs:0 () >= 1);
+  Alcotest.(check int) "capped at 64" 64 (Pool.resolve ~jobs:1000 ());
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Pool: jobs must be >= 0, got -2") (fun () ->
+      ignore (Pool.resolve ~jobs:(-2) ()))
+
+let test_init_matches_serial () =
+  let f i = (i * i) + 1 in
+  let expected = Array.init 100 f in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Pool.init ~jobs 100 f))
+    [ 1; 2; 4; 7 ]
+
+let test_init_edges () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.init ~jobs:4 0 (fun i -> i));
+  Alcotest.(check (array int)) "single" [| 0 |]
+    (Pool.init ~jobs:4 1 (fun i -> i));
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Pool.init: negative size") (fun () ->
+      ignore (Pool.init ~jobs:1 (-1) (fun i -> i)))
+
+let test_map_list () =
+  let l = List.init 37 (fun i -> i) in
+  Alcotest.(check (list int))
+    "order preserved"
+    (List.map (fun x -> x * 2) l)
+    (Pool.map_list ~jobs:3 (fun x -> x * 2) l)
+
+let test_lowest_index_error () =
+  (* several tasks fail; the exception of the lowest-numbered one must
+     surface, whatever worker hit it first *)
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs=%d" jobs)
+        (Failure "task 5")
+        (fun () ->
+          ignore
+            (Pool.init ~jobs 32 (fun i ->
+                 if i >= 5 && i mod 3 = 2 then
+                   failwith (Printf.sprintf "task %d" i);
+                 i))))
+    [ 1; 2; 4 ]
+
+let test_workers_really_cover_all_tasks () =
+  (* a non-trivial fold over the results catches any dropped stripe *)
+  let n = 1000 in
+  let sum =
+    Array.fold_left ( + ) 0 (Pool.init ~jobs:4 n (fun i -> i))
+  in
+  Alcotest.(check int) "sum 0..999" (n * (n - 1) / 2) sum
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "resolve" `Quick test_resolve;
+          Alcotest.test_case "init matches serial" `Quick
+            test_init_matches_serial;
+          Alcotest.test_case "edge cases" `Quick test_init_edges;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "lowest-index error wins" `Quick
+            test_lowest_index_error;
+          Alcotest.test_case "full coverage" `Quick
+            test_workers_really_cover_all_tasks;
+        ] );
+    ]

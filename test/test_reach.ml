@@ -142,6 +142,58 @@ let test_stochastic_action_rejected () =
        "Reach.Graph.build: stochastic predicate/action on transitions: roll")
     (fun () -> ignore (Graph.build net))
 
+let test_state_key_no_aliasing () =
+  (* Adversarial variable names: after t1 the env is {a=1, b=2}, after
+     t2 it is {"a=1;b"=2}.  Both render as the snapshot string
+     "a=1;b=2;", so the old string-keyed explorer merged the two
+     branches into one state; structural keys must keep them apart. *)
+  let module Env = Pnut_core.Env in
+  let e1 = Env.create () in
+  Env.set e1 "a" (Value.Int 1);
+  Env.set e1 "b" (Value.Int 2);
+  let e2 = Env.create () in
+  Env.set e2 "a=1;b" (Value.Int 2);
+  Alcotest.(check string) "snapshots do collide" (Env.snapshot e1)
+    (Env.snapshot e2);
+  Alcotest.(check bool) "but envs are distinct" false (Env.equal e1 e2);
+  let b = B.create "alias" in
+  let p = B.add_place b "p" ~initial:1 in
+  let q = B.add_place b "q" in
+  let _ =
+    B.add_transition b "t1" ~inputs:[ (p, 1) ] ~outputs:[ (q, 1) ]
+      ~action:[ Expr.Assign ("a", Expr.int 1); Expr.Assign ("b", Expr.int 2) ]
+  in
+  let _ =
+    B.add_transition b "t2" ~inputs:[ (p, 1) ] ~outputs:[ (q, 1) ]
+      ~action:[ Expr.Assign ("a=1;b", Expr.int 2) ]
+  in
+  let g = Graph.build (B.build b) in
+  Alcotest.(check int) "both branches kept" 3 (Graph.num_states g);
+  Alcotest.(check (list int)) "two distinct deadlocks" [ 1; 2 ]
+    (Graph.deadlocks g)
+
+let test_truncation_boundary () =
+  (* At the cap, edges to fresh states are dropped (and the graph is
+     flagged incomplete) but edges into already-interned states are
+     still recorded. *)
+  let b = B.create "capped" in
+  let p = B.add_place b "p" ~initial:1 in
+  let q = B.add_place b "q" in
+  let _ =
+    B.add_transition b "pump" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1); (q, 1) ]
+  in
+  let _ = B.add_transition b "noop" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ] in
+  let net = B.build b in
+  let g = Graph.build ~max_states:10 net in
+  Alcotest.(check bool) "incomplete" false (Graph.complete g);
+  Alcotest.(check int) "exactly at the cap" 10 (Graph.num_states g);
+  (* pump edges i -> i+1 for i < 9 (the one leaving state 9 is dropped),
+     plus a noop self-loop on every state, including the last *)
+  Alcotest.(check int) "edges at the boundary" 19 (Graph.num_edges g);
+  let last = Graph.successors g 9 in
+  Alcotest.(check int) "self-loop kept at the cap" 1 (List.length last);
+  Alcotest.(check int) "to itself" 9 (List.hd last).Graph.e_to
+
 let test_check_invariant () =
   let g = Graph.build (bus_net ()) in
   Alcotest.(check (option int)) "one-hot invariant" None
@@ -206,6 +258,10 @@ let () =
             test_interpreted_state_includes_env;
           Alcotest.test_case "stochastic rejected" `Quick
             test_stochastic_action_rejected;
+          Alcotest.test_case "no state-key aliasing" `Quick
+            test_state_key_no_aliasing;
+          Alcotest.test_case "truncation boundary" `Quick
+            test_truncation_boundary;
         ] );
       ( "analysis",
         [
