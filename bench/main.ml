@@ -662,10 +662,61 @@ let bench_json ~quick ~file () =
     wall (fun () -> Sim.simulate ~seed:42 ~until:sim_until net)
   in
   let events = outcome.Sim.started in
+  (* codec throughput: text vs binary on the Figure-5 reference trace *)
+  let codec_until = if quick then 2_000.0 else 10_000.0 in
+  let codec_trace = fst (Sim.trace ~seed:42 ~until:codec_until net) in
+  let codec_events = Trace.length codec_trace in
+  let reps = if quick then 3 else 10 in
+  let per_rep f =
+    let (), s = wall (fun () -> for _ = 1 to reps do ignore (f ()) done) in
+    s /. float_of_int reps
+  in
+  let text = Pnut_trace.Codec.to_string codec_trace in
+  let bin = Pnut_trace.Binary.to_string codec_trace in
+  let text_enc_s = per_rep (fun () -> Pnut_trace.Codec.to_string codec_trace) in
+  let bin_enc_s = per_rep (fun () -> Pnut_trace.Binary.to_string codec_trace) in
+  let text_dec_s = per_rep (fun () -> Pnut_trace.Codec.parse text) in
+  let bin_dec_s = per_rep (fun () -> Pnut_trace.Binary.parse bin) in
+  (* peak-RSS proxy: live words a stat pass must hold over the same
+     stored trace.  The streaming pass retains only the accumulator;
+     the materializing pass additionally retains the whole Trace.t. *)
+  let trace_file = Filename.temp_file "pnut_bench" ".trace" in
+  let oc = open_out_bin trace_file in
+  output_string oc text;
+  close_out oc;
+  let retained f =
+    Gc.compact ();
+    let before = (Gc.stat ()).Gc.live_words in
+    let minor0 = Gc.minor_words () in
+    let keep = f () in
+    Gc.compact ();
+    let after = (Gc.stat ()).Gc.live_words in
+    let alloc_mb = (Gc.minor_words () -. minor0) *. 8.0 /. 1e6 in
+    ignore (Sys.opaque_identity keep);
+    (after - before, alloc_mb)
+  in
+  let with_trace_file f =
+    let ic = open_in_bin trace_file in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+  in
+  let streaming_heap, streaming_alloc_mb =
+    retained (fun () ->
+        with_trace_file (fun ic ->
+            let sink, get = Stat.sink () in
+            Pnut_trace.Codec.stream_channel ic sink;
+            get ()))
+  in
+  let materialized_heap, materialized_alloc_mb =
+    retained (fun () ->
+        with_trace_file (fun ic ->
+            let tr = Pnut_trace.Codec.read_channel ic in
+            (tr, Stat.of_trace tr)))
+  in
+  Sys.remove trace_file;
   (* emit *)
   let rate count s = if s > 0.0 then float_of_int count /. s else 0.0 in
   Printf.bprintf b "{\n";
-  Printf.bprintf b "  \"bench\": \"pr2\",\n";
+  Printf.bprintf b "  \"bench\": \"pr3\",\n";
   Printf.bprintf b "  \"model\": \"pipeline (Model.full default)\",\n";
   Printf.bprintf b "  \"cores\": %d,\n" cores;
   Printf.bprintf b "  \"quick\": %b,\n" quick;
@@ -705,8 +756,36 @@ let bench_json ~quick ~file () =
   Printf.bprintf b "  },\n";
   Printf.bprintf b
     "  \"sim\": { \"until\": %g, \"events\": %d, \"seconds\": %.6f, \
-     \"events_per_sec\": %.0f }\n"
+     \"events_per_sec\": %.0f },\n"
     sim_until events sim_s (rate events sim_s);
+  Printf.bprintf b "  \"codec\": {\n";
+  Printf.bprintf b "    \"until\": %g,\n" codec_until;
+  Printf.bprintf b "    \"deltas\": %d,\n" codec_events;
+  Printf.bprintf b
+    "    \"text\": { \"bytes\": %d, \"encode_seconds\": %.6f, \
+     \"decode_seconds\": %.6f, \"decode_deltas_per_sec\": %.0f },\n"
+    (String.length text) text_enc_s text_dec_s (rate codec_events text_dec_s);
+  Printf.bprintf b
+    "    \"binary\": { \"bytes\": %d, \"encode_seconds\": %.6f, \
+     \"decode_seconds\": %.6f, \"decode_deltas_per_sec\": %.0f },\n"
+    (String.length bin) bin_enc_s bin_dec_s (rate codec_events bin_dec_s);
+  Printf.bprintf b "    \"size_ratio\": %.3f,\n"
+    (float_of_int (String.length text) /. float_of_int (String.length bin));
+  Printf.bprintf b "    \"decode_speedup\": %.3f,\n" (text_dec_s /. bin_dec_s);
+  Printf.bprintf b "    \"encode_speedup\": %.3f,\n" (text_enc_s /. bin_enc_s);
+  Printf.bprintf b "    \"binary_at_least_5x_smaller\": %b,\n"
+    (5 * String.length bin <= String.length text);
+  Printf.bprintf b "    \"binary_decodes_faster\": %b,\n"
+    (bin_dec_s < text_dec_s);
+  Printf.bprintf b
+    "    \"streaming_stat\": { \"retained_live_words\": %d, \
+     \"minor_alloc_mb\": %.2f },\n"
+    streaming_heap streaming_alloc_mb;
+  Printf.bprintf b
+    "    \"materialized_stat\": { \"retained_live_words\": %d, \
+     \"minor_alloc_mb\": %.2f }\n"
+    materialized_heap materialized_alloc_mb;
+  Printf.bprintf b "  }\n";
   Printf.bprintf b "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents b);
@@ -740,7 +819,7 @@ let () =
     | "--bench-json" :: next :: _ when String.length next > 0 && next.[0] <> '-'
       ->
       Some next
-    | "--bench-json" :: _ -> Some "BENCH_pr2.json"
+    | "--bench-json" :: _ -> Some "BENCH_pr3.json"
     | _ :: rest -> json_file rest
     | [] -> None
   in

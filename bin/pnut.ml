@@ -39,13 +39,48 @@ let load_net path =
   with Pnut_lang.Parser.Parse_error (line, col, msg) ->
     die "%s:%d:%d: %s" path line col msg
 
-let load_trace path =
-  try
-    if path = "-" then Pnut_trace.Codec.read_channel stdin
-    else Pnut_trace.Codec.parse (read_file path)
-  with
+(* Trace input, shared by every consumer.  The format (text or binary)
+   is auto-detected from the first byte; codec errors exit 2 with the
+   source location (line for text, byte offset for binary). *)
+
+let with_trace_in path f =
+  if path = "-" then f stdin
+  else
+    match open_in_bin path with
+    | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+    | exception Sys_error msg -> die "%s" msg
+
+let trace_errors path f =
+  try f () with
   | Pnut_trace.Codec.Parse_error (line, msg) -> die "%s:%d: %s" path line msg
+  | Pnut_trace.Binary.Parse_error (off, msg) ->
+    die "%s: byte %d: %s" path off msg
   | Sys_error msg -> die "%s" msg
+
+(* Stream a trace into a sink in O(1) memory. *)
+let stream_trace path sink =
+  trace_errors path (fun () ->
+      with_trace_in path (fun ic -> Pnut_trace.Codec.stream_channel ic sink))
+
+(* Materialize a trace, for the tools that need random access (tracer
+   windows, check's state queries, batch means). *)
+let load_trace path =
+  trace_errors path (fun () -> with_trace_in path Pnut_trace.Codec.read_channel)
+
+(* Trace output: a streaming writer sink over a channel. *)
+let trace_out_channel out =
+  if out = "-" then (stdout, false)
+  else
+    match open_out_bin out with
+    | oc -> (oc, true)
+    | exception Sys_error msg -> die "%s" msg
+
+let trace_writer_sink format oc =
+  match format with
+  | `Text -> Pnut_trace.Codec.channel_sink oc
+  | `Binary -> Pnut_trace.Binary.channel_sink oc
+
+let close_trace_out (oc, close) = if close then close_out oc else flush oc
 
 (* -- shared arguments -- *)
 
@@ -78,6 +113,14 @@ let jobs_arg =
 let until_arg =
   Arg.(value & opt (some float) None & info [ "until" ] ~docv:"T"
          ~doc:"Simulate until the clock reaches T.")
+
+let format_arg =
+  Arg.(value
+       & opt (enum [ ("text", `Text); ("binary", `Binary) ]) `Text
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Trace encoding on output: $(b,text) (line-oriented, \
+                 human-readable) or $(b,binary) (compact varint records; \
+                 see docs/LANGUAGE.md).  Readers auto-detect either.")
 
 let max_events_arg =
   Arg.(value & opt (some int) None & info [ "max-events" ] ~docv:"N"
@@ -173,8 +216,8 @@ let sim_cmd =
                  run replays exactly what the uninterrupted run would have \
                  done.")
   in
-  let run path seed until max_events trace_out stats runs explain wall_limit
-      save_state load_state =
+  let run path seed until max_events trace_out format stats runs explain
+      wall_limit save_state load_state =
     let net = load_net path in
     if runs < 1 then die "--runs must be at least 1";
     if load_state <> None && runs > 1 then
@@ -188,15 +231,20 @@ let sim_cmd =
         diags);
     let until = if until = None && max_events = None then Some 10000.0 else until in
     let master = Pnut_core.Prng.create seed in
-    let buffer = Buffer.create 65536 in
+    (* Trace records stream straight to the channel as the run produces
+       them; the trace is never held in memory. *)
+    let trace_chan = Option.map trace_out_channel trace_out in
+    let trace_sink =
+      Option.map (fun (oc, _) -> trace_writer_sink format oc) trace_chan
+    in
     let aborted = ref false in
     for run_number = 1 to runs do
       let stat_sink, stat_get = Pnut_stat.Stat.sink ~run:run_number () in
       let sinks =
         (if stats || trace_out = None then [ stat_sink ] else [])
         @
-        match trace_out with
-        | Some _ when run_number = 1 -> [ Pnut_trace.Codec.writer_sink buffer ]
+        match trace_sink with
+        | Some s when run_number = 1 -> [ s ]
         | Some _ | None -> []
       in
       let sink = Pnut_trace.Trace.tee sinks in
@@ -252,16 +300,13 @@ let sim_cmd =
           (Pnut_sim.Simulator.error_message e);
         aborted := true
     done;
-    (match trace_out with
-    | Some "-" -> print_string (Buffer.contents buffer)
-    | Some path -> write_file path (Buffer.contents buffer)
-    | None -> ());
+    Option.iter close_trace_out trace_chan;
     if !aborted then exit 1
   in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(const run $ net_arg $ seed_arg $ until_arg $ max_events_arg
-          $ trace_out $ stats $ runs $ explain $ wall_limit $ save_state
-          $ load_state)
+          $ trace_out $ format_arg $ stats $ runs $ explain $ wall_limit
+          $ save_state $ load_state)
 
 (* -- pnut faults -- *)
 
@@ -364,8 +409,11 @@ let stat_cmd =
     Arg.(value & flag & info [ "tsv" ] ~doc:"Machine-readable TSV output.")
   in
   let run path tsv =
-    let trace = load_trace path in
-    let report = Pnut_stat.Stat.of_trace trace in
+    let stat_sink, stat_get = Pnut_stat.Stat.sink () in
+    (try stream_trace path stat_sink
+     with Pnut_stat.Stat.Stat_error e ->
+       die "%s: %s" path (Pnut_stat.Stat.error_message e));
+    let report = stat_get () in
     print_string
       (if tsv then Pnut_stat.Stat.render_tsv report
        else Pnut_stat.Stat.render report)
@@ -391,17 +439,20 @@ let filter_cmd =
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Output trace file (- for stdout).")
   in
-  let run path places transitions no_vars out =
-    let trace = load_trace path in
+  let run path places transitions no_vars out format =
     let spec =
       Pnut_trace.Filter.make_spec ?places ?transitions ~vars:(not no_vars) ()
     in
-    let filtered = Pnut_trace.Filter.apply spec trace in
-    let text = Pnut_trace.Codec.to_string filtered in
-    if out = "-" then print_string text else write_file out text
+    (* Pure pass-through: records flow reader -> filter -> writer one at
+       a time, so a filter stage adds O(1) memory to a pipeline. *)
+    let chan = trace_out_channel out in
+    let writer = trace_writer_sink format (fst chan) in
+    stream_trace path (Pnut_trace.Filter.sink spec writer);
+    close_trace_out chan
   in
   Cmd.v (Cmd.info "filter" ~doc)
-    Term.(const run $ trace_arg $ places $ transitions $ no_vars $ out)
+    Term.(const run $ trace_arg $ places $ transitions $ no_vars $ out
+          $ format_arg)
 
 (* -- pnut tracer -- *)
 
@@ -566,14 +617,26 @@ let anim_cmd =
     Arg.(value & opt (some (list string)) None & info [ "places" ]
            ~docv:"P,..." ~doc:"Restrict the state panel to these places.")
   in
-  let run path seed steps delay places =
+  let trace_in =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"TRACE"
+           ~doc:"Animate this stored trace (- for stdin) instead of \
+                 running the simulator; frames are rendered as records \
+                 arrive, so an unbounded piped trace animates in \
+                 constant memory.")
+  in
+  let run path seed steps delay places trace_in =
     let net = load_net path in
-    let trace, _ = Pnut_sim.Simulator.trace ~seed ~max_events:steps net in
-    let frames = Pnut_anim.Animator.frames ?places net trace in
-    Pnut_anim.Animator.play ~delay_s:delay stdout frames
+    (* Frames are emitted one at a time straight from the trace sink;
+       neither the trace nor the frame list is materialized. *)
+    let emit f = Pnut_anim.Animator.play ~delay_s:delay stdout [ f ] in
+    let sink = Pnut_anim.Animator.sink ?places net emit in
+    match trace_in with
+    | Some tr -> or_die (fun () -> stream_trace tr sink)
+    | None ->
+      ignore (Pnut_sim.Simulator.simulate ~seed ~max_events:steps ~sink net)
   in
   Cmd.v (Cmd.info "anim" ~doc)
-    Term.(const run $ net_arg $ seed_arg $ steps $ delay $ places)
+    Term.(const run $ net_arg $ seed_arg $ steps $ delay $ places $ trace_in)
 
 (* -- pnut validate -- *)
 

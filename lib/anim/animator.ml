@@ -87,8 +87,7 @@ let frame_for ?places net marking d phase =
   in
   (caption, text)
 
-let check_trace net trace =
-  let h = Trace.header trace in
+let check_header net (h : Trace.header) =
   let places_match =
     Array.length h.Trace.h_places = Net.num_places net
     && Array.for_all
@@ -104,48 +103,57 @@ let check_trace net trace =
   if not (places_match && transitions_match) then
     invalid_arg "Animator: trace does not match the net"
 
+let sink ?places net emit =
+  let marking = ref (Net.initial_marking net) in
+  let step = ref 0 in
+  {
+    Trace.on_header =
+      (fun h ->
+        check_header net h;
+        marking := Net.initial_marking net);
+    on_delta =
+      (fun d ->
+        let marking = !marking in
+        (* pre-state frame: tokens about to move *)
+        let pre_phase =
+          match d.Trace.d_kind with
+          | Trace.Fire_start -> Consume
+          | Trace.Fire_end -> Transit
+        in
+        let caption_pre, text_pre = frame_for ?places net marking d pre_phase in
+        emit
+          {
+            f_time = d.Trace.d_time;
+            f_step = !step;
+            f_phase = pre_phase;
+            f_caption = caption_pre;
+            f_text = text_pre;
+          };
+        (* apply the delta *)
+        List.iter (fun (p, dm) -> Marking.add marking p dm) d.Trace.d_marking;
+        let post_phase =
+          match d.Trace.d_kind with
+          | Trace.Fire_start -> Transit
+          | Trace.Fire_end -> Produce
+        in
+        let caption_post, text_post =
+          frame_for ?places net marking d post_phase
+        in
+        emit
+          {
+            f_time = d.Trace.d_time;
+            f_step = !step;
+            f_phase = post_phase;
+            f_caption = caption_post;
+            f_text = text_post;
+          };
+        incr step);
+    on_finish = (fun _ -> ());
+  }
+
 let frames ?places net trace =
-  check_trace net trace;
-  let marking = Net.initial_marking net in
   let out = ref [] in
-  Array.iteri
-    (fun step (d : Trace.delta) ->
-      (* pre-state frame: tokens about to move *)
-      let pre_phase =
-        match d.Trace.d_kind with
-        | Trace.Fire_start -> Consume
-        | Trace.Fire_end -> Transit
-      in
-      let caption_pre, text_pre = frame_for ?places net marking d pre_phase in
-      out :=
-        {
-          f_time = d.Trace.d_time;
-          f_step = step;
-          f_phase = pre_phase;
-          f_caption = caption_pre;
-          f_text = text_pre;
-        }
-        :: !out;
-      (* apply the delta *)
-      List.iter
-        (fun (p, dm) -> Marking.add marking p dm)
-        d.Trace.d_marking;
-      let post_phase =
-        match d.Trace.d_kind with
-        | Trace.Fire_start -> Transit
-        | Trace.Fire_end -> Produce
-      in
-      let caption_post, text_post = frame_for ?places net marking d post_phase in
-      out :=
-        {
-          f_time = d.Trace.d_time;
-          f_step = step;
-          f_phase = post_phase;
-          f_caption = caption_post;
-          f_text = text_post;
-        }
-        :: !out)
-    (Trace.deltas trace);
+  Trace.replay trace (sink ?places net (fun f -> out := f :: !out));
   List.rev !out
 
 let play ?(delay_s = 0.0) oc frame_list =

@@ -25,6 +25,18 @@ type frame = {
   f_text : string;       (** fully rendered frame *)
 }
 
+val sink :
+  ?places:string list ->
+  Pnut_core.Net.t ->
+  (frame -> unit) ->
+  Pnut_trace.Trace.sink
+(** Streaming renderer: calls the callback with each frame as trace
+    records arrive, holding only the current marking — suitable for
+    animating an unbounded piped trace.  [places] restricts the state
+    panel (default all).  [on_header] raises [Invalid_argument] if the
+    trace was not produced from (a net isomorphic to) [net] —
+    place/transition name tables must match. *)
+
 val frames :
   ?places:string list ->
   Pnut_core.Net.t ->

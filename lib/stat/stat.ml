@@ -62,6 +62,22 @@ let signal_stats s total =
     (mean, sqrt var)
   end
 
+type error = Time_regression of { at : float; prev : float }
+
+exception Stat_error of error
+
+let error_message = function
+  | Time_regression { at; prev } ->
+    Printf.sprintf
+      "stat: trace time went backwards (delta at %g after clock %g); traces \
+       must be time-ordered"
+      at prev
+
+let () =
+  Printexc.register_printer (function
+    | Stat_error e -> Some (error_message e)
+    | _ -> None)
+
 type acc = {
   run : int;
   mutable header : Trace.header option;
@@ -76,7 +92,9 @@ type acc = {
 
 let advance acc time =
   let dt = time -. acc.prev in
-  if dt > 0.0 then begin
+  if dt < 0.0 then
+    raise (Stat_error (Time_regression { at = time; prev = acc.prev }))
+  else if dt > 0.0 then begin
     Array.iter (fun s -> signal_accumulate s dt) acc.place_signals;
     Array.iter (fun s -> signal_accumulate s dt) acc.trans_signals;
     acc.prev <- time

@@ -5,6 +5,58 @@ let float_str f =
   let s = Printf.sprintf "%.12g" f in
   if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
+(* -- name escaping --
+
+   The line format separates fields with spaces, sections with ';' and
+   classifies delta entries by ':' / '='.  A name containing any of
+   those (or '%', the escape char itself, or control bytes) would alias
+   a different trace, so such bytes are percent-encoded on emit and
+   decoded on read.  Ordinary identifiers are untouched, keeping old
+   traces and external producers working unchanged. *)
+
+let must_escape c = c <= ' ' || c = ';' || c = ':' || c = '=' || c = '%' || c = '\x7f'
+
+let escape_name name =
+  if name = "" then
+    invalid_arg "Codec: empty names cannot be written to a text trace"
+  else if String.exists must_escape name then begin
+    let buf = Buffer.create (String.length name + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char buf c)
+      name;
+    Buffer.contents buf
+  end
+  else name
+
+let hex_digit line_no c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | _ -> raise (Parse_error (line_no, Printf.sprintf "bad escape digit %c" c))
+
+let unescape_name line_no s =
+  if not (String.contains s '%') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] <> '%' then Buffer.add_char buf s.[!i]
+       else if !i + 2 >= n then
+         raise (Parse_error (line_no, "truncated %-escape in name " ^ s))
+       else begin
+         Buffer.add_char buf
+           (Char.chr ((16 * hex_digit line_no s.[!i + 1]) + hex_digit line_no s.[!i + 2]));
+         i := !i + 2
+       end);
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
 let value_str v =
   match v with
   | Pnut_core.Value.Int i -> Printf.sprintf "i%d" i
@@ -34,16 +86,19 @@ let value_of_string line_no s =
 
 let emit_header out (h : Trace.header) =
   out "%pnut-trace 1\n";
-  out (Printf.sprintf "net %s\n" h.Trace.h_net);
+  out (Printf.sprintf "net %s\n" (escape_name h.Trace.h_net));
   Array.iteri
     (fun i name ->
-      out (Printf.sprintf "place %d %s %d\n" i name h.Trace.h_initial.(i)))
+      out
+        (Printf.sprintf "place %d %s %d\n" i (escape_name name)
+           h.Trace.h_initial.(i)))
     h.Trace.h_places;
   Array.iteri
-    (fun i name -> out (Printf.sprintf "transition %d %s\n" i name))
+    (fun i name -> out (Printf.sprintf "transition %d %s\n" i (escape_name name)))
     h.Trace.h_transitions;
   List.iter
-    (fun (name, v) -> out (Printf.sprintf "var %s %s\n" name (value_str v)))
+    (fun (name, v) ->
+      out (Printf.sprintf "var %s %s\n" (escape_name name) (value_str v)))
     h.Trace.h_variables;
   out "begin\n"
 
@@ -63,7 +118,8 @@ let emit_delta out (d : Trace.delta) =
     Buffer.add_string buf " ;";
     List.iter
       (fun (name, v) ->
-        Buffer.add_string buf (Printf.sprintf " %s=%s" name (value_str v)))
+        Buffer.add_string buf
+          (Printf.sprintf " %s=%s" (escape_name name) (value_str v)))
       d.Trace.d_env
   end;
   Buffer.add_char buf '\n';
@@ -92,14 +148,13 @@ let write_channel oc tr = Trace.replay tr (channel_sink oc)
 
 (* -- parsing -- *)
 
-type parse_state = {
+(* Header accumulation state; deltas are never stored, they flow to the
+   sink as they are parsed. *)
+type header_state = {
   mutable net : string option;
   mutable places : (int * string * int) list;  (* reversed *)
   mutable transitions : (int * string) list;   (* reversed *)
   mutable vars : (string * Pnut_core.Value.t) list;  (* reversed *)
-  mutable deltas : Trace.delta list;           (* reversed *)
-  mutable final : float option;
-  mutable in_body : bool;
 }
 
 let split_ws s =
@@ -117,7 +172,8 @@ let parse_float line_no s =
 
 (* "@ time kind tid fid ; p:d p:d ; v=x v=x" -- the two ';' sections are
    optional but ordered: a section containing ':' entries is marking, '='
-   entries env. *)
+   entries env (unambiguous because ':' and '=' are escaped inside
+   names). *)
 let parse_delta line_no rest =
   let sections =
     String.split_on_char ';' rest |> List.map String.trim
@@ -150,7 +206,7 @@ let parse_delta line_no rest =
       | None -> (
         match String.index_opt tok '=' with
         | Some i ->
-          let name = String.sub tok 0 i in
+          let name = unescape_name line_no (String.sub tok 0 i) in
           let v =
             value_of_string line_no
               (String.sub tok (i + 1) (String.length tok - i - 1))
@@ -168,96 +224,137 @@ let parse_delta line_no rest =
       d_env = List.rev !env;
     }
 
-let feed_line st line_no line =
+let build_header line_no st =
+  let net =
+    match st.net with
+    | Some n -> n
+    | None -> raise (Parse_error (line_no, "missing net line"))
+  in
+  let order l = List.sort (fun (a, _, _) (b, _, _) -> compare a b) l in
+  let places = order st.places in
+  List.iteri
+    (fun expect (got, _, _) ->
+      if expect <> got then
+        raise (Parse_error (line_no, "place ids not contiguous")))
+    places;
+  let transitions =
+    List.sort (fun (a, _) (b, _) -> compare a b) st.transitions
+  in
+  List.iteri
+    (fun expect (got, _) ->
+      if expect <> got then
+        raise (Parse_error (line_no, "transition ids not contiguous")))
+    transitions;
+  {
+    Trace.h_net = net;
+    h_places = Array.of_list (List.map (fun (_, n, _) -> n) places);
+    h_transitions = Array.of_list (List.map snd transitions);
+    h_initial = Array.of_list (List.map (fun (_, _, v) -> v) places);
+    h_variables = List.rev st.vars;
+  }
+
+(* -- incremental reader -- *)
+
+type reader = {
+  r_sink : Trace.sink;
+  r_st : header_state;
+  mutable r_line : int;
+  mutable r_in_body : bool;
+  mutable r_finished : bool;
+}
+
+let reader sink =
+  {
+    r_sink = sink;
+    r_st = { net = None; places = []; transitions = []; vars = [] };
+    r_line = 0;
+    r_in_body = false;
+    r_finished = false;
+  }
+
+let finished r = r.r_finished
+
+let feed_line r line =
+  r.r_line <- r.r_line + 1;
+  let line_no = r.r_line in
+  let st = r.r_st in
   let line = String.trim line in
   if line = "" || line.[0] = '#' then ()
-  else if not st.in_body then begin
+  else if r.r_finished then
+    raise (Parse_error (line_no, "unexpected body line: " ^ line))
+  else if not r.r_in_body then begin
     match split_ws line with
     | [ "%pnut-trace"; "1" ] -> ()
     | "%pnut-trace" :: v :: _ ->
       raise (Parse_error (line_no, "unsupported trace version " ^ v))
-    | [ "net"; name ] -> st.net <- Some name
+    | [ "net"; name ] -> st.net <- Some (unescape_name line_no name)
     | [ "place"; id; name; init ] ->
-      st.places <- (parse_int line_no id, name, parse_int line_no init) :: st.places
+      st.places <-
+        (parse_int line_no id, unescape_name line_no name, parse_int line_no init)
+        :: st.places
     | [ "transition"; id; name ] ->
-      st.transitions <- (parse_int line_no id, name) :: st.transitions
+      st.transitions <- (parse_int line_no id, unescape_name line_no name) :: st.transitions
     | [ "var"; name; v ] ->
-      st.vars <- (name, value_of_string line_no v) :: st.vars
-    | [ "begin" ] -> st.in_body <- true
+      st.vars <- (unescape_name line_no name, value_of_string line_no v) :: st.vars
+    | [ "begin" ] ->
+      r.r_in_body <- true;
+      r.r_sink.Trace.on_header (build_header line_no st)
     | _ -> raise (Parse_error (line_no, "unexpected header line: " ^ line))
   end
   else if String.length line >= 1 && line.[0] = '@' then
     let rest = String.sub line 1 (String.length line - 1) in
-    st.deltas <- parse_delta line_no rest :: st.deltas
+    r.r_sink.Trace.on_delta (parse_delta line_no rest)
   else
     match split_ws line with
-    | [ "end"; t ] -> st.final <- Some (parse_float line_no t)
+    | [ "end"; t ] ->
+      r.r_finished <- true;
+      r.r_sink.Trace.on_finish (parse_float line_no t)
     | _ -> raise (Parse_error (line_no, "unexpected body line: " ^ line))
 
-let finish st =
-  let net =
-    match st.net with
-    | Some n -> n
-    | None -> raise (Parse_error (0, "missing net line"))
-  in
-  let final =
-    match st.final with
-    | Some t -> t
-    | None -> raise (Parse_error (0, "missing end line"))
-  in
-  let order l = List.sort (fun (a, _, _) (b, _, _) -> compare a b) l in
-  let places = order (List.rev_map (fun (i, n, v) -> (i, n, v)) st.places) in
-  let check_ids what l =
-    List.iteri
-      (fun expect (got, _, _) ->
-        if expect <> got then
-          raise (Parse_error (0, Printf.sprintf "%s ids not contiguous" what)))
-      l
-  in
-  check_ids "place" places;
-  let transitions =
-    List.sort (fun (a, _) (b, _) -> compare a b) (List.rev st.transitions)
-  in
-  List.iteri
-    (fun expect (got, _) ->
-      if expect <> got then raise (Parse_error (0, "transition ids not contiguous")))
-    transitions;
-  let header =
-    {
-      Trace.h_net = net;
-      h_places = Array.of_list (List.map (fun (_, n, _) -> n) places);
-      h_transitions = Array.of_list (List.map snd transitions);
-      h_initial = Array.of_list (List.map (fun (_, _, v) -> v) places);
-      h_variables = List.rev st.vars;
-    }
-  in
-  Trace.make header (List.rev st.deltas) final
-
-let fresh_state () =
-  {
-    net = None;
-    places = [];
-    transitions = [];
-    vars = [];
-    deltas = [];
-    final = None;
-    in_body = false;
-  }
+let check_finished r =
+  if not r.r_finished then begin
+    (* distinguish the two "truncated input" flavours for error parity
+       with the stored-trace parser *)
+    if (not r.r_in_body) && r.r_st.net = None then
+      raise (Parse_error (r.r_line, "missing net line"));
+    raise (Parse_error (r.r_line, "missing end line"))
+  end
 
 let parse text =
-  let st = fresh_state () in
-  let lines = String.split_on_char '\n' text in
-  List.iteri (fun i line -> feed_line st (i + 1) line) lines;
-  finish st
+  let sink, get = Trace.collector () in
+  let r = reader sink in
+  List.iter (feed_line r) (String.split_on_char '\n' text);
+  check_finished r;
+  get ()
+
+(* -- channel streaming with format auto-detection -- *)
+
+let stream_text_channel ?first_line ic sink =
+  let r = reader sink in
+  (match first_line with Some l -> feed_line r l | None -> ());
+  let rec go () =
+    if not r.r_finished then
+      match input_line ic with
+      | line ->
+        feed_line r line;
+        go ()
+      | exception End_of_file -> check_finished r
+  in
+  go ()
+
+let stream_channel ic sink =
+  match input_char ic with
+  | exception End_of_file -> raise (Parse_error (0, "empty trace"))
+  | '\x00' -> Binary.stream_channel ~skip_first_byte:true ic sink
+  | c ->
+    let first_line =
+      match input_line ic with
+      | rest -> String.make 1 c ^ rest
+      | exception End_of_file -> String.make 1 c
+    in
+    stream_text_channel ~first_line ic sink
 
 let read_channel ic =
-  let st = fresh_state () in
-  let rec go line_no =
-    match input_line ic with
-    | line ->
-      feed_line st line_no line;
-      go (line_no + 1)
-    | exception End_of_file -> ()
-  in
-  go 1;
-  finish st
+  let sink, get = Trace.collector () in
+  stream_channel ic sink;
+  get ()

@@ -15,7 +15,14 @@
     @ <time> S|E <transition-id> <firing-id> [; <place>:<delta> ...] [; <var>=<value> ...]
     end <final-time>
     v}
-    Floats are written in round-trippable precision. *)
+    Floats are written in round-trippable precision.
+
+    Names must be non-empty; bytes that would collide with the format's
+    separators (space and control characters, [';'], [':'], ['='],
+    ['%']) are percent-encoded as [%XX] on emit and decoded on read, so
+    arbitrary names round-trip instead of aliasing a different trace.
+    Plain identifiers are written verbatim — traces from older emitters
+    and external producers parse unchanged. *)
 
 val write : Buffer.t -> Trace.t -> unit
 
@@ -32,5 +39,37 @@ val parse : string -> Trace.t
 (** Raises [Parse_error (line, message)] on malformed input. *)
 
 val read_channel : in_channel -> Trace.t
+(** Reads a stored trace from a channel, auto-detecting the format
+    (textual, or binary via {!Binary}).  Stops after the end record.
+    Prefer {!stream_channel} when the consumer is a sink: it runs in
+    O(1) memory instead of materializing the trace. *)
+
+(** {2 Streaming}
+
+    The incremental reader drives a {!Trace.sink} record-by-record: the
+    header is emitted once [begin] is seen, every delta line flows
+    straight to the sink, and the trace is never materialized.  This is
+    what makes [pnut sim - | pnut filter - | pnut stat -] run in
+    constant memory regardless of trace length. *)
+
+type reader
+
+val reader : Trace.sink -> reader
+(** A fresh incremental parser for the textual format feeding [sink]. *)
+
+val feed_line : reader -> string -> unit
+(** Feeds one line (without its newline).  Raises [Parse_error] on
+    malformed input, including any non-blank line after [end]. *)
+
+val finished : reader -> bool
+(** Whether the [end] record has been seen. *)
+
+val stream_channel : in_channel -> Trace.sink -> unit
+(** Streams a whole trace from a channel into a sink in O(1) memory,
+    auto-detecting the format: a leading [0x00] byte selects the binary
+    codec (see {!Binary.magic}), anything else the textual one.  Stops
+    reading after the end record, so trailing unrelated bytes (or a
+    still-open pipe) are left untouched.  Raises [Parse_error] (or
+    [Binary.Parse_error]) on malformed input, including truncation. *)
 
 exception Parse_error of int * string

@@ -65,7 +65,15 @@ let filter_header maps spec (h : Trace.header) =
     h_variables = (if spec.keep_vars then h.Trace.h_variables else []);
   }
 
-let filter_delta maps spec ~other_id (d : Trace.delta) =
+(* An orphaned delta (dropped transition, surviving changes) cannot keep
+   its original Fire_start/Fire_end kind: its partner record may be
+   dropped (no surviving changes), leaving the pseudo-transition with
+   unbalanced starts/ends and negative concurrency in [stat].  Each
+   orphan is therefore re-emitted as a self-contained zero-duration
+   firing of [_filtered] — an empty start immediately followed by an end
+   carrying the changes, the documented convention for instantaneous
+   firings — with firing ids drawn from a dedicated counter. *)
+let filter_delta maps spec (d : Trace.delta) =
   let marking =
     List.filter_map
       (fun (p, dm) ->
@@ -76,14 +84,14 @@ let filter_delta maps spec ~other_id (d : Trace.delta) =
   let env = if spec.keep_vars then d.Trace.d_env else [] in
   let t' = maps.trans_map.(d.Trace.d_transition) in
   if t' >= 0 then
-    Some { d with Trace.d_transition = t'; d_marking = marking; d_env = env }
-  else if marking <> [] || env <> [] then
-    Some { d with Trace.d_transition = other_id; d_marking = marking; d_env = env }
-  else None
+    `Keep { d with Trace.d_transition = t'; d_marking = marking; d_env = env }
+  else if marking <> [] || env <> [] then `Orphan (marking, env)
+  else `Drop
 
 let sink spec downstream =
   let maps = ref None in
   let other = ref (-1) in
+  let other_fid = ref 0 in
   {
     Trace.on_header =
       (fun h ->
@@ -98,9 +106,26 @@ let sink spec downstream =
         match !maps with
         | None -> invalid_arg "Filter.sink: delta before header"
         | Some m -> (
-          match filter_delta m spec ~other_id:!other d with
-          | Some d' -> downstream.Trace.on_delta d'
-          | None -> ()));
+          match filter_delta m spec d with
+          | `Keep d' -> downstream.Trace.on_delta d'
+          | `Orphan (marking, env) ->
+            let fid = !other_fid in
+            incr other_fid;
+            let base =
+              {
+                Trace.d_time = d.Trace.d_time;
+                d_kind = Trace.Fire_start;
+                d_transition = !other;
+                d_firing = fid;
+                d_marking = [];
+                d_env = [];
+              }
+            in
+            downstream.Trace.on_delta base;
+            downstream.Trace.on_delta
+              { base with Trace.d_kind = Trace.Fire_end; d_marking = marking;
+                d_env = env }
+          | `Drop -> ()));
     on_finish = (fun t -> downstream.Trace.on_finish t);
   }
 

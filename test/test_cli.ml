@@ -76,6 +76,65 @@ let test_filter () =
   Alcotest.(check bool) "smaller than original" true
     (String.length text < String.length (read_file trace_file))
 
+let test_piped_pipeline () =
+  (* the paper's architecture, literally: simulator | filter | stat as
+     three processes over pipes, no intermediate file *)
+  let out_file = tmp "pipe.out" in
+  let cmd =
+    Printf.sprintf
+      "%s sim %s --until 500 --seed 7 --trace - | %s filter - --transitions \
+       Start_prefetch | %s stat - > %s 2> %s"
+      (Filename.quote pnut) (Filename.quote model_file) (Filename.quote pnut)
+      (Filename.quote pnut) (Filename.quote out_file)
+      (Filename.quote (tmp "err"))
+  in
+  Alcotest.(check int) "pipeline exit" 0 (Sys.command cmd);
+  let out = read_file out_file in
+  Testutil.check_contains "stats at the end of the pipe" out "RUN STATISTICS";
+  Testutil.check_contains "kept transition" out "Start_prefetch";
+  Testutil.check_contains "pseudo transition" out "_filtered"
+
+let test_binary_format () =
+  let bin_trace = tmp "run_binary.trace" in
+  let _ =
+    check_run "sim binary"
+      [ "sim"; model_file; "--until"; "2000"; "--seed"; "42"; "--trace";
+        bin_trace; "--format"; "binary" ]
+  in
+  let bytes = read_file bin_trace in
+  Alcotest.(check string) "magic" "\x00pnut-bin" (String.sub bytes 0 9);
+  Alcotest.(check bool) "much smaller than the text trace" true
+    (2 * String.length bytes < String.length (read_file trace_file));
+  (* readers auto-detect the format: same run, same report *)
+  let from_bin = check_run "stat binary" [ "stat"; bin_trace; "--tsv" ] in
+  let from_text = check_run "stat text" [ "stat"; trace_file; "--tsv" ] in
+  Alcotest.(check string) "stat agrees across formats" from_text from_bin
+
+let test_binary_pipeline () =
+  (* an all-binary pipe: sim and filter write binary, stat auto-detects *)
+  let out_file = tmp "binpipe.out" in
+  let cmd =
+    Printf.sprintf
+      "%s sim %s --until 500 --seed 7 --trace - --format binary | %s filter - \
+       --transitions Start_prefetch --format binary | %s stat - > %s 2> %s"
+      (Filename.quote pnut) (Filename.quote model_file) (Filename.quote pnut)
+      (Filename.quote pnut) (Filename.quote out_file)
+      (Filename.quote (tmp "err"))
+  in
+  Alcotest.(check int) "binary pipeline exit" 0 (Sys.command cmd);
+  Testutil.check_contains "stats" (read_file out_file) "RUN STATISTICS"
+
+let test_stat_rejects_corrupt_trace () =
+  let bad = tmp "corrupt.trace" in
+  let oc = open_out bad in
+  output_string oc
+    "net x\nplace 0 p 0\ntransition 0 t\nbegin\n@ 5 S 0 0\n@ 3 E 0 0\nend 10\n";
+  close_out oc;
+  let code, _ = run [ "stat"; bad ] in
+  Alcotest.(check int) "corrupt trace exit" 2 code;
+  Testutil.check_contains "names the regression" (read_file (tmp "err"))
+    "went backwards"
+
 let test_tracer () =
   let out =
     check_run "tracer"
@@ -138,7 +197,14 @@ let test_anim () =
                        "Bus_free,Bus_busy" ]
   in
   Testutil.check_contains "frames" out "Start_prefetch";
-  Testutil.check_contains "separator" out "----"
+  Testutil.check_contains "separator" out "----";
+  (* a stored trace animates too, streaming record-by-record *)
+  let out =
+    check_run "anim from trace"
+      [ "anim"; model_file; "--trace"; trace_file; "--places";
+        "Bus_free,Bus_busy" ]
+  in
+  Testutil.check_contains "trace frames" out "Start_prefetch"
 
 let test_analytic () =
   let out =
@@ -326,6 +392,11 @@ let () =
           Alcotest.test_case "sim" `Quick test_sim_with_trace_and_stats;
           Alcotest.test_case "stat" `Quick test_stat_from_trace;
           Alcotest.test_case "filter" `Quick test_filter;
+          Alcotest.test_case "piped pipeline" `Quick test_piped_pipeline;
+          Alcotest.test_case "binary format" `Quick test_binary_format;
+          Alcotest.test_case "binary pipeline" `Quick test_binary_pipeline;
+          Alcotest.test_case "corrupt trace rejected" `Quick
+            test_stat_rejects_corrupt_trace;
           Alcotest.test_case "tracer" `Quick test_tracer;
           Alcotest.test_case "tracer csv" `Quick test_tracer_csv;
           Alcotest.test_case "check" `Quick test_check_queries;

@@ -161,6 +161,49 @@ let test_render_tsv () =
          let fields = List.length (String.split_on_char '\t' line) in
          Alcotest.(check bool) "field count" true (fields >= 7))
 
+let test_time_regression_rejected () =
+  (* regression: decreasing timestamps used to be silently skipped,
+     quietly corrupting every time-weighted average *)
+  let tr =
+    Trace.make header
+      [ delta 5.0 Trace.Fire_start []; delta 3.0 Trace.Fire_end [] ]
+      10.0
+  in
+  (match Stat.of_trace tr with
+  | _ -> Alcotest.fail "expected Stat_error"
+  | exception Stat.Stat_error (Stat.Time_regression { at; prev }) ->
+    Alcotest.(check (float 0.0)) "offending time" 3.0 at;
+    Alcotest.(check (float 0.0)) "previous clock" 5.0 prev);
+  Testutil.check_contains "message names the times"
+    (Stat.error_message (Stat.Time_regression { at = 3.0; prev = 5.0 }))
+    "went backwards";
+  (* equal timestamps (simultaneous events) remain fine *)
+  let ok =
+    Trace.make header
+      [ delta 2.0 Trace.Fire_start []; delta 2.0 Trace.Fire_end [] ]
+      10.0
+  in
+  Alcotest.(check int) "simultaneous ok" 1 (Stat.of_trace ok).Stat.events_started
+
+let test_streaming_matches_materialized () =
+  (* the Figure-5 trace, consumed once through the streaming sink and
+     once materialized: reports must be byte-identical *)
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let sink, get = Stat.sink () in
+  let _ = Pnut_sim.Simulator.simulate ~seed:42 ~until:10000.0 ~sink net in
+  let streamed = get () in
+  let tr, _ = Pnut_sim.Simulator.trace ~seed:42 ~until:10000.0 net in
+  let materialized = Stat.of_trace tr in
+  Alcotest.(check string) "identical reports" (Stat.render_tsv materialized)
+    (Stat.render_tsv streamed);
+  (* and through a serialized round trip in each codec *)
+  let from_text = Stat.of_trace (Pnut_trace.Codec.parse (Pnut_trace.Codec.to_string tr)) in
+  let from_bin = Stat.of_trace (Pnut_trace.Binary.parse (Pnut_trace.Binary.to_string tr)) in
+  Alcotest.(check string) "text codec preserves stats"
+    (Stat.render_tsv materialized) (Stat.render_tsv from_text);
+  Alcotest.(check string) "binary codec preserves stats"
+    (Stat.render_tsv materialized) (Stat.render_tsv from_bin)
+
 (* property: place averages always lie within [min, max] *)
 let prop_avg_bounded =
   QCheck2.Test.make ~name:"avg within min/max" ~count:50
@@ -199,6 +242,10 @@ let () =
           Alcotest.test_case "report layout" `Quick test_render_layout;
           Alcotest.test_case "golden format" `Quick test_render_golden;
           Alcotest.test_case "tsv layout" `Quick test_render_tsv;
+          Alcotest.test_case "time regression rejected" `Quick
+            test_time_regression_rejected;
+          Alcotest.test_case "streaming = materialized" `Quick
+            test_streaming_matches_materialized;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_avg_bounded ]);
     ]

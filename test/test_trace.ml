@@ -2,6 +2,7 @@
 
 module Trace = Pnut_trace.Trace
 module Codec = Pnut_trace.Codec
+module Binary = Pnut_trace.Binary
 module Filter = Pnut_trace.Filter
 module Value = Pnut_core.Value
 
@@ -187,12 +188,171 @@ let test_writer_sink_streams () =
   Alcotest.(check string) "streaming write equals batch write"
     (Codec.to_string tr) (Buffer.contents buf)
 
-(* -- filter -- *)
-
 let sim_trace () =
   let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
   let tr, _ = Pnut_sim.Simulator.trace ~seed:3 ~until:300.0 net in
   tr
+
+(* -- name escaping (regression: the text format used to alias names
+   containing its own separators) -- *)
+
+let adversarial_header () =
+  {
+    Trace.h_net = "net with spaces";
+    h_places = [| "a b"; "c;d"; "e:f" |];
+    h_transitions = [| "g=h"; "p%q"; "caf\xc3\xa9" |];
+    h_initial = [| 2; 0; 1 |];
+    h_variables = [ ("v w", Value.Int 3); ("x=y", Value.Float 0.5) ];
+  }
+
+let adversarial_trace () =
+  let d =
+    {
+      Trace.d_time = 1.0;
+      d_kind = Trace.Fire_end;
+      d_transition = 0;
+      d_firing = 0;
+      d_marking = [ (0, -1); (1, 1) ];
+      d_env = [ ("v w", Value.Int 4); ("x=y", Value.Float 1.5) ];
+    }
+  in
+  Trace.make (adversarial_header ()) [ d ] 5.0
+
+let check_header_equal what (a : Trace.header) (b : Trace.header) =
+  Alcotest.(check string) (what ^ " net") a.Trace.h_net b.Trace.h_net;
+  Alcotest.(check (array string)) (what ^ " places") a.Trace.h_places b.Trace.h_places;
+  Alcotest.(check (array string)) (what ^ " transitions") a.Trace.h_transitions
+    b.Trace.h_transitions
+
+let test_codec_escapes_names () =
+  let tr = adversarial_trace () in
+  let back = Codec.parse (Codec.to_string tr) in
+  check_header_equal "text" (Trace.header tr) (Trace.header back);
+  let d = (Trace.deltas back).(0) in
+  Alcotest.(check bool) "env names survive" true
+    (List.assoc "v w" d.Trace.d_env = Value.Int 4
+    && List.assoc "x=y" d.Trace.d_env = Value.Float 1.5);
+  Alcotest.(check bool) "marking survives" true
+    (d.Trace.d_marking = [ (0, -1); (1, 1) ])
+
+let test_codec_empty_name_rejected () =
+  let header = { (sample_header ()) with Trace.h_net = "" } in
+  let tr = Trace.make header [] 1.0 in
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Codec: empty names cannot be written to a text trace")
+    (fun () -> ignore (Codec.to_string tr))
+
+let test_codec_bad_escape () =
+  let expect_error text fragment =
+    match Codec.parse text with
+    | _ -> Alcotest.failf "expected parse error for %S" fragment
+    | exception Codec.Parse_error (_, msg) ->
+      Testutil.check_contains "message" msg fragment
+  in
+  expect_error "net x%ZZ\nbegin\nend 1" "bad escape digit";
+  expect_error "net x%2\nbegin\nend 1" "truncated %-escape";
+  (* a raw space in a name cannot parse as a well-formed header line *)
+  expect_error "net x\nplace 0 my name 0\nbegin\nend 1" "unexpected header line"
+
+(* -- incremental reader -- *)
+
+let test_incremental_reader () =
+  let tr = sample_trace () in
+  let text = Codec.to_string tr in
+  let sink, get = Trace.collector () in
+  let r = Codec.reader sink in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line -> if not (Codec.finished r) then Codec.feed_line r line)
+    lines;
+  Alcotest.(check bool) "finished" true (Codec.finished r);
+  Alcotest.(check string) "incremental = batch" text (Codec.to_string (get ()))
+
+(* -- binary codec -- *)
+
+let test_binary_roundtrip () =
+  let tr = sample_trace () in
+  let bin = Binary.to_string tr in
+  Alcotest.(check string) "magic" Binary.magic (String.sub bin 0 9);
+  let back = Binary.parse bin in
+  Alcotest.(check string) "round trip via text render" (Codec.to_string tr)
+    (Codec.to_string back);
+  (* non-integral time steps take the raw-double escape path *)
+  let header = { (sample_header ()) with Trace.h_variables = [] } in
+  let d =
+    {
+      Trace.d_time = 0.1 +. 0.2;
+      d_kind = Trace.Fire_start;
+      d_transition = 0;
+      d_firing = 0;
+      d_marking = [];
+      d_env = [ ("v", Value.Float 1.0e-17) ];
+    }
+  in
+  let tr = Trace.make header [ d ] 1000000.25 in
+  let back = Binary.parse (Binary.to_string tr) in
+  let d' = (Trace.deltas back).(0) in
+  Alcotest.(check (float 0.0)) "escape-path time exact" (0.1 +. 0.2)
+    d'.Trace.d_time;
+  Alcotest.(check bool) "tiny float exact" true
+    (List.assoc "v" d'.Trace.d_env = Value.Float 1.0e-17)
+
+let test_binary_adversarial_names () =
+  let tr = adversarial_trace () in
+  let back = Binary.parse (Binary.to_string tr) in
+  check_header_equal "binary" (Trace.header tr) (Trace.header back);
+  (* the binary format is length-prefixed, so even an empty name (which
+     the text codec must reject) survives *)
+  let header = { (sample_header ()) with Trace.h_net = "" } in
+  let tr = Trace.make header [] 1.0 in
+  Alcotest.(check string) "empty name round-trips" ""
+    (Trace.header (Binary.parse (Binary.to_string tr))).Trace.h_net
+
+let test_binary_cross_conversion () =
+  let tr = sim_trace () in
+  let via_binary = Binary.parse (Binary.to_string tr) in
+  Alcotest.(check string) "text(trace) = text(binary round trip)"
+    (Codec.to_string tr) (Codec.to_string via_binary);
+  Alcotest.(check bool) "binary is much smaller" true
+    (2 * String.length (Binary.to_string tr)
+    < String.length (Codec.to_string tr))
+
+let test_binary_errors () =
+  let expect_error bytes fragment =
+    match Binary.parse bytes with
+    | _ -> Alcotest.failf "expected binary parse error for %s" fragment
+    | exception Binary.Parse_error (_, msg) ->
+      Testutil.check_contains "message" msg fragment
+  in
+  expect_error "not binary at all" "bad magic";
+  expect_error (Binary.magic ^ "\x02") "unsupported binary trace version";
+  let good = Binary.to_string (sample_trace ()) in
+  expect_error (String.sub good 0 (String.length good - 3))
+    "unexpected end of binary trace"
+
+let test_auto_detection () =
+  let tr = sample_trace () in
+  let via tmp contents =
+    let oc = open_out_bin tmp in
+    output_string oc contents;
+    close_out oc;
+    let ic = open_in_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Codec.read_channel ic)
+  in
+  let tmp = Filename.temp_file "pnut_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let from_bin = via tmp (Binary.to_string tr) in
+      let from_text = via tmp (Codec.to_string tr) in
+      Alcotest.(check string) "binary detected" (Codec.to_string tr)
+        (Codec.to_string from_bin);
+      Alcotest.(check string) "text detected" (Codec.to_string tr)
+        (Codec.to_string from_text))
+
+(* -- filter -- *)
 
 let test_filter_identity () =
   let tr = sample_trace () in
@@ -254,6 +414,38 @@ let test_filter_preserves_place_signals () =
     (String.length (Codec.to_string filtered)
     < String.length (Codec.to_string tr))
 
+let test_filter_balanced_accounting () =
+  (* regression: orphaned deltas used to keep their original S/E kinds,
+     so [_filtered] could see an E with no matching S and stat reported
+     negative concurrency *)
+  let tr = sim_trace () in
+  let spec = Filter.make_spec ~transitions:[ "Start_memory" ] () in
+  let filtered = Filter.apply spec tr in
+  let report = Pnut_stat.Stat.of_trace filtered in
+  let other = Pnut_stat.Stat.transition report "_filtered" in
+  Alcotest.(check bool) "concurrency never negative" true
+    (other.Pnut_stat.Stat.ts_min >= 0);
+  Alcotest.(check int) "starts balance ends" other.Pnut_stat.Stat.ts_starts
+    other.Pnut_stat.Stat.ts_ends;
+  (* place signals are still exact *)
+  let h = Trace.header tr in
+  let bus =
+    let rec find i = if h.Trace.h_places.(i) = "Bus_busy" then i else find (i + 1) in
+    find 0
+  in
+  let bus' =
+    let h' = Trace.header filtered in
+    let rec find i = if h'.Trace.h_places.(i) = "Bus_busy" then i else find (i + 1) in
+    find 0
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check int)
+        (Printf.sprintf "Bus_busy at %g" t)
+        (Trace.state_at tr t).(bus)
+        (Trace.state_at filtered t).(bus'))
+    [ 0.0; 42.0; 133.5; 299.0 ]
+
 let test_filter_streaming_matches_batch () =
   let tr = sim_trace () in
   let spec =
@@ -295,6 +487,77 @@ let prop_codec_roundtrip =
       let text = Codec.to_string tr in
       String.equal text (Codec.to_string (Codec.parse text)))
 
+(* property: both codecs round-trip traces whose names are built from the
+   format's own separators and other adversarial bytes *)
+let gen_adversarial_trace =
+  QCheck2.Gen.(
+    let fragment =
+      oneofl
+        [ "a"; " "; ";"; ":"; "="; "%"; "%2"; "@"; "#"; "\t"; "caf\xc3\xa9";
+          "end"; "place" ]
+    in
+    let gen_name =
+      map (fun parts -> String.concat "" parts)
+        (list_size (int_range 1 4) fragment)
+    in
+    let gen_delta name =
+      map2
+        (fun time bits ->
+          {
+            Trace.d_time = float_of_int time /. 4.0;
+            d_kind = (if bits land 1 = 0 then Trace.Fire_start else Trace.Fire_end);
+            d_transition = bits land 1;
+            d_firing = bits lsr 2;
+            d_marking = (if bits land 2 = 0 then [] else [ (bits mod 2, (bits mod 5) - 2) ]);
+            d_env = (if bits land 4 = 0 then [] else [ (name, Value.Int bits) ]);
+          })
+        (int_range 0 400) (int_range 0 63)
+    in
+    gen_name >>= fun vname ->
+    map2
+      (fun names deltas ->
+        let header =
+          match names with
+          | [ net; p1; p2; t1; t2 ] ->
+            {
+              Trace.h_net = net;
+              h_places = [| p1; p2 |];
+              h_transitions = [| t1; t2 |];
+              h_initial = [| 1; 0 |];
+              h_variables = [ (vname, Value.Int 0) ];
+            }
+          | _ -> assert false
+        in
+        let sorted =
+          List.sort (fun a b -> Float.compare a.Trace.d_time b.Trace.d_time)
+            deltas
+        in
+        Trace.make header sorted 200.0)
+      (list_repeat 5 gen_name)
+      (list_size (int_range 0 30) (gen_delta vname)))
+
+let structurally_equal a b =
+  Trace.header a = Trace.header b
+  && Trace.deltas a = Trace.deltas b
+  && Float.equal (Trace.final_time a) (Trace.final_time b)
+
+let prop_codec_adversarial_names =
+  QCheck2.Test.make ~name:"text codec round-trips adversarial names" ~count:200
+    gen_adversarial_trace (fun tr ->
+      structurally_equal tr (Codec.parse (Codec.to_string tr)))
+
+let prop_binary_adversarial_names =
+  QCheck2.Test.make ~name:"binary codec round-trips adversarial names"
+    ~count:200 gen_adversarial_trace (fun tr ->
+      structurally_equal tr (Binary.parse (Binary.to_string tr)))
+
+let prop_cross_conversion =
+  QCheck2.Test.make ~name:"text and binary agree on every trace" ~count:200
+    gen_adversarial_trace (fun tr ->
+      String.equal
+        (Codec.to_string (Codec.parse (Codec.to_string tr)))
+        (Codec.to_string (Binary.parse (Binary.to_string tr))))
+
 let () =
   Alcotest.run "trace"
     [
@@ -317,6 +580,21 @@ let () =
           Alcotest.test_case "foreign producer" `Quick test_codec_foreign_trace;
           Alcotest.test_case "errors" `Quick test_codec_errors;
           Alcotest.test_case "streaming writer" `Quick test_writer_sink_streams;
+          Alcotest.test_case "name escaping" `Quick test_codec_escapes_names;
+          Alcotest.test_case "empty name rejected" `Quick
+            test_codec_empty_name_rejected;
+          Alcotest.test_case "bad escapes" `Quick test_codec_bad_escape;
+          Alcotest.test_case "incremental reader" `Quick test_incremental_reader;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "round trip" `Quick test_binary_roundtrip;
+          Alcotest.test_case "adversarial names" `Quick
+            test_binary_adversarial_names;
+          Alcotest.test_case "cross conversion" `Quick
+            test_binary_cross_conversion;
+          Alcotest.test_case "errors" `Quick test_binary_errors;
+          Alcotest.test_case "auto-detection" `Quick test_auto_detection;
         ] );
       ( "filter",
         [
@@ -326,8 +604,16 @@ let () =
           Alcotest.test_case "orphan attribution" `Quick test_filter_orphan_attribution;
           Alcotest.test_case "place signals preserved" `Quick
             test_filter_preserves_place_signals;
+          Alcotest.test_case "balanced accounting" `Quick
+            test_filter_balanced_accounting;
           Alcotest.test_case "streaming matches batch" `Quick
             test_filter_streaming_matches_batch;
         ] );
-      ("property", [ QCheck_alcotest.to_alcotest prop_codec_roundtrip ]);
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_codec_adversarial_names;
+          QCheck_alcotest.to_alcotest prop_binary_adversarial_names;
+          QCheck_alcotest.to_alcotest prop_cross_conversion;
+        ] );
     ]
