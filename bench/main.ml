@@ -618,7 +618,50 @@ let legacy_string_key_build ?(max_states = 100_000) net =
   done;
   !n
 
-let bench_json ~quick ~file () =
+(* Extract [sim.events_per_sec] from a committed BENCH_*.json without a
+   JSON dependency: find the ["sim"] key, then the first
+   ["events_per_sec"] after it.  Returns [None] when the file or key is
+   missing — the caller treats that as "no baseline to compare". *)
+let baseline_events_per_sec file =
+  match
+    (try
+       let ic = open_in file in
+       let len = in_channel_length ic in
+       let s = really_input_string ic len in
+       close_in ic;
+       Some s
+     with Sys_error _ -> None)
+  with
+  | None -> None
+  | Some s ->
+    let index_sub sub start =
+      let n = String.length s and m = String.length sub in
+      let rec go i =
+        if i + m > n then None
+        else if String.sub s i m = sub then Some i
+        else go (i + 1)
+      in
+      go start
+    in
+    Option.bind (index_sub "\"sim\"" 0) (fun i ->
+        Option.bind (index_sub "\"events_per_sec\":" i) (fun j ->
+            let k = ref (j + String.length "\"events_per_sec\":") in
+            while !k < String.length s && s.[!k] = ' ' do incr k done;
+            let start = !k in
+            while
+              !k < String.length s
+              && (match s.[!k] with
+                 | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+                 | _ -> false)
+            do
+              incr k
+            done;
+            float_of_string_opt (String.sub s start (!k - start))))
+
+let bench_json ~quick ~file ?baseline () =
+  (* Read the committed baseline before anything is written: CI points
+     [~baseline] at the same path it regenerates. *)
+  let baseline_rate = Option.bind baseline baseline_events_per_sec in
   let cores = Domain.recommended_domain_count () in
   let job_counts = [ 1; 2; 4 ] in
   let b = Buffer.create 4096 in
@@ -656,12 +699,36 @@ let bench_json ~quick ~file () =
       job_counts
   in
   let _, hc_states, hc_serial_s = List.hd reach in
-  (* raw simulation events/sec (single stream; the per-run engine) *)
-  let sim_until = if quick then 2_000.0 else 10_000.0 in
+  (* raw simulation events/sec (single stream; the per-run engine),
+     measured against the frozen pre-optimization engine on the same
+     model and seed, and swept across every built-in model — locality
+     differs (the serial model fires one transition at a time, the
+     pipeline keeps five stages busy), so one model alone would hide
+     regressions *)
+  (* Always the full horizon, even under [--quick]: the whole sweep
+     costs tens of milliseconds, and the CI regression gate compares
+     a quick run against the committed full-run baseline — the two must
+     measure the same thing. *)
+  let sim_until = 10_000.0 in
   let outcome, sim_s =
     wall (fun () -> Sim.simulate ~seed:42 ~until:sim_until net)
   in
   let events = outcome.Sim.started in
+  let ref_outcome, ref_s =
+    wall (fun () -> Pnut_sim.Reference.simulate ~seed:42 ~until:sim_until net)
+  in
+  let ref_events = ref_outcome.Sim.started in
+  let sim_sweep =
+    List.map
+      (fun (name, m) ->
+        let o, s = wall (fun () -> Sim.simulate ~seed:42 ~until:sim_until m) in
+        (name, o.Sim.started, s))
+      [ ("pipeline", net);
+        ("prefetch", Model.prefetch_only default);
+        ("interpreted_isa", Interpreted.full default);
+        ("branching", Pnut_pipeline.Branching.full default);
+        ("serial", Pnut_pipeline.Serial.full default) ]
+  in
   (* codec throughput: text vs binary on the Figure-5 reference trace *)
   let codec_until = if quick then 2_000.0 else 10_000.0 in
   let codec_trace = fst (Sim.trace ~seed:42 ~until:codec_until net) in
@@ -716,7 +783,7 @@ let bench_json ~quick ~file () =
   (* emit *)
   let rate count s = if s > 0.0 then float_of_int count /. s else 0.0 in
   Printf.bprintf b "{\n";
-  Printf.bprintf b "  \"bench\": \"pr3\",\n";
+  Printf.bprintf b "  \"bench\": \"pr4\",\n";
   Printf.bprintf b "  \"model\": \"pipeline (Model.full default)\",\n";
   Printf.bprintf b "  \"cores\": %d,\n" cores;
   Printf.bprintf b "  \"quick\": %b,\n" quick;
@@ -754,10 +821,28 @@ let bench_json ~quick ~file () =
   Printf.bprintf b
     "    \"hashconsed_serial_faster_than_legacy\": %b\n" (hc_serial_s < legacy_s);
   Printf.bprintf b "  },\n";
+  Printf.bprintf b "  \"sim\": {\n";
   Printf.bprintf b
-    "  \"sim\": { \"until\": %g, \"events\": %d, \"seconds\": %.6f, \
-     \"events_per_sec\": %.0f },\n"
+    "    \"until\": %g, \"events\": %d, \"seconds\": %.6f, \
+     \"events_per_sec\": %.0f,\n"
     sim_until events sim_s (rate events sim_s);
+  Printf.bprintf b
+    "    \"reference_engine\": { \"events\": %d, \"seconds\": %.6f, \
+     \"events_per_sec\": %.0f },\n"
+    ref_events ref_s (rate ref_events ref_s);
+  Printf.bprintf b "    \"speedup_vs_reference\": %.3f,\n"
+    (if sim_s > 0.0 then ref_s /. sim_s else 0.0);
+  Printf.bprintf b "    \"traces_identical\": %b,\n" (events = ref_events);
+  Printf.bprintf b "    \"sweep\": [\n";
+  List.iteri
+    (fun i (name, ev, s) ->
+      Printf.bprintf b
+        "      { \"model\": %S, \"events\": %d, \"seconds\": %.6f, \
+         \"events_per_sec\": %.0f }%s\n"
+        name ev s (rate ev s)
+        (if i = List.length sim_sweep - 1 then "" else ","))
+    sim_sweep;
+  Printf.bprintf b "    ]\n  },\n";
   Printf.bprintf b "  \"codec\": {\n";
   Printf.bprintf b "    \"until\": %g,\n" codec_until;
   Printf.bprintf b "    \"deltas\": %d,\n" codec_events;
@@ -791,7 +876,22 @@ let bench_json ~quick ~file () =
   output_string oc (Buffer.contents b);
   close_out oc;
   Printf.printf "wrote %s (cores=%d, reach %d vs %d states, identical=%b)\n"
-    file cores legacy_states hc_states rep_identical
+    file cores legacy_states hc_states rep_identical;
+  match baseline_rate with
+  | None -> ()
+  | Some base ->
+    let current = rate events sim_s in
+    let floor = 0.7 *. base in
+    if current < floor then begin
+      Printf.eprintf
+        "bench: FAIL sim.events_per_sec %.0f is more than 30%% below the \
+         committed baseline %.0f (floor %.0f)\n"
+        current base floor;
+      exit 1
+    end
+    else
+      Printf.printf "bench: sim.events_per_sec %.0f vs baseline %.0f: ok\n"
+        current base
 
 let run_figures () =
   figure_1_to_3 ();
@@ -819,10 +919,19 @@ let () =
     | "--bench-json" :: next :: _ when String.length next > 0 && next.[0] <> '-'
       ->
       Some next
-    | "--bench-json" :: _ -> Some "BENCH_pr3.json"
+    | "--bench-json" :: _ -> Some "BENCH_pr4.json"
     | _ :: rest -> json_file rest
     | [] -> None
   in
+  let rec baseline = function
+    | "--baseline" :: next :: _
+      when String.length next > 0 && next.[0] <> '-' ->
+      Some next
+    | _ :: rest -> baseline rest
+    | [] -> None
+  in
   match json_file argv with
-  | Some file -> bench_json ~quick:(List.mem "--quick" argv) ~file ()
+  | Some file ->
+    bench_json ~quick:(List.mem "--quick" argv) ~file ?baseline:(baseline argv)
+      ()
   | None -> run_figures ()

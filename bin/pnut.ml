@@ -177,8 +177,51 @@ let model_cmd =
 
 (* -- pnut sim -- *)
 
+(* The operations [pnut sim] needs from a simulation engine; both
+   [Simulator] (the incremental compiled engine) and [Reference] (the
+   straightforward baseline) satisfy it, so the CLI can run either for
+   cross-checking.  All result types are the shared [Simulator] ones. *)
+module type SIM_ENGINE = sig
+  type t
+
+  val create :
+    ?seed:int ->
+    ?prng:Pnut_core.Prng.t ->
+    ?sink:Pnut_trace.Trace.sink ->
+    ?max_instant_firings:int ->
+    ?check_capacities:bool ->
+    ?hooks:Pnut_sim.Simulator.hooks ->
+    Pnut_core.Net.t -> t
+
+  val restore :
+    ?sink:Pnut_trace.Trace.sink ->
+    ?max_instant_firings:int ->
+    ?check_capacities:bool ->
+    ?hooks:Pnut_sim.Simulator.hooks ->
+    Pnut_core.Net.t -> Pnut_sim.Checkpoint.t -> t
+
+  val run :
+    ?until:float -> ?max_events:int -> ?wall_limit_s:float -> ?finish:bool ->
+    t -> Pnut_sim.Simulator.outcome
+
+  val checkpoint : t -> Pnut_sim.Checkpoint.t
+  val diagnose : t -> Pnut_sim.Simulator.diagnosis
+end
+
 let sim_cmd =
   let doc = "Simulate a model, writing a trace and/or statistics." in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("fast", `Fast); ("interpreted", `Interpreted) ]) `Fast
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Simulation engine: $(b,fast) (default; incremental fireable \
+             set, deadline heap and compiled expressions) or \
+             $(b,interpreted) (the straightforward reference engine). Both \
+             produce bit-identical traces on the same seed; the reference \
+             engine exists for cross-checking and differential debugging.")
+  in
   let trace_out =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write the simulation trace to FILE (- for stdout).")
@@ -217,7 +260,12 @@ let sim_cmd =
                  done.")
   in
   let run path seed until max_events trace_out format stats runs explain
-      wall_limit save_state load_state =
+      wall_limit save_state load_state engine =
+    let module E =
+      (val match engine with
+           | `Fast -> (module Pnut_sim.Simulator : SIM_ENGINE)
+           | `Interpreted -> (module Pnut_sim.Reference : SIM_ENGINE))
+    in
     let net = load_net path in
     if runs < 1 then die "--runs must be at least 1";
     if load_state <> None && runs > 1 then
@@ -257,7 +305,7 @@ let sim_cmd =
               die "%s:%d: %s" file line msg
             | Sys_error msg -> die "%s" msg
           in
-          (try Pnut_sim.Simulator.restore ~sink net ck
+          (try E.restore ~sink net ck
            with Pnut_sim.Simulator.Sim_error e ->
              die "%s" (Pnut_sim.Simulator.error_message e))
         | None ->
@@ -267,11 +315,9 @@ let sim_cmd =
             if runs = 1 then Pnut_core.Prng.create seed
             else Pnut_core.Prng.split master
           in
-          Pnut_sim.Simulator.create ~prng ~sink net
+          E.create ~prng ~sink net
       in
-      match
-        Pnut_sim.Simulator.run ?until ?max_events ?wall_limit_s:wall_limit st
-      with
+      match E.run ?until ?max_events ?wall_limit_s:wall_limit st with
       | outcome ->
         if stats || trace_out = None then
           print_string (Pnut_stat.Stat.render (stat_get ()));
@@ -288,12 +334,11 @@ let sim_cmd =
           outcome.Pnut_sim.Simulator.finished;
         (match outcome.Pnut_sim.Simulator.stop with
         | Pnut_sim.Simulator.Dead when explain ->
-          Format.eprintf "%a@." Pnut_sim.Simulator.pp_diagnosis
-            (Pnut_sim.Simulator.diagnose st)
+          Format.eprintf "%a@." Pnut_sim.Simulator.pp_diagnosis (E.diagnose st)
         | _ -> ());
         (match save_state with
         | Some file when run_number = 1 ->
-          Pnut_sim.Checkpoint.save file (Pnut_sim.Simulator.checkpoint st)
+          Pnut_sim.Checkpoint.save file (E.checkpoint st)
         | Some _ | None -> ())
       | exception Pnut_sim.Simulator.Sim_error e ->
         Printf.eprintf "run %d aborted: %s\n" run_number
@@ -306,7 +351,7 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(const run $ net_arg $ seed_arg $ until_arg $ max_events_arg
           $ trace_out $ format_arg $ stats $ runs $ explain $ wall_limit
-          $ save_state $ load_state)
+          $ save_state $ load_state $ engine_arg)
 
 (* -- pnut faults -- *)
 

@@ -1,7 +1,12 @@
 exception Unbound of string
 
+(* Variables are stored behind a [ref] cell so that a compiled expression
+   (see {!Expr.compile}) can resolve a name to its cell once and then read
+   or write it without any further hashtable lookup.  [set] mutates the
+   existing cell in place, so cached cells stay valid for the lifetime of
+   the environment.  Cells are never removed. *)
 type t = {
-  vars : (string, Value.t) Hashtbl.t;
+  vars : (string, Value.t ref) Hashtbl.t;
   tbls : (string, Value.t array) Hashtbl.t;
 }
 
@@ -12,7 +17,7 @@ let of_bindings ?(tables = []) vars =
   let add_var (name, v) =
     if Hashtbl.mem env.vars name then
       invalid_arg ("Env.of_bindings: duplicate variable " ^ name);
-    Hashtbl.replace env.vars name v
+    Hashtbl.replace env.vars name (ref v)
   in
   let add_table (name, arr) =
     if Hashtbl.mem env.tbls name then
@@ -24,19 +29,27 @@ let of_bindings ?(tables = []) vars =
   env
 
 let copy env =
-  let vars = Hashtbl.copy env.vars in
+  let vars = Hashtbl.create (Hashtbl.length env.vars) in
+  Hashtbl.iter (fun k cell -> Hashtbl.replace vars k (ref !cell)) env.vars;
   let tbls = Hashtbl.create (Hashtbl.length env.tbls) in
   Hashtbl.iter (fun k v -> Hashtbl.replace tbls k (Array.copy v)) env.tbls;
   { vars; tbls }
 
 let get env name =
   match Hashtbl.find_opt env.vars name with
-  | Some v -> v
+  | Some cell -> !cell
   | None -> raise (Unbound name)
 
-let set env name v = Hashtbl.replace env.vars name v
+let set env name v =
+  match Hashtbl.find_opt env.vars name with
+  | Some cell -> cell := v
+  | None -> Hashtbl.replace env.vars name (ref v)
 
 let mem env name = Hashtbl.mem env.vars name
+
+let find_ref env name = Hashtbl.find_opt env.vars name
+
+let find_table env name = Hashtbl.find_opt env.tbls name
 
 let get_table env name =
   match Hashtbl.find_opt env.tbls name with
@@ -60,7 +73,7 @@ let table_set env name i v =
   arr.(i) <- v
 
 let bindings env =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.vars []
+  Hashtbl.fold (fun k cell acc -> (k, !cell) :: acc) env.vars []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let tables env =

@@ -25,6 +25,16 @@ val set : t -> string -> Value.t -> unit
 
 val mem : t -> string -> bool
 
+val find_ref : t -> string -> Value.t ref option
+(** The live cell holding a variable, if bound.  [set] mutates the cell
+    in place and cells are never removed, so a compiled expression can
+    resolve a name once and hold the cell for the lifetime of the
+    environment. *)
+
+val find_table : t -> string -> Value.t array option
+(** The live table array, if bound (tables are created only at
+    {!of_bindings} time and never resized, so the array is stable). *)
+
 val get_table : t -> string -> Value.t array
 (** The live table array (not a copy). Raises [Unbound]. *)
 

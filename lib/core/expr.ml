@@ -53,6 +53,31 @@ let arith name int_op float_op a b =
   | (Value.Bool _, _ | _, Value.Bool _) ->
     eval_error "operator %s applied to a boolean" name
 
+(* One binop application over already-evaluated operands; shared between
+   the interpreter and the closure compiler so the two can never drift. *)
+let apply_binop op va vb =
+  let cmp op = Value.Bool (op (Value.compare_num va vb) 0) in
+  match op with
+  | Add -> arith "+" Stdlib.( + ) Stdlib.( +. ) va vb
+  | Sub -> arith "-" Stdlib.( - ) Stdlib.( -. ) va vb
+  | Mul -> arith "*" Stdlib.( * ) Stdlib.( *. ) va vb
+  | Div -> (
+    match va, vb with
+    | Value.Int _, Value.Int 0 -> eval_error "integer division by zero"
+    | _ -> arith "/" Stdlib.( / ) Stdlib.( /. ) va vb)
+  | Mod -> (
+    match va, vb with
+    | Value.Int _, Value.Int 0 -> eval_error "modulo by zero"
+    | Value.Int x, Value.Int y -> Value.Int (x mod y)
+    | _ -> eval_error "%% requires integer operands")
+  | Eq -> Value.Bool (Value.equal va vb)
+  | Ne -> Value.Bool (Stdlib.not (Value.equal va vb))
+  | Lt -> cmp Stdlib.( < )
+  | Le -> cmp Stdlib.( <= )
+  | Gt -> cmp Stdlib.( > )
+  | Ge -> cmp Stdlib.( >= )
+  | And | Or -> assert false (* handled in [eval] for short-circuiting *)
+
 let rec eval ?prng env expr =
   match expr with
   | Const v -> v
@@ -84,27 +109,7 @@ let rec eval ?prng env expr =
 and eval_binop ?prng env op a b =
   let va = eval ?prng env a in
   let vb = eval ?prng env b in
-  let cmp op = Value.Bool (op (Value.compare_num va vb) 0) in
-  match op with
-  | Add -> arith "+" Stdlib.( + ) Stdlib.( +. ) va vb
-  | Sub -> arith "-" Stdlib.( - ) Stdlib.( -. ) va vb
-  | Mul -> arith "*" Stdlib.( * ) Stdlib.( *. ) va vb
-  | Div -> (
-    match va, vb with
-    | Value.Int _, Value.Int 0 -> eval_error "integer division by zero"
-    | _ -> arith "/" Stdlib.( / ) Stdlib.( /. ) va vb)
-  | Mod -> (
-    match va, vb with
-    | Value.Int _, Value.Int 0 -> eval_error "modulo by zero"
-    | Value.Int x, Value.Int y -> Value.Int (x mod y)
-    | _ -> eval_error "%% requires integer operands")
-  | Eq -> Value.Bool (Value.equal va vb)
-  | Ne -> Value.Bool (Stdlib.not (Value.equal va vb))
-  | Lt -> cmp Stdlib.( < )
-  | Le -> cmp Stdlib.( <= )
-  | Gt -> cmp Stdlib.( > )
-  | Ge -> cmp Stdlib.( >= )
-  | And | Or -> assert false (* handled in [eval] for short-circuiting *)
+  apply_binop op va vb
 
 and eval_call ?prng env fn args =
   let values () = List.map (eval ?prng env) args in
@@ -165,6 +170,173 @@ let run_stmt ?prng env = function
     | Invalid_argument msg -> eval_error "%s" msg)
 
 let run_stmts ?prng env stmts = List.iter (run_stmt ?prng env) stmts
+
+(* -- compilation to closures --
+
+   [compile] turns an expression into a [unit -> Value.t] closure bound
+   to one environment (and optionally one random stream).  Variable and
+   table names resolve to their live [Env] cells on first use and are
+   cached — [Env.set] mutates cells in place and never removes them, so
+   a cached cell stays valid for the environment's lifetime.  The
+   compiled closure evaluates sub-expressions in exactly the order the
+   interpreter does (left to right, short-circuiting [and]/[or],
+   arguments before arity checks) and raises the same [Eval_error]
+   messages, so random draws and failure behaviour are identical — a
+   trace produced through compiled expressions is bit-for-bit the trace
+   the interpreter produces. *)
+
+let compile ?prng env expr =
+  let rec comp e =
+    match e with
+    | Const v -> fun () -> v
+    | Var name ->
+      let slot = ref None in
+      fun () -> (
+        match !slot with
+        | Some cell -> !cell
+        | None -> (
+          match Env.find_ref env name with
+          | Some cell ->
+            slot := Some cell;
+            !cell
+          | None -> eval_error "unbound variable %s" name))
+    | Index (tbl, ie) ->
+      let ci = comp ie in
+      let slot = ref None in
+      fun () ->
+        let i = Value.to_int (ci ()) in
+        let arr =
+          match !slot with
+          | Some arr -> arr
+          | None -> (
+            match Env.find_table env tbl with
+            | Some arr ->
+              slot := Some arr;
+              arr
+            | None -> eval_error "unbound table %s" tbl)
+        in
+        let len = Array.length arr in
+        if Stdlib.( && ) (Stdlib.( <= ) 0 i) (Stdlib.( < ) i len) then arr.(i)
+        else
+          eval_error "Env.table_get: index %d out of bounds for %s[%d]" i tbl
+            len
+    | Unop (Neg, e) ->
+      let c = comp e in
+      fun () -> (
+        match c () with
+        | Value.Int i -> Value.Int (Stdlib.( - ) 0 i)
+        | Value.Float f -> Value.Float (-.f)
+        | Value.Bool _ -> eval_error "negation applied to a boolean")
+    | Unop (Not, e) ->
+      let c = comp_bool e in
+      fun () -> Value.Bool (Stdlib.not (c ()))
+    | Binop (And, a, b) ->
+      let ca = comp_bool a in
+      let cb = comp_bool b in
+      fun () -> Value.Bool (if ca () then cb () else false)
+    | Binop (Or, a, b) ->
+      let ca = comp_bool a in
+      let cb = comp_bool b in
+      fun () -> Value.Bool (if ca () then true else cb ())
+    | Binop (op, a, b) ->
+      let ca = comp a in
+      let cb = comp b in
+      fun () ->
+        let va = ca () in
+        let vb = cb () in
+        apply_binop op va vb
+    | If (c, th, el) ->
+      let cc = comp_bool c in
+      let cth = comp th in
+      let cel = comp el in
+      fun () -> if cc () then cth () else cel ()
+    | Call (fn, args) -> comp_call fn args
+  and comp_bool e =
+    let c = comp e in
+    fun () -> (
+      match c () with
+      | Value.Bool b -> b
+      | (Value.Int _ | Value.Float _) as v ->
+        eval_error "expected a boolean, got %s" (Value.to_string v))
+  and comp_call fn args =
+    (* like [eval_call]'s [values ()]: arguments are evaluated left to
+       right before the arity check, so their side effects (random
+       draws, errors) happen even when the call is malformed *)
+    let rec force = function
+      | [] -> []
+      | c :: rest ->
+        let v = c () in
+        v :: force rest
+    in
+    let unary name f =
+      let cs = List.map comp args in
+      match cs with
+      | [ c ] -> fun () -> f (c ())
+      | _ ->
+        fun () ->
+          eval_error "%s expects 1 argument, got %d" name
+            (List.length (force cs))
+    in
+    let binary name f =
+      let cs = List.map comp args in
+      match cs with
+      | [ ca; cb ] ->
+        fun () ->
+          let a = ca () in
+          let b = cb () in
+          f a b
+      | _ ->
+        fun () ->
+          eval_error "%s expects 2 arguments, got %d" name
+            (List.length (force cs))
+    in
+    match fn with
+    | "irand" -> (
+      match prng with
+      | None ->
+        fun () -> eval_error "irand used in a context without a random stream"
+      | Some g ->
+        binary "irand" (fun a b ->
+            let lo = Value.to_int a and hi = Value.to_int b in
+            if Stdlib.( > ) lo hi then
+              eval_error "irand: empty range [%d,%d]" lo hi;
+            Value.Int (Prng.int_range g lo hi)))
+    | "min" ->
+      binary "min" (fun a b ->
+          if Stdlib.( <= ) (Value.compare_num a b) 0 then a else b)
+    | "max" ->
+      binary "max" (fun a b ->
+          if Stdlib.( >= ) (Value.compare_num a b) 0 then a else b)
+    | "abs" ->
+      unary "abs" (function
+        | Value.Int i -> Value.Int (Stdlib.abs i)
+        | Value.Float f -> Value.Float (Float.abs f)
+        | Value.Bool _ -> eval_error "abs applied to a boolean")
+    | "floor" ->
+      unary "floor" (fun v -> Value.Float (Float.floor (Value.to_float v)))
+    | "ceil" ->
+      unary "ceil" (fun v -> Value.Float (Float.ceil (Value.to_float v)))
+    | "int" -> unary "int" (fun v -> Value.Int (Value.to_int v))
+    | "float" -> unary "float" (fun v -> Value.Float (Value.to_float v))
+    | other -> fun () -> eval_error "unknown function %s" other
+  in
+  comp expr
+
+let compile_bool ?prng env e =
+  let c = compile ?prng env e in
+  fun () -> (
+    match c () with
+    | Value.Bool b -> b
+    | (Value.Int _ | Value.Float _) as v ->
+      eval_error "expected a boolean, got %s" (Value.to_string v))
+
+let compile_float ?prng env e =
+  let c = compile ?prng env e in
+  fun () -> Value.to_float (c ())
+
+let compile_int ?prng env e =
+  let c = compile ?prng env e in
+  fun () -> Value.to_int (c ())
 
 let variables expr =
   let rec go acc = function

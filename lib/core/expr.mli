@@ -64,6 +64,22 @@ val eval_int : ?prng:Prng.t -> Env.t -> t -> int
 val run_stmt : ?prng:Prng.t -> Env.t -> stmt -> unit
 val run_stmts : ?prng:Prng.t -> Env.t -> stmt list -> unit
 
+(** {2 Compilation}
+
+    [compile] specializes an expression to one environment (and
+    optionally one random stream), returning a closure that evaluates it
+    without any AST walk or name lookup: variables and tables resolve to
+    their live {!Env} cells on first use and stay cached ([Env.set]
+    mutates cells in place, so the cache never goes stale).  Evaluation
+    order, random draws and [Eval_error] messages are identical to
+    {!eval} — the simulator relies on this to keep traces bit-for-bit
+    reproducible across the interpreted and compiled paths. *)
+
+val compile : ?prng:Prng.t -> Env.t -> t -> (unit -> Value.t)
+val compile_bool : ?prng:Prng.t -> Env.t -> t -> (unit -> bool)
+val compile_float : ?prng:Prng.t -> Env.t -> t -> (unit -> float)
+val compile_int : ?prng:Prng.t -> Env.t -> t -> (unit -> int)
+
 val variables : t -> string list
 (** Free variables (not tables), sorted, deduplicated. *)
 

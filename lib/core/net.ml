@@ -128,6 +128,39 @@ let sample_duration ?prng env dur =
     check (Prng.choose_weighted (need_prng "choice") values)
   | Dynamic e -> check (Expr.eval_float ?prng env e)
 
+(* Compiled counterpart of [sample_duration]: distribution parameters,
+   the random stream and (for [Dynamic]) the compiled expression are
+   resolved once, so sampling in the simulator's hot loop is a single
+   closure call.  Draw order, results and error messages are identical
+   to [sample_duration] on the same stream. *)
+let compile_duration ?prng env dur =
+  let no_prng what () =
+    invalid_arg
+      (Printf.sprintf "Net.sample_duration: %s requires a random stream" what)
+  in
+  let check d =
+    if d < 0.0 then invalid_arg "Net.sample_duration: negative delay" else d
+  in
+  match dur with
+  | Zero -> fun () -> 0.0
+  | Const d -> fun () -> check d
+  | Uniform (lo, hi) -> (
+    match prng with
+    | Some g -> fun () -> check (Prng.uniform g lo hi)
+    | None -> no_prng "uniform")
+  | Exponential mean -> (
+    match prng with
+    | Some g -> fun () -> check (Prng.exponential g mean)
+    | None -> no_prng "exponential")
+  | Choice items -> (
+    let values = List.map (fun (v, w) -> (v, w)) items in
+    match prng with
+    | Some g -> fun () -> check (Prng.choose_weighted g values)
+    | None -> no_prng "choice")
+  | Dynamic e ->
+    let c = Expr.compile ?prng env e in
+    fun () -> check (Value.to_float (c ()))
+
 let duration_is_deterministic = function
   | Zero | Const _ -> true
   | Uniform (lo, hi) -> Float.equal lo hi

@@ -95,6 +95,14 @@ val sample_duration : ?prng:Prng.t -> Env.t -> duration -> float
 (** Samples a delay.  Stochastic durations require [prng].  The result is
     always >= 0; a negative sampled value raises [Invalid_argument]. *)
 
+val compile_duration :
+  ?prng:Prng.t -> Env.t -> duration -> (unit -> float)
+(** Compiled counterpart of {!sample_duration}: resolves the
+    distribution, the random stream and (for [Dynamic]) the compiled
+    expression once; each call of the returned closure draws one sample
+    with the same results, draw order and errors as
+    {!sample_duration} on the same stream. *)
+
 val duration_is_deterministic : duration -> bool
 
 val max_duration : duration -> float option

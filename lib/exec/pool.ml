@@ -8,10 +8,26 @@ let env_jobs () =
     | Some n when n >= 1 -> Some n
     | Some _ | None -> None)
 
+let cores () = max 1 (Domain.recommended_domain_count ())
+
+(* Auto-detection never oversubscribes: an absurd [PNUT_JOBS] is clamped
+   to the machine.  Explicitly requested counts are honoured (tests
+   deliberately run 4 workers on 1 core to exercise scheduling), but
+   oversubscription is worth one warning per process — domains are real
+   OS threads and contention makes runs slower, not faster. *)
 let auto () =
-  match env_jobs () with
-  | Some n -> n
-  | None -> max 1 (Domain.recommended_domain_count ())
+  match env_jobs () with Some n -> min n (cores ()) | None -> cores ()
+
+let warned_oversubscribed = Atomic.make false
+
+let warn_if_oversubscribed n =
+  let c = cores () in
+  if n > c && not (Atomic.exchange warned_oversubscribed true) then
+    Printf.eprintf
+      "pnut: warning: %d jobs requested but only %d core%s available; extra \
+       workers will contend for CPU\n%!"
+      n c
+      (if c = 1 then "" else "s")
 
 let resolve ?jobs () =
   let n =
@@ -21,7 +37,9 @@ let resolve ?jobs () =
     | Some n -> invalid_arg (Printf.sprintf "Pool: jobs must be >= 0, got %d" n)
     | None -> ( match env_jobs () with Some n -> n | None -> 1)
   in
-  min n max_workers
+  let n = min n max_workers in
+  warn_if_oversubscribed n;
+  n
 
 (* Worker [d] computes tasks d, d+jobs, d+2*jobs, ...  Results and
    exceptions land in per-index slots, so no two domains ever write the

@@ -19,12 +19,17 @@
 
 val auto : unit -> int
 (** [PNUT_JOBS] when set to a positive integer, else
-    [Domain.recommended_domain_count ()] (at least 1). *)
+    [Domain.recommended_domain_count ()] (at least 1).  Either way the
+    result is clamped to [Domain.recommended_domain_count ()]:
+    auto-detection never oversubscribes the machine. *)
 
 val resolve : ?jobs:int -> unit -> int
 (** Resolve a [?jobs] argument to a concrete worker count (see the
     table above).  Raises [Invalid_argument] on a negative count.
-    The result is clamped to at most 64 workers. *)
+    The result is clamped to at most 64 workers.  An {e explicitly}
+    requested count above the core count is honoured — useful in tests —
+    but prints one warning per process to stderr, since extra domains
+    only contend for CPU. *)
 
 val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [init ~jobs n f] is [[| f 0; ...; f (n-1) |]], computed by [jobs]

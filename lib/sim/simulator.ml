@@ -1,7 +1,36 @@
+(* The optimized simulation engine.
+
+   The per-event critical path scales with the *locality* of a firing —
+   how many transitions share places with it — not with the size of the
+   net:
+
+   - Enabling state is incremental.  [refresh_after] visits only the
+     transitions reading a touched place (plus the predicated ones when
+     the environment changed), deduplicated through a generation-stamped
+     scratch array instead of a fresh per-event boolean array.
+   - The fireable set is maintained, not recomputed.  Transitions whose
+     enabling deadline is at or before the clock sit in a sorted dense
+     [ready] array; strictly-future deadlines sit in an indexed min-heap
+     ([Dheap]) keyed by deadline, so disabling a transition retracts its
+     deadline in O(log n) and [next_instant] reads the earliest deadline
+     in O(1) instead of sweeping every transition.
+   - Predicates, delay distributions and actions are compiled once at
+     [create]/[restore] into closures over pre-resolved environment
+     cells ([Expr.compile], [Net.compile_duration]); the hot loop never
+     walks an AST or looks up a name.
+   - Trace deltas for consumed/produced tokens are precomputed per
+     transition ([merge_changes] of constant arc lists).
+
+   Everything observable — trace deltas, random draw order, checkpoints,
+   errors, outcomes — is bit-for-bit identical to the straightforward
+   engine preserved in [Reference]; the differential test suite holds
+   the two against each other on random nets. *)
+
 module Net = Pnut_core.Net
 module Marking = Pnut_core.Marking
 module Env = Pnut_core.Env
 module Expr = Pnut_core.Expr
+module Value = Pnut_core.Value
 module Prng = Pnut_core.Prng
 module Trace = Pnut_trace.Trace
 
@@ -63,6 +92,38 @@ type pending = {
   pe_firing : int;
 }
 
+(* Raised by a compiled table-assignment on a write failure; the engine
+   converts it to a structured [Action_error] naming the transition. *)
+exception Action_failed of string
+
+(* A transition compiled against one simulator instance: arc lists
+   flattened to int arrays, predicate/delays/action compiled to
+   closures over the instance's environment and random stream, and the
+   constant parts of its trace deltas precomputed. *)
+type ctrans = {
+  c_tr : Net.transition;
+  c_id : int;
+  c_in_place : int array;
+  c_in_weight : int array;
+  c_inh_place : int array;
+  c_inh_weight : int array;
+  c_out_place : int array;
+  c_out_weight : int array;
+  c_pred : (unit -> bool) option;
+      (* compiled without a random stream, like the enabledness test of
+         the straightforward engine: [irand] in a predicate raises *)
+  c_enabling : unit -> float;
+  c_firing : unit -> float;
+  c_action : (unit -> string * Value.t) array;
+  c_has_action : bool;
+  c_frequency : float;
+  c_consumed : (int * int) list;  (* Fire_start delta of a timed firing *)
+  c_out_delta : (int * int) list; (* Fire_end delta, timed completion *)
+  c_net_delta : (int * int) list; (* Fire_end delta, zero-duration firing *)
+  c_in_places : int array;        (* places touched by consuming *)
+  c_out_places : int array;       (* places touched by producing *)
+}
+
 type t = {
   net : Net.t;
   prng : Prng.t;
@@ -74,14 +135,29 @@ type t = {
   env : Env.t;
   mutable clock : float;
   queue : pending Event_queue.t;
-  (* enabling bookkeeping *)
-  deadline : float option array;  (* per transition: time it may fire *)
+  ctrans : ctrans array;
+  (* enabling bookkeeping: a transition with a deadline ([active]) is
+     either in [ready] (deadline at or before the clock, so it may fire
+     now) or in [heap] (strictly future deadline) — never both *)
+  active : bool array;
+  deadline : float array;  (* meaningful only where [active] *)
+  heap : Dheap.t;
+  ready : int array;       (* ascending ids, dense prefix of length ready_n *)
+  mutable ready_n : int;
   in_flight : int array;
   (* incremental-refresh indexes: which transitions read each place
      (input or inhibitor arcs), and which carry predicates (affected by
      any environment change) *)
-  readers : Net.transition_id list array;  (* per place, ascending *)
-  predicated : Net.transition_id list;     (* ascending *)
+  readers : int array array;  (* per place, ascending *)
+  predicated : int array;     (* ascending *)
+  (* reusable scratch: refresh_after's touched set (deduplicated by
+     generation stamp, no per-event allocation) and the veto-filtered
+     selection of one step *)
+  touched_stamp : int array;
+  touched : int array;
+  mutable touched_n : int;
+  mutable generation : int;
+  sel : int array;
   mutable next_firing_id : int;
   mutable started : int;
   mutable finished : int;
@@ -101,44 +177,123 @@ let last_activity st = st.last_activity
 
 let tokens st name = Marking.get st.marking (Net.place_id st.net name)
 
-(* Re-evaluate enabledness and maintain enabling deadlines for one
+(* -- the ready set (sorted dense array of fire-ready transition ids) --
+
+   Kept in ascending id order so that iterating it enumerates candidates
+   exactly as the full O(T) scan of the straightforward engine does;
+   conflict resolution then walks the same weighted list and draws the
+   same random number.  The set is the handful of transitions fireable
+   at one instant, so linear insertion is cheap. *)
+
+let ready_add st tid =
+  let a = st.ready in
+  let i = ref st.ready_n in
+  while !i > 0 && a.(!i - 1) > tid do
+    a.(!i) <- a.(!i - 1);
+    decr i
+  done;
+  a.(!i) <- tid;
+  st.ready_n <- st.ready_n + 1
+
+let ready_remove st tid =
+  let a = st.ready in
+  let n = st.ready_n in
+  let i = ref 0 in
+  while a.(!i) <> tid do
+    incr i
+  done;
+  while !i < n - 1 do
+    a.(!i) <- a.(!i + 1);
+    incr i
+  done;
+  st.ready_n <- n - 1
+
+(* Retract a transition's enabling deadline, wherever it lives. *)
+let deactivate st tid =
+  st.active.(tid) <- false;
+  if Dheap.mem st.heap tid then Dheap.remove st.heap tid
+  else ready_remove st tid
+
+(* -- enabledness over the compiled arc arrays -- *)
+
+let marking_enabled st c =
+  let m = st.marking in
+  let n = Array.length c.c_in_place in
+  let rec inputs i =
+    i >= n
+    || (Marking.get m c.c_in_place.(i) >= c.c_in_weight.(i) && inputs (i + 1))
+  in
+  let ni = Array.length c.c_inh_place in
+  let rec inhibitors i =
+    i >= ni
+    || (Marking.get m c.c_inh_place.(i) < c.c_inh_weight.(i)
+        && inhibitors (i + 1))
+  in
+  inputs 0 && inhibitors 0
+
+let enabled_now st c =
+  marking_enabled st c
+  && (match c.c_pred with None -> true | Some p -> p ())
+
+(* Re-evaluate enabledness and maintain the enabling deadline for one
    transition: newly enabled transitions sample their enabling delay,
    newly disabled ones lose their deadline, continuously enabled ones
    keep it. *)
-let refresh_one st tr =
-  let id = tr.Net.t_id in
-  let is_enabled = Net.enabled st.net st.marking st.env tr in
-  match st.deadline.(id), is_enabled with
-  | Some _, true -> ()
-  | Some _, false -> st.deadline.(id) <- None
-  | None, false -> ()
-  | None, true ->
-    let d = Net.sample_duration ~prng:st.prng st.env tr.Net.t_enabling in
+let refresh_one st c =
+  let id = c.c_id in
+  let is_enabled = enabled_now st c in
+  if st.active.(id) then begin
+    if not is_enabled then deactivate st id
+  end
+  else if is_enabled then begin
+    let d = c.c_enabling () in
     let d =
       Float.max 0.0
-        (st.hooks.hk_delay ~clock:st.clock ~kind:Enabling_delay tr d)
+        (st.hooks.hk_delay ~clock:st.clock ~kind:Enabling_delay c.c_tr d)
     in
-    st.deadline.(id) <- Some (st.clock +. d)
+    let dl = st.clock +. d in
+    st.active.(id) <- true;
+    st.deadline.(id) <- dl;
+    if dl <= st.clock then ready_add st id else Dheap.insert st.heap id dl
+  end
 
-let refresh_enabling st =
-  Array.iter (refresh_one st) (Net.transitions st.net)
+let refresh_enabling st = Array.iter (refresh_one st) st.ctrans
+
+let touch st tid =
+  if st.touched_stamp.(tid) <> st.generation then begin
+    st.touched_stamp.(tid) <- st.generation;
+    st.touched.(st.touched_n) <- tid;
+    st.touched_n <- st.touched_n + 1
+  end
 
 (* Incremental refresh after a firing touched only [places] (and, when
    [env_changed], the model variables): only transitions reading a
    touched place or carrying a predicate can change enabledness.
-   Processed in ascending id order — the same order as the full scan —
-   so the random enabling-delay draws are identical to a full refresh
-   and traces are bit-for-bit reproducible either way. *)
+   Processed in ascending id order — the same order as a full scan — so
+   the random enabling-delay draws are identical to a full refresh and
+   traces are bit-for-bit reproducible either way. *)
 let refresh_after st ~places ~env_changed =
-  let affected = Array.make (Net.num_transitions st.net) false in
-  List.iter
-    (fun p -> List.iter (fun tid -> affected.(tid) <- true) st.readers.(p))
+  st.generation <- st.generation + 1;
+  st.touched_n <- 0;
+  Array.iter
+    (fun p -> Array.iter (fun tid -> touch st tid) st.readers.(p))
     places;
-  if env_changed then
-    List.iter (fun tid -> affected.(tid) <- true) st.predicated;
-  Array.iteri
-    (fun tid hit -> if hit then refresh_one st (Net.transition st.net tid))
-    affected
+  if env_changed then Array.iter (fun tid -> touch st tid) st.predicated;
+  let a = st.touched in
+  let n = st.touched_n in
+  (* insertion sort: the touched set is small and nearly sorted *)
+  for i = 1 to n - 1 do
+    let v = a.(i) in
+    let j = ref i in
+    while !j > 0 && a.(!j - 1) > v do
+      a.(!j) <- a.(!j - 1);
+      decr j
+    done;
+    a.(!j) <- v
+  done;
+  for k = 0 to n - 1 do
+    refresh_one st st.ctrans.(a.(k))
+  done
 
 (* Which transitions read each place (input or inhibitor arcs), per
    place, in ascending transition order. *)
@@ -155,86 +310,215 @@ let build_readers net =
     List.iter note tr.Net.t_inputs;
     List.iter note tr.Net.t_inhibitors
   done;
-  idx
+  Array.map Array.of_list idx
 
 let build_predicated net =
   Array.to_list (Net.transitions net)
   |> List.filter_map (fun tr ->
          if tr.Net.t_predicate <> None then Some tr.Net.t_id else None)
+  |> Array.of_list
+
+(* Merge (place, delta) lists, summing deltas per place and dropping
+   zero entries (self-loops).  Only used at compile time now — the
+   results for a transition's constant arc lists are cached in its
+   [ctrans]. *)
+let merge_changes a b =
+  let tbl = Hashtbl.create 8 in
+  let add (p, d) =
+    Hashtbl.replace tbl p (d + try Hashtbl.find tbl p with Not_found -> 0)
+  in
+  List.iter add a;
+  List.iter add b;
+  Hashtbl.fold (fun p d acc -> if d = 0 then acc else (p, d) :: acc) tbl []
+  |> List.sort compare
+
+(* Compile one action statement.  Mirrors the interpreted runner: the
+   index and value are evaluated first (their errors — unbound names,
+   type errors — propagate as-is), then the table write is attempted and
+   its failures surface as [Action_failed] for the engine to wrap. *)
+let compile_stmt ~prng env = function
+  | Expr.Assign (name, e) ->
+    let ce = Expr.compile ~prng env e in
+    let slot = ref None in
+    fun () ->
+      let v = ce () in
+      (match !slot with
+      | Some cell -> cell := v
+      | None ->
+        Env.set env name v;
+        slot := Env.find_ref env name);
+      (name, v)
+  | Expr.Table_assign (tbl, ie, e) ->
+    let ci = Expr.compile_int ~prng env ie in
+    let ce = Expr.compile ~prng env e in
+    let slot = ref None in
+    fun () ->
+      let i = ci () in
+      let v = ce () in
+      let arr =
+        match !slot with
+        | Some arr -> arr
+        | None -> (
+          match Env.find_table env tbl with
+          | Some arr ->
+            slot := Some arr;
+            arr
+          | None ->
+            raise
+              (Action_failed
+                 (Printf.sprintf "action writes unbound table %s" tbl)))
+      in
+      if i < 0 || i >= Array.length arr then
+        raise
+          (Action_failed
+             (Printf.sprintf "Env.table_set: index %d out of bounds for %s[%d]"
+                i tbl (Array.length arr)));
+      arr.(i) <- v;
+      (Printf.sprintf "%s[%d]" tbl i, v)
+
+let compile_transition ~prng env tr =
+  let places arcs =
+    Array.of_list (List.map (fun a -> a.Net.a_place) arcs)
+  in
+  let weights arcs =
+    Array.of_list (List.map (fun a -> a.Net.a_weight) arcs)
+  in
+  let consumed =
+    List.map (fun { Net.a_place; a_weight } -> (a_place, -a_weight))
+      tr.Net.t_inputs
+  in
+  let produced =
+    List.map (fun { Net.a_place; a_weight } -> (a_place, a_weight))
+      tr.Net.t_outputs
+  in
+  {
+    c_tr = tr;
+    c_id = tr.Net.t_id;
+    c_in_place = places tr.Net.t_inputs;
+    c_in_weight = weights tr.Net.t_inputs;
+    c_inh_place = places tr.Net.t_inhibitors;
+    c_inh_weight = weights tr.Net.t_inhibitors;
+    c_out_place = places tr.Net.t_outputs;
+    c_out_weight = weights tr.Net.t_outputs;
+    c_pred = Option.map (Expr.compile_bool env) tr.Net.t_predicate;
+    c_enabling = Net.compile_duration ~prng env tr.Net.t_enabling;
+    c_firing = Net.compile_duration ~prng env tr.Net.t_firing;
+    c_action =
+      Array.of_list (List.map (compile_stmt ~prng env) tr.Net.t_action);
+    c_has_action = tr.Net.t_action <> [];
+    c_frequency = tr.Net.t_frequency;
+    c_consumed = consumed;
+    c_out_delta = merge_changes [] produced;
+    c_net_delta = merge_changes consumed produced;
+    c_in_places = places tr.Net.t_inputs;
+    c_out_places = places tr.Net.t_outputs;
+  }
+
+let make ~prng ~sink ~max_instant_firings ~check_capacities ~hooks ~marking
+    ~env ~clock ~queue net =
+  let nt = Net.num_transitions net in
+  {
+    net;
+    prng;
+    sink;
+    max_instant_firings;
+    check_capacities;
+    hooks;
+    marking;
+    env;
+    clock;
+    queue;
+    ctrans = Array.map (compile_transition ~prng env) (Net.transitions net);
+    active = Array.make nt false;
+    deadline = Array.make nt 0.0;
+    heap = Dheap.create nt;
+    ready = Array.make (max nt 1) 0;
+    ready_n = 0;
+    in_flight = Array.make nt 0;
+    readers = build_readers net;
+    predicated = build_predicated net;
+    touched_stamp = Array.make nt 0;
+    touched = Array.make (max nt 1) 0;
+    touched_n = 0;
+    generation = 0;
+    sel = Array.make (max nt 1) 0;
+    next_firing_id = 0;
+    started = 0;
+    finished = 0;
+    instant_firings = 0;
+    last_activity = 0.0;
+    finished_emitted = false;
+  }
 
 let create ?(seed = 1) ?prng ?(sink = Trace.null_sink)
     ?(max_instant_firings = 10_000) ?(check_capacities = false)
     ?(hooks = no_hooks) net =
   let prng = match prng with Some g -> g | None -> Prng.create seed in
   let st =
-    {
-      net;
-      prng;
-      sink;
-      max_instant_firings;
-      check_capacities;
-      hooks;
-      marking = Net.initial_marking net;
-      env = Net.initial_env net;
-      clock = 0.0;
-      queue = Event_queue.create ();
-      deadline = Array.make (Net.num_transitions net) None;
-      in_flight = Array.make (Net.num_transitions net) 0;
-      readers = build_readers net;
-      predicated = build_predicated net;
-      next_firing_id = 0;
-      started = 0;
-      finished = 0;
-      instant_firings = 0;
-      last_activity = 0.0;
-      finished_emitted = false;
-    }
+    make ~prng ~sink ~max_instant_firings ~check_capacities ~hooks
+      ~marking:(Net.initial_marking net) ~env:(Net.initial_env net) ~clock:0.0
+      ~queue:(Event_queue.create ()) net
   in
   sink.Trace.on_header (Trace.header_of_net net);
   refresh_enabling st;
   st
 
 (* Transitions that are enabled, past their enabling deadline, and not
-   vetoed by an active fault. *)
+   vetoed by an active fault (the ready set minus vetoes). *)
 let fireable st =
   let acc = ref [] in
-  Array.iter
-    (fun tr ->
-      match st.deadline.(tr.Net.t_id) with
-      | Some d when d <= st.clock ->
-        if not (st.hooks.hk_veto ~clock:st.clock tr) then acc := tr :: !acc
-      | Some _ | None -> ())
-    (Net.transitions st.net);
-  List.rev !acc
+  for k = st.ready_n - 1 downto 0 do
+    let c = st.ctrans.(st.ready.(k)) in
+    if not (st.hooks.hk_veto ~clock:st.clock c.c_tr) then acc := c.c_tr :: !acc
+  done;
+  !acc
 
-(* Run an action, recording every assignment for the trace delta.  Table
-   writes are recorded under the pseudo-variable name "tbl[i]".  Failures
-   surface as structured [Action_error]s naming the transition. *)
-let run_action st tr stmts =
-  let action_error message =
-    sim_error
-      (Action_error { transition = tr.Net.t_name; clock = st.clock; message })
+(* Fill [sel] with the veto-filtered ready ids (ascending); returns how
+   many.  The allocation-free spine of [step] and [run]. *)
+let collect_fireable st =
+  let m = ref 0 in
+  for k = 0 to st.ready_n - 1 do
+    let tid = st.ready.(k) in
+    if not (st.hooks.hk_veto ~clock:st.clock st.ctrans.(tid).c_tr) then begin
+      st.sel.(!m) <- tid;
+      incr m
+    end
+  done;
+  !m
+
+(* Weighted conflict resolution over sel[0..m-1], replicating
+   [Prng.choose_weighted] on the same stream: total weight first, one
+   unit draw, cumulative walk, last element as the rounding fallback.
+   Frequencies are validated positive by the net builder, so the
+   argument checks of [choose_weighted] can never fire here. *)
+let select_weighted st m =
+  let total = ref 0.0 in
+  for k = 0 to m - 1 do
+    total := !total +. st.ctrans.(st.sel.(k)).c_frequency
+  done;
+  let target = Prng.float st.prng !total in
+  let rec pick acc k =
+    if k >= m - 1 then st.sel.(m - 1)
+    else
+      let acc = acc +. st.ctrans.(st.sel.(k)).c_frequency in
+      if target < acc then st.sel.(k) else pick acc (k + 1)
   in
-  let changes = ref [] in
-  let record name v = changes := (name, v) :: !changes in
-  let run = function
-    | Expr.Assign (name, e) ->
-      let v = Expr.eval ~prng:st.prng st.env e in
-      Env.set st.env name v;
-      record name v
-    | Expr.Table_assign (tbl, ie, e) -> (
-      let i = Expr.eval_int ~prng:st.prng st.env ie in
-      let v = Expr.eval ~prng:st.prng st.env e in
-      try
-        Env.table_set st.env tbl i v;
-        record (Printf.sprintf "%s[%d]" tbl i) v
-      with
-      | Env.Unbound name ->
-        action_error (Printf.sprintf "action writes unbound table %s" name)
-      | Invalid_argument msg -> action_error msg)
-  in
-  List.iter run stmts;
-  List.rev !changes
+  pick 0.0 0
+
+(* Run a compiled action, collecting every assignment for the trace
+   delta.  Failures surface as structured [Action_error]s naming the
+   transition. *)
+let run_action st c =
+  if not c.c_has_action then []
+  else begin
+    let changes = ref [] in
+    (try Array.iter (fun f -> changes := f () :: !changes) c.c_action
+     with Action_failed message ->
+       sim_error
+         (Action_error
+            { transition = c.c_tr.Net.t_name; clock = st.clock; message }));
+    List.rev !changes
+  end
 
 let emit_delta st kind tr firing marking_changes env_changes =
   st.sink.Trace.on_delta
@@ -246,18 +530,6 @@ let emit_delta st kind tr firing marking_changes env_changes =
       d_marking = marking_changes;
       d_env = env_changes;
     }
-
-(* Merge (place, delta) lists, summing deltas per place and dropping
-   zero entries (self-loops). *)
-let merge_changes a b =
-  let tbl = Hashtbl.create 8 in
-  let add (p, d) =
-    Hashtbl.replace tbl p (d + try Hashtbl.find tbl p with Not_found -> 0)
-  in
-  List.iter add a;
-  List.iter add b;
-  Hashtbl.fold (fun p d acc -> if d = 0 then acc else (p, d) :: acc) tbl []
-  |> List.sort compare
 
 (* Capacity declarations are documentation by default; with
    [check_capacities] the simulator turns an overflow into a loud
@@ -281,21 +553,19 @@ let enforce_capacities st tr =
         | Some _ | None -> ())
       tr.Net.t_outputs
 
-let complete_firing ?(extra_changes = []) st tr firing =
-  Net.produce st.net st.marking tr;
-  enforce_capacities st tr;
-  let env_changes = run_action st tr tr.Net.t_action in
-  let produced =
-    List.map (fun { Net.a_place; a_weight } -> (a_place, a_weight)) tr.Net.t_outputs
-  in
-  st.in_flight.(tr.Net.t_id) <- st.in_flight.(tr.Net.t_id) - 1;
+let complete_firing ?(zero = false) st c firing =
+  for k = 0 to Array.length c.c_out_place - 1 do
+    Marking.add st.marking c.c_out_place.(k) c.c_out_weight.(k)
+  done;
+  enforce_capacities st c.c_tr;
+  let env_changes = run_action st c in
+  st.in_flight.(c.c_id) <- st.in_flight.(c.c_id) - 1;
   st.finished <- st.finished + 1;
   st.last_activity <- st.clock;
-  emit_delta st Trace.Fire_end tr firing (merge_changes extra_changes produced)
+  emit_delta st Trace.Fire_end c.c_tr firing
+    (if zero then c.c_net_delta else c.c_out_delta)
     env_changes;
-  refresh_after st
-    ~places:(List.map (fun a -> a.Net.a_place) tr.Net.t_outputs)
-    ~env_changed:(tr.Net.t_action <> [])
+  refresh_after st ~places:c.c_out_places ~env_changed:c.c_has_action
 
 (* Starting a firing consumes the input tokens.  For a positive firing
    time this is observable (tokens are on neither side while the
@@ -304,38 +574,36 @@ let complete_firing ?(extra_changes = []) st tr firing =
    delta is empty and the paired Fire_end delta carries the net marking
    change — no intermediate trace state ever violates invariants such as
    Bus_free + Bus_busy = 1. *)
-let start_firing st tr =
-  Net.consume st.net st.marking tr;
+let start_firing st c =
+  (* the transition is fireable, hence token-enabled: consume without
+     the redundant recheck of [Net.consume] *)
+  for k = 0 to Array.length c.c_in_place - 1 do
+    Marking.add st.marking c.c_in_place.(k) (-c.c_in_weight.(k))
+  done;
   let firing = st.next_firing_id in
   st.next_firing_id <- st.next_firing_id + 1;
   st.started <- st.started + 1;
-  st.in_flight.(tr.Net.t_id) <- st.in_flight.(tr.Net.t_id) + 1;
+  st.in_flight.(c.c_id) <- st.in_flight.(c.c_id) + 1;
   st.last_activity <- st.clock;
-  let consumed =
-    List.map
-      (fun { Net.a_place; a_weight } -> (a_place, -a_weight))
-      tr.Net.t_inputs
-  in
   (* The fired transition's own enabling clock restarts. *)
-  st.deadline.(tr.Net.t_id) <- None;
-  let consumed_places = List.map (fun a -> a.Net.a_place) tr.Net.t_inputs in
-  let duration = Net.sample_duration ~prng:st.prng st.env tr.Net.t_firing in
+  deactivate st c.c_id;
+  let duration = c.c_firing () in
   let duration =
     Float.max 0.0
-      (st.hooks.hk_delay ~clock:st.clock ~kind:Firing_delay tr duration)
+      (st.hooks.hk_delay ~clock:st.clock ~kind:Firing_delay c.c_tr duration)
   in
   if duration <= 0.0 then begin
-    emit_delta st Trace.Fire_start tr firing [] [];
-    refresh_after st ~places:consumed_places ~env_changed:false;
-    complete_firing ~extra_changes:consumed st tr firing
+    emit_delta st Trace.Fire_start c.c_tr firing [] [];
+    refresh_after st ~places:c.c_in_places ~env_changed:false;
+    complete_firing ~zero:true st c firing
   end
   else begin
-    emit_delta st Trace.Fire_start tr firing consumed [];
+    emit_delta st Trace.Fire_start c.c_tr firing c.c_consumed [];
     Event_queue.push st.queue (st.clock +. duration)
-      { pe_transition = tr.Net.t_id; pe_firing = firing };
-    refresh_after st ~places:consumed_places ~env_changed:false
+      { pe_transition = c.c_id; pe_firing = firing };
+    refresh_after st ~places:c.c_in_places ~env_changed:false
   end;
-  tr.Net.t_id
+  c.c_id
 
 type step_result =
   | Fired of Net.transition_id
@@ -344,72 +612,89 @@ type step_result =
   | Quiescent
 
 (* Earliest instant at which something can happen after the current one:
-   the next scheduled fire-end, the earliest pending enabling deadline,
-   or a fault-window boundary announced by the hooks. *)
+   the next scheduled fire-end, the earliest pending enabling deadline
+   (the heap holds exactly the strictly-future ones), or a fault-window
+   boundary announced by the hooks.  O(1). *)
 let next_instant st =
-  let candidates = ref [] in
+  let best = ref infinity in
+  let found = ref false in
   (match Event_queue.peek_time st.queue with
-  | Some t -> candidates := t :: !candidates
+  | Some t ->
+    found := true;
+    if t < !best then best := t
   | None -> ());
   (match st.hooks.hk_wakeup ~clock:st.clock with
-  | Some t when t > st.clock -> candidates := t :: !candidates
+  | Some t when t > st.clock ->
+    found := true;
+    if t < !best then best := t
   | Some _ | None -> ());
-  Array.iter
-    (fun deadline ->
-      match deadline with
-      | Some d when d > st.clock -> candidates := d :: !candidates
-      | Some _ | None -> ())
-    st.deadline;
-  match !candidates with
-  | [] -> None
-  | first :: rest -> Some (List.fold_left Float.min first rest)
+  if not (Dheap.is_empty st.heap) then begin
+    found := true;
+    let d = Dheap.min_key st.heap in
+    if d < !best then best := d
+  end;
+  if !found then Some !best else None
+
+(* Move the clock and promote every deadline that has come due from the
+   heap into the ready set. *)
+let advance st t =
+  st.clock <- t;
+  st.instant_firings <- 0;
+  while (not (Dheap.is_empty st.heap)) && Dheap.min_key st.heap <= t do
+    ready_add st (Dheap.pop_min st.heap)
+  done
+
+let fire_from_sel st m =
+  if st.instant_firings >= st.max_instant_firings then
+    sim_error (Livelock { clock = st.clock; firings = st.max_instant_firings });
+  st.instant_firings <- st.instant_firings + 1;
+  let chosen = select_weighted st m in
+  start_firing st st.ctrans.(chosen)
 
 let step st =
-  match fireable st with
-  | _ :: _ as ready ->
-    if st.instant_firings >= st.max_instant_firings then
-      sim_error
-        (Livelock { clock = st.clock; firings = st.max_instant_firings });
-    st.instant_firings <- st.instant_firings + 1;
-    let weighted = List.map (fun tr -> (tr, tr.Net.t_frequency)) ready in
-    let chosen = Prng.choose_weighted st.prng weighted in
-    Fired (start_firing st chosen)
-  | [] -> (
-    match Event_queue.pop st.queue with
-    | Some (time, pe) when Float.equal time st.clock ->
-      let tr = Net.transition st.net pe.pe_transition in
-      complete_firing st tr pe.pe_firing;
+  let m = collect_fireable st in
+  if m > 0 then Fired (fire_from_sel st m)
+  else
+    match Event_queue.peek_time st.queue with
+    | Some time when Float.equal time st.clock ->
+      let pe =
+        match Event_queue.pop st.queue with
+        | Some (_, pe) -> pe
+        | None -> assert false
+      in
+      complete_firing st st.ctrans.(pe.pe_transition) pe.pe_firing;
       Completed pe.pe_transition
-    | Some (time, pe) ->
-      (* strictly in the future: advance the clock first, re-queue *)
-      Event_queue.push st.queue time pe;
-      (match next_instant st with
+    | Some _ -> (
+      (* head strictly in the future: advance the clock, leaving the
+         entry in place *)
+      match next_instant st with
       | Some t ->
         assert (t > st.clock);
-        st.clock <- t;
-        st.instant_firings <- 0;
+        advance st t;
         Advanced t
       | None -> assert false)
     | None -> (
       match next_instant st with
       | Some t when t > st.clock ->
-        st.clock <- t;
-        st.instant_firings <- 0;
+        advance st t;
         Advanced t
       | Some _ ->
         (* a deadline at the current instant with nothing fireable can
            only be a vetoed transition; with no other activity and no
            wakeup the net is stuck for good *)
         Quiescent
-      | None -> Quiescent))
+      | None -> Quiescent)
 
 let fireable_transitions st = List.map (fun tr -> tr.Net.t_id) (fireable st)
 
 let fire_transition st tid =
-  let ready = fireable st in
-  match List.find_opt (fun tr -> tr.Net.t_id = tid) ready with
-  | Some tr -> ignore (start_firing st tr : Net.transition_id)
-  | None ->
+  let present =
+    let rec mem k = k < st.ready_n && (st.ready.(k) = tid || mem (k + 1)) in
+    mem 0
+  in
+  if present && not (st.hooks.hk_veto ~clock:st.clock st.ctrans.(tid).c_tr)
+  then ignore (start_firing st st.ctrans.(tid) : Net.transition_id)
+  else
     invalid_arg
       (Printf.sprintf "Simulator.fire_transition: %s is not fireable now"
          (Net.transition st.net tid).Net.t_name)
@@ -419,7 +704,7 @@ let perturb_tokens st p delta =
   let applied = if delta < 0 then -(min have (-delta)) else delta in
   if applied <> 0 then begin
     Marking.add st.marking p applied;
-    refresh_after st ~places:[ p ] ~env_changed:false
+    refresh_after st ~places:[| p |] ~env_changed:false
   end;
   applied
 
@@ -469,13 +754,14 @@ let run ?until ?max_events ?wall_limit_s ?(finish = true) (st : t) =
       { stop = Event_limit; final_clock = st.clock; started = st.started;
         finished = st.finished }
     end
-    else
-      (* Peek whether the next instant would overshoot the horizon. *)
-      match fireable st with
-      | _ :: _ ->
-        ignore (step st);
+    else begin
+      let m = collect_fireable st in
+      if m > 0 then begin
+        ignore (fire_from_sel st m : Net.transition_id);
         loop ()
-      | [] -> (
+      end
+      else
+        (* Peek whether the next instant would overshoot the horizon. *)
         match next_instant st with
         | Some t when t > horizon ->
           st.clock <- horizon;
@@ -483,9 +769,20 @@ let run ?until ?max_events ?wall_limit_s ?(finish = true) (st : t) =
           emit_finish horizon;
           { stop = Horizon; final_clock = horizon; started = st.started;
             finished = st.finished }
-        | Some _ ->
-          ignore (step st);
-          loop ()
+        | Some t -> (
+          match Event_queue.peek_time st.queue with
+          | Some time when Float.equal time st.clock ->
+            let pe =
+              match Event_queue.pop st.queue with
+              | Some (_, pe) -> pe
+              | None -> assert false
+            in
+            complete_firing st st.ctrans.(pe.pe_transition) pe.pe_firing;
+            loop ()
+          | _ ->
+            assert (t > st.clock);
+            advance st t;
+            loop ())
         | None ->
           let final =
             if Float.is_finite horizon then horizon else st.clock
@@ -494,7 +791,8 @@ let run ?until ?max_events ?wall_limit_s ?(finish = true) (st : t) =
           st.instant_firings <- 0;
           emit_finish final;
           { stop = Dead; final_clock = final; started = st.started;
-            finished = st.finished })
+            finished = st.finished }
+    end
   in
   loop ()
 
@@ -507,12 +805,22 @@ let trace ?seed ?until ?max_events net =
   let outcome = simulate ?seed ?until ?max_events ~sink net in
   (get (), outcome)
 
-let replications ?(seed = 1) ~runs ?until ?max_events net make_sink =
+let replications ?(seed = 1) ?jobs ~runs ?until ?max_events net make_sink =
   if runs <= 0 then invalid_arg "Simulator.replications: runs must be positive";
   let master = Prng.create seed in
-  List.init runs (fun i ->
-      let prng = Prng.split master in
-      simulate ~prng ?until ?max_events ~sink:(make_sink i) net)
+  (* Split every stream up front, in run order: [Prng.split] mutates the
+     master, so each run's stream is the same regardless of how the runs
+     are later scheduled across workers. *)
+  let streams = Array.init runs (fun _ -> Prng.split master) in
+  (* Sinks are also created up front in the main domain, in run order —
+     sink constructors routinely capture shared state (collectors,
+     report accumulators) that must not be touched from workers. *)
+  let sinks = Array.init runs make_sink in
+  let outcomes =
+    Pnut_exec.Pool.init ?jobs runs (fun i ->
+        simulate ~prng:streams.(i) ?until ?max_events ~sink:sinks.(i) net)
+  in
+  Array.to_list outcomes
 
 (* -- deadlock diagnosis -- *)
 
@@ -569,11 +877,12 @@ let diagnose st =
     in
     let timing_blocks =
       if token_blocks <> [] || predicate_blocks <> [] then []
-      else
-        match st.deadline.(tr.Net.t_id) with
-        | Some d when d > st.clock -> [ Awaiting_enabling { ready_at = d } ]
-        | Some _ when st.hooks.hk_veto ~clock:st.clock tr -> [ Vetoed_by_fault ]
-        | Some _ | None -> []
+      else if st.active.(tr.Net.t_id) then
+        if st.deadline.(tr.Net.t_id) > st.clock then
+          [ Awaiting_enabling { ready_at = st.deadline.(tr.Net.t_id) } ]
+        else if st.hooks.hk_veto ~clock:st.clock tr then [ Vetoed_by_fault ]
+        else []
+      else []
     in
     { td_name = tr.Net.t_name;
       td_reasons = token_blocks @ predicate_blocks @ timing_blocks }
@@ -635,11 +944,10 @@ let checkpoint st =
     ck_marking = Marking.to_array st.marking;
     ck_deadlines =
       (let acc = ref [] in
-       Array.iteri
-         (fun tid d ->
-           match d with Some t -> acc := (tid, t) :: !acc | None -> ())
-         st.deadline;
-       List.rev !acc);
+       for tid = Array.length st.active - 1 downto 0 do
+         if st.active.(tid) then acc := (tid, st.deadline.(tid)) :: !acc
+       done;
+       !acc);
     ck_in_flight =
       (let acc = ref [] in
        Array.iteri
@@ -690,43 +998,33 @@ let restore ?(sink = Trace.null_sink) ?(max_instant_firings = 10_000)
         ck.Checkpoint.ck_variables
     with Invalid_argument msg -> restore_error "bad environment: %s" msg
   in
-  let deadline = Array.make (Net.num_transitions net) None in
-  List.iter
-    (fun (tid, t) -> deadline.(tid) <- Some t)
-    ck.Checkpoint.ck_deadlines;
-  let in_flight = Array.make (Net.num_transitions net) 0 in
-  List.iter (fun (tid, n) -> in_flight.(tid) <- n) ck.Checkpoint.ck_in_flight;
   let queue = Event_queue.create () in
   List.iter
     (fun (time, tid, fid) ->
       Event_queue.push queue time { pe_transition = tid; pe_firing = fid })
     ck.Checkpoint.ck_pending;
   let st =
-    {
-      net;
-      prng = Prng.of_state ck.Checkpoint.ck_prng;
-      sink;
-      max_instant_firings;
-      check_capacities;
-      hooks;
-      marking;
-      env;
-      clock = ck.Checkpoint.ck_clock;
-      queue;
-      deadline;
-      in_flight;
-      readers = build_readers net;
-      predicated = build_predicated net;
-      next_firing_id = ck.Checkpoint.ck_next_firing_id;
-      started = ck.Checkpoint.ck_started;
-      finished = ck.Checkpoint.ck_finished;
-      instant_firings = ck.Checkpoint.ck_instant_firings;
-      last_activity = ck.Checkpoint.ck_clock;
-      finished_emitted = false;
-    }
+    make ~prng:(Prng.of_state ck.Checkpoint.ck_prng) ~sink
+      ~max_instant_firings ~check_capacities ~hooks ~marking ~env
+      ~clock:ck.Checkpoint.ck_clock ~queue net
   in
+  st.next_firing_id <- ck.Checkpoint.ck_next_firing_id;
+  st.started <- ck.Checkpoint.ck_started;
+  st.finished <- ck.Checkpoint.ck_finished;
+  st.instant_firings <- ck.Checkpoint.ck_instant_firings;
+  st.last_activity <- ck.Checkpoint.ck_clock;
+  List.iter (fun (tid, n) -> st.in_flight.(tid) <- n) ck.Checkpoint.ck_in_flight;
   (* The deadlines were captured live, so no [refresh_enabling] here:
      re-sampling enabling delays would fork the random stream and break
-     the identical-suffix guarantee. *)
+     the identical-suffix guarantee.  Deadlines at or before the
+     restored clock go straight into the ready set; later ones into the
+     heap. *)
+  List.iter
+    (fun (tid, t) ->
+      if st.active.(tid) then deactivate st tid;
+      st.active.(tid) <- true;
+      st.deadline.(tid) <- t;
+      if t <= st.clock then ready_add st tid else Dheap.insert st.heap tid t)
+    ck.Checkpoint.ck_deadlines;
   sink.Trace.on_header (Trace.header_of_net net);
   st
