@@ -34,6 +34,14 @@ let parse_arg what parse text =
 (* Run an analysis that reports bad input via Invalid_argument. *)
 let or_die f = try f () with Invalid_argument msg -> die "%s" msg
 
+(* Coverability is restricted to plain monotone nets and reports
+   out-of-fragment inputs with a structured rejection; a specification
+   error like any other, so exit 2. *)
+let coverability_or_die net =
+  try or_die (fun () -> Pnut_reach.Coverability.build net)
+  with Pnut_reach.Coverability.Unsupported r ->
+    die "%s" (Pnut_reach.Coverability.rejection_message r)
+
 let load_net path =
   try Pnut_lang.Parser.parse_net (read_file path)
   with Pnut_lang.Parser.Parse_error (line, col, msg) ->
@@ -745,7 +753,7 @@ let coverability_cmd =
   let doc = "Boundedness analysis via the Karp-Miller construction." in
   let run path =
     let net = load_net path in
-    let g = or_die (fun () -> Pnut_reach.Coverability.build net) in
+    let g = coverability_or_die net in
     Format.printf "%a@." (Pnut_reach.Coverability.pp_summary net) g;
     if not (Pnut_reach.Coverability.is_bounded g) then exit 1
   in
@@ -773,8 +781,7 @@ let dot_cmd =
       | `Reach ->
         Pnut_reach.Export.graph_dot (Pnut_reach.Graph.build ~max_states:20_000 net)
       | `Cov ->
-        Pnut_reach.Export.coverability_dot net
-          (or_die (fun () -> Pnut_reach.Coverability.build net))
+        Pnut_reach.Export.coverability_dot net (coverability_or_die net)
     in
     match out with
     | Some path -> write_file path text

@@ -1,5 +1,6 @@
 module Net = Pnut_core.Net
 module Marking = Pnut_core.Marking
+module Kernel = Pnut_core.Kernel
 
 type kind =
   | Immediate of float  (* conflict weight *)
@@ -45,25 +46,54 @@ type state = {
 }
 
 let explore ?(max_states = 2000) net kinds =
+  let kernel = Kernel.of_net net in
+  let trans = Kernel.transitions kernel in
+  let readers = Kernel.readers kernel in
   let index = Hashtbl.create 512 in
   let states = ref [] in  (* reversed; index !n - 1 is the head *)
   let n = ref 0 in
   let queue = Queue.create () in
-  let enabled_of m =
-    Array.to_list (Net.transitions net)
-    |> List.filter (fun tr -> Net.marking_enabled net m tr)
+  (* The enabled set (ascending transition ids) is carried along with
+     each queued marking and maintained incrementally: firing [tid]
+     touches only its input/output places, so only the kernel's readers
+     of those places can change enabledness — everything else is
+     inherited from the parent marking without a rescan. *)
+  let affected =
+    Array.map
+      (fun (c : Kernel.ctrans) ->
+        let acc = ref [] in
+        let note p = acc := Array.to_list readers.(p) @ !acc in
+        Array.iter note c.Kernel.s_in_places;
+        Array.iter note c.Kernel.s_out_places;
+        Array.of_list (List.sort_uniq compare !acc))
+      trans
   in
-  let is_immediate tr =
-    match kinds.(tr.Net.t_id) with Immediate _ -> true | Timed _ -> false
+  let full_scan m =
+    Array.to_list trans
+    |> List.filter_map (fun (c : Kernel.ctrans) ->
+           if Kernel.token_enabled c m then Some c.Kernel.s_id else None)
   in
-  let intern m =
+  let update_enabled parent_enabled fired m' =
+    let cand = affected.(fired) in
+    let is_cand tid = Array.exists (fun x -> x = tid) cand in
+    let kept = List.filter (fun tid -> not (is_cand tid)) parent_enabled in
+    let added =
+      Array.to_list cand
+      |> List.filter (fun tid -> Kernel.token_enabled trans.(tid) m')
+    in
+    List.merge compare kept added
+  in
+  let is_immediate tid =
+    match kinds.(tid) with Immediate _ -> true | Timed _ -> false
+  in
+  let intern m enabled =
     let key = Marking.to_key m in
     match Hashtbl.find_opt index key with
     | Some i -> i
     | None ->
       if !n >= max_states then
         invalid_arg "Gspn: state space exceeds max_states (unbounded net?)";
-      let vanishing = List.exists is_immediate (enabled_of m) in
+      let vanishing = List.exists is_immediate enabled in
       let state =
         { marking = Marking.to_array m; edges = []; vanishing }
       in
@@ -71,37 +101,38 @@ let explore ?(max_states = 2000) net kinds =
       incr n;
       Hashtbl.replace index key i;
       states := state :: !states;
-      Queue.add (state, m) queue;
+      Queue.add (state, m, enabled) queue;
       i
   in
-  let _ = intern (Net.initial_marking net) in
+  let m0 = Net.initial_marking net in
+  let _ = intern m0 (full_scan m0) in
   while not (Queue.is_empty queue) do
-    let state, m = Queue.pop queue in
-    let enabled = enabled_of m in
-    let fire tr =
+    let state, m, enabled = Queue.pop queue in
+    let fire tid =
+      let c = trans.(tid) in
       let m' = Marking.copy m in
-      Net.consume net m' tr;
-      Net.produce net m' tr;
-      intern m'
+      Kernel.consume c m';
+      Kernel.produce c m';
+      intern m' (update_enabled enabled tid m')
     in
     let immediates = List.filter is_immediate enabled in
     let edges =
       if immediates <> [] then begin
-        let weight tr =
-          match kinds.(tr.Net.t_id) with
+        let weight tid =
+          match kinds.(tid) with
           | Immediate w -> w
           | Timed _ -> assert false
         in
-        let total = List.fold_left (fun acc tr -> acc +. weight tr) 0.0 immediates in
-        List.map
-          (fun tr -> (tr.Net.t_id, weight tr /. total, fire tr))
-          immediates
+        let total =
+          List.fold_left (fun acc tid -> acc +. weight tid) 0.0 immediates
+        in
+        List.map (fun tid -> (tid, weight tid /. total, fire tid)) immediates
       end
       else
         List.filter_map
-          (fun tr ->
-            match kinds.(tr.Net.t_id) with
-            | Timed rate -> Some (tr.Net.t_id, rate, fire tr)
+          (fun tid ->
+            match kinds.(tid) with
+            | Timed rate -> Some (tid, rate, fire tid)
             | Immediate _ -> None)
           enabled
     in

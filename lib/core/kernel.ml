@@ -1,0 +1,284 @@
+(* The compiled firing-semantics kernel.
+
+   One implementation of the paper's extended-net transition relation —
+   weighted input/output arcs, inhibitors, predicates, actions — shared
+   by the simulator, the reachability builders, the Karp-Miller
+   construction and the GSPN analyzer.  The static layer ([ctrans],
+   [of_net]) is immutable and environment-free; the compiled layer
+   ([compiled], [compile]) binds predicates, delay distributions and
+   actions to closures over one environment and random stream. *)
+
+type ctrans = {
+  s_tr : Net.transition;
+  s_id : Net.transition_id;
+  s_in_place : int array;
+  s_in_weight : int array;
+  s_inh_place : int array;
+  s_inh_weight : int array;
+  s_out_place : int array;
+  s_out_weight : int array;
+  s_frequency : float;
+  s_consumed : (int * int) list;
+  s_out_delta : (int * int) list;
+  s_net_delta : (int * int) list;
+  s_delta_place : int array;
+  s_delta_weight : int array;
+  s_in_places : int array;
+  s_out_places : int array;
+  s_has_action : bool;
+}
+
+type t = {
+  k_net : Net.t;
+  k_trans : ctrans array;
+  k_readers : int array array;
+  k_predicated : int array;
+}
+
+(* Merge (place, delta) lists, summing deltas per place and dropping
+   zero entries (self-loops).  Only runs at kernel-construction time;
+   the results for a transition's constant arc lists are cached in its
+   [ctrans]. *)
+let merge_changes a b =
+  let tbl = Hashtbl.create 8 in
+  let add (p, d) =
+    Hashtbl.replace tbl p (d + try Hashtbl.find tbl p with Not_found -> 0)
+  in
+  List.iter add a;
+  List.iter add b;
+  Hashtbl.fold (fun p d acc -> if d = 0 then acc else (p, d) :: acc) tbl []
+  |> List.sort compare
+
+let static_of_transition tr =
+  let places arcs = Array.of_list (List.map (fun a -> a.Net.a_place) arcs) in
+  let weights arcs = Array.of_list (List.map (fun a -> a.Net.a_weight) arcs) in
+  let consumed =
+    List.map (fun { Net.a_place; a_weight } -> (a_place, -a_weight))
+      tr.Net.t_inputs
+  in
+  let produced =
+    List.map (fun { Net.a_place; a_weight } -> (a_place, a_weight))
+      tr.Net.t_outputs
+  in
+  let net_delta = merge_changes consumed produced in
+  {
+    s_tr = tr;
+    s_id = tr.Net.t_id;
+    s_in_place = places tr.Net.t_inputs;
+    s_in_weight = weights tr.Net.t_inputs;
+    s_inh_place = places tr.Net.t_inhibitors;
+    s_inh_weight = weights tr.Net.t_inhibitors;
+    s_out_place = places tr.Net.t_outputs;
+    s_out_weight = weights tr.Net.t_outputs;
+    s_frequency = tr.Net.t_frequency;
+    s_consumed = consumed;
+    s_out_delta = merge_changes [] produced;
+    s_net_delta = net_delta;
+    s_delta_place = Array.of_list (List.map fst net_delta);
+    s_delta_weight = Array.of_list (List.map snd net_delta);
+    s_in_places = places tr.Net.t_inputs;
+    s_out_places = places tr.Net.t_outputs;
+    s_has_action = tr.Net.t_action <> [];
+  }
+
+(* Which transitions read each place (input or inhibitor arcs), per
+   place, in ascending transition order. *)
+let build_readers net =
+  let idx = Array.make (Net.num_places net) [] in
+  (* build in descending id order so each list ends up ascending *)
+  for i = Net.num_transitions net - 1 downto 0 do
+    let tr = Net.transition net i in
+    let note { Net.a_place; _ } =
+      match idx.(a_place) with
+      | hd :: _ when hd = i -> ()
+      | l -> idx.(a_place) <- i :: l
+    in
+    List.iter note tr.Net.t_inputs;
+    List.iter note tr.Net.t_inhibitors
+  done;
+  Array.map Array.of_list idx
+
+let build_predicated net =
+  Array.to_list (Net.transitions net)
+  |> List.filter_map (fun tr ->
+         if tr.Net.t_predicate <> None then Some tr.Net.t_id else None)
+  |> Array.of_list
+
+let of_net net =
+  {
+    k_net = net;
+    k_trans = Array.map static_of_transition (Net.transitions net);
+    k_readers = build_readers net;
+    k_predicated = build_predicated net;
+  }
+
+let net k = k.k_net
+let num_transitions k = Array.length k.k_trans
+let transitions k = k.k_trans
+let transition k tid = k.k_trans.(tid)
+let readers k = k.k_readers
+let predicated k = k.k_predicated
+
+(* -- the transition relation over the static arrays -- *)
+
+let token_enabled c m =
+  let n = Array.length c.s_in_place in
+  let rec inputs i =
+    i >= n
+    || (Marking.get m c.s_in_place.(i) >= c.s_in_weight.(i) && inputs (i + 1))
+  in
+  let ni = Array.length c.s_inh_place in
+  let rec inhibitors i =
+    i >= ni
+    || (Marking.get m c.s_inh_place.(i) < c.s_inh_weight.(i)
+        && inhibitors (i + 1))
+  in
+  inputs 0 && inhibitors 0
+
+let enabled ?prng c m env =
+  token_enabled c m
+  && (match c.s_tr.Net.t_predicate with
+     | None -> true
+     | Some p -> Expr.eval_bool ?prng env p)
+
+let consume c m =
+  for k = 0 to Array.length c.s_in_place - 1 do
+    Marking.add m c.s_in_place.(k) (-c.s_in_weight.(k))
+  done
+
+let produce c m =
+  for k = 0 to Array.length c.s_out_place - 1 do
+    Marking.add m c.s_out_place.(k) c.s_out_weight.(k)
+  done
+
+let apply c m =
+  for k = 0 to Array.length c.s_delta_place - 1 do
+    Marking.add m c.s_delta_place.(k) c.s_delta_weight.(k)
+  done
+
+let run_action env c = Expr.run_stmts env c.s_tr.Net.t_action
+
+(* -- the compiled instance view -- *)
+
+exception Action_failed of string
+
+type compiled = {
+  c_tr : Net.transition;
+  c_id : Net.transition_id;
+  c_in_place : int array;
+  c_in_weight : int array;
+  c_inh_place : int array;
+  c_inh_weight : int array;
+  c_out_place : int array;
+  c_out_weight : int array;
+  c_pred : (unit -> bool) option;
+  c_enabling : unit -> float;
+  c_firing : unit -> float;
+  c_action : (unit -> string * Value.t) array;
+  c_has_action : bool;
+  c_frequency : float;
+  c_consumed : (int * int) list;
+  c_out_delta : (int * int) list;
+  c_net_delta : (int * int) list;
+  c_in_places : int array;
+  c_out_places : int array;
+}
+
+(* Compile one action statement.  Mirrors the interpreted runner: the
+   index and value are evaluated first (their errors — unbound names,
+   type errors — propagate as-is), then the table write is attempted and
+   its failures surface as [Action_failed] for the engine to wrap. *)
+let compile_stmt ?prng env = function
+  | Expr.Assign (name, e) ->
+    let ce = Expr.compile ?prng env e in
+    let slot = ref None in
+    fun () ->
+      let v = ce () in
+      (match !slot with
+      | Some cell -> cell := v
+      | None ->
+        Env.set env name v;
+        slot := Env.find_ref env name);
+      (name, v)
+  | Expr.Table_assign (tbl, ie, e) ->
+    let ci = Expr.compile_int ?prng env ie in
+    let ce = Expr.compile ?prng env e in
+    let slot = ref None in
+    fun () ->
+      let i = ci () in
+      let v = ce () in
+      let arr =
+        match !slot with
+        | Some arr -> arr
+        | None -> (
+          match Env.find_table env tbl with
+          | Some arr ->
+            slot := Some arr;
+            arr
+          | None ->
+            raise
+              (Action_failed
+                 (Printf.sprintf "action writes unbound table %s" tbl)))
+      in
+      if i < 0 || i >= Array.length arr then
+        raise
+          (Action_failed
+             (Printf.sprintf "Env.table_set: index %d out of bounds for %s[%d]"
+                i tbl (Array.length arr)));
+      arr.(i) <- v;
+      (Printf.sprintf "%s[%d]" tbl i, v)
+
+let compile_one ?prng env c =
+  let tr = c.s_tr in
+  {
+    c_tr = tr;
+    c_id = c.s_id;
+    c_in_place = c.s_in_place;
+    c_in_weight = c.s_in_weight;
+    c_inh_place = c.s_inh_place;
+    c_inh_weight = c.s_inh_weight;
+    c_out_place = c.s_out_place;
+    c_out_weight = c.s_out_weight;
+    c_pred = Option.map (Expr.compile_bool env) tr.Net.t_predicate;
+    c_enabling = Net.compile_duration ?prng env tr.Net.t_enabling;
+    c_firing = Net.compile_duration ?prng env tr.Net.t_firing;
+    c_action =
+      Array.of_list (List.map (compile_stmt ?prng env) tr.Net.t_action);
+    c_has_action = c.s_has_action;
+    c_frequency = c.s_frequency;
+    c_consumed = c.s_consumed;
+    c_out_delta = c.s_out_delta;
+    c_net_delta = c.s_net_delta;
+    c_in_places = c.s_in_places;
+    c_out_places = c.s_out_places;
+  }
+
+let compile ?prng env k = Array.map (compile_one ?prng env) k.k_trans
+
+let compiled_token_enabled c m =
+  let n = Array.length c.c_in_place in
+  let rec inputs i =
+    i >= n
+    || (Marking.get m c.c_in_place.(i) >= c.c_in_weight.(i) && inputs (i + 1))
+  in
+  let ni = Array.length c.c_inh_place in
+  let rec inhibitors i =
+    i >= ni
+    || (Marking.get m c.c_inh_place.(i) < c.c_inh_weight.(i)
+        && inhibitors (i + 1))
+  in
+  inputs 0 && inhibitors 0
+
+let compiled_enabled c m =
+  compiled_token_enabled c m
+  && (match c.c_pred with None -> true | Some p -> p ())
+
+let compiled_consume c m =
+  for k = 0 to Array.length c.c_in_place - 1 do
+    Marking.add m c.c_in_place.(k) (-c.c_in_weight.(k))
+  done
+
+let compiled_produce c m =
+  for k = 0 to Array.length c.c_out_place - 1 do
+    Marking.add m c.c_out_place.(k) c.c_out_weight.(k)
+  done

@@ -1,0 +1,152 @@
+(** The compiled firing-semantics kernel — the single source of truth
+    for the transition relation of extended timed nets.
+
+    Every tool that steps a net (the optimized simulator, the untimed
+    and timed reachability builders, the Karp-Miller construction, the
+    GSPN analyzer) consumes the same per-transition view built here:
+    arc lists flattened to parallel [int] arrays, the weight/inhibitor
+    enabledness test, the firing effect (consume/produce), precomputed
+    trace deltas, and the per-place reader index used for incremental
+    enabled-set maintenance.  The only deliberate exception is
+    {!Pnut_sim.Reference}, the frozen interpreted engine kept verbatim
+    as a differential oracle.
+
+    The kernel has two layers:
+
+    - the {e static} view ({!ctrans}, built once per net by {!of_net})
+      is environment-independent and immutable, so exploration layers
+      can share it across worker domains and evaluate predicates and
+      actions against per-state environments with {!enabled} and
+      {!run_action};
+    - the {e compiled} view ({!compiled}, built per engine instance by
+      {!compile}) additionally binds the predicate, the delay
+      distributions and the action statements to closures over one
+      environment's resolved cells and one random stream
+      ([Expr.compile], [Net.compile_duration]), so a simulator's hot
+      loop never walks an AST or looks up a name. *)
+
+(** Static per-transition view: arc lists as parallel arrays plus the
+    constant parts of the transition's trace deltas. *)
+type ctrans = {
+  s_tr : Net.transition;
+  s_id : Net.transition_id;
+  s_in_place : int array;
+  s_in_weight : int array;
+  s_inh_place : int array;
+  s_inh_weight : int array;
+  s_out_place : int array;
+  s_out_weight : int array;
+  s_frequency : float;
+  s_consumed : (int * int) list;
+      (** marking delta of consuming the inputs (negative weights) *)
+  s_out_delta : (int * int) list;
+      (** marking delta of producing the outputs *)
+  s_net_delta : (int * int) list;
+      (** merged consume+produce delta of an atomic firing *)
+  s_delta_place : int array;
+  s_delta_weight : int array;
+      (** [s_net_delta] flattened to parallel arrays for {!apply} *)
+  s_in_places : int array;  (** places touched by consuming *)
+  s_out_places : int array; (** places touched by producing *)
+  s_has_action : bool;
+}
+
+type t
+
+val of_net : Net.t -> t
+(** Build the static kernel: one {!ctrans} per transition (indexed by
+    id) plus the reader and predicate indexes. *)
+
+val net : t -> Net.t
+val num_transitions : t -> int
+
+val transitions : t -> ctrans array
+(** Indexed by transition id, i.e. ascending-id iteration order. *)
+
+val transition : t -> Net.transition_id -> ctrans
+
+val readers : t -> int array array
+(** [readers k.(p)] — ids of the transitions whose enabledness depends
+    on place [p] (input or inhibitor arc), ascending.  After a firing
+    touches a set of places, only the readers of those places can have
+    changed enabledness. *)
+
+val predicated : t -> Net.transition_id array
+(** Ids of the transitions carrying a predicate, ascending: the ones
+    whose enabledness can change when only the environment changes. *)
+
+(** {2 The transition relation (static view)} *)
+
+val token_enabled : ctrans -> Marking.t -> bool
+(** Token conditions only: every input place holds at least its arc
+    weight, every inhibitor place fewer than its. *)
+
+val enabled : ?prng:Prng.t -> ctrans -> Marking.t -> Env.t -> bool
+(** Full enabledness: token conditions, then the predicate interpreted
+    against [env] — same evaluation order, draws and errors as
+    [Net.enabled]. *)
+
+val consume : ctrans -> Marking.t -> unit
+(** Remove the input tokens of one firing.  The caller has already
+    established token-enabledness (unlike [Net.consume], no redundant
+    recheck). *)
+
+val produce : ctrans -> Marking.t -> unit
+(** Deposit the output tokens of one firing. *)
+
+val apply : ctrans -> Marking.t -> unit
+(** [consume] and [produce] in one pass over the merged net delta —
+    for callers that fire atomically and never observe the intermediate
+    marking (reachability expansion). *)
+
+val run_action : Env.t -> ctrans -> unit
+(** Interpret the action statements against [env] (same order and
+    errors as [Expr.run_stmts]). *)
+
+(** {2 The compiled instance view} *)
+
+exception Action_failed of string
+(** Raised by a compiled table-assignment on a write failure; engines
+    convert it to their structured action-error naming the transition. *)
+
+(** A transition bound to one engine instance: the static arrays plus
+    predicate/delays/action compiled to closures over the instance's
+    environment and random stream. *)
+type compiled = {
+  c_tr : Net.transition;
+  c_id : Net.transition_id;
+  c_in_place : int array;
+  c_in_weight : int array;
+  c_inh_place : int array;
+  c_inh_weight : int array;
+  c_out_place : int array;
+  c_out_weight : int array;
+  c_pred : (unit -> bool) option;
+      (** compiled without a random stream, like the enabledness test of
+          the interpreted engine: [irand] in a predicate raises *)
+  c_enabling : unit -> float;
+  c_firing : unit -> float;
+  c_action : (unit -> string * Value.t) array;
+      (** each statement returns the (name, value) pair for the trace
+          delta; table writes report as ["tbl[i]"] *)
+  c_has_action : bool;
+  c_frequency : float;
+  c_consumed : (int * int) list;
+  c_out_delta : (int * int) list;
+  c_net_delta : (int * int) list;
+  c_in_places : int array;
+  c_out_places : int array;
+}
+
+val compile : ?prng:Prng.t -> Env.t -> t -> compiled array
+(** Bind every transition to [env] (and [prng] for stochastic delays
+    and action expressions), indexed by transition id.  Compilation
+    resolves names once; the closures read and write the environment's
+    live cells thereafter. *)
+
+val compiled_token_enabled : compiled -> Marking.t -> bool
+val compiled_enabled : compiled -> Marking.t -> bool
+(** Token conditions and the compiled predicate closure. *)
+
+val compiled_consume : compiled -> Marking.t -> unit
+val compiled_produce : compiled -> Marking.t -> unit

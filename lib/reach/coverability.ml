@@ -1,4 +1,5 @@
 module Net = Pnut_core.Net
+module Kernel = Pnut_core.Kernel
 
 type token =
   | Finite of int
@@ -21,21 +22,38 @@ type t = {
   complete : bool;
 }
 
+type unsupported_feature =
+  | Inhibitor_arcs
+  | Predicate
+  | Action
+
+type rejection = {
+  r_transition : string;
+  r_feature : unsupported_feature;
+}
+
+exception Unsupported of rejection
+
+let feature_name = function
+  | Inhibitor_arcs -> "inhibitor arcs"
+  | Predicate -> "a predicate"
+  | Action -> "an action"
+
+let rejection_message { r_transition; r_feature } =
+  Printf.sprintf
+    "coverability: transition %s has %s; the Karp-Miller construction needs \
+     plain monotone nets (weighted input/output arcs only)"
+    r_transition (feature_name r_feature)
+
 let check_plain net =
   Array.iter
     (fun tr ->
-      if tr.Net.t_inhibitors <> [] then
-        invalid_arg
-          (Printf.sprintf "Coverability: transition %s has inhibitor arcs"
-             tr.Net.t_name);
-      if tr.Net.t_predicate <> None then
-        invalid_arg
-          (Printf.sprintf "Coverability: transition %s has a predicate"
-             tr.Net.t_name);
-      if tr.Net.t_action <> [] then
-        invalid_arg
-          (Printf.sprintf "Coverability: transition %s has an action"
-             tr.Net.t_name))
+      let reject r_feature =
+        raise (Unsupported { r_transition = tr.Net.t_name; r_feature })
+      in
+      if tr.Net.t_inhibitors <> [] then reject Inhibitor_arcs;
+      if tr.Net.t_predicate <> None then reject Predicate;
+      if tr.Net.t_action <> [] then reject Action)
     (Net.transitions net)
 
 let token_ge a b =
@@ -73,25 +91,31 @@ module Mark_tbl = Hashtbl.Make (struct
     !h land max_int
 end)
 
-let enabled marking tr =
-  List.for_all
-    (fun { Net.a_place; a_weight } -> token_ge marking.(a_place) (Finite a_weight))
-    tr.Net.t_inputs
+(* The transition relation lifted to ω-markings, over the kernel's arc
+   arrays (the only lifting any tool defines: everything on concrete
+   markings lives in {!Pnut_core.Kernel}). *)
+let enabled (c : Kernel.ctrans) marking =
+  let n = Array.length c.Kernel.s_in_place in
+  let rec go i =
+    i >= n
+    || (token_ge marking.(c.Kernel.s_in_place.(i))
+          (Finite c.Kernel.s_in_weight.(i))
+       && go (i + 1))
+  in
+  go 0
 
-let fire marking tr =
+let fire (c : Kernel.ctrans) marking =
   let m = Array.copy marking in
-  List.iter
-    (fun { Net.a_place; a_weight } ->
-      match m.(a_place) with
-      | Finite n -> m.(a_place) <- Finite (n - a_weight)
-      | Omega -> ())
-    tr.Net.t_inputs;
-  List.iter
-    (fun { Net.a_place; a_weight } ->
-      match m.(a_place) with
-      | Finite n -> m.(a_place) <- Finite (n + a_weight)
-      | Omega -> ())
-    tr.Net.t_outputs;
+  for k = 0 to Array.length c.Kernel.s_in_place - 1 do
+    match m.(c.Kernel.s_in_place.(k)) with
+    | Finite n -> m.(c.Kernel.s_in_place.(k)) <- Finite (n - c.Kernel.s_in_weight.(k))
+    | Omega -> ()
+  done;
+  for k = 0 to Array.length c.Kernel.s_out_place - 1 do
+    match m.(c.Kernel.s_out_place.(k)) with
+    | Finite n -> m.(c.Kernel.s_out_place.(k)) <- Finite (n + c.Kernel.s_out_weight.(k))
+    | Omega -> ()
+  done;
   m
 
 (* Accelerate: if the new marking strictly dominates an ancestor, the
@@ -113,6 +137,7 @@ let accelerate ancestors m =
 
 let build ?(max_states = 100_000) net =
   check_plain net;
+  let kernel = Kernel.of_net net in
   let initial =
     Array.map (fun c -> Finite c)
       (Pnut_core.Marking.to_array (Net.initial_marking net))
@@ -145,14 +170,14 @@ let build ?(max_states = 100_000) net =
       if !n >= max_states then truncated := true
       else begin
         Array.iter
-          (fun tr ->
-            if enabled marking tr then begin
-              let m' = accelerate (marking :: ancestors) (fire marking tr) in
+          (fun (c : Kernel.ctrans) ->
+            if enabled c marking then begin
+              let m' = accelerate (marking :: ancestors) (fire c marking) in
               let j, fresh = intern m' in
-              edge_acc := { e_from = i; e_transition = tr.Net.t_id; e_to = j } :: !edge_acc;
+              edge_acc := { e_from = i; e_transition = c.Kernel.s_id; e_to = j } :: !edge_acc;
               if fresh then stack := (j, m', marking :: ancestors) :: !stack
             end)
-          (Net.transitions net);
+          (Kernel.transitions kernel);
         loop ()
       end
   in

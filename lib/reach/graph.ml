@@ -3,6 +3,7 @@ module Marking = Pnut_core.Marking
 module Env = Pnut_core.Env
 module Expr = Pnut_core.Expr
 module Value = Pnut_core.Value
+module Kernel = Pnut_core.Kernel
 
 type state = {
   s_index : int;
@@ -57,22 +58,33 @@ let stochastic_parts net =
          pred_bad @ action_bad)
 
 (* Successors of one concrete state: fire every enabled transition on
-   fresh copies and snapshot the result into a hashconsed key.  Pure
-   (reads the net, touches only the copies), so frontier states can be
-   expanded on worker domains. *)
-let expand net marking env =
+   fresh copies and snapshot the result into a hashconsed key.  The
+   firing semantics come from the compiled kernel: arc-array enabling
+   tests and effects, predicates and actions interpreted against the
+   per-state environment.  Action-free transitions share the parent
+   environment instead of copying it (the keys are structural, and
+   expansions only ever read shared environments), so the common
+   variable-free nets allocate nothing per successor beyond the
+   marking.  Pure with respect to shared state, so frontier states can
+   be expanded on worker domains. *)
+let expand kernel marking env =
   let out = ref [] in
   Array.iter
-    (fun tr ->
-      if Net.enabled net marking env tr then begin
+    (fun (c : Kernel.ctrans) ->
+      if Kernel.enabled c marking env then begin
         let m' = Marking.copy marking in
-        let env' = Env.copy env in
-        Net.consume net m' tr;
-        Net.produce net m' tr;
-        Expr.run_stmts env' tr.Net.t_action;
-        out := (tr.Net.t_id, Statekey.make m' env', m', env') :: !out
+        Kernel.apply c m';
+        let env' =
+          if c.s_has_action then begin
+            let env' = Env.copy env in
+            Kernel.run_action env' c;
+            env'
+          end
+          else env
+        in
+        out := (c.s_id, Statekey.make m' env', m', env') :: !out
       end)
-    (Net.transitions net);
+    (Kernel.transitions kernel);
   List.rev !out
 
 let build ?(max_states = 100_000) ?jobs net =
@@ -82,11 +94,12 @@ let build ?(max_states = 100_000) ?jobs net =
     invalid_arg
       ("Reach.Graph.build: stochastic predicate/action on transitions: "
       ^ String.concat ", " (List.sort_uniq String.compare bad)));
+  let kernel = Kernel.of_net net in
   let jobs = Pnut_exec.Pool.resolve ?jobs () in
   let index = Statekey.Tbl.create 1024 in
   let states = ref [] in
   let n_states = ref 0 in
-  let succ_acc = Hashtbl.create 1024 in
+  let edges_rev = ref [] in   (* every edge, most recent first *)
   let truncated = ref false in
   (* Intern a key, computed exactly once per explored edge.  [None]
      means the target would be a fresh state beyond the cap: the edge
@@ -116,45 +129,81 @@ let build ?(max_states = 100_000) ?jobs net =
   (match intern (Statekey.make m0 env0) with
   | Some (0, true) -> ()
   | Some _ | None -> assert false);
-  (* Breadth-first by layers.  Workers expand the frontier in parallel
-     (the expensive part: enabling tests, predicate/action evaluation,
-     structural hashing); the single interning pass then walks the
-     results in frontier order, so state numbering, edge order and
-     truncation behaviour are identical to the serial construction for
-     every [jobs] value. *)
-  let frontier = ref [ (0, m0, env0) ] in
-  while !frontier <> [] do
-    let layer = Array.of_list !frontier in
-    let expanded =
-      if jobs = 1 || Array.length layer < 2 then
-        Array.map (fun (_, m, e) -> expand net m e) layer
-      else
-        Pnut_exec.Pool.init ~jobs (Array.length layer) (fun x ->
-            let _, m, e = layer.(x) in
-            expand net m e)
-    in
-    let next = ref [] in
-    Array.iteri
-      (fun x succs ->
-        let i, _, _ = layer.(x) in
-        List.iter
-          (fun (tid, k, m', env') ->
-            match intern k with
-            | None -> ()
-            | Some (j, fresh) ->
-              Hashtbl.replace succ_acc i
-                ({ e_from = i; e_transition = tid; e_to = j }
-                :: (try Hashtbl.find succ_acc i with Not_found -> []));
-              if fresh then next := (j, m', env') :: !next)
-          succs)
-      expanded;
-    frontier := List.rev !next
-  done;
+  (* Serial: a plain FIFO sweep — the expansion of one state interns
+     its successors and records its edges inline, with no intermediate
+     successor lists or layer arrays.  Parallel: breadth-first by
+     layers; workers expand the frontier in parallel (the expensive
+     part: enabling tests, predicate/action evaluation, structural
+     hashing) and the single interning pass then walks the results in
+     frontier order.  FIFO visit order equals layer-by-frontier order,
+     so state numbering, edge order and truncation behaviour are
+     identical for every [jobs] value. *)
+  (if jobs = 1 then begin
+     let q = Queue.create () in
+     Queue.add (0, m0, env0) q;
+     let trans = Kernel.transitions kernel in
+     while not (Queue.is_empty q) do
+       let i, m, env = Queue.pop q in
+       Array.iter
+         (fun (c : Kernel.ctrans) ->
+           if Kernel.enabled c m env then begin
+             let m' = Marking.copy m in
+             Kernel.apply c m';
+             let env' =
+               if c.Kernel.s_has_action then begin
+                 let env' = Env.copy env in
+                 Kernel.run_action env' c;
+                 env'
+               end
+               else env
+             in
+             match intern (Statekey.make m' env') with
+             | None -> ()
+             | Some (j, fresh) ->
+               edges_rev :=
+                 { e_from = i; e_transition = c.Kernel.s_id; e_to = j }
+                 :: !edges_rev;
+               if fresh then Queue.add (j, m', env') q
+           end)
+         trans
+     done
+   end
+   else begin
+     let frontier = ref [ (0, m0, env0) ] in
+     while !frontier <> [] do
+       let layer = Array.of_list !frontier in
+       let expanded =
+         if Array.length layer < 2 then
+           Array.map (fun (_, m, e) -> expand kernel m e) layer
+         else
+           Pnut_exec.Pool.init ~jobs (Array.length layer) (fun x ->
+               let _, m, e = layer.(x) in
+               expand kernel m e)
+       in
+       let next = ref [] in
+       Array.iteri
+         (fun x succs ->
+           let i, _, _ = layer.(x) in
+           List.iter
+             (fun (tid, k, m', env') ->
+               match intern k with
+               | None -> ()
+               | Some (j, fresh) ->
+                 edges_rev :=
+                   { e_from = i; e_transition = tid; e_to = j } :: !edges_rev;
+                 if fresh then next := (j, m', env') :: !next)
+             succs)
+         expanded;
+       frontier := List.rev !next
+     done
+   end);
   let n = !n_states in
   let states_arr = Array.make n { s_index = 0; s_marking = [||]; s_env = [] } in
   List.iter (fun s -> states_arr.(s.s_index) <- s) !states;
   let succ = Array.make n [] in
-  Hashtbl.iter (fun i l -> succ.(i) <- List.rev l) succ_acc;
+  (* walking most-recent-first and prepending leaves every per-source
+     list in emission order *)
+  List.iter (fun e -> succ.(e.e_from) <- e :: succ.(e.e_from)) !edges_rev;
   let pred = Array.make n [] in
   Array.iter (fun l -> List.iter (fun e -> pred.(e.e_to) <- e :: pred.(e.e_to)) l) succ;
   { net; states = states_arr; succ; pred; complete = not !truncated }

@@ -3,6 +3,7 @@ module Marking = Pnut_core.Marking
 module Env = Pnut_core.Env
 module Expr = Pnut_core.Expr
 module Value = Pnut_core.Value
+module Kernel = Pnut_core.Kernel
 
 type label =
   | Fire of Net.transition_id
@@ -86,16 +87,16 @@ let check_deterministic net =
    transitions keep their old residual, newly enabled ones start at their
    full enabling delay, [restart] names transitions whose clock restarts
    regardless (the just-fired one). *)
-let refresh_pending net marking env old_pending ~restart =
-  Array.to_list (Net.transitions net)
-  |> List.filter_map (fun tr ->
-         if Net.enabled net marking env tr then
+let refresh_pending kernel marking env old_pending ~restart =
+  Array.to_list (Kernel.transitions kernel)
+  |> List.filter_map (fun (c : Kernel.ctrans) ->
+         if Kernel.enabled c marking env then
            let residual =
-             match List.assoc_opt tr.Net.t_id old_pending with
-             | Some r when not (List.mem tr.Net.t_id restart) -> r
-             | Some _ | None -> det_duration env tr.Net.t_enabling
+             match List.assoc_opt c.s_id old_pending with
+             | Some r when not (List.mem c.s_id restart) -> r
+             | Some _ | None -> det_duration env c.s_tr.Net.t_enabling
            in
-           Some (tr.Net.t_id, residual)
+           Some (c.s_id, residual)
          else None)
 
 let float_key f = Printf.sprintf "%.9g" f
@@ -136,7 +137,7 @@ type succ = {
 (* All successors of one timed state, in the fixed completion / firing /
    tick order.  Pure with respect to shared state, so frontier states
    can be expanded on worker domains. *)
-let successors_of net horizon (marking, in_flight, pending, env, time) =
+let successors_of kernel horizon (marking, in_flight, pending, env, time) =
   let acc = ref [] in
   let visit label marking' in_flight' pending' env' time' =
     let in_flight' = sort_flight in_flight' in
@@ -155,11 +156,17 @@ let successors_of net horizon (marking, in_flight, pending, env, time) =
   in
   List.iter
     (fun (tid, _) ->
-      let tr = Net.transition net tid in
+      let c = Kernel.transition kernel tid in
       let m' = Marking.copy marking in
-      let env' = Env.copy env in
-      Net.produce net m' tr;
-      Expr.run_stmts env' tr.Net.t_action;
+      Kernel.produce c m';
+      let env' =
+        if c.Kernel.s_has_action then begin
+          let env' = Env.copy env in
+          Kernel.run_action env' c;
+          env'
+        end
+        else env
+      in
       let remove l =
         let rec go = function
           | [] -> []
@@ -169,7 +176,7 @@ let successors_of net horizon (marking, in_flight, pending, env, time) =
         go l
       in
       let in_flight' = remove in_flight in
-      let pending' = refresh_pending net m' env' pending ~restart:[] in
+      let pending' = refresh_pending kernel m' env' pending ~restart:[] in
       visit (Complete tid) m' in_flight' pending' env' time)
     (List.sort_uniq compare completable);
   (* 2. firings of fireable transitions *)
@@ -177,26 +184,32 @@ let successors_of net horizon (marking, in_flight, pending, env, time) =
     List.filter
       (fun (tid, r) ->
         Float.equal r 0.0
-        && Net.enabled net marking env (Net.transition net tid))
+        && Kernel.enabled (Kernel.transition kernel tid) marking env)
       pending
   in
   List.iter
     (fun (tid, _) ->
-      let tr = Net.transition net tid in
+      let c = Kernel.transition kernel tid in
       let m' = Marking.copy marking in
-      let env' = Env.copy env in
-      Net.consume net m' tr;
-      let d = det_duration env' tr.Net.t_firing in
+      Kernel.consume c m';
+      let d = det_duration env c.Kernel.s_tr.Net.t_firing in
       if Float.equal d 0.0 then begin
-        Net.produce net m' tr;
-        Expr.run_stmts env' tr.Net.t_action;
-        let pending' = refresh_pending net m' env' pending ~restart:[ tid ] in
+        Kernel.produce c m';
+        let env' =
+          if c.Kernel.s_has_action then begin
+            let env' = Env.copy env in
+            Kernel.run_action env' c;
+            env'
+          end
+          else env
+        in
+        let pending' = refresh_pending kernel m' env' pending ~restart:[ tid ] in
         visit (Fire tid) m' in_flight pending' env' time
       end
       else begin
         let in_flight' = (tid, d) :: in_flight in
-        let pending' = refresh_pending net m' env' pending ~restart:[ tid ] in
-        visit (Fire tid) m' in_flight' pending' env' time
+        let pending' = refresh_pending kernel m' env pending ~restart:[ tid ] in
+        visit (Fire tid) m' in_flight' pending' env time
       end)
     fireable;
   (* 3. if nothing can happen now, advance time *)
@@ -226,6 +239,7 @@ let successors_of net horizon (marking, in_flight, pending, env, time) =
 
 let build ?(max_states = 50_000) ?jobs ?horizon net =
   check_deterministic net;
+  let kernel = Kernel.of_net net in
   let jobs = Pnut_exec.Pool.resolve ?jobs () in
   let index = Statekey.Tbl.create 1024 in
   let states = ref [] in
@@ -257,7 +271,7 @@ let build ?(max_states = 50_000) ?jobs ?horizon net =
   in
   let m0 = Net.initial_marking net in
   let env0 = Net.initial_env net in
-  let pending0 = sort_flight (refresh_pending net m0 env0 [] ~restart:[]) in
+  let pending0 = sort_flight (refresh_pending kernel m0 env0 [] ~restart:[]) in
   let c0 =
     { c_label = Tick 0.0 (* unused *); c_marking = m0; c_in_flight = [];
       c_pending = pending0; c_env = env0; c_time = 0.0;
@@ -281,10 +295,10 @@ let build ?(max_states = 50_000) ?jobs ?horizon net =
     let layer = Array.of_list !frontier in
     let expanded =
       if jobs = 1 || Array.length layer < 2 then
-        Array.map (fun (_, st) -> successors_of net horizon st) layer
+        Array.map (fun (_, st) -> successors_of kernel horizon st) layer
       else
         Pnut_exec.Pool.init ~jobs (Array.length layer) (fun x ->
-            successors_of net horizon (snd layer.(x)))
+            successors_of kernel horizon (snd layer.(x)))
     in
     let next = ref [] in
     Array.iteri
@@ -380,13 +394,14 @@ type cycle = {
    residual; detect a repeated (marking, in-flight, pending) state. *)
 let steady_cycle ?(max_steps = 100_000) net =
   check_deterministic net;
+  let kernel = Kernel.of_net net in
   let nt = Net.num_transitions net in
   let counts = Array.make nt 0 in
   let seen = Statekey.Tbl.create 256 in
   let env = Net.initial_env net in
   let marking = ref (Net.initial_marking net) in
   let in_flight = ref ([] : (int * float) list) in
-  let pending = ref (refresh_pending net !marking env [] ~restart:[]) in
+  let pending = ref (refresh_pending kernel !marking env [] ~restart:[]) in
   let clock = ref 0.0 in
   let result = ref None in
   let step = ref 0 in
@@ -403,30 +418,30 @@ let steady_cycle ?(max_steps = 100_000) net =
          List.filter
            (fun (tid, r) ->
              Float.equal r 0.0
-             && Net.enabled net !marking env (Net.transition net tid))
+             && Kernel.enabled (Kernel.transition kernel tid) !marking env)
            !pending
        in
        match completable, fireable with
        | (tid, _) :: _, _ ->
-         let tr = Net.transition net tid in
-         Net.produce net !marking tr;
+         let c = Kernel.transition kernel tid in
+         Kernel.produce c !marking;
          let rec remove = function
            | [] -> []
            | (t, r) :: rest when t = tid && Float.equal r 0.0 -> rest
            | x :: rest -> x :: remove rest
          in
          in_flight := remove !in_flight;
-         pending := refresh_pending net !marking env !pending ~restart:[]
+         pending := refresh_pending kernel !marking env !pending ~restart:[]
        | [], (tid, _) :: _ ->
-         let tr = Net.transition net tid in
-         Net.consume net !marking tr;
+         let c = Kernel.transition kernel tid in
+         Kernel.consume c !marking;
          counts.(tid) <- counts.(tid) + 1;
-         let d = det_duration env tr.Net.t_firing in
+         let d = det_duration env c.Kernel.s_tr.Net.t_firing in
          if d > 0.0 then in_flight := (tid, d) :: !in_flight;
-         pending := refresh_pending net !marking env !pending ~restart:[ tid ];
+         pending := refresh_pending kernel !marking env !pending ~restart:[ tid ];
          if Float.equal d 0.0 then begin
-           Net.produce net !marking tr;
-           pending := refresh_pending net !marking env !pending ~restart:[ tid ]
+           Kernel.produce c !marking;
+           pending := refresh_pending kernel !marking env !pending ~restart:[ tid ]
          end
        | [], [] -> (
          let residuals =

@@ -30,8 +30,8 @@ module Net = Pnut_core.Net
 module Marking = Pnut_core.Marking
 module Env = Pnut_core.Env
 module Expr = Pnut_core.Expr
-module Value = Pnut_core.Value
 module Prng = Pnut_core.Prng
+module Kernel = Pnut_core.Kernel
 module Trace = Pnut_trace.Trace
 
 type error =
@@ -92,38 +92,6 @@ type pending = {
   pe_firing : int;
 }
 
-(* Raised by a compiled table-assignment on a write failure; the engine
-   converts it to a structured [Action_error] naming the transition. *)
-exception Action_failed of string
-
-(* A transition compiled against one simulator instance: arc lists
-   flattened to int arrays, predicate/delays/action compiled to
-   closures over the instance's environment and random stream, and the
-   constant parts of its trace deltas precomputed. *)
-type ctrans = {
-  c_tr : Net.transition;
-  c_id : int;
-  c_in_place : int array;
-  c_in_weight : int array;
-  c_inh_place : int array;
-  c_inh_weight : int array;
-  c_out_place : int array;
-  c_out_weight : int array;
-  c_pred : (unit -> bool) option;
-      (* compiled without a random stream, like the enabledness test of
-         the straightforward engine: [irand] in a predicate raises *)
-  c_enabling : unit -> float;
-  c_firing : unit -> float;
-  c_action : (unit -> string * Value.t) array;
-  c_has_action : bool;
-  c_frequency : float;
-  c_consumed : (int * int) list;  (* Fire_start delta of a timed firing *)
-  c_out_delta : (int * int) list; (* Fire_end delta, timed completion *)
-  c_net_delta : (int * int) list; (* Fire_end delta, zero-duration firing *)
-  c_in_places : int array;        (* places touched by consuming *)
-  c_out_places : int array;       (* places touched by producing *)
-}
-
 type t = {
   net : Net.t;
   prng : Prng.t;
@@ -135,7 +103,9 @@ type t = {
   env : Env.t;
   mutable clock : float;
   queue : pending Event_queue.t;
-  ctrans : ctrans array;
+  (* the net's transitions compiled against this instance's environment
+     and random stream by the shared semantics kernel *)
+  ctrans : Kernel.compiled array;
   (* enabling bookkeeping: a transition with a deadline ([active]) is
      either in [ready] (deadline at or before the clock, so it may fire
      now) or in [heap] (strictly future deadline) — never both *)
@@ -214,34 +184,13 @@ let deactivate st tid =
   if Dheap.mem st.heap tid then Dheap.remove st.heap tid
   else ready_remove st tid
 
-(* -- enabledness over the compiled arc arrays -- *)
-
-let marking_enabled st c =
-  let m = st.marking in
-  let n = Array.length c.c_in_place in
-  let rec inputs i =
-    i >= n
-    || (Marking.get m c.c_in_place.(i) >= c.c_in_weight.(i) && inputs (i + 1))
-  in
-  let ni = Array.length c.c_inh_place in
-  let rec inhibitors i =
-    i >= ni
-    || (Marking.get m c.c_inh_place.(i) < c.c_inh_weight.(i)
-        && inhibitors (i + 1))
-  in
-  inputs 0 && inhibitors 0
-
-let enabled_now st c =
-  marking_enabled st c
-  && (match c.c_pred with None -> true | Some p -> p ())
-
 (* Re-evaluate enabledness and maintain the enabling deadline for one
    transition: newly enabled transitions sample their enabling delay,
    newly disabled ones lose their deadline, continuously enabled ones
    keep it. *)
-let refresh_one st c =
+let refresh_one st (c : Kernel.compiled) =
   let id = c.c_id in
-  let is_enabled = enabled_now st c in
+  let is_enabled = Kernel.compiled_enabled c st.marking in
   if st.active.(id) then begin
     if not is_enabled then deactivate st id
   end
@@ -295,128 +244,10 @@ let refresh_after st ~places ~env_changed =
     refresh_one st st.ctrans.(a.(k))
   done
 
-(* Which transitions read each place (input or inhibitor arcs), per
-   place, in ascending transition order. *)
-let build_readers net =
-  let idx = Array.make (Net.num_places net) [] in
-  (* build in descending id order so each list ends up ascending *)
-  for i = Net.num_transitions net - 1 downto 0 do
-    let tr = Net.transition net i in
-    let note { Net.a_place; _ } =
-      match idx.(a_place) with
-      | hd :: _ when hd = i -> ()
-      | l -> idx.(a_place) <- i :: l
-    in
-    List.iter note tr.Net.t_inputs;
-    List.iter note tr.Net.t_inhibitors
-  done;
-  Array.map Array.of_list idx
-
-let build_predicated net =
-  Array.to_list (Net.transitions net)
-  |> List.filter_map (fun tr ->
-         if tr.Net.t_predicate <> None then Some tr.Net.t_id else None)
-  |> Array.of_list
-
-(* Merge (place, delta) lists, summing deltas per place and dropping
-   zero entries (self-loops).  Only used at compile time now — the
-   results for a transition's constant arc lists are cached in its
-   [ctrans]. *)
-let merge_changes a b =
-  let tbl = Hashtbl.create 8 in
-  let add (p, d) =
-    Hashtbl.replace tbl p (d + try Hashtbl.find tbl p with Not_found -> 0)
-  in
-  List.iter add a;
-  List.iter add b;
-  Hashtbl.fold (fun p d acc -> if d = 0 then acc else (p, d) :: acc) tbl []
-  |> List.sort compare
-
-(* Compile one action statement.  Mirrors the interpreted runner: the
-   index and value are evaluated first (their errors — unbound names,
-   type errors — propagate as-is), then the table write is attempted and
-   its failures surface as [Action_failed] for the engine to wrap. *)
-let compile_stmt ~prng env = function
-  | Expr.Assign (name, e) ->
-    let ce = Expr.compile ~prng env e in
-    let slot = ref None in
-    fun () ->
-      let v = ce () in
-      (match !slot with
-      | Some cell -> cell := v
-      | None ->
-        Env.set env name v;
-        slot := Env.find_ref env name);
-      (name, v)
-  | Expr.Table_assign (tbl, ie, e) ->
-    let ci = Expr.compile_int ~prng env ie in
-    let ce = Expr.compile ~prng env e in
-    let slot = ref None in
-    fun () ->
-      let i = ci () in
-      let v = ce () in
-      let arr =
-        match !slot with
-        | Some arr -> arr
-        | None -> (
-          match Env.find_table env tbl with
-          | Some arr ->
-            slot := Some arr;
-            arr
-          | None ->
-            raise
-              (Action_failed
-                 (Printf.sprintf "action writes unbound table %s" tbl)))
-      in
-      if i < 0 || i >= Array.length arr then
-        raise
-          (Action_failed
-             (Printf.sprintf "Env.table_set: index %d out of bounds for %s[%d]"
-                i tbl (Array.length arr)));
-      arr.(i) <- v;
-      (Printf.sprintf "%s[%d]" tbl i, v)
-
-let compile_transition ~prng env tr =
-  let places arcs =
-    Array.of_list (List.map (fun a -> a.Net.a_place) arcs)
-  in
-  let weights arcs =
-    Array.of_list (List.map (fun a -> a.Net.a_weight) arcs)
-  in
-  let consumed =
-    List.map (fun { Net.a_place; a_weight } -> (a_place, -a_weight))
-      tr.Net.t_inputs
-  in
-  let produced =
-    List.map (fun { Net.a_place; a_weight } -> (a_place, a_weight))
-      tr.Net.t_outputs
-  in
-  {
-    c_tr = tr;
-    c_id = tr.Net.t_id;
-    c_in_place = places tr.Net.t_inputs;
-    c_in_weight = weights tr.Net.t_inputs;
-    c_inh_place = places tr.Net.t_inhibitors;
-    c_inh_weight = weights tr.Net.t_inhibitors;
-    c_out_place = places tr.Net.t_outputs;
-    c_out_weight = weights tr.Net.t_outputs;
-    c_pred = Option.map (Expr.compile_bool env) tr.Net.t_predicate;
-    c_enabling = Net.compile_duration ~prng env tr.Net.t_enabling;
-    c_firing = Net.compile_duration ~prng env tr.Net.t_firing;
-    c_action =
-      Array.of_list (List.map (compile_stmt ~prng env) tr.Net.t_action);
-    c_has_action = tr.Net.t_action <> [];
-    c_frequency = tr.Net.t_frequency;
-    c_consumed = consumed;
-    c_out_delta = merge_changes [] produced;
-    c_net_delta = merge_changes consumed produced;
-    c_in_places = places tr.Net.t_inputs;
-    c_out_places = places tr.Net.t_outputs;
-  }
-
 let make ~prng ~sink ~max_instant_firings ~check_capacities ~hooks ~marking
     ~env ~clock ~queue net =
   let nt = Net.num_transitions net in
+  let kernel = Kernel.of_net net in
   {
     net;
     prng;
@@ -428,15 +259,15 @@ let make ~prng ~sink ~max_instant_firings ~check_capacities ~hooks ~marking
     env;
     clock;
     queue;
-    ctrans = Array.map (compile_transition ~prng env) (Net.transitions net);
+    ctrans = Kernel.compile ~prng env kernel;
     active = Array.make nt false;
     deadline = Array.make nt 0.0;
     heap = Dheap.create nt;
     ready = Array.make (max nt 1) 0;
     ready_n = 0;
     in_flight = Array.make nt 0;
-    readers = build_readers net;
-    predicated = build_predicated net;
+    readers = Kernel.readers kernel;
+    predicated = Kernel.predicated kernel;
     touched_stamp = Array.make nt 0;
     touched = Array.make (max nt 1) 0;
     touched_n = 0;
@@ -508,12 +339,12 @@ let select_weighted st m =
 (* Run a compiled action, collecting every assignment for the trace
    delta.  Failures surface as structured [Action_error]s naming the
    transition. *)
-let run_action st c =
+let run_action st (c : Kernel.compiled) =
   if not c.c_has_action then []
   else begin
     let changes = ref [] in
     (try Array.iter (fun f -> changes := f () :: !changes) c.c_action
-     with Action_failed message ->
+     with Kernel.Action_failed message ->
        sim_error
          (Action_error
             { transition = c.c_tr.Net.t_name; clock = st.clock; message }));
@@ -553,7 +384,7 @@ let enforce_capacities st tr =
         | Some _ | None -> ())
       tr.Net.t_outputs
 
-let complete_firing ?(zero = false) st c firing =
+let complete_firing ?(zero = false) st (c : Kernel.compiled) firing =
   for k = 0 to Array.length c.c_out_place - 1 do
     Marking.add st.marking c.c_out_place.(k) c.c_out_weight.(k)
   done;
@@ -574,7 +405,7 @@ let complete_firing ?(zero = false) st c firing =
    delta is empty and the paired Fire_end delta carries the net marking
    change — no intermediate trace state ever violates invariants such as
    Bus_free + Bus_busy = 1. *)
-let start_firing st c =
+let start_firing st (c : Kernel.compiled) =
   (* the transition is fireable, hence token-enabled: consume without
      the redundant recheck of [Net.consume] *)
   for k = 0 to Array.length c.c_in_place - 1 do

@@ -239,7 +239,14 @@ let test_coverability_cli () =
   let code, out = run [ "coverability"; pump ] in
   Alcotest.(check int) "unbounded exits 1" 1 code;
   Testutil.check_contains "verdict" out "bounded: false";
-  Testutil.check_contains "culprit" out "unbounded places: q"
+  Testutil.check_contains "culprit" out "unbounded places: q";
+  (* the pipeline model has inhibitor arcs: outside the Karp-Miller
+     fragment, so a specification error (exit 2) naming the feature *)
+  let code, _ = run [ "coverability"; model_file ] in
+  Alcotest.(check int) "rejection exits 2" 2 code;
+  let err = read_file (tmp "err") in
+  Testutil.check_contains "rejection names feature" err "inhibitor arcs";
+  Testutil.check_contains "rejection names construction" err "Karp-Miller"
 
 let test_explore () =
   let script = tmp "explore.in" in
