@@ -20,9 +20,44 @@ let write_file path contents =
    0  success;
    1  negative analysis verdict (failing query, unbounded net, dying
       cycle, aborted simulation, fault campaign with deadlocks/errors);
-   2  usage, parse or specification errors. *)
+   2  usage, parse or specification errors;
+   3  degraded: a resource budget (--wall-limit / --heap-limit-mb, or a
+      state cap reported through a supervised builder) tripped and a
+      partial result was emitted.  Partial output is well-formed — a
+      valid prefix of the full result — but incomplete. *)
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+let exit_degraded = 3
+
+(* Budget flags, shared by every long-running subcommand.  No flags →
+   no budget (zero overhead); a tripped budget degrades gracefully:
+   partial output, a diagnostic on stderr, exit 3. *)
+let budget_arg =
+  let wall =
+    Arg.(value & opt (some float) None & info [ "wall-limit" ] ~docv:"SECONDS"
+           ~doc:"Resource budget: stop gracefully after SECONDS of wall \
+                 clock, emit the partial result and exit 3.")
+  in
+  let heap =
+    Arg.(value & opt (some int) None & info [ "heap-limit-mb" ] ~docv:"MB"
+           ~doc:"Resource budget: stop gracefully once the major heap \
+                 exceeds MB megabytes, emit the partial result and exit 3.")
+  in
+  let mk wall_s heap_mb =
+    if wall_s = None && heap_mb = None then None
+    else
+      try Some (Pnut_exec.Budget.make ?wall_s ?heap_mb ())
+      with Invalid_argument msg -> die "%s" msg
+  in
+  Term.(const mk $ wall $ heap)
+
+(* Report a budget trip on stderr; callers exit [exit_degraded] after
+   emitting whatever partial output they have. *)
+let report_degraded what reason progress =
+  Format.eprintf "%s degraded: %s (%a)@." what
+    (Pnut_exec.Supervisor.reason_message reason)
+    Pnut_exec.Supervisor.pp_progress progress
 
 (* Parse a mini-language argument (query, signal, CTL formula), exiting
    2 with a uniform location message on failure. *)
@@ -209,7 +244,8 @@ module type SIM_ENGINE = sig
     Pnut_core.Net.t -> Pnut_sim.Checkpoint.t -> t
 
   val run :
-    ?until:float -> ?max_events:int -> ?wall_limit_s:float -> ?finish:bool ->
+    ?until:float -> ?max_events:int -> ?wall_limit_s:float ->
+    ?budget:Pnut_exec.Budget.t -> ?finish:bool ->
     t -> Pnut_sim.Simulator.outcome
 
   val checkpoint : t -> Pnut_sim.Checkpoint.t
@@ -249,11 +285,6 @@ let sim_cmd =
            ~doc:"When a run dies, explain per transition which input \
                  place, inhibitor or predicate blocks it.")
   in
-  let wall_limit =
-    Arg.(value & opt (some float) None & info [ "wall-limit" ] ~docv:"SECONDS"
-           ~doc:"Abort (exit 1) if the run consumes more than SECONDS of \
-                 wall clock; guards against pathological models.")
-  in
   let save_state =
     Arg.(value & opt (some string) None & info [ "save-state" ] ~docv:"FILE"
            ~doc:"Checkpoint the engine state when the (first) run stops, \
@@ -268,7 +299,7 @@ let sim_cmd =
                  done.")
   in
   let run path seed until max_events trace_out format stats runs explain
-      wall_limit save_state load_state engine =
+      budget save_state load_state engine =
     let module E =
       (val match engine with
            | `Fast -> (module Pnut_sim.Simulator : SIM_ENGINE)
@@ -294,6 +325,7 @@ let sim_cmd =
       Option.map (fun (oc, _) -> trace_writer_sink format oc) trace_chan
     in
     let aborted = ref false in
+    let degraded = ref false in
     for run_number = 1 to runs do
       let stat_sink, stat_get = Pnut_stat.Stat.sink ~run:run_number () in
       let sinks =
@@ -325,8 +357,11 @@ let sim_cmd =
           in
           E.create ~prng ~sink net
       in
-      match E.run ?until ?max_events ?wall_limit_s:wall_limit st with
+      match E.run ?until ?max_events ?budget st with
       | outcome ->
+        (match outcome.Pnut_sim.Simulator.stop with
+        | Pnut_sim.Simulator.Budget_exhausted _ -> degraded := true
+        | _ -> ());
         if stats || trace_out = None then
           print_string (Pnut_stat.Stat.render (stat_get ()));
         if runs > 1 then print_newline ();
@@ -336,7 +371,9 @@ let sim_cmd =
           (match outcome.Pnut_sim.Simulator.stop with
           | Pnut_sim.Simulator.Horizon -> "horizon"
           | Pnut_sim.Simulator.Dead -> "dead (no enabled transition)"
-          | Pnut_sim.Simulator.Event_limit -> "event limit")
+          | Pnut_sim.Simulator.Event_limit -> "event limit"
+          | Pnut_sim.Simulator.Budget_exhausted r ->
+            Pnut_exec.Supervisor.reason_message r)
           outcome.Pnut_sim.Simulator.final_clock
           outcome.Pnut_sim.Simulator.started
           outcome.Pnut_sim.Simulator.finished;
@@ -354,11 +391,12 @@ let sim_cmd =
         aborted := true
     done;
     Option.iter close_trace_out trace_chan;
-    if !aborted then exit 1
+    if !aborted then exit 1;
+    if !degraded then exit exit_degraded
   in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(const run $ net_arg $ seed_arg $ until_arg $ max_events_arg
-          $ trace_out $ format_arg $ stats $ runs $ explain $ wall_limit
+          $ trace_out $ format_arg $ stats $ runs $ explain $ budget_arg
           $ save_state $ load_state $ engine_arg)
 
 (* -- pnut faults -- *)
@@ -395,16 +433,12 @@ let faults_cmd =
     Arg.(value & flag & info [ "csv" ]
            ~doc:"Machine-readable CSV output instead of the table.")
   in
-  let wall_limit =
-    Arg.(value & opt (some float) None & info [ "wall-limit" ] ~docv:"SECONDS"
-           ~doc:"Per-run wall-clock watchdog.")
-  in
   let explain =
     Arg.(value & flag & info [ "explain-deadlock" ]
            ~doc:"Print the deadlock diagnosis of every faulty run that \
                  died.")
   in
-  let run path seed spec_file inline_faults runs until observe csv wall_limit
+  let run path seed spec_file inline_faults runs until observe csv budget
       explain jobs =
     let net = load_net path in
     let file_specs =
@@ -426,10 +460,11 @@ let faults_cmd =
     let specs = file_specs @ flag_specs in
     if specs = [] then die "no faults given: pass --spec FILE or --fault SPEC";
     match
-      Pnut_fault.Campaign.run ~seed ~runs ~until ?observe
-        ?wall_limit_s:wall_limit ~jobs net specs
+      Pnut_fault.Campaign.run_supervised ~seed ~runs ~until ?observe ?budget
+        ~jobs net specs
     with
-    | report ->
+    | outcome ->
+      let report = Pnut_exec.Supervisor.value outcome in
       print_string
         (if csv then Pnut_fault.Campaign.render_csv report
          else Pnut_fault.Campaign.render report);
@@ -442,6 +477,11 @@ let faults_cmd =
                 r.Pnut_fault.Campaign.rr_run d
             | None -> ())
           report.Pnut_fault.Campaign.cr_faulty;
+      (match outcome with
+      | Pnut_exec.Supervisor.Degraded { reason; progress; _ } ->
+        report_degraded "campaign" reason progress;
+        exit exit_degraded
+      | Pnut_exec.Supervisor.Complete _ -> ());
       if
         Pnut_fault.Campaign.deadlocks report > 0
         || Pnut_fault.Campaign.errors report > 0
@@ -452,7 +492,7 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(const run $ net_arg $ seed_arg $ spec_file $ inline_faults $ runs
-          $ until $ observe $ csv $ wall_limit $ explain $ jobs_arg)
+          $ until $ observe $ csv $ budget_arg $ explain $ jobs_arg)
 
 (* -- pnut stat -- *)
 
@@ -601,13 +641,31 @@ let reach_cmd =
                  (inev/alw are branching-time AF/AG), e.g. \
                  'forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]'.")
   in
-  let run path timed max_states ctl query jobs =
+  let run path timed max_states ctl query jobs budget =
     let net = load_net path in
-    if timed then
-      let g = Pnut_reach.Timed.build ~max_states ~jobs net in
-      Format.printf "%a@." Pnut_reach.Timed.pp_summary g
+    (* On a budget trip the partial graph is still a valid prefix:
+       summarize it, run the CTL/query checks on it (a failure on the
+       prefix is a failure on the full graph), then exit 3. *)
+    let finish_outcome outcome =
+      match outcome with
+      | Pnut_exec.Supervisor.Complete _ -> ()
+      | Pnut_exec.Supervisor.Degraded { reason; progress; _ } ->
+        report_degraded "reach" reason progress;
+        exit exit_degraded
+    in
+    if timed then begin
+      let outcome =
+        Pnut_reach.Timed.build_supervised ~max_states ~jobs ?budget net
+      in
+      let g = Pnut_exec.Supervisor.value outcome in
+      Format.printf "%a@." Pnut_reach.Timed.pp_summary g;
+      finish_outcome outcome
+    end
     else begin
-      let g = Pnut_reach.Graph.build ~max_states ~jobs net in
+      let outcome =
+        Pnut_reach.Graph.build_supervised ~max_states ~jobs ?budget net
+      in
+      let g = Pnut_exec.Supervisor.value outcome in
       Format.printf "%a@." Pnut_reach.Graph.pp_summary g;
       let failures = ref 0 in
       List.iter
@@ -627,11 +685,13 @@ let reach_cmd =
           | exception Pnut_tracer.Query.Query_error msg ->
             die "query %S: %s" q msg)
         query;
-      if !failures > 0 then exit 1
+      if !failures > 0 then exit 1;
+      finish_outcome outcome
     end
   in
   Cmd.v (Cmd.info "reach" ~doc)
-    Term.(const run $ net_arg $ timed $ max_states $ ctl $ query $ jobs_arg)
+    Term.(const run $ net_arg $ timed $ max_states $ ctl $ query $ jobs_arg
+          $ budget_arg)
 
 (* -- pnut invariants -- *)
 
@@ -721,14 +781,21 @@ let analytic_cmd =
   let max_states =
     Arg.(value & opt int 2000 & info [ "max-states" ] ~docv:"N" ~doc:"State cap.")
   in
-  let run path exponentialize max_states =
+  let run path exponentialize max_states budget =
     let net = load_net path in
     let net =
       if exponentialize then
         or_die (fun () -> Pnut_analytic.Gspn.exponential_variant net)
       else net
     in
-    let r = or_die (fun () -> Pnut_analytic.Gspn.analyze ~max_states net) in
+    let outcome =
+      try
+        or_die (fun () ->
+            Pnut_analytic.Gspn.analyze_supervised ~max_states ?budget net)
+      with Pnut_analytic.Gspn.Too_many_states r ->
+        die "%s" (Pnut_analytic.Gspn.rejection_message r)
+    in
+    let r = Pnut_exec.Supervisor.value outcome in
     Printf.printf "tangible states:  %d\n" r.Pnut_analytic.Gspn.tangible_states;
     Printf.printf "vanishing states: %d\n\n" r.Pnut_analytic.Gspn.vanishing_states;
     Printf.printf "%-32s %12s\n" "place" "mean tokens";
@@ -742,22 +809,46 @@ let analytic_cmd =
       (fun t thr ->
         Printf.printf "%-32s %12.6f\n"
           (Pnut_core.Net.transition net t).Pnut_core.Net.t_name thr)
-      r.Pnut_analytic.Gspn.throughputs
+      r.Pnut_analytic.Gspn.throughputs;
+    match outcome with
+    | Pnut_exec.Supervisor.Degraded { reason; progress; _ } ->
+      report_degraded "analytic" reason progress;
+      exit exit_degraded
+    | Pnut_exec.Supervisor.Complete _ -> ()
   in
   Cmd.v (Cmd.info "analytic" ~doc)
-    Term.(const run $ net_arg $ exponentialize $ max_states)
+    Term.(const run $ net_arg $ exponentialize $ max_states $ budget_arg)
 
 (* -- pnut coverability -- *)
 
 let coverability_cmd =
   let doc = "Boundedness analysis via the Karp-Miller construction." in
-  let run path =
+  let max_states =
+    Arg.(value & opt int 100000 & info [ "max-states" ] ~docv:"N"
+           ~doc:"State cap.")
+  in
+  let run path max_states budget =
     let net = load_net path in
-    let g = coverability_or_die net in
+    let outcome =
+      try
+        or_die (fun () ->
+            Pnut_reach.Coverability.build_supervised ~max_states ?budget net)
+      with Pnut_reach.Coverability.Unsupported r ->
+        die "%s" (Pnut_reach.Coverability.rejection_message r)
+    in
+    let g = Pnut_exec.Supervisor.value outcome in
     Format.printf "%a@." (Pnut_reach.Coverability.pp_summary net) g;
+    (* A tripped budget means the verdict below would be drawn from an
+       incomplete tree, so degradation takes precedence over it. *)
+    (match outcome with
+    | Pnut_exec.Supervisor.Degraded { reason; progress; _ } ->
+      report_degraded "coverability" reason progress;
+      exit exit_degraded
+    | Pnut_exec.Supervisor.Complete _ -> ());
     if not (Pnut_reach.Coverability.is_bounded g) then exit 1
   in
-  Cmd.v (Cmd.info "coverability" ~doc) Term.(const run $ net_arg)
+  Cmd.v (Cmd.info "coverability" ~doc)
+    Term.(const run $ net_arg $ max_states $ budget_arg)
 
 (* -- pnut dot -- *)
 
@@ -813,16 +904,29 @@ let replicate_cmd =
     Arg.(value & opt float 0.95 & info [ "confidence" ] ~docv:"LEVEL"
            ~doc:"0.90, 0.95 or 0.99.")
   in
-  let run path seed runs until place transition confidence jobs =
+  let run path seed runs until place transition confidence jobs budget =
     let net = load_net path in
     if place = [] && transition = [] then
       die "nothing to estimate: pass --place and/or --throughput";
+    let degraded = ref false in
     let estimate what read =
       match
-        Pnut_stat.Replication.replicate ~seed ~confidence ~jobs ~runs ~until
-          net read
+        Pnut_stat.Replication.replicate_supervised ~seed ~confidence ~jobs
+          ?budget ~runs ~until net read
       with
-      | e -> Format.printf "%-40s %a@." what Pnut_stat.Replication.pp e
+      | outcome ->
+        let p = Pnut_exec.Supervisor.value outcome in
+        (match p.Pnut_stat.Replication.pr_estimate with
+        | Some e -> Format.printf "%-40s %a@." what Pnut_stat.Replication.pp e
+        | None ->
+          Format.printf "%-40s (no estimate: %d of %d replications done)@."
+            what p.Pnut_stat.Replication.pr_completed
+            p.Pnut_stat.Replication.pr_requested);
+        (match outcome with
+        | Pnut_exec.Supervisor.Degraded { reason; progress; _ } ->
+          degraded := true;
+          report_degraded what reason progress
+        | Pnut_exec.Supervisor.Complete _ -> ())
       | exception Not_found -> die "unknown place/transition in %s" what
     in
     List.iter
@@ -832,11 +936,12 @@ let replicate_cmd =
     List.iter
       (fun t ->
         estimate (t ^ " throughput") (fun r -> Pnut_stat.Stat.throughput r t))
-      transition
+      transition;
+    if !degraded then exit exit_degraded
   in
   Cmd.v (Cmd.info "replicate" ~doc)
     Term.(const run $ net_arg $ seed_arg $ runs $ until $ place $ transition
-          $ confidence $ jobs_arg)
+          $ confidence $ jobs_arg $ budget_arg)
 
 (* -- pnut cycle -- *)
 

@@ -1,6 +1,21 @@
 module Net = Pnut_core.Net
 module Marking = Pnut_core.Marking
 module Kernel = Pnut_core.Kernel
+module Budget = Pnut_exec.Budget
+module Supervisor = Pnut_exec.Supervisor
+
+type rejection = {
+  rj_explored : int;
+  rj_cap : int;
+}
+
+exception Too_many_states of rejection
+
+let rejection_message { rj_explored; rj_cap } =
+  Printf.sprintf
+    "Gspn: state space exceeds max_states (%d states explored, cap %d) — the \
+     net may be unbounded; raise the cap or bound the offending places"
+    rj_explored rj_cap
 
 type kind =
   | Immediate of float  (* conflict weight *)
@@ -45,7 +60,13 @@ type state = {
   vanishing : bool;
 }
 
-let explore ?(max_states = 2000) net kinds =
+let explore ?(max_states = 2000) ~monitor net kinds =
+  let monitored = Supervisor.active monitor in
+  let max_states =
+    match Supervisor.max_states monitor with
+    | Some cap -> min cap max_states
+    | None -> max_states
+  in
   let kernel = Kernel.of_net net in
   let trans = Kernel.transitions kernel in
   let readers = Kernel.readers kernel in
@@ -92,7 +113,7 @@ let explore ?(max_states = 2000) net kinds =
     | Some i -> i
     | None ->
       if !n >= max_states then
-        invalid_arg "Gspn: state space exceeds max_states (unbounded net?)";
+        raise (Too_many_states { rj_explored = !n; rj_cap = max_states });
       let vanishing = List.exists is_immediate enabled in
       let state =
         { marking = Marking.to_array m; edges = []; vanishing }
@@ -106,7 +127,21 @@ let explore ?(max_states = 2000) net kinds =
   in
   let m0 = Net.initial_marking net in
   let _ = intern m0 (full_scan m0) in
+  let trip = ref None in
+  let processed = ref 0 in
+  (* Budget checks ride the dequeue boundary every 256 states.  A trip
+     leaves already-interned states with empty edge lists; downstream
+     they behave as absorbing states, which uniformization tolerates. *)
+  (try
   while not (Queue.is_empty queue) do
+    incr processed;
+    if monitored && !processed land 255 = 0 then begin
+      match Supervisor.check monitor with
+      | Some r ->
+        trip := Some r;
+        raise_notrace Exit
+      | None -> ()
+    end;
     let state, m, enabled = Queue.pop queue in
     let fire tid =
       let c = trans.(tid) in
@@ -137,17 +172,20 @@ let explore ?(max_states = 2000) net kinds =
           enabled
     in
     state.edges <- edges
-  done;
+  done
+  with Exit -> ());
   (* the list is reversed relative to the indices *)
-  Array.of_list (List.rev !states)
+  (Array.of_list (List.rev !states), !trip, Queue.length queue)
 
 (* -- vanishing elimination (Jacobi over absorption vectors) -- *)
 
 (* For each vanishing state v: [absorb.(v)] maps tangible index -> absorption
    probability, and [fires.(v)] maps transition id -> expected immediate
    firings before absorption. *)
-let eliminate_vanishing states tangible_index nt n_transitions =
+let eliminate_vanishing ~monitor states tangible_index nt n_transitions =
   let n = Array.length states in
+  let monitored = Supervisor.active monitor in
+  let tripped = ref None in
   let absorb = Array.map (fun s -> if s.vanishing then Array.make nt 0.0 else [||]) states in
   let fires =
     Array.map (fun s -> if s.vanishing then Array.make n_transitions 0.0 else [||]) states
@@ -185,15 +223,22 @@ let eliminate_vanishing states tangible_index nt n_transitions =
         fires.(v) <- new_fires
       end
     done;
-    if !delta > 1e-14 then sweep (k + 1)
+    if !delta > 1e-14 then begin
+      (* A sweep visits every vanishing state, so polling once per sweep
+         bounds post-trip work to a single pass over the chain. *)
+      match if monitored then Supervisor.check monitor else None with
+      | Some reason -> tripped := Some reason
+      | None -> sweep (k + 1)
+    end
   in
   sweep 0;
-  (absorb, fires)
+  (absorb, fires, !tripped)
 
-let analyze ?(max_states = 2000) ?(tolerance = 1e-12) ?(max_iterations = 100_000)
-    net =
+let analyze_supervised ?(max_states = 2000) ?(tolerance = 1e-12)
+    ?(max_iterations = 100_000) ?(budget = Budget.none) net =
+  let monitor = Supervisor.start budget in
   let kinds = classify net in
-  let states = explore ~max_states net kinds in
+  let states, trip, frontier = explore ~max_states ~monitor net kinds in
   let n = Array.length states in
   let n_transitions = Net.num_transitions net in
   (* index tangible states *)
@@ -210,7 +255,11 @@ let analyze ?(max_states = 2000) ?(tolerance = 1e-12) ?(max_iterations = 100_000
   if nt = 0 then invalid_arg "Gspn: no tangible states (immediate livelock)";
   let tangible_of = Array.make nt 0 in
   Array.iteri (fun i s -> if not s.vanishing then tangible_of.(tangible_index.(i)) <- i) states;
-  let absorb, fires = eliminate_vanishing states tangible_index nt n_transitions in
+  let absorb, fires, elim_trip =
+    eliminate_vanishing ~monitor states tangible_index nt n_transitions
+  in
+  let solve_trip = ref elim_trip in
+  let monitored = Supervisor.active monitor in
   (* tangible CTMC: rows of (target tangible, rate), plus per-row exit rate *)
   let rows = Array.make nt [] in
   let exit = Array.make nt 0.0 in
@@ -251,10 +300,18 @@ let analyze ?(max_states = 2000) ?(tolerance = 1e-12) ?(max_iterations = 100_000
         delta := !delta +. Float.abs (next.(i) -. pi.(i));
         pi.(i) <- next.(i)
       done;
-      if !delta > tolerance then iterate (k + 1)
+      if !delta > tolerance then begin
+        (* Each iteration sweeps the whole tangible chain, so a per-iteration
+           poll keeps the solve responsive even on a huge partial chain left
+           behind by a tripped exploration; the unconverged iterate is still
+           emitted as the partial result. *)
+        match if monitored then Supervisor.check monitor else None with
+        | Some reason -> if !solve_trip = None then solve_trip := Some reason
+        | None -> iterate (k + 1)
+      end
     end
   in
-  iterate 0;
+  if !solve_trip = None then iterate 0;
   (* normalize (guards drift) *)
   let total = Array.fold_left ( +. ) 0.0 pi in
   Array.iteri (fun i v -> pi.(i) <- v /. total) pi;
@@ -283,12 +340,30 @@ let analyze ?(max_states = 2000) ?(tolerance = 1e-12) ?(max_iterations = 100_000
             fires.(target))
       states.(i).edges
   done;
-  {
-    tangible_states = nt;
-    vanishing_states = n - nt;
-    place_means;
-    throughputs;
-  }
+  let result =
+    {
+      tangible_states = nt;
+      vanishing_states = n - nt;
+      place_means;
+      throughputs;
+    }
+  in
+  (* An exploration trip outranks a solve trip: it is the first budget
+     violation and explains why the chain is a prefix at all. *)
+  let trip = match trip with Some _ -> trip | None -> !solve_trip in
+  match trip with
+  | None -> Supervisor.Complete result
+  | Some reason ->
+    Supervisor.Degraded
+      {
+        reason;
+        partial = result;
+        progress = Supervisor.snapshot monitor ~visited:n ~frontier;
+      }
+
+let analyze ?max_states ?tolerance ?max_iterations net =
+  Supervisor.value
+    (analyze_supervised ?max_states ?tolerance ?max_iterations net)
 
 let place_mean r net name =
   r.place_means.(Net.place_id net name)

@@ -35,15 +35,42 @@ type result = {
       (** firings per unit time per transition id, timed and immediate *)
 }
 
+type rejection = {
+  rj_explored : int;  (** states interned when the cap was hit *)
+  rj_cap : int;       (** the effective [max_states] *)
+}
+
+exception Too_many_states of rejection
+(** Raised by {!analyze}/{!analyze_supervised} when exploration exceeds
+    the state cap — typically an unbounded net, for which no stationary
+    analysis exists.  A structural rejection like
+    {!Pnut_reach.Coverability.Unsupported}, not a resource trip. *)
+
+val rejection_message : rejection -> string
+(** One-line human-readable rendering for CLI error reporting. *)
+
 val analyze :
   ?max_states:int ->
   ?tolerance:float ->
   ?max_iterations:int ->
   Pnut_core.Net.t -> result
-(** [max_states] caps the reachability exploration (default 2000);
-    [tolerance] is the stationary-iteration stopping criterion (default
-    1e-12); [max_iterations] bounds the power iteration (default
-    100_000). *)
+(** [max_states] caps the reachability exploration (default 2000;
+    raises {!Too_many_states} past it); [tolerance] is the
+    stationary-iteration stopping criterion (default 1e-12);
+    [max_iterations] bounds the power iteration (default 100_000). *)
+
+val analyze_supervised :
+  ?max_states:int ->
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  ?budget:Pnut_exec.Budget.t ->
+  Pnut_core.Net.t -> result Pnut_exec.Supervisor.outcome
+(** {!analyze} under a budget, polled on the exploration dequeue
+    cadence; [budget.max_states] tightens [max_states].  A wall, heap
+    or cancellation trip yields [Degraded] with the analysis restricted
+    to the explored prefix (unexpanded states act as absorbing, and the
+    stationary vector is re-normalized); the state cap still raises
+    {!Too_many_states}. *)
 
 val place_mean : result -> Pnut_core.Net.t -> string -> float
 (** Lookup by place name; raises [Not_found]. *)

@@ -1,0 +1,54 @@
+(** Resource budgets for long-running computations.
+
+    A budget is a passive record of limits — wall-clock seconds,
+    major-heap words, explored-state and executed-event caps, and an
+    optional cooperative cancellation token.  It does nothing by
+    itself; consumers hand it to {!Supervisor.start} and poll the
+    resulting monitor on their existing cheap cadences (the simulator's
+    256-step watchdog slot, the reachability interning loop).
+
+    All limits are optional and independent; {!none} is the empty
+    budget, under which every check is a near-free no-op. *)
+
+type token
+(** A cooperative cancellation token, safe to share across domains. *)
+
+val token : unit -> token
+(** A fresh, un-cancelled token. *)
+
+val cancel : token -> unit
+(** Request cancellation.  Idempotent; takes effect at the consumer's
+    next budget check. *)
+
+val cancelled : token -> bool
+
+type t = {
+  wall_s : float option;      (** wall-clock limit in seconds *)
+  heap_words : int option;    (** major-heap limit, in words
+                                  ([Gc.quick_stat]) *)
+  max_states : int option;    (** explored-state cap (reach, gspn) *)
+  max_events : int option;    (** executed-event cap (sim) *)
+  cancel : token option;      (** cooperative cancellation *)
+}
+
+val none : t
+(** No limits at all. *)
+
+val make :
+  ?wall_s:float ->
+  ?heap_mb:int ->
+  ?heap_words:int ->
+  ?max_states:int ->
+  ?max_events:int ->
+  ?cancel:token ->
+  unit ->
+  t
+(** Build a budget from whichever limits are given.  [heap_mb] is a
+    convenience spelling of [heap_words] (it wins if both are given);
+    limits must be positive ([Invalid_argument] otherwise). *)
+
+val is_none : t -> bool
+(** No limit is set — consumers may skip monitoring entirely. *)
+
+val words_of_mb : int -> int
+(** Megabytes to OCaml heap words on this platform. *)

@@ -41,35 +41,75 @@ let resolve ?jobs () =
   warn_if_oversubscribed n;
   n
 
+type 'a task_outcome =
+  | Done of 'a
+  | Failed of { exn : exn; backtrace : Printexc.raw_backtrace }
+
 (* Worker [d] computes tasks d, d+jobs, d+2*jobs, ...  Results and
-   exceptions land in per-index slots, so no two domains ever write the
-   same cell and the merge is a plain in-order scan. *)
-let run_striped jobs n f =
-  let results = Array.make n None in
-  let errors = Array.make n None in
+   exceptions (with their backtraces) land in per-index slots, so no
+   two domains ever write the same cell and the merge is a plain
+   in-order scan.  A slot left [None] after the join means its worker
+   died outside the per-task handler (or never spawned); those indices
+   are retried once, inline, which preserves bit-identical results
+   because stripes are index-deterministic. *)
+let run_striped_supervised jobs n f =
+  let slots = Array.make n None in
+  let attempt i =
+    match f i with
+    | v -> slots.(i) <- Some (Done v)
+    | exception e ->
+      let backtrace = Printexc.get_raw_backtrace () in
+      slots.(i) <- Some (Failed { exn = e; backtrace })
+  in
   let worker d =
     let i = ref d in
     while !i < n do
-      (try results.(!i) <- Some (f !i) with e -> errors.(!i) <- Some e);
+      (match slots.(!i) with Some _ -> () | None -> attempt !i);
       i := !i + jobs
     done
   in
   let spawned =
-    List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    List.init (jobs - 1) (fun k ->
+        try Some (Domain.spawn (fun () -> worker (k + 1)))
+        with _ -> None)
   in
   worker 0;
-  List.iter Domain.join spawned;
+  List.iter (function Some d -> (try Domain.join d with _ -> ()) | None -> ())
+    spawned;
+  (* Retry-once pass for any stripe abandoned by a dead worker. *)
   for i = 0 to n - 1 do
-    match errors.(i) with Some e -> raise e | None -> ()
+    if slots.(i) = None then attempt i
   done;
   Array.map
-    (function Some v -> v | None -> assert false (* no error, so filled *))
-    results
+    (function Some o -> o | None -> assert false (* retried above *))
+    slots
+
+let run_striped jobs n f =
+  let slots = run_striped_supervised jobs n f in
+  Array.iter
+    (function
+      | Failed { exn; backtrace } ->
+        (* lowest-numbered failure wins, with its original backtrace *)
+        Printexc.raise_with_backtrace exn backtrace
+      | Done _ -> ())
+    slots;
+  Array.map (function Done v -> v | Failed _ -> assert false) slots
 
 let init ?jobs n f =
   if n < 0 then invalid_arg "Pool.init: negative size";
   let jobs = min (resolve ?jobs ()) (max 1 n) in
   if jobs <= 1 then Array.init n f else run_striped jobs n f
+
+let init_supervised ?jobs n f =
+  if n < 0 then invalid_arg "Pool.init_supervised: negative size";
+  let jobs = min (resolve ?jobs ()) (max 1 n) in
+  if jobs <= 1 then
+    Array.init n (fun i ->
+        match f i with
+        | v -> Done v
+        | exception e ->
+          Failed { exn = e; backtrace = Printexc.get_raw_backtrace () })
+  else run_striped_supervised jobs n f
 
 let map_list ?jobs f l =
   let arr = Array.of_list l in

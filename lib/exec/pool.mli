@@ -36,9 +36,23 @@ val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
     domains with a static round-robin assignment (worker [d] runs the
     tasks [i] with [i mod jobs = d]).  [f] must not depend on shared
     mutable state.  If several tasks raise, the exception of the
-    {e lowest-numbered} task is re-raised after all workers join, so
-    failures are deterministic too.  With one worker (or fewer than two
-    tasks) everything runs inline in the calling domain — no spawns. *)
+    {e lowest-numbered} task is re-raised after all workers join — with
+    its original backtrace — so failures are deterministic too.  With
+    one worker (or fewer than two tasks) everything runs inline in the
+    calling domain — no spawns. *)
+
+type 'a task_outcome =
+  | Done of 'a
+  | Failed of { exn : exn; backtrace : Printexc.raw_backtrace }
+
+val init_supervised : ?jobs:int -> int -> (int -> 'a) -> 'a task_outcome array
+(** Like {!init}, but no exception is re-raised: the merge reports a
+    per-index outcome instead, each failure carrying the backtrace
+    captured in the worker domain.  If a worker dies outside the
+    per-task handler (a failed spawn, an asynchronous exception), the
+    un-attempted remainder of its stripe is retried once on the calling
+    domain after the join — results stay bit-identical because stripes
+    are index-deterministic. *)
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ~jobs f l] maps [f] over [l] in parallel, preserving

@@ -1,0 +1,80 @@
+(** Supervised execution: structured outcomes for budgeted work.
+
+    Every long-running entry point in the library (simulation,
+    reachability, coverability, GSPN exploration, replication sweeps,
+    fault campaigns) accepts a {!Budget.t} and reports back through the
+    {!outcome} type below: either the computation ran to completion, or
+    it was stopped early by a tripped limit and a {e usable partial
+    result} is returned together with the reason and a progress
+    snapshot.  Nothing hangs, nothing OOM-kills the process, nothing
+    raises a bare [Invalid_argument] for running out of room. *)
+
+type reason =
+  | Wall of float    (** wall-clock limit hit; payload = elapsed seconds *)
+  | Heap of int      (** major-heap limit hit; payload = heap words *)
+  | States of int    (** state cap hit; payload = states interned *)
+  | Events of int    (** event cap hit; payload = events executed *)
+  | Cancelled        (** the budget's cancellation token was raised *)
+
+type progress = {
+  elapsed_s : float;  (** wall-clock seconds since the monitor started *)
+  heap_words : int;   (** major-heap words at the time of the snapshot *)
+  visited : int;      (** states explored / events executed so far *)
+  frontier : int;     (** unexplored frontier size (0 where meaningless) *)
+}
+
+type 'a outcome =
+  | Complete of 'a
+  | Degraded of { reason : reason; partial : 'a; progress : progress }
+
+val value : 'a outcome -> 'a
+(** The payload, complete or partial. *)
+
+val map : ('a -> 'b) -> 'a outcome -> 'b outcome
+
+val degraded : 'a outcome -> bool
+
+val reason_message : reason -> string
+(** One-line human-readable description, e.g.
+    ["wall-clock budget exhausted after 0.052 s"]. *)
+
+val pp_progress : Format.formatter -> progress -> unit
+(** e.g. [visited 614 states (frontier 12) in 0.05 s, heap 2.1 Mw]. *)
+
+(** {1 Monitors}
+
+    A monitor is the active side of a budget: it remembers when work
+    started and answers "has anything tripped?" cheaply enough to be
+    polled every few hundred steps of a hot loop. *)
+
+type monitor
+
+val start : Budget.t -> monitor
+(** Start the clock.  [start Budget.none] yields a monitor whose checks
+    are branch-cheap no-ops. *)
+
+val active : monitor -> bool
+(** [false] iff the underlying budget is {!Budget.none} — callers may
+    hoist this test out of their hot loop. *)
+
+val check : monitor -> reason option
+(** Poll cancellation, wall clock and heap (in that order).  Intended
+    for existing cheap cadences; a call costs one [Atomic.get], at most
+    one [Unix.gettimeofday] and one [Gc.quick_stat]. *)
+
+val states_over : monitor -> int -> reason option
+(** [states_over m n] is [Some (States n)] when the budget caps states
+    at or below [n]. *)
+
+val events_over : monitor -> int -> reason option
+(** [events_over m n] is [Some (Events n)] when the budget caps events
+    at or below [n]. *)
+
+val max_states : monitor -> int option
+val max_events : monitor -> int option
+
+val elapsed : monitor -> float
+(** Wall-clock seconds since {!start}. *)
+
+val snapshot : monitor -> visited:int -> frontier:int -> progress
+(** Progress record at this instant. *)

@@ -2,11 +2,14 @@ module Net = Pnut_core.Net
 module Prng = Pnut_core.Prng
 module Simulator = Pnut_sim.Simulator
 module Stat = Pnut_stat.Stat
+module Budget = Pnut_exec.Budget
+module Supervisor = Pnut_exec.Supervisor
 
 type run_class =
   | Completed
   | Deadlocked of float
   | Errored of string
+  | Exhausted of Supervisor.reason
 
 type run_result = {
   rr_run : int;
@@ -39,7 +42,7 @@ type raw_run = {
 (* One experiment: plain when [compiled] is None, segmented around the
    fault token pulses otherwise.  [finish:false] keeps the stat sink
    open across segments; the final call closes it. *)
-let one_run ?wall_limit_s ~prng ~until ~compiled net =
+let one_run ?wall_limit_s ?budget ~prng ~until ~compiled net =
   let stat_sink, stat_get = Stat.sink () in
   let hooks =
     match compiled with
@@ -50,16 +53,26 @@ let one_run ?wall_limit_s ~prng ~until ~compiled net =
   match
     let rec segments () =
       match compiled with
-      | None -> Simulator.run ~until ?wall_limit_s st
+      | None -> Simulator.run ~until ?wall_limit_s ?budget st
       | Some c -> (
         match Fault.next_pulse c ~after:(Simulator.clock st) with
         | Some t when t < until ->
-          if t > Simulator.clock st then
-            ignore (Simulator.run ~until:t ?wall_limit_s ~finish:false st
-                    : Simulator.outcome);
-          Fault.apply_pulses c ~at:t st;
-          segments ()
-        | Some _ | None -> Simulator.run ~until ?wall_limit_s st)
+          let tripped =
+            if t > Simulator.clock st then
+              let seg =
+                Simulator.run ~until:t ?wall_limit_s ?budget ~finish:false st
+              in
+              match seg.Simulator.stop with
+              | Simulator.Budget_exhausted _ -> Some seg
+              | _ -> None
+            else None
+          in
+          (match tripped with
+          | Some seg -> seg
+          | None ->
+            Fault.apply_pulses c ~at:t st;
+            segments ())
+        | Some _ | None -> Simulator.run ~until ?wall_limit_s ?budget st)
     in
     segments ()
   with
@@ -68,12 +81,13 @@ let one_run ?wall_limit_s ~prng ~until ~compiled net =
       match outcome.Simulator.stop with
       | Simulator.Horizon | Simulator.Event_limit -> Completed
       | Simulator.Dead -> Deadlocked (Simulator.last_activity st)
+      | Simulator.Budget_exhausted r -> Exhausted r
     in
     let raw_diagnosis =
       match raw_class with
       | Deadlocked _ ->
         Some (Format.asprintf "%a" Simulator.pp_diagnosis (Simulator.diagnose st))
-      | Completed | Errored _ -> None
+      | Completed | Errored _ | Exhausted _ -> None
     in
     {
       raw_class;
@@ -120,8 +134,8 @@ let fault_error fmt =
     (fun s -> raise (Simulator.Sim_error (Simulator.Fault_error s)))
     fmt
 
-let run ?(seed = 1) ?(runs = 5) ?(until = 10_000.0) ?observe ?wall_limit_s
-    ?jobs net specs =
+let run_core ?(seed = 1) ?(runs = 5) ?(until = 10_000.0) ?observe ?wall_limit_s
+    ?jobs ~budget ~monitor net specs =
   if runs <= 0 then invalid_arg "Campaign.run: runs must be positive";
   if until <= 0.0 then invalid_arg "Campaign.run: horizon must be positive";
   Fault.validate net specs;
@@ -141,16 +155,32 @@ let run ?(seed = 1) ?(runs = 5) ?(until = 10_000.0) ?observe ?wall_limit_s
         let fault_stream = Prng.split master in
         (sim_stream, fault_stream))
   in
+  (* The campaign-level wall budget is a shared absolute deadline: each
+     run starts with whatever wall time is left, so once the deadline
+     passes every in-flight twin (on any worker domain) degrades at its
+     next watchdog slot instead of running to its own full horizon. *)
+  let run_budget () =
+    if Budget.is_none budget then None
+    else
+      Some
+        { budget with
+          Budget.wall_s =
+            (match budget.Budget.wall_s with
+            | Some w -> Some (Float.max 1e-6 (w -. Supervisor.elapsed monitor))
+            | None -> None);
+          max_states = None }
+  in
   let results =
     Pnut_exec.Pool.init ?jobs runs (fun i ->
         let sim_stream, fault_stream = streams.(i) in
+        let budget = run_budget () in
         let baseline =
-          one_run ?wall_limit_s ~prng:(Prng.copy sim_stream) ~until
+          one_run ?wall_limit_s ?budget ~prng:(Prng.copy sim_stream) ~until
             ~compiled:None net
         in
         let compiled = Fault.compile ~prng:fault_stream net specs in
         let faulty =
-          one_run ?wall_limit_s ~prng:(Prng.copy sim_stream) ~until
+          one_run ?wall_limit_s ?budget ~prng:(Prng.copy sim_stream) ~until
             ~compiled:(Some compiled) net
         in
         (* The hooks mutate [compiled] during the run; read the counters
@@ -161,13 +191,14 @@ let run ?(seed = 1) ?(runs = 5) ?(until = 10_000.0) ?observe ?wall_limit_s
           Fault.tokens_injected compiled ))
   in
   (* A baseline failure aborts the campaign; check in run order so the
-     reported run matches the serial behaviour. *)
+     reported run matches the serial behaviour.  A budget-degraded
+     baseline is not a model error — it stays in the report. *)
   Array.iteri
     (fun i (baseline, _, _, _) ->
       match baseline.raw_class with
       | Errored msg ->
         fault_error "baseline run %d failed without any fault: %s" (i + 1) msg
-      | Completed | Deadlocked _ -> ())
+      | Completed | Deadlocked _ | Exhausted _ -> ())
     results;
   let dropped = ref 0 and injected = ref 0 in
   Array.iter
@@ -196,6 +227,53 @@ let run ?(seed = 1) ?(runs = 5) ?(until = 10_000.0) ?observe ?wall_limit_s
     cr_tokens_injected = !injected;
   }
 
+let run ?seed ?runs ?until ?observe ?wall_limit_s ?jobs net specs =
+  run_core ?seed ?runs ?until ?observe ?wall_limit_s ?jobs
+    ~budget:Budget.none
+    ~monitor:(Supervisor.start Budget.none)
+    net specs
+
+(* First budget-tripped twin, in run order (baseline before faulty). *)
+let first_exhausted report =
+  let scan results =
+    List.find_map
+      (fun r ->
+        match r.rr_class with Exhausted reason -> Some reason | _ -> None)
+      results
+  in
+  let rec zip = function
+    | b :: bs, f :: fs -> (
+      match scan [ b; f ] with Some r -> Some r | None -> zip (bs, fs))
+    | _ -> None
+  in
+  zip (report.cr_baseline, report.cr_faulty)
+
+let run_supervised ?seed ?runs ?until ?observe ?wall_limit_s ?jobs ?budget net
+    specs =
+  let budget = Option.value budget ~default:Budget.none in
+  let monitor = Supervisor.start budget in
+  let report =
+    run_core ?seed ?runs ?until ?observe ?wall_limit_s ?jobs ~budget ~monitor
+      net specs
+  in
+  match first_exhausted report with
+  | None -> Supervisor.Complete report
+  | Some reason ->
+    let intact =
+      List.length
+        (List.filter
+           (fun r -> match r.rr_class with Exhausted _ -> false | _ -> true)
+           report.cr_faulty)
+    in
+    Supervisor.Degraded
+      {
+        reason;
+        partial = report;
+        progress =
+          Supervisor.snapshot monitor ~visited:intact
+            ~frontier:(report.cr_runs - intact);
+      }
+
 let mean_throughput results =
   match results with
   | [] -> 0.0
@@ -221,6 +299,7 @@ let class_label = function
   | Completed -> "completed"
   | Deadlocked t -> Printf.sprintf "deadlocked at t=%g" t
   | Errored msg -> "error: " ^ msg
+  | Exhausted reason -> "degraded: " ^ Supervisor.reason_message reason
 
 let delta_pct baseline faulty =
   if baseline <= 0.0 then 0.0 else 100.0 *. (faulty -. baseline) /. baseline
@@ -264,6 +343,7 @@ let render_csv r =
         | Completed -> ("completed", "")
         | Deadlocked t -> ("deadlocked", Printf.sprintf "t=%g" t)
         | Errored msg -> ("error", msg)
+        | Exhausted reason -> ("degraded", Supervisor.reason_message reason)
       in
       Printf.bprintf b "%d,%.6f,%.6f,%.2f,%s,%S\n" base.rr_run
         base.rr_throughput faulty.rr_throughput

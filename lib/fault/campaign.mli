@@ -12,6 +12,9 @@ type run_class =
   | Completed  (** reached the horizon (or the event limit) *)
   | Deadlocked of float  (** quiescent; the payload is the death time *)
   | Errored of string  (** livelock, capacity violation, watchdog, ... *)
+  | Exhausted of Pnut_exec.Supervisor.reason
+      (** the campaign budget tripped mid-run; throughput and firing
+          counts cover the simulated prefix *)
 
 type run_result = {
   rr_run : int;  (** 1-based run number *)
@@ -59,6 +62,26 @@ val run :
     over that many domains.  All random streams are split from the
     master before any run starts and results are merged in run order,
     so the report is bit-identical for every [jobs] value. *)
+
+val run_supervised :
+  ?seed:int ->
+  ?runs:int ->
+  ?until:float ->
+  ?observe:string ->
+  ?wall_limit_s:float ->
+  ?jobs:int ->
+  ?budget:Pnut_exec.Budget.t ->
+  Pnut_core.Net.t ->
+  Fault.spec list ->
+  report Pnut_exec.Supervisor.outcome
+(** {!run} under a campaign-wide budget.  The wall limit acts as an
+    absolute deadline shared by every twin (each run starts with the
+    remaining wall time); heap limits, event caps and cancellation are
+    applied per run.  Runs cut short by the budget are classed
+    [Exhausted] and keep their partial throughput; if any run was cut
+    short the whole campaign is reported [Degraded] with the first
+    tripped reason in run order.  A campaign that completes within the
+    budget returns [Complete] with a report byte-identical to {!run}'s. *)
 
 val mean_throughput : run_result list -> float
 (** Mean over all runs (deadlocked runs count with their degraded

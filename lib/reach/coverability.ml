@@ -135,8 +135,19 @@ let accelerate ancestors m =
     ancestors;
   m
 
-let build ?(max_states = 100_000) net =
+let build_supervised ?(max_states = 100_000) ?(budget = Pnut_exec.Budget.none)
+    net =
   check_plain net;
+  let monitor = Pnut_exec.Supervisor.start budget in
+  let monitored = Pnut_exec.Supervisor.active monitor in
+  let max_states =
+    match Pnut_exec.Supervisor.max_states monitor with
+    | Some cap -> min cap max_states
+    | None -> max_states
+  in
+  let budget_stop = ref None in
+  let frontier_left = ref 0 in
+  let pops = ref 0 in
   let kernel = Kernel.of_net net in
   let initial =
     Array.map (fun c -> Finite c)
@@ -162,23 +173,40 @@ let build ?(max_states = 100_000) net =
   in
   let i0, _ = intern initial in
   let stack = ref [ (i0, initial, []) ] in
+  (* Budget checks ride the DFS pop, every 256 nodes, so a budgeted
+     build that completes is identical to an unbudgeted one. *)
   let rec loop () =
     match !stack with
     | [] -> ()
     | (i, marking, ancestors) :: rest ->
-      stack := rest;
-      if !n >= max_states then truncated := true
+      incr pops;
+      if
+        monitored && !pops land 255 = 0
+        && (match Pnut_exec.Supervisor.check monitor with
+           | Some r ->
+             budget_stop := Some r;
+             frontier_left := List.length !stack;
+             true
+           | None -> false)
+      then ()
       else begin
-        Array.iter
-          (fun (c : Kernel.ctrans) ->
-            if enabled c marking then begin
-              let m' = accelerate (marking :: ancestors) (fire c marking) in
-              let j, fresh = intern m' in
-              edge_acc := { e_from = i; e_transition = c.Kernel.s_id; e_to = j } :: !edge_acc;
-              if fresh then stack := (j, m', marking :: ancestors) :: !stack
-            end)
-          (Kernel.transitions kernel);
-        loop ()
+        stack := rest;
+        if !n >= max_states then begin
+          truncated := true;
+          frontier_left := 1 + List.length rest
+        end
+        else begin
+          Array.iter
+            (fun (c : Kernel.ctrans) ->
+              if enabled c marking then begin
+                let m' = accelerate (marking :: ancestors) (fire c marking) in
+                let j, fresh = intern m' in
+                edge_acc := { e_from = i; e_transition = c.Kernel.s_id; e_to = j } :: !edge_acc;
+                if fresh then stack := (j, m', marking :: ancestors) :: !stack
+              end)
+            (Kernel.transitions kernel);
+          loop ()
+        end
       end
   in
   loop ();
@@ -187,7 +215,32 @@ let build ?(max_states = 100_000) net =
   let succ = Array.make !n [] in
   List.iter (fun e -> succ.(e.e_from) <- e :: succ.(e.e_from)) !edge_acc;
   Array.iteri (fun i l -> succ.(i) <- List.rev l) succ;
-  { nodes = arr; succ; complete = not !truncated }
+  let complete = not !truncated && !budget_stop = None in
+  let g = { nodes = arr; succ; complete } in
+  match !budget_stop with
+  | Some reason ->
+    Pnut_exec.Supervisor.Degraded
+      {
+        reason;
+        partial = g;
+        progress =
+          Pnut_exec.Supervisor.snapshot monitor ~visited:!n
+            ~frontier:!frontier_left;
+      }
+  | None ->
+    if !truncated then
+      Pnut_exec.Supervisor.Degraded
+        {
+          reason = Pnut_exec.Supervisor.States !n;
+          partial = g;
+          progress =
+            Pnut_exec.Supervisor.snapshot monitor ~visited:!n
+              ~frontier:!frontier_left;
+        }
+    else Pnut_exec.Supervisor.Complete g
+
+let build ?max_states net =
+  Pnut_exec.Supervisor.value (build_supervised ?max_states net)
 
 let num_nodes g = Array.length g.nodes
 let node g i = g.nodes.(i)

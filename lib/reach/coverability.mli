@@ -56,6 +56,19 @@ val build : ?max_states:int -> Pnut_core.Net.t -> t
     trees are finite but can be huge.  Raises {!Unsupported} on nets
     with inhibitors, predicates or actions. *)
 
+val build_supervised :
+  ?max_states:int ->
+  ?budget:Pnut_exec.Budget.t ->
+  Pnut_core.Net.t ->
+  t Pnut_exec.Supervisor.outcome
+(** {!build} under a budget, polled every 256 DFS pops;
+    [budget.max_states] tightens [max_states].  A tripped limit —
+    including the state cap — yields [Degraded] with the partial graph
+    and visited/frontier counts; a budgeted build that completes
+    returns a graph identical to {!build}'s.  Still raises
+    {!Unsupported} on out-of-fragment nets (a structural rejection, not
+    a resource condition). *)
+
 val num_nodes : t -> int
 val node : t -> int -> node
 val edges : t -> edge list

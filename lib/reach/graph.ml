@@ -87,13 +87,21 @@ let expand kernel marking env =
     (Kernel.transitions kernel);
   List.rev !out
 
-let build ?(max_states = 100_000) ?jobs net =
+let build_supervised ?(max_states = 100_000) ?jobs
+    ?(budget = Pnut_exec.Budget.none) net =
   (match stochastic_parts net with
   | [] -> ()
   | bad ->
     invalid_arg
       ("Reach.Graph.build: stochastic predicate/action on transitions: "
       ^ String.concat ", " (List.sort_uniq String.compare bad)));
+  let monitor = Pnut_exec.Supervisor.start budget in
+  let monitored = Pnut_exec.Supervisor.active monitor in
+  let max_states =
+    match Pnut_exec.Supervisor.max_states monitor with
+    | Some cap -> min cap max_states
+    | None -> max_states
+  in
   let kernel = Kernel.of_net net in
   let jobs = Pnut_exec.Pool.resolve ?jobs () in
   let index = Statekey.Tbl.create 1024 in
@@ -101,6 +109,10 @@ let build ?(max_states = 100_000) ?jobs net =
   let n_states = ref 0 in
   let edges_rev = ref [] in   (* every edge, most recent first *)
   let truncated = ref false in
+  (* wall/heap/cancellation trip — [None] until the budget fires *)
+  let budget_stop = ref None in
+  (* states interned but not yet expanded when a trip stopped the sweep *)
+  let frontier_left = ref 0 in
   (* Intern a key, computed exactly once per explored edge.  [None]
      means the target would be a fresh state beyond the cap: the edge
      is dropped and the graph flagged incomplete (edges into
@@ -142,7 +154,21 @@ let build ?(max_states = 100_000) ?jobs net =
      let q = Queue.create () in
      Queue.add (0, m0, env0) q;
      let trans = Kernel.transitions kernel in
+     let pops = ref 0 in
+     (* Budget checks ride the dequeue boundary every 256 states, so a
+        budgeted sweep that completes interns exactly the same states in
+        exactly the same order as an unbudgeted one. *)
+     (try
      while not (Queue.is_empty q) do
+       incr pops;
+       if monitored && !pops land 255 = 0 then begin
+         match Pnut_exec.Supervisor.check monitor with
+         | Some r ->
+           budget_stop := Some r;
+           frontier_left := Queue.length q;
+           raise_notrace Exit
+         | None -> ()
+       end;
        let i, m, env = Queue.pop q in
        Array.iter
          (fun (c : Kernel.ctrans) ->
@@ -167,10 +193,19 @@ let build ?(max_states = 100_000) ?jobs net =
            end)
          trans
      done
+     with Exit -> ())
    end
    else begin
      let frontier = ref [ (0, m0, env0) ] in
      while !frontier <> [] do
+       (if monitored then
+          match Pnut_exec.Supervisor.check monitor with
+          | Some r ->
+            budget_stop := Some r;
+            frontier_left := List.length !frontier;
+            frontier := []
+          | None -> ());
+       if !frontier <> [] then begin
        let layer = Array.of_list !frontier in
        let expanded =
          if Array.length layer < 2 then
@@ -195,6 +230,7 @@ let build ?(max_states = 100_000) ?jobs net =
              succs)
          expanded;
        frontier := List.rev !next
+       end
      done
    end);
   let n = !n_states in
@@ -206,7 +242,31 @@ let build ?(max_states = 100_000) ?jobs net =
   List.iter (fun e -> succ.(e.e_from) <- e :: succ.(e.e_from)) !edges_rev;
   let pred = Array.make n [] in
   Array.iter (fun l -> List.iter (fun e -> pred.(e.e_to) <- e :: pred.(e.e_to)) l) succ;
-  { net; states = states_arr; succ; pred; complete = not !truncated }
+  let complete = not !truncated && !budget_stop = None in
+  let g = { net; states = states_arr; succ; pred; complete } in
+  match !budget_stop with
+  | Some reason ->
+    Pnut_exec.Supervisor.Degraded
+      {
+        reason;
+        partial = g;
+        progress =
+          Pnut_exec.Supervisor.snapshot monitor ~visited:n
+            ~frontier:!frontier_left;
+      }
+  | None ->
+    if !truncated then
+      Pnut_exec.Supervisor.Degraded
+        {
+          reason = Pnut_exec.Supervisor.States n;
+          partial = g;
+          progress =
+            Pnut_exec.Supervisor.snapshot monitor ~visited:n ~frontier:0;
+        }
+    else Pnut_exec.Supervisor.Complete g
+
+let build ?max_states ?jobs net =
+  Pnut_exec.Supervisor.value (build_supervised ?max_states ?jobs net)
 
 let find_state g marking =
   let n = num_states g in

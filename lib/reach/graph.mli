@@ -33,6 +33,21 @@ val build : ?max_states:int -> ?jobs:int -> Pnut_core.Net.t -> t
     frontier order, so the resulting graph — state numbering, edge
     order, truncation — is identical for every [jobs] value. *)
 
+val build_supervised :
+  ?max_states:int ->
+  ?jobs:int ->
+  ?budget:Pnut_exec.Budget.t ->
+  Pnut_core.Net.t ->
+  t Pnut_exec.Supervisor.outcome
+(** {!build} under a budget.  Wall, heap and cancellation are polled on
+    the interning cadence (every 256 dequeues serially, every layer in
+    parallel); [budget.max_states] tightens [max_states].  A tripped
+    limit — including the state cap — yields [Degraded] carrying the
+    partial graph (a valid prefix: every interned state is present, only
+    the unexpanded frontier is missing outgoing edges) plus a progress
+    snapshot with visited and frontier counts.  A budgeted build that
+    completes returns a graph identical to {!build}'s. *)
+
 val net : t -> Pnut_core.Net.t
 val complete : t -> bool
 val num_states : t -> int

@@ -237,8 +237,18 @@ let successors_of kernel horizon (marking, in_flight, pending, env, time) =
   end;
   List.rev !acc
 
-let build ?(max_states = 50_000) ?jobs ?horizon net =
+let build_supervised ?(max_states = 50_000) ?jobs ?horizon
+    ?(budget = Pnut_exec.Budget.none) net =
   check_deterministic net;
+  let monitor = Pnut_exec.Supervisor.start budget in
+  let monitored = Pnut_exec.Supervisor.active monitor in
+  let max_states =
+    match Pnut_exec.Supervisor.max_states monitor with
+    | Some cap -> min cap max_states
+    | None -> max_states
+  in
+  let budget_stop = ref None in
+  let frontier_left = ref 0 in
   let kernel = Kernel.of_net net in
   let jobs = Pnut_exec.Pool.resolve ?jobs () in
   let index = Statekey.Tbl.create 1024 in
@@ -292,6 +302,17 @@ let build ?(max_states = 50_000) ?jobs ?horizon net =
      identical for every [jobs] value. *)
   let frontier = ref [ (i0, (m0, [], pending0, env0, 0.0)) ] in
   while !frontier <> [] do
+    (* Budget checks sit on the layer boundary, so a budgeted build that
+       completes interns the same states in the same order as an
+       unbudgeted one. *)
+    (if monitored then
+       match Pnut_exec.Supervisor.check monitor with
+       | Some r ->
+         budget_stop := Some r;
+         frontier_left := List.length !frontier;
+         frontier := []
+       | None -> ());
+    if !frontier <> [] then begin
     let layer = Array.of_list !frontier in
     let expanded =
       if jobs = 1 || Array.length layer < 2 then
@@ -319,6 +340,7 @@ let build ?(max_states = 50_000) ?jobs ?horizon net =
           succs)
       expanded;
     frontier := List.rev !next
+    end
   done;
   let n = !n_states in
   let states_arr =
@@ -329,7 +351,31 @@ let build ?(max_states = 50_000) ?jobs ?horizon net =
   List.iter (fun s -> states_arr.(s.ts_index) <- s) !states;
   let succ = Array.make n [] in
   Hashtbl.iter (fun i l -> succ.(i) <- List.rev l) succ_acc;
-  { net; states = states_arr; succ; complete = not !truncated }
+  let complete = not !truncated && !budget_stop = None in
+  let g = { net; states = states_arr; succ; complete } in
+  match !budget_stop with
+  | Some reason ->
+    Pnut_exec.Supervisor.Degraded
+      {
+        reason;
+        partial = g;
+        progress =
+          Pnut_exec.Supervisor.snapshot monitor ~visited:n
+            ~frontier:!frontier_left;
+      }
+  | None ->
+    if !truncated then
+      Pnut_exec.Supervisor.Degraded
+        {
+          reason = Pnut_exec.Supervisor.States n;
+          partial = g;
+          progress =
+            Pnut_exec.Supervisor.snapshot monitor ~visited:n ~frontier:0;
+        }
+    else Pnut_exec.Supervisor.Complete g
+
+let build ?max_states ?jobs ?horizon net =
+  Pnut_exec.Supervisor.value (build_supervised ?max_states ?jobs ?horizon net)
 
 let deadlocks g =
   let acc = ref [] in

@@ -49,6 +49,19 @@ val build : ?max_states:int -> ?jobs:int -> ?horizon:float -> Pnut_core.Net.t ->
     frontier on that many domains; the resulting graph is identical for
     every [jobs] value. *)
 
+val build_supervised :
+  ?max_states:int ->
+  ?jobs:int ->
+  ?horizon:float ->
+  ?budget:Pnut_exec.Budget.t ->
+  Pnut_core.Net.t ->
+  t Pnut_exec.Supervisor.outcome
+(** {!build} under a budget, polled on the layer boundary;
+    [budget.max_states] tightens [max_states].  A tripped limit —
+    including the state cap — yields [Degraded] with the partial graph
+    (a valid prefix) and visited/frontier counts; a budgeted build that
+    completes returns a graph identical to {!build}'s. *)
+
 val complete : t -> bool
 val num_states : t -> int
 val num_edges : t -> int

@@ -130,7 +130,8 @@ let run_for session oc duration =
       (match outcome.Simulator.stop with
       | Simulator.Horizon -> "still alive"
       | Simulator.Dead -> "net died"
-      | Simulator.Event_limit -> "event limit")
+      | Simulator.Event_limit -> "event limit"
+      | Simulator.Budget_exhausted r -> Pnut_exec.Supervisor.reason_message r)
   end
 
 let help oc =

@@ -543,6 +543,7 @@ type stop_reason =
   | Horizon
   | Dead
   | Event_limit
+  | Budget_exhausted of Pnut_exec.Supervisor.reason
 
 type outcome = {
   stop : stop_reason;
@@ -551,11 +552,28 @@ type outcome = {
   finished : int;
 }
 
-let run ?until ?max_events ?wall_limit_s ?(finish = true) (st : t) =
-  if until = None && max_events = None then
-    invalid_arg "Simulator.run: needs a horizon or an event limit";
+exception Budget_trip of Pnut_exec.Supervisor.reason
+
+let run ?until ?max_events ?wall_limit_s ?budget ?(finish = true) (st : t) =
+  if until = None && max_events = None
+     && (match budget with
+         | Some b -> b.Pnut_exec.Budget.max_events = None
+         | None -> true)
+  then invalid_arg "Simulator.run: needs a horizon or an event limit";
   let horizon = Option.value until ~default:infinity in
   let limit = Option.value max_events ~default:max_int in
+  let monitor =
+    Pnut_exec.Supervisor.start
+      (Option.value budget ~default:Pnut_exec.Budget.none)
+  in
+  let monitored = Pnut_exec.Supervisor.active monitor in
+  (* Fold the budget's event cap into the engine's own limit: the hot
+     loop keeps a single comparison per event, and the stop site sorts
+     out which cap was hit. *)
+  let budget_events =
+    Option.value (Pnut_exec.Supervisor.max_events monitor) ~default:max_int
+  in
+  let eff_limit = min limit budget_events in
   let emit_finish t = if finish then begin
     if not st.finished_emitted then begin
       st.finished_emitted <- true;
@@ -563,27 +581,43 @@ let run ?until ?max_events ?wall_limit_s ?(finish = true) (st : t) =
     end
   end in
   (* The watchdog costs one [Unix.gettimeofday] every 256 engine steps —
-     cheap enough to leave armed on production runs. *)
+     cheap enough to leave armed on production runs.  Budget checks ride
+     the same slot, so a budgeted run pays nothing extra per event. *)
   let wall_start =
     match wall_limit_s with Some _ -> Unix.gettimeofday () | None -> 0.0
   in
   let steps = ref 0 in
   let check_watchdog () =
     incr steps;
-    match wall_limit_s with
-    | Some limit_s when !steps land 255 = 0 ->
-      if Unix.gettimeofday () -. wall_start > limit_s then
-        sim_error
-          (Watchdog
-             { wall_seconds = limit_s; clock = st.clock; started = st.started })
-    | Some _ | None -> ()
+    if !steps land 255 = 0 then begin
+      (match wall_limit_s with
+      | Some limit_s ->
+        if Unix.gettimeofday () -. wall_start > limit_s then
+          sim_error
+            (Watchdog
+               { wall_seconds = limit_s; clock = st.clock;
+                 started = st.started })
+      | None -> ());
+      if monitored then
+        match Pnut_exec.Supervisor.check monitor with
+        | Some reason -> raise_notrace (Budget_trip reason)
+        | None -> ()
+    end
+  in
+  let stop_budget reason =
+    emit_finish st.clock;
+    { stop = Budget_exhausted reason; final_clock = st.clock;
+      started = st.started; finished = st.finished }
   in
   let rec loop () =
     check_watchdog ();
-    if st.started >= limit then begin
-      emit_finish st.clock;
-      { stop = Event_limit; final_clock = st.clock; started = st.started;
-        finished = st.finished }
+    if st.started >= eff_limit then begin
+      if st.started >= limit then begin
+        emit_finish st.clock;
+        { stop = Event_limit; final_clock = st.clock; started = st.started;
+          finished = st.finished }
+      end
+      else stop_budget (Pnut_exec.Supervisor.Events st.started)
     end
     else begin
       let m = collect_fireable st in
@@ -625,7 +659,25 @@ let run ?until ?max_events ?wall_limit_s ?(finish = true) (st : t) =
             finished = st.finished }
     end
   in
-  loop ()
+  try loop () with Budget_trip reason -> stop_budget reason
+
+let run_supervised ?until ?max_events ?budget ?finish (st : t) =
+  let monitor =
+    Pnut_exec.Supervisor.start
+      (Option.value budget ~default:Pnut_exec.Budget.none)
+  in
+  let outcome = run ?until ?max_events ?budget ?finish st in
+  match outcome.stop with
+  | Budget_exhausted reason ->
+    Pnut_exec.Supervisor.Degraded
+      {
+        reason;
+        partial = outcome;
+        progress =
+          Pnut_exec.Supervisor.snapshot monitor ~visited:outcome.started
+            ~frontier:0;
+      }
+  | Horizon | Dead | Event_limit -> Pnut_exec.Supervisor.Complete outcome
 
 let simulate ?seed ?prng ?max_instant_firings ?until ?max_events ?sink net =
   let st = create ?seed ?prng ?sink ?max_instant_firings net in

@@ -165,6 +165,9 @@ type stop_reason =
   | Horizon     (** the [until] time was reached *)
   | Dead        (** quiescence: deadlock or terminated net *)
   | Event_limit (** [max_events] firings started *)
+  | Budget_exhausted of Pnut_exec.Supervisor.reason
+      (** a [?budget] limit tripped; the run stopped gracefully at the
+          current clock with a well-formed partial trace *)
 
 type outcome = {
   stop : stop_reason;
@@ -174,21 +177,39 @@ type outcome = {
 }
 
 val run :
-  ?until:float -> ?max_events:int -> ?wall_limit_s:float -> ?finish:bool ->
+  ?until:float -> ?max_events:int -> ?wall_limit_s:float ->
+  ?budget:Pnut_exec.Budget.t -> ?finish:bool ->
   t -> outcome
 (** Runs until the horizon, the event limit, or quiescence; emits
     [on_finish] to the sink.  When the horizon is hit, the final clock is
     exactly [until] (in-flight events beyond it stay unprocessed).  At
-    least one of [until] and [max_events] must be given.
+    least one of [until], [max_events] and [budget.max_events] must be
+    given.
 
-    [wall_limit_s] arms a wall-clock watchdog: if the run consumes more
-    than that many real seconds it raises [Sim_error (Watchdog _)]
-    instead of hanging the process on a pathological model.
+    [budget] supervises the run: wall, heap and cancellation are polled
+    on the 256-step watchdog slot, the event cap per step.  A tripped
+    limit does not raise — the run stops at the current clock, emits
+    [on_finish] (so the partial trace is well-formed) and returns
+    [stop = Budget_exhausted _].  A budgeted run that completes is
+    byte-identical to an unbudgeted one.
+
+    [wall_limit_s] is the historical watchdog, kept as a deprecated
+    alias for [budget] with only a wall limit — except that it
+    {e raises} [Sim_error (Watchdog _)] instead of degrading.  New code
+    should pass a budget.
 
     [finish] (default [true]) controls whether [on_finish] is emitted
     when this call stops at its horizon; pass [false] to pause a run
     that will be continued with a later horizon (segmented runs,
     fault-pulse injection, checkpointing). *)
+
+val run_supervised :
+  ?until:float -> ?max_events:int -> ?budget:Pnut_exec.Budget.t ->
+  ?finish:bool -> t -> outcome Pnut_exec.Supervisor.outcome
+(** {!run}, wrapped in a structured verdict: [Complete outcome] when the
+    horizon/event-limit/quiescence was reached, [Degraded _] (carrying
+    the same partial outcome plus a progress snapshot) when the budget
+    tripped. *)
 
 val simulate :
   ?seed:int ->

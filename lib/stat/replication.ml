@@ -68,6 +68,79 @@ let replicate ?(seed = 1) ?confidence ?jobs ~runs ~until net read =
   in
   of_samples ?confidence (Array.to_list samples)
 
+type partial_sweep = {
+  pr_estimate : estimate option;
+  pr_samples : float list;
+  pr_completed : int;
+  pr_requested : int;
+}
+
+module Budget = Pnut_exec.Budget
+module Supervisor = Pnut_exec.Supervisor
+
+let replicate_supervised ?(seed = 1) ?confidence ?jobs
+    ?(budget = Budget.none) ~runs ~until net read =
+  if runs < 2 then invalid_arg "Replication.replicate: need at least two runs";
+  let monitor = Supervisor.start budget in
+  let master = Pnut_core.Prng.create seed in
+  let streams = Array.init runs (fun _ -> Pnut_core.Prng.split master) in
+  (* The sweep-level wall budget is an absolute deadline: every run
+     starts with the remaining wall time, so in-flight replications on
+     all worker domains degrade at their next watchdog slot once the
+     deadline passes. *)
+  let run_budget () =
+    if Budget.is_none budget then None
+    else
+      Some
+        { budget with
+          Budget.wall_s =
+            (match budget.Budget.wall_s with
+            | Some w -> Some (Float.max 1e-6 (w -. Supervisor.elapsed monitor))
+            | None -> None);
+          max_states = None }
+  in
+  let results =
+    Pnut_exec.Pool.init ?jobs runs (fun i ->
+        let sink, get = Stat.sink () in
+        let st = Pnut_sim.Simulator.create ~prng:streams.(i) ~sink net in
+        let outcome =
+          Pnut_sim.Simulator.run ~until ?budget:(run_budget ()) st
+        in
+        match outcome.Pnut_sim.Simulator.stop with
+        | Pnut_sim.Simulator.Budget_exhausted r -> Error r
+        | _ -> Ok (read (get ())))
+  in
+  (* Completed samples keep their run-order position, so an estimate
+     over them is bit-identical to a smaller unbudgeted sweep over the
+     same prefix of streams. *)
+  let samples =
+    Array.to_list results
+    |> List.filter_map (function Ok s -> Some s | Error _ -> None)
+  in
+  let completed = List.length samples in
+  let estimate =
+    if completed >= 2 then Some (of_samples ?confidence samples) else None
+  in
+  let partial =
+    { pr_estimate = estimate; pr_samples = samples; pr_completed = completed;
+      pr_requested = runs }
+  in
+  let first_trip =
+    Array.to_list results
+    |> List.find_map (function Error r -> Some r | Ok _ -> None)
+  in
+  match first_trip with
+  | None -> Supervisor.Complete partial
+  | Some reason ->
+    Supervisor.Degraded
+      {
+        reason;
+        partial;
+        progress =
+          Supervisor.snapshot monitor ~visited:completed
+            ~frontier:(runs - completed);
+      }
+
 let pp ppf e =
   Format.fprintf ppf "%.4f ± %.4f (%.0f%% CI, %d runs)" e.mean e.half_width
     (100.0 *. e.confidence) e.runs

@@ -42,5 +42,31 @@ val replicate :
     master before any run starts, so the estimate is bit-identical for
     every [jobs] value. *)
 
+type partial_sweep = {
+  pr_estimate : estimate option;
+      (** present when at least two replications completed *)
+  pr_samples : float list;  (** completed samples, in run order *)
+  pr_completed : int;
+  pr_requested : int;
+}
+
+val replicate_supervised :
+  ?seed:int ->
+  ?confidence:float ->
+  ?jobs:int ->
+  ?budget:Pnut_exec.Budget.t ->
+  runs:int ->
+  until:float ->
+  Pnut_core.Net.t ->
+  (Stat.report -> float) -> partial_sweep Pnut_exec.Supervisor.outcome
+(** {!replicate} under a sweep-wide budget.  The wall limit is an
+    absolute deadline shared by all runs; heap limits, event caps and
+    cancellation apply per run.  Replications cut short by the budget
+    are dropped from the sample set (a truncated horizon would bias the
+    estimate); the rest aggregate as usual, and the sweep is reported
+    [Degraded] with the first tripped reason in run order.  A sweep
+    that completes within the budget returns [Complete] with an
+    estimate identical to {!replicate}'s. *)
+
 val pp : Format.formatter -> estimate -> unit
 (** e.g. [0.6581 ± 0.0042 (95% CI, 10 runs)]. *)

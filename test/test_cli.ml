@@ -248,6 +248,48 @@ let test_coverability_cli () =
   Testutil.check_contains "rejection names feature" err "inhibitor arcs";
   Testutil.check_contains "rejection names construction" err "Karp-Miller"
 
+let test_budget_degradation () =
+  (* an unbounded token generator: only a budget makes these terminate *)
+  let pump = tmp "pump2.pn" in
+  let oc = open_out pump in
+  output_string oc
+    "net pump\nplace p init 1\nplace q\ntransition t\n  in p\n  out p, q\n";
+  close_out oc;
+  (* reach under a wall budget: partial summary on stdout, exit 3 *)
+  let code, out =
+    run [ "reach"; pump; "--wall-limit"; "0.05"; "--max-states"; "100000000" ]
+  in
+  Alcotest.(check int) "reach degrades with exit 3" 3 code;
+  Testutil.check_contains "partial summary" out "reachability graph";
+  let err = read_file (tmp "err") in
+  Testutil.check_contains "reason on stderr" err "wall-clock budget";
+  Testutil.check_contains "progress on stderr" err "frontier";
+  (* sim under a wall budget: partial stats, exit 3 *)
+  let code, out =
+    run [ "sim"; model_file; "--until"; "1e12"; "--wall-limit"; "0.05";
+          "--stats" ]
+  in
+  Alcotest.(check int) "sim degrades with exit 3" 3 code;
+  Testutil.check_contains "partial stats" out "RUN STATISTICS";
+  (* a budget generous enough never to trip changes nothing *)
+  let code, out =
+    run [ "sim"; model_file; "--until"; "2000"; "--seed"; "42"; "--stats";
+          "--wall-limit"; "300"; "--heap-limit-mb"; "4096" ]
+  in
+  Alcotest.(check int) "untripped budget exits 0" 0 code;
+  let _, plain =
+    run [ "sim"; model_file; "--until"; "2000"; "--seed"; "42"; "--stats" ]
+  in
+  Alcotest.(check string) "untripped budget output identical" plain out;
+  (* analytic: the state cap stays a structured exit-2 rejection *)
+  let code, _ = run [ "analytic"; pump; "--max-states"; "50" ] in
+  Alcotest.(check int) "analytic cap exits 2" 2 code;
+  let err = read_file (tmp "err") in
+  Testutil.check_contains "rejection names the cap" err "max_states";
+  (* bad budget values are usage errors *)
+  let code, _ = run [ "sim"; model_file; "--wall-limit=-1" ] in
+  Alcotest.(check int) "negative budget exits 2" 2 code
+
 let test_explore () =
   let script = tmp "explore.in" in
   let oc = open_out script in
@@ -415,6 +457,8 @@ let () =
           Alcotest.test_case "dot" `Quick test_dot;
           Alcotest.test_case "replicate" `Quick test_replicate;
           Alcotest.test_case "coverability" `Quick test_coverability_cli;
+          Alcotest.test_case "budget degradation" `Quick
+            test_budget_degradation;
           Alcotest.test_case "explore" `Quick test_explore;
           Alcotest.test_case "batch" `Quick test_batch;
           Alcotest.test_case "cycle" `Quick test_cycle;

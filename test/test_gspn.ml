@@ -220,8 +220,10 @@ let test_rejections () =
   in
   match Gspn.analyze ~max_states:50 unbounded with
   | _ -> Alcotest.fail "expected state cap"
-  | exception Invalid_argument msg ->
-    Testutil.check_contains "message" msg "max_states"
+  | exception Gspn.Too_many_states r ->
+    Alcotest.(check int) "explored states reported" 50 r.Gspn.rj_explored;
+    Alcotest.(check int) "cap reported" 50 r.Gspn.rj_cap;
+    Testutil.check_contains "message" (Gspn.rejection_message r) "max_states"
 
 let test_exponential_variant_rebuild () =
   (* a Choice delay has no single exponential equivalent: rejected *)

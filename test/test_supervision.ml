@@ -1,0 +1,407 @@
+(* Tests for supervised execution: resource budgets, cooperative
+   cancellation and graceful degradation across every long-running
+   entry point.  The adversarial workload throughout is a token
+   generator (the coverability pump): its reachability graph is
+   unbounded, so only a budget makes exploration terminate. *)
+
+module Net = Pnut_core.Net
+module B = Net.Builder
+module Budget = Pnut_exec.Budget
+module Supervisor = Pnut_exec.Supervisor
+module Graph = Pnut_reach.Graph
+module Cov = Pnut_reach.Coverability
+module Sim = Pnut_sim.Simulator
+
+(* t consumes p and returns it plus a token on q: unbounded in q. *)
+let pump_net () =
+  let b = B.create "pump" in
+  let p = B.add_place b "p" ~initial:1 in
+  let _q = B.add_place b "q" in
+  let _ =
+    B.add_transition b "pump" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1); (_q, 1) ]
+  in
+  B.build b
+
+(* Same generator with an exponential enabling delay, inside the GSPN
+   fragment (and simulable forever). *)
+let exp_pump_net () =
+  let b = B.create "exp_pump" in
+  let p = B.add_place b "p" ~initial:1 in
+  let q = B.add_place b "q" in
+  let _ =
+    B.add_transition b "pump" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1); (q, 1) ]
+      ~enabling:(Net.Exponential 0.001)
+  in
+  B.build b
+
+(* k independent pumps: the Karp-Miller tree enumerates every subset of
+   accelerated places, so it is far too large to finish in a test. *)
+let many_pumps k =
+  let b = B.create "pumps" in
+  for i = 1 to k do
+    let p = B.add_place b (Printf.sprintf "p%d" i) ~initial:1 in
+    let q = B.add_place b (Printf.sprintf "q%d" i) in
+    ignore
+      (B.add_transition b (Printf.sprintf "t%d" i) ~inputs:[ (p, 1) ]
+         ~outputs:[ (p, 1); (q, 1) ])
+  done;
+  B.build b
+
+let wall_50ms () = Budget.make ~wall_s:0.05 ()
+let generous () = Budget.make ~wall_s:300.0 ~heap_mb:4096 ()
+
+let is_wall = function Supervisor.Wall _ -> true | _ -> false
+
+(* -- Budget and Supervisor units -- *)
+
+let test_budget () =
+  Alcotest.(check bool) "none is none" true (Budget.is_none Budget.none);
+  Alcotest.(check bool) "make () is none" true (Budget.is_none (Budget.make ()));
+  Alcotest.(check bool) "wall is not none" false (Budget.is_none (wall_50ms ()));
+  (* heap_mb is a spelling of heap_words *)
+  let b = Budget.make ~heap_mb:8 () in
+  Alcotest.(check (option int)) "heap_mb converts" (Some (Budget.words_of_mb 8))
+    b.Budget.heap_words;
+  Alcotest.(check bool) "words_of_mb positive" true (Budget.words_of_mb 1 > 0);
+  (match Budget.make ~wall_s:(-1.0) () with
+  | _ -> Alcotest.fail "negative wall limit accepted"
+  | exception Invalid_argument _ -> ());
+  (match Budget.make ~max_states:0 () with
+  | _ -> Alcotest.fail "zero state cap accepted"
+  | exception Invalid_argument _ -> ());
+  let tok = Budget.token () in
+  Alcotest.(check bool) "fresh token" false (Budget.cancelled tok);
+  Budget.cancel tok;
+  Budget.cancel tok;
+  Alcotest.(check bool) "cancel is idempotent" true (Budget.cancelled tok)
+
+let test_supervisor () =
+  let m = Supervisor.start Budget.none in
+  Alcotest.(check bool) "none monitor inactive" false (Supervisor.active m);
+  Alcotest.(check bool) "none never trips" true (Supervisor.check m = None);
+  Alcotest.(check bool) "no state cap" true (Supervisor.states_over m 1_000_000 = None);
+  let m = Supervisor.start (Budget.make ~max_states:10 ~max_events:20 ()) in
+  Alcotest.(check bool) "under cap" true (Supervisor.states_over m 9 = None);
+  (match Supervisor.states_over m 10 with
+  | Some (Supervisor.States 10) -> ()
+  | _ -> Alcotest.fail "state cap should trip at 10");
+  (match Supervisor.events_over m 20 with
+  | Some (Supervisor.Events 20) -> ()
+  | _ -> Alcotest.fail "event cap should trip at 20");
+  Alcotest.(check (option int)) "max_states" (Some 10) (Supervisor.max_states m);
+  Alcotest.(check (option int)) "max_events" (Some 20) (Supervisor.max_events m);
+  (* a cancelled token trips check immediately *)
+  let tok = Budget.token () in
+  let m = Supervisor.start (Budget.make ~cancel:tok ()) in
+  Alcotest.(check bool) "not yet cancelled" true (Supervisor.check m = None);
+  Budget.cancel tok;
+  (match Supervisor.check m with
+  | Some Supervisor.Cancelled -> ()
+  | _ -> Alcotest.fail "cancellation should trip");
+  (* messages and progress render without raising *)
+  let p = Supervisor.snapshot m ~visited:7 ~frontier:3 in
+  Testutil.check_contains "progress" (Format.asprintf "%a" Supervisor.pp_progress p)
+    "visited 7";
+  Testutil.check_contains "wall message"
+    (Supervisor.reason_message (Supervisor.Wall 0.05)) "wall-clock";
+  Testutil.check_contains "heap message"
+    (Supervisor.reason_message (Supervisor.Heap 123)) "heap";
+  Testutil.check_contains "cancel message"
+    (Supervisor.reason_message Supervisor.Cancelled) "cancel"
+
+let test_outcome_helpers () =
+  let c = Supervisor.Complete 41 in
+  let m = Supervisor.start Budget.none in
+  let d =
+    Supervisor.Degraded
+      { reason = Supervisor.Cancelled; partial = 1;
+        progress = Supervisor.snapshot m ~visited:1 ~frontier:0 }
+  in
+  Alcotest.(check int) "value complete" 41 (Supervisor.value c);
+  Alcotest.(check int) "value degraded" 1 (Supervisor.value d);
+  Alcotest.(check bool) "degraded flags" true
+    (Supervisor.degraded d && not (Supervisor.degraded c));
+  Alcotest.(check int) "map" 42 (Supervisor.value (Supervisor.map succ c));
+  Alcotest.(check int) "map degraded" 2 (Supervisor.value (Supervisor.map succ d))
+
+(* -- Pool supervision -- *)
+
+let test_pool_supervised () =
+  let out =
+    Pnut_exec.Pool.init_supervised ~jobs:3 8 (fun i ->
+        if i = 2 || i = 5 then failwith (Printf.sprintf "task %d" i) else i * i)
+  in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Pnut_exec.Pool.Done v ->
+        Alcotest.(check int) (Printf.sprintf "task %d" i) (i * i) v
+      | Pnut_exec.Pool.Failed { exn; backtrace = _ } ->
+        if i <> 2 && i <> 5 then
+          Alcotest.failf "task %d unexpectedly failed" i
+        else
+          Alcotest.(check string) "carries the exception"
+            (Printf.sprintf "task %d" i)
+            (match exn with Failure m -> m | _ -> "?"))
+    out;
+  (* init still re-raises the lowest-index failure, with its backtrace *)
+  (match Pnut_exec.Pool.init ~jobs:2 4 (fun i ->
+       if i >= 1 then failwith (Printf.sprintf "task %d" i) else i)
+   with
+  | _ -> Alcotest.fail "init should re-raise"
+  | exception Failure m -> Alcotest.(check string) "lowest index" "task 1" m)
+
+(* -- Simulator -- *)
+
+let test_sim_budget () =
+  let net = exp_pump_net () in
+  (* event cap through the budget *)
+  let st = Sim.create ~seed:7 net in
+  (match Sim.run_supervised ~budget:(Budget.make ~max_events:500 ()) st with
+  | Supervisor.Degraded { reason = Supervisor.Events n; partial; _ } ->
+    Alcotest.(check int) "events payload" 500 n;
+    Alcotest.(check int) "stopped at the cap" 500 partial.Sim.started
+  | _ -> Alcotest.fail "expected Degraded (Events _)");
+  (* wall budget on an endless run *)
+  let st = Sim.create ~seed:7 net in
+  (match Sim.run_supervised ~until:1e12 ~budget:(wall_50ms ()) st with
+  | Supervisor.Degraded { reason; partial; progress } ->
+    Alcotest.(check bool) "wall reason" true (is_wall reason);
+    Alcotest.(check bool) "made progress" true (partial.Sim.started > 0);
+    Alcotest.(check bool) "snapshot counts events" true
+      (progress.Supervisor.visited = partial.Sim.started)
+  | Supervisor.Complete _ -> Alcotest.fail "cannot complete until t=1e12");
+  (* pre-cancelled token degrades at the first watchdog slot *)
+  let tok = Budget.token () in
+  Budget.cancel tok;
+  let st = Sim.create ~seed:7 net in
+  (match Sim.run_supervised ~until:1e12 ~budget:(Budget.make ~cancel:tok ()) st with
+  | Supervisor.Degraded { reason = Supervisor.Cancelled; _ } -> ()
+  | _ -> Alcotest.fail "expected Degraded Cancelled")
+
+let test_sim_budget_identical () =
+  (* a budgeted run that completes is indistinguishable from an
+     unbudgeted one: same stop, clock, event counts and trace *)
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let run budget =
+    let sink, get = Pnut_trace.Trace.collector () in
+    let st = Sim.create ~seed:3 ~sink net in
+    let o = Supervisor.value (Sim.run_supervised ~until:2000.0 ?budget st) in
+    let t = get () in
+    (o.Sim.stop, o.Sim.final_clock, o.Sim.started, o.Sim.finished,
+     Pnut_trace.Trace.deltas t, Pnut_trace.Trace.final_time t)
+  in
+  let plain = run None and budgeted = run (Some (generous ())) in
+  Alcotest.(check bool) "identical outcome and trace" true (plain = budgeted)
+
+(* -- Reachability -- *)
+
+let test_reach_wall_budget () =
+  let net = pump_net () in
+  match Graph.build_supervised ~max_states:max_int ~budget:(wall_50ms ()) net with
+  | Supervisor.Degraded { reason; partial; progress } ->
+    Alcotest.(check bool) "wall reason" true (is_wall reason);
+    Alcotest.(check bool) "graph is non-trivial" true (Graph.num_states partial > 2);
+    Alcotest.(check bool) "not complete" true (not (Graph.complete partial));
+    Alcotest.(check int) "visited = states" (Graph.num_states partial)
+      progress.Supervisor.visited;
+    Alcotest.(check bool) "frontier reported" true (progress.Supervisor.frontier > 0)
+  | Supervisor.Complete _ -> Alcotest.fail "the pump never completes"
+
+let test_reach_partial_is_prefix () =
+  let net = pump_net () in
+  (* a state-capped build degrades too, carrying exactly the prefix *)
+  let small =
+    match Graph.build_supervised ~budget:(Budget.make ~max_states:40 ()) net with
+    | Supervisor.Degraded { reason = Supervisor.States 40; partial; _ } -> partial
+    | _ -> Alcotest.fail "expected Degraded (States 40)"
+  in
+  let big = Graph.build ~max_states:200 net in
+  Alcotest.(check int) "prefix size" 40 (Graph.num_states small);
+  for i = 0 to Graph.num_states small - 1 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "state %d marking" i)
+      (Graph.state big i).Graph.s_marking (Graph.state small i).Graph.s_marking
+  done;
+  (* every partial edge appears verbatim in the bigger graph *)
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "edge in bigger graph" true
+        (List.exists
+           (fun e' ->
+             e'.Graph.e_from = e.Graph.e_from
+             && e'.Graph.e_to = e.Graph.e_to
+             && e'.Graph.e_transition = e.Graph.e_transition)
+           (Graph.edges big)))
+    (Graph.edges small)
+
+let test_reach_budget_identical () =
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let plain = Graph.build net in
+  match Graph.build_supervised ~budget:(generous ()) net with
+  | Supervisor.Complete g ->
+    Alcotest.(check int) "states" (Graph.num_states plain) (Graph.num_states g);
+    Alcotest.(check int) "edges" (Graph.num_edges plain) (Graph.num_edges g);
+    Alcotest.(check bool) "complete" true (Graph.complete g)
+  | Supervisor.Degraded _ -> Alcotest.fail "generous budget should not trip"
+
+let test_timed_wall_budget () =
+  let net = pump_net () in
+  match
+    Pnut_reach.Timed.build_supervised ~max_states:max_int
+      ~budget:(wall_50ms ()) net
+  with
+  | Supervisor.Degraded { reason; partial; _ } ->
+    Alcotest.(check bool) "wall reason" true (is_wall reason);
+    Alcotest.(check bool) "partial states" true
+      (Pnut_reach.Timed.num_states partial > 2)
+  | Supervisor.Complete _ -> Alcotest.fail "the pump never completes"
+
+(* -- Coverability -- *)
+
+let test_coverability_budget () =
+  (* wall trip: 24 independent pumps give a Karp-Miller tree of ~2^24
+     subsets, unreachable in 50 ms *)
+  (match Cov.build_supervised ~max_states:max_int ~budget:(wall_50ms ())
+           (many_pumps 24)
+   with
+  | Supervisor.Degraded { reason; partial; _ } ->
+    Alcotest.(check bool) "wall reason" true (is_wall reason);
+    Alcotest.(check bool) "partial tree" true (Cov.num_nodes partial > 1);
+    Alcotest.(check bool) "flagged incomplete" true (not (Cov.complete partial))
+  | Supervisor.Complete _ -> Alcotest.fail "2^24 nodes in 50 ms?");
+  (* state-cap trip via the budget *)
+  (match Cov.build_supervised ~budget:(Budget.make ~max_states:5 ())
+           (many_pumps 4)
+   with
+  | Supervisor.Degraded { reason = Supervisor.States _; partial; progress } ->
+    Alcotest.(check int) "capped size" 5 (Cov.num_nodes partial);
+    Alcotest.(check bool) "frontier left" true (progress.Supervisor.frontier > 0)
+  | _ -> Alcotest.fail "expected Degraded (States _)");
+  (* a completing budgeted build matches the plain one *)
+  let net = many_pumps 3 in
+  match Cov.build_supervised ~budget:(generous ()) net with
+  | Supervisor.Complete g ->
+    let plain = Cov.build net in
+    Alcotest.(check int) "same nodes" (Cov.num_nodes plain) (Cov.num_nodes g);
+    Alcotest.(check bool) "both unbounded" (Cov.is_bounded plain) (Cov.is_bounded g)
+  | Supervisor.Degraded _ -> Alcotest.fail "generous budget should not trip"
+
+(* -- GSPN -- *)
+
+let test_gspn_budget () =
+  let net = exp_pump_net () in
+  (* wall trip mid-exploration still yields a usable partial analysis:
+     unexpanded states are absorbing and the vector is re-normalized *)
+  (* no max_iterations cap on purpose: once the wall budget has tripped
+     during exploration, the stationary solve on the (large) partial chain
+     must also bail out on its own budget polls instead of iterating to
+     convergence *)
+  (match Pnut_analytic.Gspn.analyze_supervised ~max_states:max_int
+           ~budget:(wall_50ms ()) net
+   with
+  | Supervisor.Degraded { reason; partial; _ } ->
+    Alcotest.(check bool) "wall reason" true (is_wall reason);
+    Alcotest.(check bool) "tangible prefix" true
+      (partial.Pnut_analytic.Gspn.tangible_states > 1);
+    let mass =
+      Array.fold_left ( +. ) 0.0 partial.Pnut_analytic.Gspn.place_means
+    in
+    Alcotest.(check bool) "means are finite" true (Float.is_finite mass)
+  | Supervisor.Complete _ -> Alcotest.fail "the pump never completes");
+  (* the state cap stays a structural rejection, not a budget trip *)
+  match Pnut_analytic.Gspn.analyze_supervised ~max_states:64 net with
+  | _ -> Alcotest.fail "expected Too_many_states"
+  | exception Pnut_analytic.Gspn.Too_many_states r ->
+    Alcotest.(check int) "cap recorded" 64 r.Pnut_analytic.Gspn.rj_cap;
+    Testutil.check_contains "message names the cap"
+      (Pnut_analytic.Gspn.rejection_message r) "max_states"
+
+(* -- Replication and campaigns -- *)
+
+let test_replication_budget () =
+  let net = exp_pump_net () in
+  (match
+     Pnut_stat.Replication.replicate_supervised ~seed:5 ~budget:(wall_50ms ())
+       ~runs:4 ~until:1e12 net (fun r -> Pnut_stat.Stat.throughput r "pump")
+   with
+  | Supervisor.Degraded { reason; partial; _ } ->
+    Alcotest.(check bool) "wall reason" true (is_wall reason);
+    Alcotest.(check bool) "truncated runs dropped" true
+      (partial.Pnut_stat.Replication.pr_completed < 4)
+  | Supervisor.Complete _ -> Alcotest.fail "cannot complete until t=1e12");
+  (* generous budget: estimate identical to the unbudgeted sweep *)
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let read r = Pnut_stat.Stat.utilization r "Bus_busy" in
+  let plain =
+    Pnut_stat.Replication.replicate ~seed:5 ~runs:4 ~until:2000.0 net read
+  in
+  match
+    Pnut_stat.Replication.replicate_supervised ~seed:5 ~budget:(generous ())
+      ~runs:4 ~until:2000.0 net read
+  with
+  | Supervisor.Complete p ->
+    Alcotest.(check bool) "identical estimate" true
+      (p.Pnut_stat.Replication.pr_estimate = Some plain)
+  | Supervisor.Degraded _ -> Alcotest.fail "generous budget should not trip"
+
+let test_campaign_budget () =
+  let net = exp_pump_net () in
+  let specs = Pnut_fault.Fault.parse "delay-scale pump factor 2" in
+  (match
+     Pnut_fault.Campaign.run_supervised ~runs:2 ~until:1e12
+       ~budget:(wall_50ms ()) net specs
+   with
+  | Supervisor.Degraded { reason; partial; _ } ->
+    Alcotest.(check bool) "wall reason" true (is_wall reason);
+    Alcotest.(check bool) "some run exhausted" true
+      (List.exists
+         (fun r ->
+           match r.Pnut_fault.Campaign.rr_class with
+           | Pnut_fault.Campaign.Exhausted _ -> true
+           | _ -> false)
+         (partial.Pnut_fault.Campaign.cr_baseline
+         @ partial.Pnut_fault.Campaign.cr_faulty));
+    (* the report still renders *)
+    Testutil.check_contains "render" (Pnut_fault.Campaign.render partial) "run"
+  | Supervisor.Complete _ -> Alcotest.fail "cannot complete until t=1e12");
+  (* generous budget reproduces the unbudgeted report *)
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let specs = Pnut_fault.Fault.parse "delay-scale Decode factor 3" in
+  let plain = Pnut_fault.Campaign.run ~runs:2 ~until:2000.0 net specs in
+  match
+    Pnut_fault.Campaign.run_supervised ~runs:2 ~until:2000.0
+      ~budget:(generous ()) net specs
+  with
+  | Supervisor.Complete report ->
+    Alcotest.(check string) "identical report"
+      (Pnut_fault.Campaign.render_csv plain)
+      (Pnut_fault.Campaign.render_csv report)
+  | Supervisor.Degraded _ -> Alcotest.fail "generous budget should not trip"
+
+let () =
+  Alcotest.run "supervision"
+    [
+      ( "supervision",
+        [
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "supervisor" `Quick test_supervisor;
+          Alcotest.test_case "outcome helpers" `Quick test_outcome_helpers;
+          Alcotest.test_case "pool supervised" `Quick test_pool_supervised;
+          Alcotest.test_case "sim budget" `Quick test_sim_budget;
+          Alcotest.test_case "sim budget identical" `Quick
+            test_sim_budget_identical;
+          Alcotest.test_case "reach wall budget" `Quick test_reach_wall_budget;
+          Alcotest.test_case "reach partial prefix" `Quick
+            test_reach_partial_is_prefix;
+          Alcotest.test_case "reach budget identical" `Quick
+            test_reach_budget_identical;
+          Alcotest.test_case "timed wall budget" `Quick test_timed_wall_budget;
+          Alcotest.test_case "coverability budget" `Quick
+            test_coverability_budget;
+          Alcotest.test_case "gspn budget" `Quick test_gspn_budget;
+          Alcotest.test_case "replication budget" `Quick
+            test_replication_budget;
+          Alcotest.test_case "campaign budget" `Quick test_campaign_budget;
+        ] );
+    ]
