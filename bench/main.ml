@@ -816,6 +816,96 @@ let bench_json ~quick ~file ?baseline () =
       job_counts
   in
   let _, hc_states, hc_serial_s = List.hd reach in
+  (* PR 7: the compact arena store against the boxed store.  The model
+     is a 9-place token ring (states = C(N+8,8): N=17 gives 1,081,575,
+     N=10 the quick run's 43,758) — big enough that per-state boxing
+     and hashtable nodes dominate the boxed build.  The ring conserves
+     its tokens, so every place bound is known to the codec and a state
+     packs into a single word. *)
+  let ring_tokens = if quick then 10 else 17 in
+  let ring =
+    let rb = Net.Builder.create "ring9" in
+    let ps =
+      Array.init 9 (fun i ->
+          Net.Builder.add_place rb
+            (Printf.sprintf "r%d" i)
+            ~initial:(if i = 0 then ring_tokens else 0))
+    in
+    for i = 0 to 8 do
+      ignore
+        (Net.Builder.add_transition rb
+           (Printf.sprintf "rt%d" i)
+           ~inputs:[ (ps.(i), 1) ]
+           ~outputs:[ (ps.((i + 1) mod 9), 1) ]
+          : Net.transition_id)
+    done;
+    Net.Builder.build rb
+  in
+  let ring_cap = 2_000_000 in
+  let packed_reps = 3 in
+  let ring_boxed_g, ring_boxed_s =
+    best_of packed_reps (fun () ->
+        Pnut_reach.Graph.build ~max_states:ring_cap ~jobs:1 ring)
+  in
+  let ring_packed_g, ring_packed_s =
+    best_of packed_reps (fun () ->
+        Pnut_reach.Graph.build ~max_states:ring_cap ~jobs:1 ~packed:true ring)
+  in
+  let ring_states = Pnut_reach.Graph.num_states ring_packed_g in
+  let ring_edges = Pnut_reach.Graph.num_edges ring_packed_g in
+  let packed_bytes_per_state =
+    match Pnut_reach.Graph.packed_bytes_per_state ring_packed_g with
+    | Some x -> x
+    | None -> Float.nan
+  in
+  (* bit-identity of the two representations on the Figure 1-3 models:
+     every state (marking and environment), every successor and
+     predecessor list in order, truncation flag *)
+  let edge_triples es =
+    List.map
+      (fun (e : Pnut_reach.Graph.edge) ->
+        (e.Pnut_reach.Graph.e_from, e.Pnut_reach.Graph.e_transition,
+         e.Pnut_reach.Graph.e_to))
+      es
+  in
+  let graphs_identical a b =
+    Pnut_reach.Graph.complete a = Pnut_reach.Graph.complete b
+    && Pnut_reach.Graph.num_states a = Pnut_reach.Graph.num_states b
+    && Pnut_reach.Graph.num_edges a = Pnut_reach.Graph.num_edges b
+    &&
+    let n = Pnut_reach.Graph.num_states a in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let sa = Pnut_reach.Graph.state a i
+      and sb = Pnut_reach.Graph.state b i in
+      if
+        sa.Pnut_reach.Graph.s_marking <> sb.Pnut_reach.Graph.s_marking
+        || sa.Pnut_reach.Graph.s_env <> sb.Pnut_reach.Graph.s_env
+        || edge_triples (Pnut_reach.Graph.successors a i)
+           <> edge_triples (Pnut_reach.Graph.successors b i)
+        || edge_triples (Pnut_reach.Graph.predecessors a i)
+           <> edge_triples (Pnut_reach.Graph.predecessors b i)
+      then ok := false
+    done;
+    !ok
+  in
+  let packed_identical =
+    List.for_all
+      (fun m ->
+        graphs_identical
+          (Pnut_reach.Graph.build ~max_states:reach_cap ~jobs:1 m)
+          (Pnut_reach.Graph.build ~max_states:reach_cap ~jobs:1 ~packed:true m))
+      [ net; Pnut_pipeline.Branching.full default ]
+    && (if quick then graphs_identical ring_boxed_g ring_packed_g
+        else
+          (* at 10^6 states the full deep compare costs more than the
+             builds; counts and truncation are checked, the per-state
+             deep identity rides the quick run and the test suite *)
+          Pnut_reach.Graph.num_states ring_boxed_g = ring_states
+          && Pnut_reach.Graph.num_edges ring_boxed_g = ring_edges
+          && Pnut_reach.Graph.complete ring_boxed_g
+             = Pnut_reach.Graph.complete ring_packed_g)
+  in
   (* raw simulation events/sec (single stream; the per-run engine),
      measured against the frozen pre-optimization engine on the same
      model and seed, and swept across every built-in model — locality
@@ -934,7 +1024,7 @@ let bench_json ~quick ~file ?baseline () =
   (* emit *)
   let rate count s = if s > 0.0 then float_of_int count /. s else 0.0 in
   Printf.bprintf b "{\n";
-  Printf.bprintf b "  \"bench\": \"pr6\",\n";
+  Printf.bprintf b "  \"bench\": \"pr7\",\n";
   Printf.bprintf b "  \"model\": \"pipeline (Model.full default)\",\n";
   Printf.bprintf b "  \"cores\": %d,\n" cores;
   Printf.bprintf b "  \"quick\": %b,\n" quick;
@@ -994,7 +1084,27 @@ let bench_json ~quick ~file ?baseline () =
     reach;
   Printf.bprintf b "    ],\n";
   Printf.bprintf b
-    "    \"hashconsed_serial_faster_than_legacy\": %b\n" (hc_serial_s < legacy_s);
+    "    \"hashconsed_serial_faster_than_legacy\": %b,\n" (hc_serial_s < legacy_s);
+  Printf.bprintf b "    \"packed\": {\n";
+  Printf.bprintf b
+    "      \"model\": \"ring9\", \"tokens\": %d, \"states\": %d, \
+     \"edges\": %d,\n"
+    ring_tokens ring_states ring_edges;
+  Printf.bprintf b
+    "      \"boxed\": { \"seconds\": %.6f, \"states_per_sec\": %.0f },\n"
+    ring_boxed_s (rate ring_states ring_boxed_s);
+  Printf.bprintf b
+    "      \"seconds\": %.6f, \"states_per_sec\": %.0f,\n" ring_packed_s
+    (rate ring_states ring_packed_s);
+  Printf.bprintf b "      \"speedup_vs_boxed\": %.3f,\n"
+    (if ring_packed_s > 0.0 then ring_boxed_s /. ring_packed_s else 0.0);
+  Printf.bprintf b "      \"speedup_at_least_1_5x\": %b,\n"
+    (ring_boxed_s >= 1.5 *. ring_packed_s);
+  Printf.bprintf b "      \"bytes_per_state\": %.2f,\n" packed_bytes_per_state;
+  Printf.bprintf b "      \"bytes_per_state_at_most_32\": %b,\n"
+    (packed_bytes_per_state <= 32.0);
+  Printf.bprintf b "      \"identical_on_figures\": %b\n" packed_identical;
+  Printf.bprintf b "    }\n";
   Printf.bprintf b "  },\n";
   Printf.bprintf b "  \"sim\": {\n";
   Printf.bprintf b
@@ -1076,6 +1186,39 @@ let bench_json ~quick ~file ?baseline () =
         true
       end
   in
+  (* the packed store's acceptance thresholds: bit-identity always;
+     the bytes/state and speedup floors only on the full-size ring (the
+     quick run's 43k states can't amortize fixed costs and would make
+     the CI verdict flaky) *)
+  let packed_ok =
+    if not packed_identical then begin
+      Printf.eprintf
+        "bench: FAIL reach.packed graphs differ from the boxed builder\n";
+      false
+    end
+    else if
+      (not quick)
+      && not
+           (packed_bytes_per_state <= 32.0
+           && ring_boxed_s >= 1.5 *. ring_packed_s)
+    then begin
+      Printf.eprintf
+        "bench: FAIL reach.packed %.2f bytes/state (<=32 required), \
+         speedup %.2fx (>=1.5 required)\n"
+        packed_bytes_per_state
+        (if ring_packed_s > 0.0 then ring_boxed_s /. ring_packed_s else 0.0);
+      false
+    end
+    else begin
+      Printf.printf
+        "bench: reach.packed %d states, %.2f bytes/state, %.2fx vs boxed, \
+         identical=%b: ok\n"
+        ring_states packed_bytes_per_state
+        (if ring_packed_s > 0.0 then ring_boxed_s /. ring_packed_s else 0.0)
+        packed_identical;
+      true
+    end
+  in
   let sim_ok = gate "sim.events_per_sec" (rate events sim_s) baseline_sim_rate in
   let reach_ok =
     gate "reach.states_per_sec" (rate kernel_states kernel_s)
@@ -1108,7 +1251,7 @@ let bench_json ~quick ~file ?baseline () =
         false
       end
   in
-  if not (sim_ok && reach_ok && budget_ok) then exit 1
+  if not (sim_ok && reach_ok && budget_ok && packed_ok) then exit 1
 
 let run_figures () =
   figure_1_to_3 ();
@@ -1136,7 +1279,7 @@ let () =
     | "--bench-json" :: next :: _ when String.length next > 0 && next.[0] <> '-'
       ->
       Some next
-    | "--bench-json" :: _ -> Some "BENCH_pr6.json"
+    | "--bench-json" :: _ -> Some "BENCH_pr7.json"
     | _ :: rest -> json_file rest
     | [] -> None
   in

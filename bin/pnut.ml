@@ -641,7 +641,16 @@ let reach_cmd =
                  (inev/alw are branching-time AF/AG), e.g. \
                  'forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]'.")
   in
-  let run path timed max_states ctl query jobs budget =
+  let packed =
+    Arg.(value
+         & opt (enum [ ("auto", `Auto); ("on", `On); ("off", `Off) ]) `Auto
+         & info [ "packed" ] ~docv:"MODE"
+             ~doc:"Compact bit-packed state store: auto (on when every \
+                   place has a known bound), on, or off.  Cuts memory by \
+                   an order of magnitude on large graphs; the graph built \
+                   is identical either way.")
+  in
+  let run path timed max_states ctl query packed jobs budget =
     let net = load_net path in
     (* On a budget trip the partial graph is still a valid prefix:
        summarize it, run the CTL/query checks on it (a failure on the
@@ -654,6 +663,8 @@ let reach_cmd =
         exit exit_degraded
     in
     if timed then begin
+      if packed = `On then
+        die "--packed on: the packed store supports untimed reachability only";
       let outcome =
         Pnut_reach.Timed.build_supervised ~max_states ~jobs ?budget net
       in
@@ -662,8 +673,14 @@ let reach_cmd =
       finish_outcome outcome
     end
     else begin
+      let packed =
+        match packed with
+        | `On -> true
+        | `Off -> false
+        | `Auto -> Pnut_reach.Packed.bounds_known net
+      in
       let outcome =
-        Pnut_reach.Graph.build_supervised ~max_states ~jobs ?budget net
+        Pnut_reach.Graph.build_supervised ~max_states ~jobs ?budget ~packed net
       in
       let g = Pnut_exec.Supervisor.value outcome in
       Format.printf "%a@." Pnut_reach.Graph.pp_summary g;
@@ -690,8 +707,8 @@ let reach_cmd =
     end
   in
   Cmd.v (Cmd.info "reach" ~doc)
-    Term.(const run $ net_arg $ timed $ max_states $ ctl $ query $ jobs_arg
-          $ budget_arg)
+    Term.(const run $ net_arg $ timed $ max_states $ ctl $ query $ packed
+          $ jobs_arg $ budget_arg)
 
 (* -- pnut invariants -- *)
 

@@ -151,6 +151,33 @@ let weighted_sum y m =
   Array.iteri (fun i x -> sum := !sum + (x * m.(i))) y;
   !sum
 
+(* Upper bounds on reachable token counts: the declared capacity (if
+   any) tightened by every P-invariant — for an invariant [y >= 0] with
+   [y_p > 0], [y.M = y.M0] along any firing sequence, so
+   [M(p) <= (y.M0) / y_p].  Farkas can blow up combinatorially, so
+   invariants are only consulted under a size guard and its row-limit
+   trip is treated as "no invariants". *)
+let place_bounds net =
+  let np = Net.num_places net in
+  let m0 = Marking.to_array (Net.initial_marking net) in
+  let bounds = Array.init np (fun p -> (Net.place net p).Net.p_capacity) in
+  let tighten p b =
+    match bounds.(p) with
+    | Some c when c <= b -> ()
+    | Some _ | None -> bounds.(p) <- Some b
+  in
+  if np <= 200 && Net.num_transitions net <= 200 then begin
+    let invs =
+      try p_invariants (of_net net) with Invalid_argument _ -> []
+    in
+    List.iter
+      (fun y ->
+        let total = weighted_sum y m0 in
+        Array.iteri (fun p yp -> if yp > 0 then tighten p (total / yp)) y)
+      invs
+  end;
+  bounds
+
 let pp_vector net kind ppf v =
   let name i =
     match kind with

@@ -42,6 +42,16 @@ val covered_by_p_invariants : t -> bool
 val weighted_sum : int array -> int array -> int
 (** [weighted_sum y m] is the invariant value [y . m]. *)
 
+val place_bounds : Net.t -> int option array
+(** Per-place upper bound on the token count over all reachable
+    markings, or [None] when no bound is known.  Combines the declared
+    capacities with the P-invariant bounds [(y . M0) / y_p] for every
+    invariant with [y_p > 0]; invariants are skipped on nets larger
+    than 200 places or transitions (Farkas can explode), falling back
+    to capacities alone.  A declared capacity is taken at face value —
+    callers that size storage from these bounds must keep a checked
+    overflow path. *)
+
 val pp_vector : Net.t -> [ `Place | `Transition ] -> Format.formatter ->
   int array -> unit
 (** Renders e.g. [Bus_free + Bus_busy] with names from the net. *)

@@ -21,7 +21,15 @@ let set m p count =
   m.(p) <- count
 
 let add m p k =
-  let count = m.(p) + k in
+  let c = m.(p) in
+  (* Two large positives wrap negative under native addition, which used
+     to surface as a bogus "would hold -N tokens"; test the overflow on
+     the operands instead, before any arithmetic. *)
+  if k > 0 && c > max_int - k then
+    invalid_arg
+      (Printf.sprintf
+         "Marking.add: place %d token count overflows max_int (%d + %d)" p c k);
+  let count = c + k in
   if count < 0 then
     invalid_arg
       (Printf.sprintf "Marking.add: place %d would hold %d tokens" p count);
@@ -29,7 +37,17 @@ let add m p k =
 
 let copy = Array.copy
 
-let equal (a : t) b = a = b
+let unsafe_wrap (a : int array) : t = a
+
+(* Monomorphic element loop: the generic [caml_compare] walk costs a C
+   call per comparison on the exploration hot paths. *)
+let equal (a : t) b =
+  a == b
+  || (Array.length a = Array.length b
+     &&
+     let n = Array.length a in
+     let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+     go 0)
 
 let compare (a : t) b = Stdlib.compare a b
 

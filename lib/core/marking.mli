@@ -25,9 +25,16 @@ val set : t -> int -> int -> unit
 
 val add : t -> int -> int -> unit
 (** [add m p k] adds [k] (possibly negative) tokens to place [p];
-    raises [Invalid_argument] if the result would be negative. *)
+    raises [Invalid_argument] if the result would be negative, or a
+    distinct [Invalid_argument] if it would overflow [max_int]. *)
 
 val copy : t -> t
+
+val unsafe_wrap : int array -> t
+(** The array itself as a marking — no copy, no validation.  For
+    decoders that already guarantee non-negative counts and need a
+    zero-cost view (the packed reachability store); mutations of the
+    array are visible through the marking and vice versa. *)
 
 val equal : t -> t -> bool
 

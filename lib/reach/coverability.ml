@@ -80,7 +80,21 @@ let marking_ge a b =
 module Mark_tbl = Hashtbl.Make (struct
   type t = token array
 
-  let equal (a : t) b = a = b
+  (* monomorphic loop — interning compares on every collision *)
+  let equal (a : t) b =
+    a == b
+    || (Array.length a = Array.length b
+       &&
+       let n = Array.length a in
+       let rec go i =
+         i >= n
+         || ((match a.(i), b.(i) with
+             | Finite x, Finite y -> x = y
+             | Omega, Omega -> true
+             | Finite _, Omega | Omega, Finite _ -> false)
+            && go (i + 1))
+       in
+       go 0)
 
   let hash (m : t) =
     let h = ref (Array.length m) in

@@ -17,23 +17,83 @@ type edge = {
   e_to : int;
 }
 
+(* Two physical layouts behind one graph type.  [Boxed] is the classic
+   per-state record plus edge lists — cheap to build, rich to walk.
+   [Compact] keeps every state bit-packed in the {!Store} arena with
+   CSR edges; accessors decode on the fly.  Both builders intern states
+   in the same FIFO order and record edges at the same points, so the
+   numbering, edge order and truncation behaviour are bit-identical —
+   the representation is invisible to every analysis. *)
+type repr =
+  | Boxed of {
+      states : state array;
+      succ : edge list array;   (* indexed by source state *)
+      pred : edge list array;   (* indexed by target state *)
+    }
+  | Compact of Store.t
+
 type t = {
   net : Net.t;
-  states : state array;
-  succ : edge list array;   (* indexed by source state *)
-  pred : edge list array;   (* indexed by target state *)
+  repr : repr;
   complete : bool;
+  n_edges : int;  (* cached at construction; [edges] stays O(E) to list *)
 }
 
 let net g = g.net
 let complete g = g.complete
-let num_states g = Array.length g.states
-let num_edges g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.succ
-let state g i = g.states.(i)
+
+let num_states g =
+  match g.repr with
+  | Boxed b -> Array.length b.states
+  | Compact st -> Store.num_states st
+
+let num_edges g = g.n_edges
+
+let state g i =
+  match g.repr with
+  | Boxed b -> b.states.(i)
+  | Compact st ->
+    let codec = Store.codec st in
+    let np = Packed.places (Packed.layout codec) in
+    let m = Array.make np 0 in
+    Store.marking_into st i m;
+    {
+      s_index = i;
+      s_marking = m;
+      s_env = Packed.extra_bindings codec (Store.extra st i);
+    }
+
 let initial _ = 0
-let successors g i = g.succ.(i)
-let predecessors g i = g.pred.(i)
-let edges g = List.concat (Array.to_list g.succ)
+
+let successors g i =
+  match g.repr with
+  | Boxed b -> b.succ.(i)
+  | Compact st ->
+    List.map
+      (fun (tid, tgt) -> { e_from = i; e_transition = tid; e_to = tgt })
+      (Store.successors st i)
+
+let predecessors g j =
+  match g.repr with
+  | Boxed b -> b.pred.(j)
+  | Compact st ->
+    List.map
+      (fun (src, tid) -> { e_from = src; e_transition = tid; e_to = j })
+      (Store.predecessors st j)
+
+let edges g =
+  match g.repr with
+  | Boxed b -> List.concat (Array.to_list b.succ)
+  | Compact st ->
+    let acc = ref [] in
+    Store.iter_edges st (fun src tid tgt ->
+        acc := { e_from = src; e_transition = tid; e_to = tgt } :: !acc);
+    List.rev !acc
+
+let packed_bytes_per_state g =
+  match g.repr with
+  | Boxed _ -> None
+  | Compact st -> Some (Store.bytes_per_state st)
 
 let stochastic_parts net =
   Array.to_list (Net.transitions net)
@@ -87,8 +147,83 @@ let expand kernel marking env =
     (Kernel.transitions kernel);
   List.rev !out
 
+(* The packed sweep: a serial FIFO over state indices.  The popped
+   state is decoded into a scratch array once; each enabled transition
+   fires on a second scratch (blit + kernel apply — no per-edge
+   allocation for variable-free nets) and interns straight into the
+   arena.  Pop order is push order is interning order, so begin_source
+   sees ascending sources and the CSR offsets append in one pass. *)
+let build_packed ~max_states ~monitor ~monitored ~spill_threshold net kernel =
+  let codec = Packed.create net in
+  let store = Store.create codec ~num_transitions:(Net.num_transitions net) in
+  let np = Net.num_places net in
+  let env0 = Net.initial_env net in
+  let id0 = Packed.intern_extra codec env0 in
+  assert (id0 = 0);
+  let truncated = ref false in
+  let budget_stop = ref None in
+  let frontier_left = ref 0 in
+  let m0 = Marking.to_array (Net.initial_marking net) in
+  (match Store.intern store m0 ~extra:id0 ~max_states with
+  | `Added 0 -> ()
+  | `Added _ | `Found _ | `Capped -> assert false);
+  let parent = Array.make np 0 in
+  let parent_mk = Marking.unsafe_wrap parent in
+  let child = Array.make np 0 in
+  let child_mk = Marking.unsafe_wrap child in
+  let q = Store.Frontier.create ~threshold:spill_threshold () in
+  Fun.protect
+    ~finally:(fun () -> Store.Frontier.close q)
+    (fun () ->
+      Store.Frontier.push q 0;
+      let trans = Kernel.transitions kernel in
+      let pops = ref 0 in
+      (* Budget checks ride the dequeue boundary every 256 states —
+         the exact cadence of the boxed sweep. *)
+      try
+        while not (Store.Frontier.is_empty q) do
+          incr pops;
+          if monitored && !pops land 255 = 0 then begin
+            match Pnut_exec.Supervisor.check monitor with
+            | Some r ->
+              budget_stop := Some r;
+              frontier_left := Store.Frontier.length q;
+              raise_notrace Exit
+            | None -> ()
+          end;
+          let i = Store.Frontier.pop q in
+          Store.begin_source store i;
+          Store.marking_into store i parent;
+          let ex = Store.extra store i in
+          let env = Packed.extra_env codec ex in
+          Array.iter
+            (fun (c : Kernel.ctrans) ->
+              if Kernel.enabled c parent_mk env then begin
+                Array.blit parent 0 child 0 np;
+                Kernel.apply c child_mk;
+                let ex' =
+                  if c.Kernel.s_has_action then begin
+                    let env' = Env.copy env in
+                    Kernel.run_action env' c;
+                    Packed.intern_extra codec env'
+                  end
+                  else ex
+                in
+                match Store.intern store child ~extra:ex' ~max_states with
+                | `Capped -> truncated := true
+                | `Found j -> Store.add_edge store ~tid:c.Kernel.s_id ~target:j
+                | `Added j ->
+                  Store.add_edge store ~tid:c.Kernel.s_id ~target:j;
+                  Store.Frontier.push q j
+              end)
+            trans
+        done
+      with Exit -> ());
+  Store.finalize store;
+  (store, !truncated, !budget_stop, !frontier_left)
+
 let build_supervised ?(max_states = 100_000) ?jobs
-    ?(budget = Pnut_exec.Budget.none) net =
+    ?(budget = Pnut_exec.Budget.none) ?(packed = false) ?frontier_spill net =
   (match stochastic_parts net with
   | [] -> ()
   | bad ->
@@ -103,11 +238,49 @@ let build_supervised ?(max_states = 100_000) ?jobs
     | None -> max_states
   in
   let kernel = Kernel.of_net net in
+  let finish ~repr ~truncated ~budget_stop ~frontier_left ~n ~n_edges =
+    let complete = (not truncated) && budget_stop = None in
+    let g = { net; repr; complete; n_edges } in
+    match budget_stop with
+    | Some reason ->
+      Pnut_exec.Supervisor.Degraded
+        {
+          reason;
+          partial = g;
+          progress =
+            Pnut_exec.Supervisor.snapshot monitor ~visited:n
+              ~frontier:frontier_left;
+        }
+    | None ->
+      if truncated then
+        Pnut_exec.Supervisor.Degraded
+          {
+            reason = Pnut_exec.Supervisor.States n;
+            partial = g;
+            progress =
+              Pnut_exec.Supervisor.snapshot monitor ~visited:n ~frontier:0;
+          }
+      else Pnut_exec.Supervisor.Complete g
+  in
+  if packed then begin
+    let spill_threshold =
+      match frontier_spill with
+      | Some b -> b
+      | None -> Pnut_exec.Budget.spill_threshold_bytes budget
+    in
+    let store, truncated, budget_stop, frontier_left =
+      build_packed ~max_states ~monitor ~monitored ~spill_threshold net kernel
+    in
+    finish ~repr:(Compact store) ~truncated ~budget_stop ~frontier_left
+      ~n:(Store.num_states store) ~n_edges:(Store.num_edges store)
+  end
+  else begin
   let jobs = Pnut_exec.Pool.resolve ?jobs () in
   let index = Statekey.Tbl.create 1024 in
   let states = ref [] in
   let n_states = ref 0 in
   let edges_rev = ref [] in   (* every edge, most recent first *)
+  let n_edges = ref 0 in
   let truncated = ref false in
   (* wall/heap/cancellation trip — [None] until the budget fires *)
   let budget_stop = ref None in
@@ -189,6 +362,7 @@ let build_supervised ?(max_states = 100_000) ?jobs
                edges_rev :=
                  { e_from = i; e_transition = c.Kernel.s_id; e_to = j }
                  :: !edges_rev;
+               incr n_edges;
                if fresh then Queue.add (j, m', env') q
            end)
          trans
@@ -226,6 +400,7 @@ let build_supervised ?(max_states = 100_000) ?jobs
                | Some (j, fresh) ->
                  edges_rev :=
                    { e_from = i; e_transition = tid; e_to = j } :: !edges_rev;
+                 incr n_edges;
                  if fresh then next := (j, m', env') :: !next)
              succs)
          expanded;
@@ -242,69 +417,126 @@ let build_supervised ?(max_states = 100_000) ?jobs
   List.iter (fun e -> succ.(e.e_from) <- e :: succ.(e.e_from)) !edges_rev;
   let pred = Array.make n [] in
   Array.iter (fun l -> List.iter (fun e -> pred.(e.e_to) <- e :: pred.(e.e_to)) l) succ;
-  let complete = not !truncated && !budget_stop = None in
-  let g = { net; states = states_arr; succ; pred; complete } in
-  match !budget_stop with
-  | Some reason ->
-    Pnut_exec.Supervisor.Degraded
-      {
-        reason;
-        partial = g;
-        progress =
-          Pnut_exec.Supervisor.snapshot monitor ~visited:n
-            ~frontier:!frontier_left;
-      }
-  | None ->
-    if !truncated then
-      Pnut_exec.Supervisor.Degraded
-        {
-          reason = Pnut_exec.Supervisor.States n;
-          partial = g;
-          progress =
-            Pnut_exec.Supervisor.snapshot monitor ~visited:n ~frontier:0;
-        }
-    else Pnut_exec.Supervisor.Complete g
+  finish ~repr:(Boxed { states = states_arr; succ; pred })
+    ~truncated:!truncated ~budget_stop:!budget_stop
+    ~frontier_left:!frontier_left ~n ~n_edges:!n_edges
+  end
 
-let build ?max_states ?jobs net =
-  Pnut_exec.Supervisor.value (build_supervised ?max_states ?jobs net)
+let build ?max_states ?jobs ?packed net =
+  Pnut_exec.Supervisor.value (build_supervised ?max_states ?jobs ?packed net)
+
+(* monomorphic int-array comparison — [find_state] and friends sit on
+   user-facing query paths over millions of states *)
+let marking_eq (a : int array) b =
+  a == b
+  || (Array.length a = Array.length b
+     &&
+     let n = Array.length a in
+     let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+     go 0)
 
 let find_state g marking =
-  let n = num_states g in
-  let rec go i =
-    if i >= n then None
-    else if g.states.(i).s_marking = marking then Some i
-    else go (i + 1)
-  in
-  go 0
+  match g.repr with
+  | Boxed b ->
+    let n = Array.length b.states in
+    let rec go i =
+      if i >= n then None
+      else if marking_eq b.states.(i).s_marking marking then Some i
+      else go (i + 1)
+    in
+    go 0
+  | Compact st ->
+    let np = Net.num_places g.net in
+    if Array.length marking <> np then None
+    else begin
+      let scratch = Array.make np 0 in
+      let n = Store.num_states st in
+      let rec go i =
+        if i >= n then None
+        else begin
+          Store.marking_into st i scratch;
+          if marking_eq scratch marking then Some i else go (i + 1)
+        end
+      in
+      go 0
+    end
 
 let deadlocks g =
   let acc = ref [] in
-  for i = num_states g - 1 downto 0 do
-    if g.succ.(i) = [] then acc := i :: !acc
-  done;
+  (match g.repr with
+  | Boxed b ->
+    for i = Array.length b.states - 1 downto 0 do
+      if b.succ.(i) = [] then acc := i :: !acc
+    done
+  | Compact st ->
+    for i = Store.num_states st - 1 downto 0 do
+      if Store.out_degree st i = 0 then acc := i :: !acc
+    done);
   !acc
 
 let bound g p =
-  Array.fold_left (fun acc s -> max acc s.s_marking.(p)) 0 g.states
+  match g.repr with
+  | Boxed b ->
+    Array.fold_left (fun acc s -> max acc s.s_marking.(p)) 0 b.states
+  | Compact st ->
+    let scratch = Array.make (Net.num_places g.net) 0 in
+    let acc = ref 0 in
+    for i = 0 to Store.num_states st - 1 do
+      Store.marking_into st i scratch;
+      if scratch.(p) > !acc then acc := scratch.(p)
+    done;
+    !acc
 
 let is_safe g =
-  Array.for_all
-    (fun s -> Array.for_all (fun c -> c <= 1) s.s_marking)
-    g.states
+  match g.repr with
+  | Boxed b ->
+    Array.for_all
+      (fun s -> Array.for_all (fun c -> c <= 1) s.s_marking)
+      b.states
+  | Compact st ->
+    let np = Net.num_places g.net in
+    let scratch = Array.make np 0 in
+    let n = Store.num_states st in
+    let rec go i =
+      i >= n
+      || (Store.marking_into st i scratch;
+          Array.for_all (fun c -> c <= 1) scratch && go (i + 1))
+    in
+    go 0
+
+(* One pass over the edges marks fired transitions; both liveness
+   queries read the same bool array instead of the old O(T^2)
+   list-membership scan. *)
+let transition_fired g =
+  let seen = Array.make (Net.num_transitions g.net) false in
+  (match g.repr with
+  | Boxed b ->
+    Array.iter
+      (fun l -> List.iter (fun e -> seen.(e.e_transition) <- true) l)
+      b.succ
+  | Compact st -> Store.iter_edges st (fun _ tid _ -> seen.(tid) <- true));
+  seen
 
 let live_transitions g =
-  let seen = Array.make (Net.num_transitions g.net) false in
-  Array.iter
-    (fun l -> List.iter (fun e -> seen.(e.e_transition) <- true) l)
-    g.succ;
+  let seen = transition_fired g in
   let acc = ref [] in
-  Array.iteri (fun i b -> if b then acc := i :: !acc) seen;
-  List.rev !acc
+  for i = Array.length seen - 1 downto 0 do
+    if seen.(i) then acc := i :: !acc
+  done;
+  !acc
 
 let dead_transitions g =
-  let live = live_transitions g in
-  List.init (Net.num_transitions g.net) (fun i -> i)
-  |> List.filter (fun i -> not (List.mem i live))
+  let seen = transition_fired g in
+  let acc = ref [] in
+  for i = Array.length seen - 1 downto 0 do
+    if not seen.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let iter_pred_sources g i f =
+  match g.repr with
+  | Boxed b -> List.iter (fun e -> f e.e_from) b.pred.(i)
+  | Compact st -> Store.iter_pred_sources st i f
 
 (* States from which [targets] is reachable: backward closure. *)
 let backward_closure g targets =
@@ -316,13 +548,11 @@ let backward_closure g targets =
     | [] -> ()
     | i :: rest ->
       stack := rest;
-      List.iter
-        (fun e ->
-          if not marked.(e.e_from) then begin
-            marked.(e.e_from) <- true;
-            stack := e.e_from :: !stack
+      iter_pred_sources g i (fun src ->
+          if not marked.(src) then begin
+            marked.(src) <- true;
+            stack := src :: !stack
           end)
-        g.pred.(i)
   done;
   marked
 
@@ -342,7 +572,7 @@ let home_states g =
 let check_invariant g p =
   let n = num_states g in
   let rec go i =
-    if i >= n then None else if not (p g.states.(i)) then Some i else go (i + 1)
+    if i >= n then None else if not (p (state g i)) then Some i else go (i + 1)
   in
   go 0
 

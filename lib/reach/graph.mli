@@ -24,19 +24,29 @@ type edge = {
 
 type t
 
-val build : ?max_states:int -> ?jobs:int -> Pnut_core.Net.t -> t
+val build : ?max_states:int -> ?jobs:int -> ?packed:bool -> Pnut_core.Net.t -> t
 (** Default cap: 100_000 states.  Raises [Invalid_argument] if the net
     has stochastic predicates or actions.
 
     [jobs] (resolved by {!Pnut_exec.Pool.resolve}) expands the BFS
     frontier on that many domains; interning stays sequential in
     frontier order, so the resulting graph — state numbering, edge
-    order, truncation — is identical for every [jobs] value. *)
+    order, truncation — is identical for every [jobs] value.
+
+    [packed] (default [false]) builds into the {!Store} compact arena:
+    states are bit-packed (fields sized from
+    {!Pnut_core.Incidence.place_bounds} with a checked widen path) and
+    edges CSR-encoded, cutting memory by an order of magnitude at the
+    10^6+-state scale.  The packed sweep is serial ([jobs] is ignored)
+    but produces the same graph — numbering, edge order, truncation —
+    as the boxed builder. *)
 
 val build_supervised :
   ?max_states:int ->
   ?jobs:int ->
   ?budget:Pnut_exec.Budget.t ->
+  ?packed:bool ->
+  ?frontier_spill:int ->
   Pnut_core.Net.t ->
   t Pnut_exec.Supervisor.outcome
 (** {!build} under a budget.  Wall, heap and cancellation are polled on
@@ -46,7 +56,11 @@ val build_supervised :
     partial graph (a valid prefix: every interned state is present, only
     the unexpanded frontier is missing outgoing edges) plus a progress
     snapshot with visited and frontier counts.  A budgeted build that
-    completes returns a graph identical to {!build}'s. *)
+    completes returns a graph identical to {!build}'s.
+
+    With [packed], [frontier_spill] caps the bytes of frontier buffered
+    in memory before full chunks spill to a temp file (default:
+    {!Pnut_exec.Budget.spill_threshold_bytes} of [budget]). *)
 
 val net : t -> Pnut_core.Net.t
 val complete : t -> bool
@@ -61,6 +75,10 @@ val edges : t -> edge list
 val find_state : t -> int array -> int option
 (** Look up a marking (ignores the environment if several states share
     the marking — returns the first). *)
+
+val packed_bytes_per_state : t -> float option
+(** Store footprint (arena + index bytes over states) for a packed
+    graph; [None] for the boxed representation. *)
 
 (** {2 Analyses} *)
 

@@ -44,9 +44,19 @@ let tables_equal a b =
       && Array.for_all2 Value.equal va vb)
     a b
 
+(* Monomorphic int-array loop: interning compares keys on every hash
+   collision, and the generic [caml_compare] walk is a C call. *)
+let marking_equal (a : int array) b =
+  a == b
+  || (Array.length a = Array.length b
+     &&
+     let n = Array.length a in
+     let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+     go 0)
+
 let equal a b =
   a.k_hash = b.k_hash
-  && a.k_marking = b.k_marking
+  && marking_equal a.k_marking b.k_marking
   && String.equal a.k_clocks b.k_clocks
   && bindings_equal a.k_bindings b.k_bindings
   && tables_equal a.k_tables b.k_tables

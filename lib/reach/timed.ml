@@ -29,11 +29,12 @@ type t = {
   states : state array;
   succ : edge list array;
   complete : bool;
+  n_edges : int;  (* cached at construction — [num_edges] was O(E) per call *)
 }
 
 let complete g = g.complete
 let num_states g = Array.length g.states
-let num_edges g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.succ
+let num_edges g = g.n_edges
 let state g i = g.states.(i)
 let initial _ = 0
 let successors g i = g.succ.(i)
@@ -351,8 +352,9 @@ let build_supervised ?(max_states = 50_000) ?jobs ?horizon
   List.iter (fun s -> states_arr.(s.ts_index) <- s) !states;
   let succ = Array.make n [] in
   Hashtbl.iter (fun i l -> succ.(i) <- List.rev l) succ_acc;
+  let n_edges = Array.fold_left (fun acc l -> acc + List.length l) 0 succ in
   let complete = not !truncated && !budget_stop = None in
-  let g = { net; states = states_arr; succ; complete } in
+  let g = { net; states = states_arr; succ; complete; n_edges } in
   match !budget_stop with
   | Some reason ->
     Pnut_exec.Supervisor.Degraded

@@ -29,6 +29,31 @@ let test_marking_negative_rejected () =
     (Invalid_argument "Marking.of_array: negative count") (fun () ->
       ignore (Marking.of_array [| 1; -1 |]))
 
+let test_marking_add_overflow () =
+  (* PR 7 regression: [add] used to wrap silently past [max_int] and
+     then report the wrapped negative as "would hold n tokens" *)
+  let m = Marking.create 1 in
+  Marking.set m 0 max_int;
+  Alcotest.check_raises "max_int + 1 overflows"
+    (Invalid_argument
+       (Printf.sprintf
+          "Marking.add: place 0 token count overflows max_int (%d + 1)"
+          max_int))
+    (fun () -> Marking.add m 0 1);
+  Alcotest.(check int) "count untouched after the failed add" max_int
+    (Marking.get m 0);
+  (* the largest legal add still works *)
+  Marking.set m 0 1;
+  Marking.add m 0 (max_int - 1);
+  Alcotest.(check int) "reaches max_int exactly" max_int (Marking.get m 0);
+  Marking.set m 0 (max_int - 2);
+  Alcotest.check_raises "near-max wrap detected"
+    (Invalid_argument
+       (Printf.sprintf
+          "Marking.add: place 0 token count overflows max_int (%d + 5)"
+          (max_int - 2)))
+    (fun () -> Marking.add m 0 5)
+
 let test_marking_copy_equal () =
   let m = Marking.of_array [| 1; 2; 3 |] in
   let c = Marking.copy m in
@@ -165,6 +190,29 @@ let test_pipeline_t_invariant_reproduces_marking () =
         m)
     invs
 
+let test_place_bounds () =
+  (* bus: the one-hot invariant bounds both places at the invariant
+     total; pump: q has no invariant cover and no capacity — unknown *)
+  let net, free, busy, _, _ = bus_net () in
+  let bounds = Incidence.place_bounds net in
+  Alcotest.(check bool) "free bounded at 1" true (bounds.(free) = Some 1);
+  Alcotest.(check bool) "busy bounded at 1" true (bounds.(busy) = Some 1);
+  let b = B.create "pump" in
+  let p = B.add_place b "p" ~initial:1 in
+  let q = B.add_place b "q" in
+  let r = B.add_place b "r" ~capacity:7 in
+  ignore
+    (B.add_transition b "t" ~inputs:[ (p, 1) ]
+       ~outputs:[ (p, 1); (q, 1); (r, 1) ]
+      : Net.transition_id);
+  let pump = B.build b in
+  let bounds = Incidence.place_bounds pump in
+  Alcotest.(check bool) "p bounded by its invariant" true
+    (bounds.(p) = Some 1);
+  Alcotest.(check bool) "q unbounded" true (bounds.(q) = None);
+  Alcotest.(check bool) "r bounded by declared capacity" true
+    (bounds.(r) = Some 7)
+
 let test_pp_vector () =
   let net, _, _, _, _ = bus_net () in
   let s = Format.asprintf "%a" (Incidence.pp_vector net `Place) [| 1; 2 |] in
@@ -228,6 +276,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_marking_basics;
           Alcotest.test_case "negative rejected" `Quick test_marking_negative_rejected;
+          Alcotest.test_case "overflow rejected" `Quick
+            test_marking_add_overflow;
           Alcotest.test_case "copy" `Quick test_marking_copy_equal;
           Alcotest.test_case "keys" `Quick test_marking_keys;
         ] );
@@ -244,6 +294,7 @@ let () =
             test_pipeline_invariants_conserved;
           Alcotest.test_case "pipeline T-invariants" `Quick
             test_pipeline_t_invariant_reproduces_marking;
+          Alcotest.test_case "place bounds" `Quick test_place_bounds;
           Alcotest.test_case "vector rendering" `Quick test_pp_vector;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_invariant_constant ]);

@@ -1,0 +1,401 @@
+(* PR 7: the compact state store.  The packed builder must be
+   invisible: same state numbering, same edge order, same truncation
+   and budget behaviour as the boxed builder, on every class of net the
+   codec handles — variable-free bounded nets (the zero-env fast
+   path), env-bearing interpreted nets (the side table), nets with
+   lying declared capacities and unbounded growth (the checked widen
+   path), and frontiers forced through the disk spill. *)
+
+module Net = Pnut_core.Net
+module B = Net.Builder
+module Expr = Pnut_core.Expr
+module Value = Pnut_core.Value
+module Marking = Pnut_core.Marking
+module Env = Pnut_core.Env
+module Graph = Pnut_reach.Graph
+module Packed = Pnut_reach.Packed
+module Store = Pnut_reach.Store
+module Statekey = Pnut_reach.Statekey
+
+let triples es =
+  List.map
+    (fun (e : Graph.edge) -> (e.Graph.e_from, e.Graph.e_transition, e.Graph.e_to))
+    es
+
+let summary g = Format.asprintf "%a" Graph.pp_summary g
+
+(* Structural equality of two graphs, representation-blind: states with
+   markings and environments, per-state successor and predecessor
+   lists in order, the global edge list, and the printed summary
+   (which additionally exercises deadlocks, safety, reversibility and
+   dead transitions on both representations). *)
+let graphs_equal ga gb =
+  Graph.complete ga = Graph.complete gb
+  && Graph.num_states ga = Graph.num_states gb
+  && Graph.num_edges ga = Graph.num_edges gb
+  && (let n = Graph.num_states ga in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let sa = Graph.state ga i and sb = Graph.state gb i in
+        if sa.Graph.s_marking <> sb.Graph.s_marking then ok := false;
+        if sa.Graph.s_env <> sb.Graph.s_env then ok := false;
+        if triples (Graph.successors ga i) <> triples (Graph.successors gb i)
+        then ok := false;
+        if
+          triples (Graph.predecessors ga i)
+          <> triples (Graph.predecessors gb i)
+        then ok := false
+      done;
+      !ok)
+  && triples (Graph.edges ga) = triples (Graph.edges gb)
+  && String.equal (summary ga) (summary gb)
+
+(* -- fixed nets -- *)
+
+let ring ?capacity ?(tokens = 4) () =
+  let b = B.create "ring" in
+  let ps =
+    Array.init 5 (fun i ->
+        B.add_place b
+          (Printf.sprintf "p%d" i)
+          ~initial:(if i = 0 then tokens else 0)
+          ?capacity)
+  in
+  for i = 0 to 4 do
+    ignore
+      (B.add_transition b
+         (Printf.sprintf "t%d" i)
+         ~inputs:[ (ps.(i), 1) ]
+         ~outputs:[ (ps.((i + 1) mod 5), 1) ]
+        : Net.transition_id)
+  done;
+  B.build b
+
+let counter_net () =
+  (* env-bearing: the action path interns fresh environments *)
+  let b = B.create "counter" ~variables:[ ("n", Value.Int 0) ] in
+  let p = B.add_place b "p" ~initial:1 in
+  let q = B.add_place b "q" in
+  ignore
+    (B.add_transition b "bump" ~inputs:[ (p, 1) ] ~outputs:[ (q, 1) ]
+       ~action:[ Expr.Assign ("n", Expr.(var "n" + int 1)) ]
+      : Net.transition_id);
+  ignore
+    (B.add_transition b "back" ~inputs:[ (q, 1) ] ~outputs:[ (p, 1) ]
+       ~predicate:Expr.(var "n" < int 20)
+      : Net.transition_id);
+  B.build b
+
+let pump_net () =
+  (* q grows without bound: exercises the unknown-bound guess width and
+     the widen path once q passes 15 *)
+  let b = B.create "pump" in
+  let p = B.add_place b "p" ~initial:1 in
+  let q = B.add_place b "q" in
+  ignore
+    (B.add_transition b "t" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1); (q, 1) ]
+      : Net.transition_id);
+  B.build b
+
+let both ?max_states ?frontier_spill net =
+  let boxed =
+    Pnut_exec.Supervisor.value (Graph.build_supervised ?max_states net)
+  in
+  let packed =
+    Pnut_exec.Supervisor.value
+      (Graph.build_supervised ?max_states ~packed:true ?frontier_spill net)
+  in
+  (boxed, packed)
+
+let check_identical ?max_states ?frontier_spill net () =
+  let boxed, packed = both ?max_states ?frontier_spill net in
+  Alcotest.(check bool) "packed graph equals boxed graph" true
+    (graphs_equal boxed packed)
+
+(* -- identity on fixed nets -- *)
+
+let test_ring_identical = check_identical (ring ())
+let test_counter_identical = check_identical (counter_net ())
+
+let test_pump_widen_identical =
+  (* truncation at the cap after q has outgrown the initial 4-bit
+     field: the widen path must re-encode the arena mid-sweep *)
+  check_identical ~max_states:400 (pump_net ())
+
+let test_lying_capacity_identical () =
+  (* capacities are declarative, not enforced at firing: the sink
+     declares capacity 1 yet accumulates 5 tokens, so its 1-bit field
+     overflows and the store must recover via widen *)
+  let b = B.create "liar" in
+  let p = B.add_place b "p" ~initial:5 ~capacity:5 in
+  let s = B.add_place b "sink" ~capacity:1 in
+  ignore
+    (B.add_transition b "drain" ~inputs:[ (p, 1) ] ~outputs:[ (s, 1) ]
+      : Net.transition_id);
+  let net = B.build b in
+  let boxed = Graph.build net in
+  let packed = Graph.build ~packed:true net in
+  Alcotest.(check int) "sink really exceeds its declared capacity" 5
+    (Graph.bound packed 1);
+  Alcotest.(check bool) "packed graph equals boxed graph" true
+    (graphs_equal boxed packed)
+
+let test_spill_identical =
+  (* threshold 0 forces every full frontier chunk through the temp
+     file; the graph must come out byte-identical *)
+  check_identical ~frontier_spill:0 (ring ~tokens:6 ())
+
+let test_budget_trip_identical () =
+  (* a tripped state budget degrades both builders at the same point *)
+  let net = ring ~tokens:6 () in
+  let budget = { Pnut_exec.Budget.none with max_states = Some 50 } in
+  let out_boxed = Graph.build_supervised ~budget net in
+  let out_packed = Graph.build_supervised ~budget ~packed:true net in
+  match (out_boxed, out_packed) with
+  | ( Pnut_exec.Supervisor.Degraded { partial = gb; _ },
+      Pnut_exec.Supervisor.Degraded { partial = gp; _ } ) ->
+    Alcotest.(check bool) "partial graphs equal" true (graphs_equal gb gp)
+  | _ -> Alcotest.fail "expected both builds to degrade at the state cap"
+
+let test_bytes_per_state () =
+  (* 17 tokens over 5 ring places: C(21,4) = 5985 states, enough for
+     the fixed index floor to amortize below the 32-bytes/state target
+     (one arena word per state for this net) *)
+  let net = ring ~tokens:17 () in
+  let boxed, packed = both ~max_states:10_000 net in
+  Alcotest.(check bool) "boxed graph reports no packed footprint" true
+    (Graph.packed_bytes_per_state boxed = None);
+  match Graph.packed_bytes_per_state packed with
+  | None -> Alcotest.fail "packed graph must report its footprint"
+  | Some b ->
+    Alcotest.(check bool)
+      (Printf.sprintf "bytes/state %.1f within 32" b)
+      true (b <= 32.0)
+
+let test_bounds_known () =
+  Alcotest.(check bool) "ring invariant gives bounds" true
+    (Packed.bounds_known (ring ()));
+  Alcotest.(check bool) "pump q is unbounded" false
+    (Packed.bounds_known (pump_net ()))
+
+(* -- the frontier in isolation -- *)
+
+let test_frontier_fifo_spill () =
+  let f = Store.Frontier.create ~threshold:0 () in
+  Fun.protect
+    ~finally:(fun () -> Store.Frontier.close f)
+    (fun () ->
+      (* interleave pushes and pops the way the BFS does *)
+      let next = ref 0 in
+      for i = 0 to 9999 do
+        Store.Frontier.push f i;
+        if i land 3 = 0 then begin
+          let v = Store.Frontier.pop f in
+          Alcotest.(check int) "fifo order" !next v;
+          incr next
+        end
+      done;
+      Alcotest.(check bool) "threshold 0 spilled chunks to disk" true
+        (Store.Frontier.spilled_chunks f > 0);
+      while not (Store.Frontier.is_empty f) do
+        let v = Store.Frontier.pop f in
+        Alcotest.(check int) "fifo order" !next v;
+        incr next
+      done;
+      Alcotest.(check int) "drained everything" 10000 !next)
+
+(* -- side table -- *)
+
+let test_intern_extra_clocks () =
+  let net = counter_net () in
+  let codec = Packed.create net in
+  let env = Net.initial_env net in
+  let a = Packed.intern_extra codec env in
+  let b = Packed.intern_extra codec ~clocks:"t0@1.5" env in
+  let c = Packed.intern_extra codec ~clocks:"t0@2.5" env in
+  Alcotest.(check bool) "clock renderings distinguish ids" true
+    (a <> b && b <> c && a <> c);
+  Alcotest.(check int) "same pair, same id" a (Packed.intern_extra codec env);
+  Alcotest.(check int) "same clocks, same id" b
+    (Packed.intern_extra codec ~clocks:"t0@1.5" env);
+  Alcotest.(check string) "key keeps the clocks" "t0@1.5"
+    (Packed.extra_key codec b).Statekey.k_clocks
+
+(* -- qcheck: codec round trip and key agreement -- *)
+
+(* a net is only a carrier for the layout here: np places with the
+   given bounds *)
+let carrier_net bounds =
+  let b = B.create "carrier" in
+  Array.iteri
+    (fun i _ ->
+      ignore (B.add_place b (Printf.sprintf "p%d" i) : Net.place_id))
+    bounds;
+  ignore (B.add_transition b "t" : Net.transition_id);
+  B.build b
+
+let gen_bounds_and_markings =
+  QCheck2.Gen.(
+    let* np = int_range 1 12 in
+    let* bounds = list_size (return np) (int_range 1 300) in
+    let bounds = Array.of_list bounds in
+    let gen_marking =
+      Array.to_list bounds
+      |> List.map (fun b -> int_range 0 b)
+      |> flatten_l |> map Array.of_list
+    in
+    let* a = gen_marking in
+    let* b = gen_marking in
+    let* equal_pair = bool in
+    return (bounds, a, (if equal_pair then Array.copy a else b)))
+
+let prop_roundtrip_and_agreement =
+  QCheck2.Test.make
+    ~name:"packed encode/decode round-trips and agrees with key equality"
+    ~count:300 gen_bounds_and_markings (fun (bounds, ma, mb) ->
+      let net = carrier_net bounds in
+      let codec =
+        Packed.create ~bounds:(Array.map (fun b -> Some b) bounds) net
+      in
+      let lay = Packed.layout codec in
+      let w = Packed.words lay in
+      let buf = Array.make (2 * w) 0 in
+      Packed.encode lay buf ~pos:0 ma ~extra:0;
+      Packed.encode lay buf ~pos:w mb ~extra:0;
+      let same_marking = ma = mb in
+      Packed.decode lay buf ~pos:0 = ma
+      && Packed.decode lay buf ~pos:w = mb
+      && Packed.equal lay buf ~pos:0 buf w = same_marking
+      && ((not same_marking)
+         || Packed.hash lay buf ~pos:0 = Packed.hash lay buf ~pos:w))
+
+(* -- qcheck: packed builder equals boxed builder on random
+      interpreted nets (variables, tables, predicates, actions) -- *)
+
+type spec = {
+  sp_tokens : int list;
+  sp_trans : ((int * int) list * (int * int) list * int * int) list;
+      (* inputs, outputs, predicate code, action code *)
+}
+
+let gen_spec =
+  QCheck2.Gen.(
+    let* np = int_range 2 5 in
+    let* tokens = list_size (return np) (int_range 0 3) in
+    let tokens =
+      if List.for_all (fun t -> t = 0) tokens then 2 :: List.tl tokens
+      else tokens
+    in
+    let gen_arcs =
+      list_size (int_range 1 2) (pair (int_range 0 (np - 1)) (int_range 1 2))
+    in
+    let gen_tr =
+      let* inputs = gen_arcs in
+      let* outputs = gen_arcs in
+      let* p = int_range 0 3 in
+      let* a = int_range 0 2 in
+      return (inputs, outputs, p, a)
+    in
+    let* ntr = int_range 1 5 in
+    let* sp_trans = list_size (return ntr) gen_tr in
+    return { sp_tokens = tokens; sp_trans })
+
+let emod a b = Expr.Binop (Expr.Mod, a, b)
+
+let predicate_of_code = function
+  | 1 -> Some Expr.(emod (var "n") (int 2) = int 0)
+  | 2 -> Some Expr.(var "n" < int 15)
+  | 3 -> Some Expr.(index "tbl" (emod (var "n") (int 3)) <= int 4)
+  | _ -> None
+
+let action_of_code = function
+  | 1 -> [ Expr.Assign ("n", Expr.(var "n" + int 1)) ]
+  | 2 ->
+    [ Expr.Assign ("n", Expr.(var "n" + int 1));
+      Expr.Table_assign
+        ( "tbl",
+          emod (Expr.var "n") (Expr.int 3),
+          Expr.(index "tbl" (emod (var "n") (int 3)) + int 1) ) ]
+  | _ -> []
+
+let build_spec_net spec =
+  let b =
+    B.create "random"
+      ~variables:[ ("n", Value.Int 0) ]
+      ~tables:[ ("tbl", Array.make 3 (Value.Int 0)) ]
+  in
+  let np = List.length spec.sp_tokens in
+  let places =
+    List.mapi
+      (fun i tokens -> B.add_place b (Printf.sprintf "p%d" i) ~initial:tokens)
+      spec.sp_tokens
+  in
+  let arcs l =
+    List.sort_uniq compare l
+    |> List.map (fun (i, w) -> (List.nth places (i mod np), w))
+    |> List.fold_left
+         (fun acc (p, w) ->
+           match acc with
+           | (p', w') :: rest when p' = p -> (p, max w w') :: rest
+           | _ -> (p, w) :: acc)
+         []
+    |> List.rev
+  in
+  List.iteri
+    (fun ti (inputs, outputs, p, a) ->
+      ignore
+        (B.add_transition b
+           (Printf.sprintf "t%d" ti)
+           ~inputs:(arcs inputs) ~outputs:(arcs outputs)
+           ?predicate:(predicate_of_code p) ~action:(action_of_code a)
+          : Net.transition_id))
+    spec.sp_trans;
+  B.build b
+
+let prop_packed_equals_boxed =
+  QCheck2.Test.make
+    ~name:"packed builder equals boxed builder on random interpreted nets"
+    ~count:120 gen_spec (fun spec ->
+      let net = build_spec_net spec in
+      let cap = 300 in
+      let boxed, packed = both ~max_states:cap net in
+      graphs_equal boxed packed)
+
+let prop_packed_spill_equals_boxed =
+  QCheck2.Test.make
+    ~name:"forced frontier spill changes nothing"
+    ~count:40 gen_spec (fun spec ->
+      let net = build_spec_net spec in
+      let cap = 300 in
+      let boxed, packed = both ~max_states:cap ~frontier_spill:0 net in
+      graphs_equal boxed packed)
+
+let () =
+  Alcotest.run "packed"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "ring" `Quick test_ring_identical;
+          Alcotest.test_case "counter env" `Quick test_counter_identical;
+          Alcotest.test_case "pump widen + truncation" `Quick
+            test_pump_widen_identical;
+          Alcotest.test_case "lying capacity widen" `Quick
+            test_lying_capacity_identical;
+          Alcotest.test_case "forced spill" `Quick test_spill_identical;
+          Alcotest.test_case "budget trip partial" `Quick
+            test_budget_trip_identical;
+          Alcotest.test_case "bytes per state" `Quick test_bytes_per_state;
+          Alcotest.test_case "bounds known" `Quick test_bounds_known;
+        ] );
+      ( "frontier",
+        [ Alcotest.test_case "fifo + spill" `Quick test_frontier_fifo_spill ] );
+      ( "side table",
+        [ Alcotest.test_case "env and clocks" `Quick test_intern_extra_clocks ]
+      );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip_and_agreement;
+          QCheck_alcotest.to_alcotest prop_packed_equals_boxed;
+          QCheck_alcotest.to_alcotest prop_packed_spill_equals_boxed;
+        ] );
+    ]
