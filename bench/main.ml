@@ -779,6 +779,11 @@ let bench_json ~quick ~file ?baseline () =
   in
   let _, e1, rep_serial_s = List.hd rep in
   let rep_identical = List.for_all (fun (_, e, _) -> e = e1) rep in
+  (* Parked worker domains join every stop-the-world minor GC, which
+     taxes the serial allocation-heavy measurements that follow — ~2x
+     on a single-core box.  Retire the pool after each parallel block
+     so the serial sections measure a serial process. *)
+  Pnut_exec.Pool.quiesce ();
   (* reachability: the compiled kernel expansion against the frozen
      interpreted expansion (same hashconsed keys) and the older
      string-key construction, on the Figure 1-3 pipeline and the
@@ -816,6 +821,7 @@ let bench_json ~quick ~file ?baseline () =
       job_counts
   in
   let _, hc_states, hc_serial_s = List.hd reach in
+  Pnut_exec.Pool.quiesce ();
   (* PR 7: the compact arena store against the boxed store.  The model
      is a 9-place token ring (states = C(N+8,8): N=17 gives 1,081,575,
      N=10 the quick run's 43,758) — big enough that per-state boxing
@@ -853,6 +859,31 @@ let bench_json ~quick ~file ?baseline () =
   in
   let ring_states = Pnut_reach.Graph.num_states ring_packed_g in
   let ring_edges = Pnut_reach.Graph.num_edges ring_packed_g in
+  (* PR 8: the sharded packed build across worker counts.  Identity is
+     absolute — the merge renumbers into serial FIFO order, so the
+     arena, intern index and CSR arrays must be byte-identical to the
+     jobs=1 build for every worker count; speedup is advisory below
+     4 cores and gated above. *)
+  let ring_packed_jobs =
+    List.map
+      (fun jobs ->
+        if jobs = 1 then (1, ring_packed_g, ring_packed_s)
+        else
+          let g, s =
+            best_of packed_reps (fun () ->
+                Pnut_reach.Graph.build ~max_states:ring_cap ~jobs ~packed:true
+                  ring)
+          in
+          (jobs, g, s))
+      job_counts
+  in
+  let sharded_identical =
+    let base = Pnut_reach.Graph.packed_arrays ring_packed_g in
+    List.for_all
+      (fun (_, g, _) -> Pnut_reach.Graph.packed_arrays g = base)
+      ring_packed_jobs
+  in
+  Pnut_exec.Pool.quiesce ();
   let packed_bytes_per_state =
     match Pnut_reach.Graph.packed_bytes_per_state ring_packed_g with
     | Some x -> x
@@ -1024,7 +1055,7 @@ let bench_json ~quick ~file ?baseline () =
   (* emit *)
   let rate count s = if s > 0.0 then float_of_int count /. s else 0.0 in
   Printf.bprintf b "{\n";
-  Printf.bprintf b "  \"bench\": \"pr7\",\n";
+  Printf.bprintf b "  \"bench\": \"pr8\",\n";
   Printf.bprintf b "  \"model\": \"pipeline (Model.full default)\",\n";
   Printf.bprintf b "  \"cores\": %d,\n" cores;
   Printf.bprintf b "  \"quick\": %b,\n" quick;
@@ -1035,10 +1066,12 @@ let bench_json ~quick ~file ?baseline () =
   Printf.bprintf b "    \"sweep\": [\n";
   List.iteri
     (fun i (jobs, _, s) ->
+      let speedup = if s > 0.0 then rep_serial_s /. s else 0.0 in
       Printf.bprintf b
-        "      { \"jobs\": %d, \"seconds\": %.6f, \"speedup\": %.3f }%s\n" jobs
-        s
-        (if s > 0.0 then rep_serial_s /. s else 0.0)
+        "      { \"jobs\": %d, \"seconds\": %.6f, \"speedup\": %.3f, \
+         \"parallel_efficiency\": %.3f }%s\n"
+        jobs s speedup
+        (speedup /. float_of_int jobs)
         (if i = List.length rep - 1 then "" else ","))
     rep;
   Printf.bprintf b "    ]\n  },\n";
@@ -1075,11 +1108,14 @@ let bench_json ~quick ~file ?baseline () =
   Printf.bprintf b "    \"jobs_sweep\": [\n";
   List.iteri
     (fun i (jobs, states, s) ->
+      let speedup = if s > 0.0 then hc_serial_s /. s else 0.0 in
       Printf.bprintf b
         "      { \"jobs\": %d, \"states\": %d, \"seconds\": %.6f, \
-         \"states_per_sec\": %.0f, \"speedup_vs_legacy\": %.3f }%s\n"
+         \"states_per_sec\": %.0f, \"speedup_vs_legacy\": %.3f, \
+         \"parallel_efficiency\": %.3f }%s\n"
         jobs states s (rate states s)
         (if s > 0.0 then legacy_s /. s else 0.0)
+        (speedup /. float_of_int jobs)
         (if i = List.length reach - 1 then "" else ","))
     reach;
   Printf.bprintf b "    ],\n";
@@ -1100,6 +1136,21 @@ let bench_json ~quick ~file ?baseline () =
     (if ring_packed_s > 0.0 then ring_boxed_s /. ring_packed_s else 0.0);
   Printf.bprintf b "      \"speedup_at_least_1_5x\": %b,\n"
     (ring_boxed_s >= 1.5 *. ring_packed_s);
+  Printf.bprintf b "      \"jobs_sweep\": [\n";
+  List.iteri
+    (fun i (jobs, g, s) ->
+      let speedup = if s > 0.0 then ring_packed_s /. s else 0.0 in
+      Printf.bprintf b
+        "        { \"jobs\": %d, \"seconds\": %.6f, \"states_per_sec\": \
+         %.0f, \"speedup\": %.3f, \"parallel_efficiency\": %.3f }%s\n"
+        jobs s
+        (rate (Pnut_reach.Graph.num_states g) s)
+        speedup
+        (speedup /. float_of_int jobs)
+        (if i = List.length ring_packed_jobs - 1 then "" else ","))
+    ring_packed_jobs;
+  Printf.bprintf b "      ],\n";
+  Printf.bprintf b "      \"identical_across_jobs\": %b,\n" sharded_identical;
   Printf.bprintf b "      \"bytes_per_state\": %.2f,\n" packed_bytes_per_state;
   Printf.bprintf b "      \"bytes_per_state_at_most_32\": %b,\n"
     (packed_bytes_per_state <= 32.0);
@@ -1196,6 +1247,11 @@ let bench_json ~quick ~file ?baseline () =
         "bench: FAIL reach.packed graphs differ from the boxed builder\n";
       false
     end
+    else if not sharded_identical then begin
+      Printf.eprintf
+        "bench: FAIL reach.packed sharded arenas differ across --jobs\n";
+      false
+    end
     else if
       (not quick)
       && not
@@ -1251,7 +1307,40 @@ let bench_json ~quick ~file ?baseline () =
         false
       end
   in
-  if not (sim_ok && reach_ok && budget_ok && packed_ok) then exit 1
+  (* the scaling gate: parallel efficiency of the sharded packed build
+     at jobs=4 must hold 0.70 — but only where the hardware can show
+     it.  On fewer than 4 cores (or the undersized quick ring, which
+     cannot amortize cross-shard traffic) the gate is announced as
+     skipped rather than silently passed, so a CI log always records
+     which verdict was reached and why. *)
+  let efficiency_ok =
+    match List.find_opt (fun (j, _, _) -> j = 4) ring_packed_jobs with
+    | Some (jobs, _, s) when cores >= 4 && not quick ->
+      let speedup = if s > 0.0 then ring_packed_s /. s else 0.0 in
+      let eff = speedup /. float_of_int jobs in
+      if eff >= 0.7 then begin
+        Printf.printf
+          "bench: reach.packed jobs=4 speedup %.2fx, efficiency %.2f \
+           (>=0.70): ok\n"
+          speedup eff;
+        true
+      end
+      else begin
+        Printf.eprintf
+          "bench: FAIL reach.packed jobs=4 parallel efficiency %.2f is \
+           below 0.70 (speedup %.2fx on %d cores)\n"
+          eff speedup cores;
+        false
+      end
+    | _ ->
+      Printf.printf
+        "bench: reach.packed efficiency gate SKIPPED (cores=%d, quick=%b; \
+         needs >=4 cores and the full-size ring)\n"
+        cores quick;
+      true
+  in
+  if not (sim_ok && reach_ok && budget_ok && packed_ok && efficiency_ok) then
+    exit 1
 
 let run_figures () =
   figure_1_to_3 ();
@@ -1279,7 +1368,7 @@ let () =
     | "--bench-json" :: next :: _ when String.length next > 0 && next.[0] <> '-'
       ->
       Some next
-    | "--bench-json" :: _ -> Some "BENCH_pr7.json"
+    | "--bench-json" :: _ -> Some "BENCH_pr8.json"
     | _ :: rest -> json_file rest
     | [] -> None
   in

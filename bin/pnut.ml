@@ -647,8 +647,10 @@ let reach_cmd =
          & info [ "packed" ] ~docv:"MODE"
              ~doc:"Compact bit-packed state store: auto (on when every \
                    place has a known bound), on, or off.  Cuts memory by \
-                   an order of magnitude on large graphs; the graph built \
-                   is identical either way.")
+                   an order of magnitude on large graphs, and with \
+                   $(b,--jobs) > 1 builds sharded across that many \
+                   domains; the graph built is identical either way and \
+                   for every worker count.")
   in
   let run path timed max_states ctl query packed jobs budget =
     let net = load_net path in

@@ -10,24 +10,47 @@ let env_jobs () =
 
 let cores () = max 1 (Domain.recommended_domain_count ())
 
-(* Auto-detection never oversubscribes: an absurd [PNUT_JOBS] is clamped
-   to the machine.  Explicitly requested counts are honoured (tests
-   deliberately run 4 workers on 1 core to exercise scheduling), but
-   oversubscription is worth one warning per process — domains are real
-   OS threads and contention makes runs slower, not faster. *)
+(* Auto-detection never oversubscribes: [PNUT_JOBS] is clamped to the
+   machine whether it arrives through [auto] ([jobs = Some 0]) or
+   through the [None] library default — the environment variable is
+   auto-detection, not an explicit override.  Only an explicit [?jobs]
+   count above the core count is honoured (tests deliberately run 4
+   workers on 1 core to exercise scheduling), and oversubscription is
+   worth a warning — domains are real OS threads and contention makes
+   runs slower, not faster. *)
 let auto () =
   match env_jobs () with Some n -> min n (cores ()) | None -> cores ()
 
-let warned_oversubscribed = Atomic.make false
+let warning_printer = ref (fun msg -> Printf.eprintf "%s\n%!" msg)
+let set_warning_printer f = warning_printer := f
+
+(* The oversubscription latch is per-resolved-count, not a process-wide
+   one-shot: with a persistent pool a process can first resolve 4
+   workers and later 8, and the larger request deserves its own
+   warning.  The latch keeps the largest count already warned about, so
+   repeating a count (or shrinking) stays quiet while growing warns
+   again. *)
+let warned_up_to = Atomic.make 0
+
+let reset_oversubscription_latch () = Atomic.set warned_up_to 0
 
 let warn_if_oversubscribed n =
   let c = cores () in
-  if n > c && not (Atomic.exchange warned_oversubscribed true) then
-    Printf.eprintf
-      "pnut: warning: %d jobs requested but only %d core%s available; extra \
-       workers will contend for CPU\n%!"
-      n c
-      (if c = 1 then "" else "s")
+  if n > c then begin
+    let rec latch () =
+      let prev = Atomic.get warned_up_to in
+      if n <= prev then false
+      else if Atomic.compare_and_set warned_up_to prev n then true
+      else latch ()
+    in
+    if latch () then
+      !warning_printer
+        (Printf.sprintf
+           "pnut: warning: %d jobs requested but only %d core%s available; \
+            extra workers will contend for CPU"
+           n c
+           (if c = 1 then "" else "s"))
+  end
 
 let resolve ?jobs () =
   let n =
@@ -35,7 +58,7 @@ let resolve ?jobs () =
     | Some n when n >= 1 -> n
     | Some 0 -> auto ()
     | Some n -> invalid_arg (Printf.sprintf "Pool: jobs must be >= 0, got %d" n)
-    | None -> ( match env_jobs () with Some n -> n | None -> 1)
+    | None -> ( match env_jobs () with Some n -> min n (cores ()) | None -> 1)
   in
   let n = min n max_workers in
   warn_if_oversubscribed n;
@@ -45,14 +68,172 @@ type 'a task_outcome =
   | Done of 'a
   | Failed of { exn : exn; backtrace : Printexc.raw_backtrace }
 
-(* Worker [d] computes tasks d, d+jobs, d+2*jobs, ...  Results and
-   exceptions (with their backtraces) land in per-index slots, so no
-   two domains ever write the same cell and the merge is a plain
-   in-order scan.  A slot left [None] after the join means its worker
-   died outside the per-task handler (or never spawned); those indices
-   are retried once, inline, which preserves bit-identical results
-   because stripes are index-deterministic. *)
-let run_striped_supervised jobs n f =
+(* -- the persistent pool --
+
+   Worker domains are spawned once per process, lazily, and parked on a
+   condition variable between batches.  A batch is either:
+
+   - chunked: tasks [0..n-1] are claimed in chunks off a shared atomic
+     cursor by up to [b_limit] participants (the calling domain plus
+     however many parked workers wake in time) — dynamic load balance,
+     still deterministic because task [i]'s result lands in slot [i]
+     whoever computes it; or
+
+   - team: exactly [b_n] members, member [m] pinned to worker [m] (the
+     caller is member 0).  Members are guaranteed their own domain, so
+     they may busy-wait on each other — the sharded reachability BFS
+     runs its co-routined shard loops this way.
+
+   [b_attempt] never raises (callers wrap task bodies), so a worker's
+   loop is total and the pool never loses a domain.  Completion is a
+   per-batch done-counter: the participant finishing the last task
+   broadcasts [idle] and the caller, waiting under the same mutex,
+   wakes.  Atomic increments publish the slot writes (the OCaml memory
+   model orders plain writes before a subsequent atomic that another
+   domain reads). *)
+
+type batch = {
+  b_n : int;
+  b_chunk : int;
+  b_team : bool;
+  b_limit : int;  (* max participants, caller included; chunked only *)
+  b_attempt : int -> unit;  (* must not raise *)
+  b_next : int Atomic.t;
+  b_done : int Atomic.t;
+  mutable b_joined : int;  (* under [mutex] *)
+}
+
+type pool = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  idle : Condition.t;
+  mutable batch : batch option;
+  mutable generation : int;
+  mutable size : int;  (* persistent workers spawned so far *)
+  mutable domains : unit Domain.t list;  (* handles, for [quiesce] *)
+  mutable quit : bool;  (* workers retire on wake; set by [quiesce] *)
+}
+
+let pool =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    idle = Condition.create ();
+    batch = None;
+    generation = 0;
+    size = 0;
+    domains = [];
+    quit = false;
+  }
+
+(* One batch in flight at a time; a nested or concurrent [init] (a task
+   that itself fans out, or a second embedder domain) falls back to
+   inline serial execution instead of corrupting the shared batch. *)
+let busy = Atomic.make false
+
+let signal_done () =
+  Mutex.lock pool.mutex;
+  Condition.broadcast pool.idle;
+  Mutex.unlock pool.mutex
+
+let finish_task (b : batch) =
+  if Atomic.fetch_and_add b.b_done 1 = b.b_n - 1 then signal_done ()
+
+let run_chunks (b : batch) =
+  let continue_ = ref true in
+  while !continue_ do
+    let start = Atomic.fetch_and_add b.b_next b.b_chunk in
+    if start >= b.b_n then continue_ := false
+    else
+      for i = start to min b.b_n (start + b.b_chunk) - 1 do
+        b.b_attempt i;
+        finish_task b
+      done
+  done
+
+let run_member (b : batch) m =
+  b.b_attempt m;
+  finish_task b
+
+(* Worker [w] (1-based, stable) parks between batches.  A chunked batch
+   is joined by any worker while participant slots remain; a team batch
+   only by the workers pinned to its members. *)
+let worker_loop w =
+  Mutex.lock pool.mutex;
+  (* A batch may have been published between this worker's spawn and its
+     first lock of the mutex; starting from a sentinel generation makes
+     the worker examine the in-flight batch immediately instead of
+     parking until the next one (which, for a team batch pinned to this
+     worker, would never come). *)
+  let my_gen = ref (-1) in
+  let running = ref true in
+  while !running do
+    while pool.generation = !my_gen && not pool.quit do
+      Condition.wait pool.work pool.mutex
+    done;
+    if pool.quit then running := false
+    else begin
+      my_gen := pool.generation;
+      match pool.batch with
+      | None -> ()
+      | Some b ->
+        if b.b_team then begin
+          if w < b.b_n then begin
+            Mutex.unlock pool.mutex;
+            run_member b w;
+            Mutex.lock pool.mutex
+          end
+        end
+        else if b.b_joined < b.b_limit then begin
+          b.b_joined <- b.b_joined + 1;
+          Mutex.unlock pool.mutex;
+          run_chunks b;
+          Mutex.lock pool.mutex
+        end
+    end
+  done;
+  Mutex.unlock pool.mutex
+
+(* Spawn persistent workers until [k] exist (or spawning fails — the
+   pool then simply runs with fewer); returns the current size. *)
+let ensure_workers k =
+  let k = min k (max_workers - 1) in
+  Mutex.lock pool.mutex;
+  (try
+     while (not pool.quit) && pool.size < k do
+       let w = pool.size + 1 in
+       let d = Domain.spawn (fun () -> worker_loop w) in
+       pool.domains <- d :: pool.domains;
+       pool.size <- w
+     done
+   with _ -> ());
+  let n = pool.size in
+  Mutex.unlock pool.mutex;
+  n
+
+(* Publish a batch, participate from the calling domain, then wait for
+   the done-counter under the mutex.  The caller re-checks the counter
+   before every wait, so a completion signalled before it parks is
+   never missed. *)
+let run_batch b =
+  Mutex.lock pool.mutex;
+  pool.batch <- Some b;
+  pool.generation <- pool.generation + 1;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  (if b.b_team then run_member b 0 else run_chunks b);
+  Mutex.lock pool.mutex;
+  while Atomic.get b.b_done < b.b_n do
+    Condition.wait pool.idle pool.mutex
+  done;
+  pool.batch <- None;
+  Mutex.unlock pool.mutex
+
+(* Chunk size: small enough for dynamic balance across uneven tasks,
+   large enough to amortize the shared-cursor fetch-and-add. *)
+let chunk_for workers n = max 1 (min 32 (n / (workers * 8)))
+
+let init_outcomes ~jobs n f =
   let slots = Array.make n None in
   let attempt i =
     match f i with
@@ -61,56 +242,131 @@ let run_striped_supervised jobs n f =
       let backtrace = Printexc.get_raw_backtrace () in
       slots.(i) <- Some (Failed { exn = e; backtrace })
   in
-  let worker d =
-    let i = ref d in
-    while !i < n do
-      (match slots.(!i) with Some _ -> () | None -> attempt !i);
-      i := !i + jobs
+  let inline () =
+    for i = 0 to n - 1 do
+      if slots.(i) = None then attempt i
     done
   in
-  let spawned =
-    List.init (jobs - 1) (fun k ->
-        try Some (Domain.spawn (fun () -> worker (k + 1)))
-        with _ -> None)
-  in
-  worker 0;
-  List.iter (function Some d -> (try Domain.join d with _ -> ()) | None -> ())
-    spawned;
-  (* Retry-once pass for any stripe abandoned by a dead worker. *)
-  for i = 0 to n - 1 do
-    if slots.(i) = None then attempt i
-  done;
+  (if jobs > 1 && n >= 2 then begin
+     let workers = min jobs (1 + ensure_workers (jobs - 1)) in
+     if workers > 1 && not (Atomic.exchange busy true) then
+       Fun.protect
+         ~finally:(fun () -> Atomic.set busy false)
+         (fun () ->
+           run_batch
+             {
+               b_n = n;
+               b_chunk = chunk_for workers n;
+               b_team = false;
+               b_limit = workers;
+               b_attempt = attempt;
+               b_next = Atomic.make 0;
+               b_done = Atomic.make 0;
+               b_joined = 1;
+             })
+   end);
+  (* Serial fallback doubles as a safety net: any slot not filled by the
+     parallel batch (pool busy, no workers, or nothing ran) is computed
+     inline, so the result is complete and deterministic regardless. *)
+  inline ();
   Array.map
-    (function Some o -> o | None -> assert false (* retried above *))
+    (function Some o -> o | None -> assert false (* filled above *))
     slots
 
-let run_striped jobs n f =
-  let slots = run_striped_supervised jobs n f in
+let reraise_lowest slots =
   Array.iter
     (function
       | Failed { exn; backtrace } ->
         (* lowest-numbered failure wins, with its original backtrace *)
         Printexc.raise_with_backtrace exn backtrace
       | Done _ -> ())
-    slots;
-  Array.map (function Done v -> v | Failed _ -> assert false) slots
+    slots
 
 let init ?jobs n f =
   if n < 0 then invalid_arg "Pool.init: negative size";
   let jobs = min (resolve ?jobs ()) (max 1 n) in
-  if jobs <= 1 then Array.init n f else run_striped jobs n f
+  let slots = init_outcomes ~jobs n f in
+  reraise_lowest slots;
+  Array.map (function Done v -> v | Failed _ -> assert false) slots
 
 let init_supervised ?jobs n f =
   if n < 0 then invalid_arg "Pool.init_supervised: negative size";
   let jobs = min (resolve ?jobs ()) (max 1 n) in
-  if jobs <= 1 then
-    Array.init n (fun i ->
-        match f i with
-        | v -> Done v
-        | exception e ->
-          Failed { exn = e; backtrace = Printexc.get_raw_backtrace () })
-  else run_striped_supervised jobs n f
+  init_outcomes ~jobs n f
 
 let map_list ?jobs f l =
   let arr = Array.of_list l in
   Array.to_list (init ?jobs (Array.length arr) (fun i -> f arr.(i)))
+
+(* -- co-scheduled teams -- *)
+
+let team_size ?jobs () =
+  let jobs = resolve ?jobs () in
+  if jobs <= 1 then 1 else min jobs (1 + ensure_workers (jobs - 1))
+
+let run_team j member =
+  if j < 1 then invalid_arg "Pool.run_team: team size must be >= 1";
+  if j = 1 then begin
+    member 0;
+    true
+  end
+  else if 1 + ensure_workers (j - 1) < j then false
+  else if Atomic.exchange busy true then false
+  else begin
+    let slots = Array.make j None in
+    let attempt m =
+      match member m with
+      | () -> slots.(m) <- Some (Done ())
+      | exception e ->
+        let backtrace = Printexc.get_raw_backtrace () in
+        slots.(m) <- Some (Failed { exn = e; backtrace })
+    in
+    Fun.protect
+      ~finally:(fun () -> Atomic.set busy false)
+      (fun () ->
+        run_batch
+          {
+            b_n = j;
+            b_chunk = 1;
+            b_team = true;
+            b_limit = j;
+            b_attempt = attempt;
+            b_next = Atomic.make 0;
+            b_done = Atomic.make 0;
+            b_joined = 1;
+          });
+    reraise_lowest
+      (Array.map (function Some o -> o | None -> assert false) slots);
+    true
+  end
+
+(* Retiring the pool matters on OCaml 5 because *every* live domain
+   participates in every stop-the-world minor collection: a process
+   that finished its parallel phase and entered a long serial,
+   allocation-heavy phase pays a cross-domain synchronization per
+   minor GC for workers that are doing nothing — measured at ~2x on
+   serial simulation throughput on a single-core container.  The next
+   parallel call simply respawns the workers. *)
+let quiesce () =
+  if not (Atomic.exchange busy true) then
+    Fun.protect
+      ~finally:(fun () -> Atomic.set busy false)
+      (fun () ->
+        Mutex.lock pool.mutex;
+        let ds = pool.domains in
+        pool.domains <- [];
+        pool.size <- 0;
+        pool.quit <- true;
+        Condition.broadcast pool.work;
+        Mutex.unlock pool.mutex;
+        List.iter Domain.join ds;
+        Mutex.lock pool.mutex;
+        pool.quit <- false;
+        Mutex.unlock pool.mutex)
+
+(* Backoff for busy-wait loops inside team members: stay on the CPU for
+   a short burst (another member is usually about to publish), then
+   yield real time so an oversubscribed box can schedule the member
+   being waited on. *)
+let relax spins =
+  if spins < 512 then Domain.cpu_relax () else Unix.sleepf 0.0002

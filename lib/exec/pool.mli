@@ -1,12 +1,17 @@
-(** Deterministic multicore execution.
+(** Deterministic multicore execution on a persistent domain pool.
 
-    A small [Domain]-based worker pool for the embarrassingly parallel
-    hot paths (independent replications, fault campaigns, frontier
-    expansion in reachability).  Work is assigned statically: task [i]
-    always runs the same computation regardless of how many workers
-    exist, and results are collected into an array indexed by task
-    number, so the output of every pool operation is {e bit-identical}
-    for any [jobs] value.  Parallelism changes wall-clock time only.
+    Worker domains are spawned {e once per process}, lazily sized by
+    {!resolve}, and parked on a condition variable between calls —
+    entering a parallel region costs a mutex handshake, not a round of
+    [Domain.spawn].  Work arrives as chunked batches claimed off a
+    shared cursor (dynamic load balance), but task [i]'s result always
+    lands in slot [i], so the output of every pool operation is
+    {e bit-identical} for any [jobs] value.  Parallelism changes
+    wall-clock time only.
+
+    A batch runs one at a time: a nested call (a task that itself fans
+    out) or a concurrent call from another domain falls back to inline
+    serial execution with the same results.
 
     Jobs resolution, everywhere a [?jobs] argument appears in the
     library:
@@ -15,7 +20,11 @@
       [Domain.recommended_domain_count ()];
     - [None]: [PNUT_JOBS] if set, else [1] (serial).  The conservative
       library default keeps embedders single-domain unless they, or the
-      environment, opt in. *)
+      environment, opt in.
+
+    [PNUT_JOBS] is auto-detection on both paths, so it is always
+    clamped to the core count — only an {e explicit} [?jobs] override
+    can oversubscribe the machine. *)
 
 val auto : unit -> int
 (** [PNUT_JOBS] when set to a positive integer, else
@@ -28,18 +37,26 @@ val resolve : ?jobs:int -> unit -> int
     table above).  Raises [Invalid_argument] on a negative count.
     The result is clamped to at most 64 workers.  An {e explicitly}
     requested count above the core count is honoured — useful in tests —
-    but prints one warning per process to stderr, since extra domains
-    only contend for CPU. *)
+    but warns on stderr, once per distinct count (a later, larger
+    request warns again; repeating or shrinking stays quiet), since
+    extra domains only contend for CPU. *)
+
+val set_warning_printer : (string -> unit) -> unit
+(** Replace the stderr printer for pool warnings (tests capture it,
+    embedders can route it to their logger). *)
+
+val reset_oversubscription_latch : unit -> unit
+(** Forget which counts have already been warned about (tests only). *)
 
 val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
-(** [init ~jobs n f] is [[| f 0; ...; f (n-1) |]], computed by [jobs]
-    domains with a static round-robin assignment (worker [d] runs the
-    tasks [i] with [i mod jobs = d]).  [f] must not depend on shared
-    mutable state.  If several tasks raise, the exception of the
-    {e lowest-numbered} task is re-raised after all workers join — with
-    its original backtrace — so failures are deterministic too.  With
-    one worker (or fewer than two tasks) everything runs inline in the
-    calling domain — no spawns. *)
+(** [init ~jobs n f] is [[| f 0; ...; f (n-1) |]], computed by up to
+    [jobs] domains (the caller plus parked pool workers) claiming
+    chunks of the index range dynamically.  [f] must not depend on
+    shared mutable state.  If several tasks raise, the exception of the
+    {e lowest-numbered} task is re-raised after the batch completes —
+    with its original backtrace — so failures are deterministic too.
+    With one worker (or fewer than two tasks) everything runs inline in
+    the calling domain. *)
 
 type 'a task_outcome =
   | Done of 'a
@@ -48,12 +65,47 @@ type 'a task_outcome =
 val init_supervised : ?jobs:int -> int -> (int -> 'a) -> 'a task_outcome array
 (** Like {!init}, but no exception is re-raised: the merge reports a
     per-index outcome instead, each failure carrying the backtrace
-    captured in the worker domain.  If a worker dies outside the
-    per-task handler (a failed spawn, an asynchronous exception), the
-    un-attempted remainder of its stripe is retried once on the calling
-    domain after the join — results stay bit-identical because stripes
-    are index-deterministic. *)
+    captured in the domain that ran it. *)
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ~jobs f l] maps [f] over [l] in parallel, preserving
     order; same guarantees as {!init}. *)
+
+(** {2 Co-scheduled teams}
+
+    {!init} tasks must be independent; team members may communicate.
+    A team of [j] members runs each member on its own domain
+    simultaneously (member 0 on the caller, member [m] pinned to
+    persistent worker [m]), so members can busy-wait on data published
+    by other members — the sharded reachability BFS runs its shard
+    loops this way. *)
+
+val team_size : ?jobs:int -> unit -> int
+(** Resolve [jobs] and make sure enough persistent workers exist to
+    co-schedule that many members; the achievable team size ([>= 1],
+    smaller than the request when domains cannot be spawned). *)
+
+val run_team : int -> (int -> unit) -> bool
+(** [run_team j member] runs [member 0 .. member (j - 1)] concurrently,
+    one per domain, and returns [true] once all have finished (the
+    lowest member's exception, if any, is re-raised after the join).
+    Returns [false] — running nothing — when the pool is busy or the
+    workers are missing; the caller must then take its serial path.
+    [run_team 1 member] runs [member 0] inline and returns [true]. *)
+
+val relax : int -> unit
+(** Backoff helper for busy-wait loops inside team members: spin for
+    small counts, sleep a fraction of a millisecond beyond that so
+    oversubscribed boxes can schedule the member being waited on.
+    Call with an attempt counter that resets on progress. *)
+
+val quiesce : unit -> unit
+(** Retire the parked worker domains and join them; the next parallel
+    call respawns the pool.  On OCaml 5 every live domain takes part in
+    every stop-the-world minor collection, so a parked pool taxes a
+    long serial allocation-heavy phase that follows a parallel one —
+    ~2x on serial simulation throughput on a single-core box.  Call
+    this between a parallel phase and sustained serial work (the bench
+    does, around its serial measurement sections); a process that
+    exits after its parallel phase never needs to.  No-op when a batch
+    is in flight. *)

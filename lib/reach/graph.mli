@@ -37,9 +37,13 @@ val build : ?max_states:int -> ?jobs:int -> ?packed:bool -> Pnut_core.Net.t -> t
     states are bit-packed (fields sized from
     {!Pnut_core.Incidence.place_bounds} with a checked widen path) and
     edges CSR-encoded, cutting memory by an order of magnitude at the
-    10^6+-state scale.  The packed sweep is serial ([jobs] is ignored)
-    but produces the same graph — numbering, edge order, truncation —
-    as the boxed builder. *)
+    10^6+-state scale.  With [jobs > 1] the packed sweep runs sharded:
+    each domain owns the states hashing into its shard, interns them
+    lock-free and forwards cross-shard successors through SPSC
+    channels, and a deterministic merge renumbers the result — the
+    store is byte-identical to the serial sweep's for every [jobs]
+    value (nets with variables, layout overflows and cap hits fall back
+    to the serial sweep transparently). *)
 
 val build_supervised :
   ?max_states:int ->
@@ -79,6 +83,12 @@ val find_state : t -> int array -> int option
 val packed_bytes_per_state : t -> float option
 (** Store footprint (arena + index bytes over states) for a packed
     graph; [None] for the boxed representation. *)
+
+val packed_arrays : t -> (int array * int array * int array * int array) option
+(** The packed store's physical [(arena, index, succ_off, succ_dat)]
+    arrays ([None] for the boxed representation), exposed so the
+    jobs-sweep determinism tests and the bench identity gate can assert
+    byte-for-byte equality across builders.  Read only. *)
 
 (** {2 Analyses} *)
 

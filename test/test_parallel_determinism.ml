@@ -61,6 +61,25 @@ let check_graph_parity name net =
 let test_graph_pipeline () = check_graph_parity "pipeline" (pipeline ())
 let test_graph_interpreted () = check_graph_parity "interpreted" (interpreted_net ())
 
+let check_packed_parity name net =
+  let serial = Graph.build ~jobs:1 ~packed:true net in
+  List.iter
+    (fun jobs ->
+      let parallel = Graph.build ~jobs ~packed:true net in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: jobs=%d packed graph identical" name jobs)
+        true
+        (graph_digest serial = graph_digest parallel
+        && Graph.packed_arrays serial = Graph.packed_arrays parallel))
+    [ 2; 4 ]
+
+(* the pipeline model is variable-free, so jobs > 1 routes through the
+   sharded builder; the interpreted net exercises its fallback gate *)
+let test_packed_pipeline () = check_packed_parity "pipeline" (pipeline ())
+
+let test_packed_interpreted () =
+  check_packed_parity "interpreted" (interpreted_net ())
+
 (* a deterministic timed net with real concurrency: two producers with
    different periods feeding a consumer *)
 let timed_net () =
@@ -146,6 +165,9 @@ let () =
           Alcotest.test_case "pipeline graph parity" `Slow test_graph_pipeline;
           Alcotest.test_case "interpreted graph parity" `Quick
             test_graph_interpreted;
+          Alcotest.test_case "packed sharded parity" `Slow test_packed_pipeline;
+          Alcotest.test_case "packed fallback parity" `Quick
+            test_packed_interpreted;
           Alcotest.test_case "timed graph parity" `Quick test_timed_parity;
         ] );
       ( "experiments",

@@ -60,6 +60,129 @@ let test_workers_really_cover_all_tasks () =
   in
   Alcotest.(check int) "sum 0..999" (n * (n - 1) / 2) sum
 
+let cores () = max 1 (Domain.recommended_domain_count ())
+
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () ->
+      (* the empty string parses as unset on the PNUT_JOBS path *)
+      Unix.putenv name (Option.value old ~default:""))
+    f
+
+let test_env_jobs_clamped () =
+  (* PNUT_JOBS is auto-detection on both resolution paths, so a value
+     above the core count must be clamped on both — only an explicit
+     ?jobs override may oversubscribe *)
+  with_env "PNUT_JOBS" "64" (fun () ->
+      let c = cores () in
+      Alcotest.(check int) "default (None) clamps the env value"
+        (min 64 c) (Pool.resolve ());
+      Alcotest.(check int) "auto (Some 0) clamps the env value"
+        (min 64 c) (Pool.resolve ~jobs:0 ());
+      Alcotest.(check int) "explicit override is honoured" 64
+        (Pool.resolve ~jobs:64 ()))
+
+let test_oversubscription_latch () =
+  let c = cores () in
+  if c + 5 > 64 then
+    (* the 64-worker cap would mask oversubscription on this machine *)
+    Alcotest.(check bool) "skipped: too many cores to oversubscribe" true true
+  else begin
+    let warnings = ref [] in
+    Pool.set_warning_printer (fun m -> warnings := m :: !warnings);
+    Fun.protect
+      ~finally:(fun () ->
+        Pool.set_warning_printer (fun m -> Printf.eprintf "%s\n%!" m);
+        Pool.reset_oversubscription_latch ())
+      (fun () ->
+        Pool.reset_oversubscription_latch ();
+        ignore (Pool.resolve ~jobs:(c + 2) () : int);
+        Alcotest.(check int) "first oversubscribed resolve warns" 1
+          (List.length !warnings);
+        ignore (Pool.resolve ~jobs:(c + 2) () : int);
+        ignore (Pool.resolve ~jobs:(c + 1) () : int);
+        Alcotest.(check int) "repeating or shrinking stays quiet" 1
+          (List.length !warnings);
+        ignore (Pool.resolve ~jobs:(c + 5) () : int);
+        Alcotest.(check int) "a larger request warns again" 2
+          (List.length !warnings))
+  end
+
+let test_team_persistent_domains () =
+  if Pool.team_size ~jobs:3 () < 3 then
+    Alcotest.(check bool) "skipped: could not spawn a team of 3" true true
+  else begin
+    let ids1 = Array.make 3 (-1) and ids2 = Array.make 3 (-1) in
+    let ran1 = Pool.run_team 3 (fun m -> ids1.(m) <- (Domain.self () :> int)) in
+    let ran2 = Pool.run_team 3 (fun m -> ids2.(m) <- (Domain.self () :> int)) in
+    Alcotest.(check bool) "both teams ran" true (ran1 && ran2);
+    Alcotest.(check int) "three distinct domains" 3
+      (List.length (List.sort_uniq compare (Array.to_list ids1)));
+    (* the pool is persistent: the second team runs on the same spawned
+       domains as the first (member 0 is the caller both times) *)
+    Alcotest.(check (array int)) "same domains reused across calls" ids1 ids2
+  end
+
+let test_team_co_scheduled () =
+  (* members busy-wait on each other: this only terminates if all four
+     run on their own domain simultaneously *)
+  if Pool.team_size ~jobs:4 () < 4 then
+    Alcotest.(check bool) "skipped: could not spawn a team of 4" true true
+  else begin
+    let flags = Array.init 4 (fun _ -> Atomic.make false) in
+    let ok =
+      Pool.run_team 4 (fun m ->
+          Atomic.set flags.(m) true;
+          Array.iter
+            (fun f ->
+              let spins = ref 0 in
+              while not (Atomic.get f) do
+                incr spins;
+                Pool.relax !spins
+              done)
+            flags)
+    in
+    Alcotest.(check bool) "full barrier completed" true ok
+  end
+
+let test_team_refused_while_pool_busy () =
+  (* a team request from inside a running batch must refuse (returning
+     false) rather than corrupt the batch in flight *)
+  if Pool.team_size ~jobs:2 () < 2 then
+    Alcotest.(check bool) "skipped: could not spawn a worker" true true
+  else begin
+    let results =
+      Pool.init ~jobs:2 2 (fun _ -> Pool.run_team 2 (fun _ -> ()))
+    in
+    Alcotest.(check (array bool))
+      "nested run_team refused on both tasks" [| false; false |] results
+  end
+
+let test_quiesce_respawns () =
+  if Pool.team_size ~jobs:2 () < 2 then
+    Alcotest.(check bool) "skipped: could not spawn a worker" true true
+  else begin
+    let id1 = ref (-1) and id2 = ref (-1) in
+    let ran1 =
+      Pool.run_team 2 (fun m -> if m = 1 then id1 := (Domain.self () :> int))
+    in
+    Pool.quiesce ();
+    (* the next team call respawns the pool transparently *)
+    let ran2 =
+      Pool.run_team 2 (fun m -> if m = 1 then id2 := (Domain.self () :> int))
+    in
+    Alcotest.(check bool) "both teams ran" true (ran1 && ran2);
+    (* domain ids are never reused within a process, so a retired
+       worker's replacement is observably a fresh domain *)
+    Alcotest.(check bool) "fresh worker domain after quiesce" true
+      (!id1 >= 0 && !id2 >= 0 && !id1 <> !id2);
+    Pool.quiesce ();
+    (* quiescing an already-empty pool is a no-op *)
+    Pool.quiesce ()
+  end
+
 let () =
   Alcotest.run "pool"
     [
@@ -74,5 +197,20 @@ let () =
             test_lowest_index_error;
           Alcotest.test_case "full coverage" `Quick
             test_workers_really_cover_all_tasks;
+          Alcotest.test_case "PNUT_JOBS clamped to cores" `Quick
+            test_env_jobs_clamped;
+          Alcotest.test_case "oversubscription latch per count" `Quick
+            test_oversubscription_latch;
+        ] );
+      ( "team",
+        [
+          Alcotest.test_case "persistent domains reused" `Quick
+            test_team_persistent_domains;
+          Alcotest.test_case "members co-scheduled" `Quick
+            test_team_co_scheduled;
+          Alcotest.test_case "refused while pool busy" `Quick
+            test_team_refused_while_pool_busy;
+          Alcotest.test_case "quiesce retires and respawns" `Quick
+            test_quiesce_respawns;
         ] );
     ]
