@@ -937,6 +937,53 @@ let bench_json ~quick ~file ?baseline () =
           && Pnut_reach.Graph.complete ring_boxed_g
              = Pnut_reach.Graph.complete ring_packed_g)
   in
+  (* PR 9: stubborn-set reduction on indep6x4 — six independent 4-stage
+     pipelines, the pure interleaving explosion (5^6 = 15625 full
+     states).  Both the deadlock-set identity and the >= 5x reduction
+     are deterministic state counts, gated absolutely in quick and full
+     runs alike; the timings ride along as advisory data. *)
+  let indep = Pnut_pipeline.Indep.net ~pipelines:6 ~stages:4 in
+  let por_cap = 200_000 in
+  let por_full_g, por_full_s =
+    best_of packed_reps (fun () ->
+        Pnut_reach.Graph.build ~max_states:por_cap ~jobs:1 ~packed:true indep)
+  in
+  let por_red_g, por_red_s =
+    best_of packed_reps (fun () ->
+        Pnut_reach.Graph.build ~max_states:por_cap ~jobs:1 ~packed:true
+          ~por:true indep)
+  in
+  let por_full_states = Pnut_reach.Graph.num_states por_full_g in
+  let por_red_states = Pnut_reach.Graph.num_states por_red_g in
+  let deadlock_markings g =
+    List.sort compare
+      (List.map
+         (fun i ->
+           (Pnut_reach.Graph.state g i).Pnut_reach.Graph.s_marking)
+         (Pnut_reach.Graph.deadlocks g))
+  in
+  let por_deadlocks_identical =
+    deadlock_markings por_full_g = deadlock_markings por_red_g
+    && (* the boxed builders must agree with each other too *)
+    deadlock_markings (Pnut_reach.Graph.build ~max_states:por_cap ~jobs:1 indep)
+    = deadlock_markings
+        (Pnut_reach.Graph.build ~max_states:por_cap ~jobs:1 ~por:true indep)
+  in
+  let por_jobs_identical =
+    let base = Pnut_reach.Graph.packed_arrays por_red_g in
+    List.for_all
+      (fun jobs ->
+        jobs = 1
+        || Pnut_reach.Graph.packed_arrays
+             (Pnut_reach.Graph.build ~max_states:por_cap ~jobs ~packed:true
+                ~por:true indep)
+           = base)
+      job_counts
+  in
+  Pnut_exec.Pool.quiesce ();
+  let por_reduction =
+    float_of_int por_full_states /. float_of_int (max 1 por_red_states)
+  in
   (* raw simulation events/sec (single stream; the per-run engine),
      measured against the frozen pre-optimization engine on the same
      model and seed, and swept across every built-in model — locality
@@ -1055,7 +1102,7 @@ let bench_json ~quick ~file ?baseline () =
   (* emit *)
   let rate count s = if s > 0.0 then float_of_int count /. s else 0.0 in
   Printf.bprintf b "{\n";
-  Printf.bprintf b "  \"bench\": \"pr8\",\n";
+  Printf.bprintf b "  \"bench\": \"pr9\",\n";
   Printf.bprintf b "  \"model\": \"pipeline (Model.full default)\",\n";
   Printf.bprintf b "  \"cores\": %d,\n" cores;
   Printf.bprintf b "  \"quick\": %b,\n" quick;
@@ -1155,6 +1202,21 @@ let bench_json ~quick ~file ?baseline () =
   Printf.bprintf b "      \"bytes_per_state_at_most_32\": %b,\n"
     (packed_bytes_per_state <= 32.0);
   Printf.bprintf b "      \"identical_on_figures\": %b\n" packed_identical;
+  Printf.bprintf b "    },\n";
+  Printf.bprintf b "    \"por\": {\n";
+  Printf.bprintf b "      \"model\": \"indep6x4\",\n";
+  Printf.bprintf b
+    "      \"full\": { \"states\": %d, \"seconds\": %.6f },\n"
+    por_full_states por_full_s;
+  Printf.bprintf b
+    "      \"reduced\": { \"states\": %d, \"seconds\": %.6f },\n"
+    por_red_states por_red_s;
+  Printf.bprintf b "      \"reduction\": %.1f,\n" por_reduction;
+  Printf.bprintf b "      \"reduction_at_least_5x\": %b,\n"
+    (por_full_states >= 5 * por_red_states);
+  Printf.bprintf b "      \"deadlock_sets_identical\": %b,\n"
+    por_deadlocks_identical;
+  Printf.bprintf b "      \"identical_across_jobs\": %b\n" por_jobs_identical;
   Printf.bprintf b "    }\n";
   Printf.bprintf b "  },\n";
   Printf.bprintf b "  \"sim\": {\n";
@@ -1275,6 +1337,37 @@ let bench_json ~quick ~file ?baseline () =
       true
     end
   in
+  (* the stubborn-set acceptance thresholds are deterministic state
+     counts, so they gate unconditionally: identical deadlock marking
+     sets always, >= 5x fewer states on indep6x4, and byte-identical
+     reduced arenas across worker counts *)
+  let por_ok =
+    if not por_deadlocks_identical then begin
+      Printf.eprintf
+        "bench: FAIL reach.por deadlock marking sets differ between the \
+         full and reduced builds\n";
+      false
+    end
+    else if por_full_states < 5 * por_red_states then begin
+      Printf.eprintf
+        "bench: FAIL reach.por reduction %.1fx on indep6x4 (%d vs %d \
+         states; >= 5x required)\n"
+        por_reduction por_full_states por_red_states;
+      false
+    end
+    else if not por_jobs_identical then begin
+      Printf.eprintf
+        "bench: FAIL reach.por reduced arenas differ across --jobs\n";
+      false
+    end
+    else begin
+      Printf.printf
+        "bench: reach.por indep6x4 %d -> %d states (%.1fx), deadlock sets \
+         identical: ok\n"
+        por_full_states por_red_states por_reduction;
+      true
+    end
+  in
   let sim_ok = gate "sim.events_per_sec" (rate events sim_s) baseline_sim_rate in
   let reach_ok =
     gate "reach.states_per_sec" (rate kernel_states kernel_s)
@@ -1339,8 +1432,11 @@ let bench_json ~quick ~file ?baseline () =
         cores quick;
       true
   in
-  if not (sim_ok && reach_ok && budget_ok && packed_ok && efficiency_ok) then
-    exit 1
+  if
+    not
+      (sim_ok && reach_ok && budget_ok && packed_ok && por_ok
+     && efficiency_ok)
+  then exit 1
 
 let run_figures () =
   figure_1_to_3 ();
@@ -1368,7 +1464,7 @@ let () =
     | "--bench-json" :: next :: _ when String.length next > 0 && next.[0] <> '-'
       ->
       Some next
-    | "--bench-json" :: _ -> Some "BENCH_pr8.json"
+    | "--bench-json" :: _ -> Some "BENCH_pr9.json"
     | _ :: rest -> json_file rest
     | [] -> None
   in

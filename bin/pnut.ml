@@ -174,15 +174,41 @@ let max_events_arg =
 let model_cmd =
   let doc = "Emit a built-in processor model in the textual language." in
   let which =
+    (* the named models plus the indep<N>x<K> generator family, which an
+       enum cannot express *)
+    let parse s =
+      match s with
+      | "pipeline" -> Ok `Pipeline
+      | "prefetch" -> Ok `Prefetch
+      | "interpreted" -> Ok `Interpreted
+      | "branching" -> Ok `Branching
+      | "serial" -> Ok `Serial
+      | _ ->
+        (match Pnut_pipeline.Indep.parse_name s with
+        | Some (n, k) -> Ok (`Indep (n, k))
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "invalid model %S: expected pipeline, prefetch, \
+                   interpreted, branching, serial or indep<N>x<K>"
+                  s)))
+    in
+    let print ppf = function
+      | `Pipeline -> Format.pp_print_string ppf "pipeline"
+      | `Prefetch -> Format.pp_print_string ppf "prefetch"
+      | `Interpreted -> Format.pp_print_string ppf "interpreted"
+      | `Branching -> Format.pp_print_string ppf "branching"
+      | `Serial -> Format.pp_print_string ppf "serial"
+      | `Indep (n, k) -> Format.fprintf ppf "indep%dx%d" n k
+    in
     Arg.(value
-         & pos 0
-             (enum
-                [ ("pipeline", `Pipeline); ("prefetch", `Prefetch);
-                  ("interpreted", `Interpreted); ("branching", `Branching);
-                  ("serial", `Serial) ])
-             `Pipeline
+         & pos 0 (Arg.conv (parse, print)) `Pipeline
          & info [] ~docv:"NAME"
-             ~doc:"pipeline (Figures 1-3), prefetch (Figure 1), interpreted                    (Figure 4 style), or branching (flush-on-branch).")
+             ~doc:"pipeline (Figures 1-3), prefetch (Figure 1), interpreted \
+                   (Figure 4 style), branching (flush-on-branch), serial, \
+                   or indep<N>x<K> (N independent K-stage pipelines — a \
+                   width-scalable concurrency benchmark).")
   in
   let memory =
     Arg.(value & opt float 5.0 & info [ "memory-cycles" ] ~docv:"C"
@@ -209,6 +235,7 @@ let model_cmd =
       | `Interpreted -> Pnut_pipeline.Interpreted.full config
       | `Branching -> Pnut_pipeline.Branching.full config
       | `Serial -> Pnut_pipeline.Serial.full config
+      | `Indep (n, k) -> Pnut_pipeline.Indep.net ~pipelines:n ~stages:k
     in
     let text = Format.asprintf "%a" Pnut_core.Net.pp net in
     match out with
@@ -652,7 +679,21 @@ let reach_cmd =
                    domains; the graph built is identical either way and \
                    for every worker count.")
   in
-  let run path timed max_states ctl query packed jobs budget =
+  let por =
+    Arg.(value
+         & opt (enum [ ("auto", `Auto); ("on", `On); ("off", `Off) ]) `Auto
+         & info [ "por" ] ~docv:"MODE"
+             ~doc:"Stubborn-set partial-order reduction: auto (on for \
+                   deadlock/boundedness runs on plain place/transition \
+                   nets; off when $(b,--ctl)/$(b,--query) needs the full \
+                   graph or variables/predicates/actions make firings \
+                   visible), on, or off.  Preserves the exact deadlock \
+                   markings (and place bounds on terminating nets) while \
+                   visiting orders of magnitude fewer states on wide \
+                   concurrent nets; state and edge counts are counts of \
+                   the reduced graph.")
+  in
+  let run path timed max_states ctl query packed por jobs budget =
     let net = load_net path in
     (* On a budget trip the partial graph is still a valid prefix:
        summarize it, run the CTL/query checks on it (a failure on the
@@ -667,6 +708,9 @@ let reach_cmd =
     if timed then begin
       if packed = `On then
         die "--packed on: the packed store supports untimed reachability only";
+      if por = `On then
+        die "--por on: partial-order reduction supports untimed \
+             reachability only";
       let outcome =
         Pnut_reach.Timed.build_supervised ~max_states ~jobs ?budget net
       in
@@ -681,11 +725,61 @@ let reach_cmd =
         | `Off -> false
         | `Auto -> Pnut_reach.Packed.bounds_known net
       in
+      let por =
+        match por with
+        | `On ->
+          if ctl <> [] || query <> [] then
+            die "--por on: --ctl/--query need the full interleaving graph; \
+                 drop them or pass --por off";
+          (match Pnut_reach.Stubborn.unsupported net with
+          | Some r -> die "%s" (Pnut_reach.Stubborn.rejection_message r)
+          | None -> true)
+        | `Off -> false
+        | `Auto ->
+          ctl = [] && query = []
+          && Pnut_reach.Stubborn.unsupported net = None
+      in
       let outcome =
-        Pnut_reach.Graph.build_supervised ~max_states ~jobs ?budget ~packed net
+        Pnut_reach.Graph.build_supervised ~max_states ~jobs ?budget ~packed
+          ~por net
       in
       let g = Pnut_exec.Supervisor.value outcome in
       Format.printf "%a@." Pnut_reach.Graph.pp_summary g;
+      (* One-line machine-grepable stats on stderr.  por_reduction is the
+         per-state branching reduction (token-enabled firings the full
+         expansion would have taken, over edges actually recorded) — a
+         lower bound on the state-count reduction, measurable without
+         building the full graph; 1.0x when the reduction is off. *)
+      let bytes_per_state =
+        match Pnut_reach.Graph.packed_bytes_per_state g with
+        | Some b -> Printf.sprintf "%.1f" b
+        | None -> "-"
+      in
+      let por_reduction =
+        if not por then 1.0
+        else begin
+          let kernel = Pnut_core.Kernel.of_net net in
+          let trans = Pnut_core.Kernel.transitions kernel in
+          let total = ref 0 in
+          for i = 0 to Pnut_reach.Graph.num_states g - 1 do
+            let m =
+              Pnut_core.Marking.of_array
+                (Pnut_reach.Graph.state g i).Pnut_reach.Graph.s_marking
+            in
+            Array.iter
+              (fun c ->
+                if Pnut_core.Kernel.token_enabled c m then incr total)
+              trans
+          done;
+          float_of_int !total
+          /. float_of_int (max 1 (Pnut_reach.Graph.num_edges g))
+        end
+      in
+      Printf.eprintf "reach: states=%d edges=%d bytes/state=%s \
+                      por_reduction=%.1fx\n%!"
+        (Pnut_reach.Graph.num_states g)
+        (Pnut_reach.Graph.num_edges g)
+        bytes_per_state por_reduction;
       let failures = ref 0 in
       List.iter
         (fun f ->
@@ -710,7 +804,7 @@ let reach_cmd =
   in
   Cmd.v (Cmd.info "reach" ~doc)
     Term.(const run $ net_arg $ timed $ max_states $ ctl $ query $ packed
-          $ jobs_arg $ budget_arg)
+          $ por $ jobs_arg $ budget_arg)
 
 (* -- pnut invariants -- *)
 

@@ -178,6 +178,88 @@ let place_bounds net =
   end;
   bounds
 
+(* -- static dependency relations for stubborn-set reduction --
+
+   [conflicts] links two transitions whenever they touch a common place
+   through any arc (input, inhibitor or output).  This is deliberately
+   coarser than the minimal "shared input place" conflict: besides token
+   competition it covers both inhibitor directions (t may raise or
+   lower a place t' tests, and vice versa) and shared outputs, whose
+   interleavings are what give a place its intermediate peaks — so a
+   reduction closed under this relation never fires two place-sharing
+   transitions in only one order, which is what keeps the reduced
+   graph's deadlock set exact and its place bounds exact on terminating
+   nets.  Transitions in different place-connected components stay
+   unrelated, which is where the reduction wins.
+
+   [enablers]/[consumers] are per place: the transitions whose firing
+   strictly raises (resp. lowers) its token count, by net arc delta —
+   a self-loop that returns what it takes moves nothing and appears in
+   neither.  They answer the closure's question for a disabled
+   transition: who could cure an insufficient input place (producers),
+   who could release an over-threshold inhibitor place (consumers). *)
+
+let arc_places tr =
+  let ps arcs = List.map (fun a -> a.Net.a_place) arcs in
+  List.sort_uniq compare
+    (ps tr.Net.t_inputs @ ps tr.Net.t_inhibitors @ ps tr.Net.t_outputs)
+
+let conflicts net =
+  let np = Net.num_places net in
+  let nt = Net.num_transitions net in
+  let touching = Array.make np [] in
+  (* descending build per place so each list ends up ascending *)
+  for i = nt - 1 downto 0 do
+    List.iter
+      (fun p -> touching.(p) <- i :: touching.(p))
+      (arc_places (Net.transition net i))
+  done;
+  let seen = Array.make nt false in
+  Array.map
+    (fun tr ->
+      let t = tr.Net.t_id in
+      let acc = ref [] in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun t' ->
+              if t' <> t && not seen.(t') then begin
+                seen.(t') <- true;
+                acc := t' :: !acc
+              end)
+            touching.(p))
+        (arc_places tr);
+      let l = List.sort compare !acc in
+      List.iter (fun t' -> seen.(t') <- false) l;
+      Array.of_list l)
+    (Net.transitions net)
+
+let net_deltas net =
+  let np = Net.num_places net in
+  let prod = Array.make np [] in
+  let cons = Array.make np [] in
+  for i = Net.num_transitions net - 1 downto 0 do
+    let tr = Net.transition net i in
+    let delta = Hashtbl.create 8 in
+    let add sign { Net.a_place; a_weight } =
+      let d = try Hashtbl.find delta a_place with Not_found -> 0 in
+      Hashtbl.replace delta a_place (d + (sign * a_weight))
+    in
+    List.iter (add (-1)) tr.Net.t_inputs;
+    List.iter (add 1) tr.Net.t_outputs;
+    (* iterate places in sorted order so the per-place lists stay
+       deterministic (Hashtbl.iter order is not) *)
+    Hashtbl.fold (fun p d acc -> (p, d) :: acc) delta []
+    |> List.sort compare
+    |> List.iter (fun (p, d) ->
+           if d > 0 then prod.(p) <- i :: prod.(p)
+           else if d < 0 then cons.(p) <- i :: cons.(p))
+  done;
+  (prod, cons)
+
+let enablers net = Array.map Array.of_list (fst (net_deltas net))
+let consumers net = Array.map Array.of_list (snd (net_deltas net))
+
 let pp_vector net kind ppf v =
   let name i =
     match kind with

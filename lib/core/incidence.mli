@@ -52,6 +52,35 @@ val place_bounds : Net.t -> int option array
     callers that size storage from these bounds must keep a checked
     overflow path. *)
 
+(** {2 Static dependency relations}
+
+    The per-net structure the stubborn-set reduction of
+    [Reach.Graph.build ~por:true] closes over; precomputed once from
+    the arc lists, no marking involved. *)
+
+val conflicts : Net.t -> int array array
+(** [(conflicts net).(t)]: the transitions [t' <> t] that touch a
+    common place with [t] through {e any} arc — a shared input place
+    (token competition), an inhibitor arc on a place the other reads or
+    moves (either direction), or a shared output place (interleaving
+    order decides the place's intermediate peaks).  Sorted ascending.
+    Symmetric: [t' ∈ conflicts(t)] iff [t ∈ conflicts(t')].
+    Transitions touching disjoint place sets never conflict — the
+    reduction exploits exactly that independence. *)
+
+val enablers : Net.t -> int array array
+(** [(enablers net).(p)]: the transitions whose firing strictly
+    increases the token count of place [p] (net arc delta [> 0]) — the
+    only candidates that can cure an insufficient input place of a
+    disabled transition.  A self-loop returning what it takes appears
+    in neither this nor {!consumers}.  Sorted ascending. *)
+
+val consumers : Net.t -> int array array
+(** [(consumers net).(p)]: the transitions whose firing strictly
+    decreases the token count of place [p] (net arc delta [< 0]) — the
+    only candidates that can release an over-threshold inhibitor place
+    of a disabled transition.  Sorted ascending. *)
+
 val pp_vector : Net.t -> [ `Place | `Transition ] -> Format.formatter ->
   int array -> unit
 (** Renders e.g. [Bus_free + Bus_busy] with names from the net. *)

@@ -1,0 +1,36 @@
+module Net = Pnut_core.Net
+module B = Pnut_core.Net.Builder
+
+(* N disjoint copies of a K-stage pipeline: pipeline [i] is a chain of
+   K+1 slot places (token starts in slot 0, capacity 1 everywhere) with
+   K advance transitions moving it forward one stage.  The copies share
+   no place, so their advances are pairwise independent — the full
+   interleaving graph has (K+1)^N states while any single serialization
+   has N*K+1, which is exactly the gap stubborn-set reduction closes. *)
+let net ~pipelines ~stages =
+  if pipelines < 1 then invalid_arg "Indep.net: pipelines must be >= 1";
+  if stages < 1 then invalid_arg "Indep.net: stages must be >= 1";
+  let b = B.create (Printf.sprintf "indep%dx%d" pipelines stages) in
+  for i = 1 to pipelines do
+    let slot k =
+      Printf.sprintf "P%d_s%d" i k
+    in
+    let prev = ref (B.add_place b (slot 0) ~initial:1 ~capacity:1) in
+    for k = 1 to stages do
+      let next = B.add_place b (slot k) ~capacity:1 in
+      let (_ : Net.transition_id) =
+        B.add_transition b
+          (Printf.sprintf "P%d_adv%d" i k)
+          ~inputs:[ (!prev, 1) ]
+          ~outputs:[ (next, 1) ]
+      in
+      prev := next
+    done
+  done;
+  B.build b
+
+let parse_name s =
+  match Scanf.sscanf s "indep%dx%d%!" (fun n k -> (n, k)) with
+  | (n, k) when n >= 1 && k >= 1 -> Some (n, k)
+  | _ -> None
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None

@@ -1,0 +1,17 @@
+(** Synthetic width-scalable concurrency benchmark nets.
+
+    [indep<N>x<K>] is N fully independent K-stage pipelines: per
+    pipeline a chain of K+1 one-bounded slot places with a single token
+    advancing through K transitions.  Nothing is shared between
+    pipelines, so the full reachability graph has (K+1)^N markings —
+    the pure interleaving explosion — while a stubborn-set reduced
+    build needs only ~N*K+1.  The unique deadlock (every token in its
+    final slot) and the all-ones place bounds are the same either way,
+    which is what the bench's identity gate checks. *)
+
+val net : pipelines:int -> stages:int -> Pnut_core.Net.t
+(** Raises [Invalid_argument] unless both arguments are [>= 1]. *)
+
+val parse_name : string -> (int * int) option
+(** [parse_name "indep6x4"] is [Some (6, 4)]; [None] for anything that
+    is not exactly [indep<N>x<K>] with both counts [>= 1]. *)

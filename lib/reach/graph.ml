@@ -131,25 +131,38 @@ let stochastic_parts net =
    expansions only ever read shared environments), so the common
    variable-free nets allocate nothing per successor beyond the
    marking.  Pure with respect to shared state, so frontier states can
-   be expanded on worker domains. *)
-let expand kernel marking env =
+   be expanded on worker domains.
+
+   With [?stubborn], only the enabled members of the state's stubborn
+   set fire (the set is a deterministic function of the marking, so the
+   layered parallel sweep stays order-identical to the serial one); a
+   fresh scratch per call keeps the workers independent. *)
+let expand ?stubborn kernel marking env =
   let out = ref [] in
-  Array.iter
-    (fun (c : Kernel.ctrans) ->
-      if Kernel.enabled c marking env then begin
-        let m' = Marking.copy marking in
-        Kernel.apply c m';
-        let env' =
-          if c.s_has_action then begin
-            let env' = Env.copy env in
-            Kernel.run_action env' c;
-            env'
-          end
-          else env
-        in
-        out := (c.s_id, Statekey.make m' env', m', env') :: !out
-      end)
-    (Kernel.transitions kernel);
+  let fire (c : Kernel.ctrans) =
+    let m' = Marking.copy marking in
+    Kernel.apply c m';
+    let env' =
+      if c.Kernel.s_has_action then begin
+        let env' = Env.copy env in
+        Kernel.run_action env' c;
+        env'
+      end
+      else env
+    in
+    out := (c.Kernel.s_id, Statekey.make m' env', m', env') :: !out
+  in
+  (match stubborn with
+  | Some sb ->
+    (* stubborn nets are predicate-free, so token-enabled = enabled *)
+    let trans = Kernel.transitions kernel in
+    let sc = Stubborn.scratch sb in
+    Array.iter (fun tid -> fire trans.(tid)) (Stubborn.fired sb sc marking)
+  | None ->
+    Array.iter
+      (fun (c : Kernel.ctrans) ->
+        if Kernel.enabled c marking env then fire c)
+      (Kernel.transitions kernel));
   List.rev !out
 
 (* The packed sweep: a serial FIFO over state indices.  The popped
@@ -158,7 +171,8 @@ let expand kernel marking env =
    allocation for variable-free nets) and interns straight into the
    arena.  Pop order is push order is interning order, so begin_source
    sees ascending sources and the CSR offsets append in one pass. *)
-let build_packed ~max_states ~monitor ~monitored ~spill_threshold net kernel =
+let build_packed ~max_states ~monitor ~monitored ~spill_threshold ~stubborn
+    net kernel =
   let codec = Packed.create net in
   let store = Store.create codec ~num_transitions:(Net.num_transitions net) in
   let np = Net.num_places net in
@@ -182,6 +196,7 @@ let build_packed ~max_states ~monitor ~monitored ~spill_threshold net kernel =
     (fun () ->
       Store.Frontier.push q 0;
       let trans = Kernel.transitions kernel in
+      let sb_scratch = Option.map Stubborn.scratch stubborn in
       let pops = ref 0 in
       (* Budget checks ride the dequeue boundary every 256 states —
          the exact cadence of the boxed sweep. *)
@@ -201,27 +216,34 @@ let build_packed ~max_states ~monitor ~monitored ~spill_threshold net kernel =
           Store.marking_into store i parent;
           let ex = Store.extra store i in
           let env = Packed.extra_env codec ex in
-          Array.iter
-            (fun (c : Kernel.ctrans) ->
-              if Kernel.enabled c parent_mk env then begin
-                Array.blit parent 0 child 0 np;
-                Kernel.apply c child_mk;
-                let ex' =
-                  if c.Kernel.s_has_action then begin
-                    let env' = Env.copy env in
-                    Kernel.run_action env' c;
-                    Packed.intern_extra codec env'
-                  end
-                  else ex
-                in
-                match Store.intern store child ~extra:ex' ~max_states with
-                | `Capped -> truncated := true
-                | `Found j -> Store.add_edge store ~tid:c.Kernel.s_id ~target:j
-                | `Added j ->
-                  Store.add_edge store ~tid:c.Kernel.s_id ~target:j;
-                  Store.Frontier.push q j
-              end)
-            trans
+          let fire (c : Kernel.ctrans) =
+            Array.blit parent 0 child 0 np;
+            Kernel.apply c child_mk;
+            let ex' =
+              if c.Kernel.s_has_action then begin
+                let env' = Env.copy env in
+                Kernel.run_action env' c;
+                Packed.intern_extra codec env'
+              end
+              else ex
+            in
+            match Store.intern store child ~extra:ex' ~max_states with
+            | `Capped -> truncated := true
+            | `Found j -> Store.add_edge store ~tid:c.Kernel.s_id ~target:j
+            | `Added j ->
+              Store.add_edge store ~tid:c.Kernel.s_id ~target:j;
+              Store.Frontier.push q j
+          in
+          (match stubborn, sb_scratch with
+          | Some sb, Some sc ->
+            Array.iter
+              (fun tid -> fire trans.(tid))
+              (Stubborn.fired sb sc parent_mk)
+          | _ ->
+            Array.iter
+              (fun (c : Kernel.ctrans) ->
+                if Kernel.enabled c parent_mk env then fire c)
+              trans)
         done
       with Exit -> ());
   Store.finalize store;
@@ -286,7 +308,8 @@ let bits_for v =
   let rec go w = if v lsr w = 0 then w else go (w + 1) in
   max 1 (go 0)
 
-let build_packed_sharded ~max_states ~monitor ~monitored ~team net kernel =
+let build_packed_sharded ~max_states ~monitor ~monitored ~team ~stubborn net
+    kernel =
   let codec = Packed.create net in
   if Packed.has_extra codec then None
   else begin
@@ -341,6 +364,7 @@ let build_packed_sharded ~max_states ~monitor ~monitored ~team net kernel =
       let member_body me =
         let sh = shards.(me) in
         let tbl = sh.tbl in
+        let sb_scratch = Option.map Stubborn.scratch stubborn in
         let parent = Array.make np 0 in
         let parent_mk = Marking.unsafe_wrap parent in
         let child = Array.make np 0 in
@@ -397,58 +421,69 @@ let build_packed_sharded ~max_states ~monitor ~monitored ~team net kernel =
             sh.e_off <- a
           end;
           sh.e_off.(lid) <- sh.e_n;
-          Array.iter
-            (fun (c : Kernel.ctrans) ->
-              if Kernel.enabled c parent_mk env0 then begin
-                if c.Kernel.s_has_action then Atomic.set abort true
-                else begin
-                  Array.blit parent 0 child 0 np;
-                  Kernel.apply c child_mk;
-                  match Packed.encode lay key ~pos:0 child ~extra:0 with
-                  | exception Packed.Field_overflow _ ->
-                    Atomic.set abort true
-                  | () ->
-                    let h = Packed.hash lay key ~pos:0 in
-                    let t_shard = h mod team in
-                    let ref_ =
-                      if t_shard = me then begin
-                        match Store.Words.intern tbl key ~pos:0 ~hash:h with
-                        | `Found l -> (l * team + me) * 2
-                        | `Added l ->
-                          if Atomic.fetch_and_add total 1 >= max_states then
-                            Atomic.set abort true;
-                          Atomic.incr pending;
-                          (l * team + me) * 2
-                      end
-                      else begin
-                        let ch = chans.(me).(t_shard) in
-                        let k = sh.out_count.(t_shard) in
-                        if (k + 1) * w > Array.length ch.msg then begin
-                          let m =
-                            Array.make
-                              (max ((k + 1) * w) (2 * Array.length ch.msg))
-                              0
-                          in
-                          Array.blit ch.msg 0 m 0 (k * w);
-                          ch.msg <- m
-                        end;
-                        Array.blit key 0 ch.msg (k * w) w;
-                        sh.out_count.(t_shard) <- k + 1;
-                        Atomic.incr pending;
-                        Atomic.set ch.sent (k + 1);
-                        ((k * team + t_shard) * 2) + 1
-                      end
-                    in
-                    if sh.e_n >= Array.length sh.e_dat then begin
-                      let a = Array.make (2 * Array.length sh.e_dat) 0 in
-                      Array.blit sh.e_dat 0 a 0 sh.e_n;
-                      sh.e_dat <- a
+          let fire (c : Kernel.ctrans) =
+            if c.Kernel.s_has_action then Atomic.set abort true
+            else begin
+              Array.blit parent 0 child 0 np;
+              Kernel.apply c child_mk;
+              match Packed.encode lay key ~pos:0 child ~extra:0 with
+              | exception Packed.Field_overflow _ -> Atomic.set abort true
+              | () ->
+                let h = Packed.hash lay key ~pos:0 in
+                let t_shard = h mod team in
+                let ref_ =
+                  if t_shard = me then begin
+                    match Store.Words.intern tbl key ~pos:0 ~hash:h with
+                    | `Found l -> (l * team + me) * 2
+                    | `Added l ->
+                      if Atomic.fetch_and_add total 1 >= max_states then
+                        Atomic.set abort true;
+                      Atomic.incr pending;
+                      (l * team + me) * 2
+                  end
+                  else begin
+                    let ch = chans.(me).(t_shard) in
+                    let k = sh.out_count.(t_shard) in
+                    if (k + 1) * w > Array.length ch.msg then begin
+                      let m =
+                        Array.make
+                          (max ((k + 1) * w) (2 * Array.length ch.msg))
+                          0
+                      in
+                      Array.blit ch.msg 0 m 0 (k * w);
+                      ch.msg <- m
                     end;
-                    sh.e_dat.(sh.e_n) <- (ref_ lsl t_bits) lor c.Kernel.s_id;
-                    sh.e_n <- sh.e_n + 1
-                end
-              end)
-            trans
+                    Array.blit key 0 ch.msg (k * w) w;
+                    sh.out_count.(t_shard) <- k + 1;
+                    Atomic.incr pending;
+                    Atomic.set ch.sent (k + 1);
+                    ((k * team + t_shard) * 2) + 1
+                  end
+                in
+                if sh.e_n >= Array.length sh.e_dat then begin
+                  let a = Array.make (2 * Array.length sh.e_dat) 0 in
+                  Array.blit sh.e_dat 0 a 0 sh.e_n;
+                  sh.e_dat <- a
+                end;
+                sh.e_dat.(sh.e_n) <- (ref_ lsl t_bits) lor c.Kernel.s_id;
+                sh.e_n <- sh.e_n + 1
+            end
+          in
+          (* The stubborn set depends only on the decoded marking, so
+             every member computes the same fired list for a given state
+             and records its edges in the same ascending-tid order the
+             serial sweep uses — the renumbering merge stays
+             byte-identical at any team size. *)
+          match stubborn, sb_scratch with
+          | Some sb, Some sc ->
+            Array.iter
+              (fun tid -> fire trans.(tid))
+              (Stubborn.fired sb sc parent_mk)
+          | _ ->
+            Array.iter
+              (fun (c : Kernel.ctrans) ->
+                if Kernel.enabled c parent_mk env0 then fire c)
+              trans
         in
         while !running do
           if Atomic.get abort then running := false
@@ -579,7 +614,8 @@ let build_packed_sharded ~max_states ~monitor ~monitored ~team net kernel =
   end
 
 let build_supervised ?(max_states = 100_000) ?jobs
-    ?(budget = Pnut_exec.Budget.none) ?(packed = false) ?frontier_spill net =
+    ?(budget = Pnut_exec.Budget.none) ?(packed = false) ?frontier_spill
+    ?(por = false) net =
   (match stochastic_parts net with
   | [] -> ()
   | bad ->
@@ -594,6 +630,10 @@ let build_supervised ?(max_states = 100_000) ?jobs
     | None -> max_states
   in
   let kernel = Kernel.of_net net in
+  (* Raises Stubborn.Unsupported when the net falls outside the
+     reduction's fragment — callers choosing [por] must catch it or
+     pre-check with Stubborn.unsupported. *)
+  let stubborn = if por then Some (Stubborn.create kernel) else None in
   let finish ~repr ~truncated ~budget_stop ~frontier_left ~n ~n_edges =
     let complete = (not truncated) && budget_stop = None in
     let g = { net; repr; complete; n_edges } in
@@ -632,15 +672,16 @@ let build_supervised ?(max_states = 100_000) ?jobs
     let sharded =
       let team = Pnut_exec.Pool.team_size ?jobs () in
       if team > 1 then
-        build_packed_sharded ~max_states ~monitor ~monitored ~team net kernel
+        build_packed_sharded ~max_states ~monitor ~monitored ~team ~stubborn
+          net kernel
       else None
     in
     let store, truncated, budget_stop, frontier_left =
       match sharded with
       | Some r -> r
       | None ->
-        build_packed ~max_states ~monitor ~monitored ~spill_threshold net
-          kernel
+        build_packed ~max_states ~monitor ~monitored ~spill_threshold
+          ~stubborn net kernel
     in
     finish ~repr:(Compact store) ~truncated ~budget_stop ~frontier_left
       ~n:(Store.num_states store) ~n_edges:(Store.num_edges store)
@@ -698,6 +739,7 @@ let build_supervised ?(max_states = 100_000) ?jobs
      let q = Queue.create () in
      Queue.add (0, m0, env0) q;
      let trans = Kernel.transitions kernel in
+     let sb_scratch = Option.map Stubborn.scratch stubborn in
      let pops = ref 0 in
      (* Budget checks ride the dequeue boundary every 256 states, so a
         budgeted sweep that completes interns exactly the same states in
@@ -714,29 +756,34 @@ let build_supervised ?(max_states = 100_000) ?jobs
          | None -> ()
        end;
        let i, m, env = Queue.pop q in
-       Array.iter
-         (fun (c : Kernel.ctrans) ->
-           if Kernel.enabled c m env then begin
-             let m' = Marking.copy m in
-             Kernel.apply c m';
-             let env' =
-               if c.Kernel.s_has_action then begin
-                 let env' = Env.copy env in
-                 Kernel.run_action env' c;
-                 env'
-               end
-               else env
-             in
-             match intern (Statekey.make m' env') with
-             | None -> ()
-             | Some (j, fresh) ->
-               edges_rev :=
-                 { e_from = i; e_transition = c.Kernel.s_id; e_to = j }
-                 :: !edges_rev;
-               incr n_edges;
-               if fresh then Queue.add (j, m', env') q
-           end)
-         trans
+       let fire (c : Kernel.ctrans) =
+         let m' = Marking.copy m in
+         Kernel.apply c m';
+         let env' =
+           if c.Kernel.s_has_action then begin
+             let env' = Env.copy env in
+             Kernel.run_action env' c;
+             env'
+           end
+           else env
+         in
+         match intern (Statekey.make m' env') with
+         | None -> ()
+         | Some (j, fresh) ->
+           edges_rev :=
+             { e_from = i; e_transition = c.Kernel.s_id; e_to = j }
+             :: !edges_rev;
+           incr n_edges;
+           if fresh then Queue.add (j, m', env') q
+       in
+       (match stubborn, sb_scratch with
+       | Some sb, Some sc ->
+         Array.iter (fun tid -> fire trans.(tid)) (Stubborn.fired sb sc m)
+       | _ ->
+         Array.iter
+           (fun (c : Kernel.ctrans) ->
+             if Kernel.enabled c m env then fire c)
+           trans)
      done
      with Exit -> ())
    end
@@ -754,11 +801,11 @@ let build_supervised ?(max_states = 100_000) ?jobs
        let layer = Array.of_list !frontier in
        let expanded =
          if Array.length layer < 2 then
-           Array.map (fun (_, m, e) -> expand kernel m e) layer
+           Array.map (fun (_, m, e) -> expand ?stubborn kernel m e) layer
          else
            Pnut_exec.Pool.init ~jobs (Array.length layer) (fun x ->
                let _, m, e = layer.(x) in
-               expand kernel m e)
+               expand ?stubborn kernel m e)
        in
        let next = ref [] in
        Array.iteri
@@ -793,8 +840,9 @@ let build_supervised ?(max_states = 100_000) ?jobs
     ~frontier_left:!frontier_left ~n ~n_edges:!n_edges
   end
 
-let build ?max_states ?jobs ?packed net =
-  Pnut_exec.Supervisor.value (build_supervised ?max_states ?jobs ?packed net)
+let build ?max_states ?jobs ?packed ?por net =
+  Pnut_exec.Supervisor.value
+    (build_supervised ?max_states ?jobs ?packed ?por net)
 
 (* monomorphic int-array comparison — [find_state] and friends sit on
    user-facing query paths over millions of states *)

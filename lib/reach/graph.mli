@@ -24,7 +24,13 @@ type edge = {
 
 type t
 
-val build : ?max_states:int -> ?jobs:int -> ?packed:bool -> Pnut_core.Net.t -> t
+val build :
+  ?max_states:int ->
+  ?jobs:int ->
+  ?packed:bool ->
+  ?por:bool ->
+  Pnut_core.Net.t ->
+  t
 (** Default cap: 100_000 states.  Raises [Invalid_argument] if the net
     has stochastic predicates or actions.
 
@@ -43,7 +49,20 @@ val build : ?max_states:int -> ?jobs:int -> ?packed:bool -> Pnut_core.Net.t -> t
     channels, and a deterministic merge renumbers the result — the
     store is byte-identical to the serial sweep's for every [jobs]
     value (nets with variables, layout overflows and cap hits fall back
-    to the serial sweep transparently). *)
+    to the serial sweep transparently).
+
+    [por] (default [false]) applies the deadlock-preserving stubborn-set
+    reduction of {!Stubborn}: at each state only the enabled members of
+    a stubborn set fire, shrinking wide concurrent graphs by orders of
+    magnitude while reaching exactly the same deadlock markings (and,
+    on terminating nets, the same per-place bounds).  State and edge
+    counts, CTL over the full graph and path-sensitive queries are not
+    preserved — build without [por] for those.  The reduced set is a
+    deterministic function of the marking, so the graph is still
+    identical across [jobs] values and across the boxed/packed/sharded
+    builders' shared numbering.  Raises {!Stubborn.Unsupported} when
+    the net has variables, tables, predicates or actions (pre-check
+    with {!Stubborn.unsupported}). *)
 
 val build_supervised :
   ?max_states:int ->
@@ -51,6 +70,7 @@ val build_supervised :
   ?budget:Pnut_exec.Budget.t ->
   ?packed:bool ->
   ?frontier_spill:int ->
+  ?por:bool ->
   Pnut_core.Net.t ->
   t Pnut_exec.Supervisor.outcome
 (** {!build} under a budget.  Wall, heap and cancellation are polled on

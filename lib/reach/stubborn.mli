@@ -1,0 +1,61 @@
+(** Deadlock-preserving stubborn-set partial-order reduction.
+
+    At each expansion, instead of firing every enabled transition, fire
+    only the enabled members of a {e stubborn set}: a set closed so that
+    no transition outside it can interfere with a member (Valmari's D1)
+    and containing an enabled transition that stays enabled under any
+    outside firing sequence (D2).  The reduced graph reaches {e exactly}
+    the deadlock markings of the full graph, and — because the conflict
+    relation used here links any two transitions sharing a place — the
+    exact per-place bounds on terminating nets.  Intermediate
+    interleavings are {e not} preserved: CTL over the full graph, state
+    or edge counts, and path-sensitive queries must use the full build.
+
+    The chosen set is a deterministic function of the marking, so every
+    builder (serial, layered, sharded) produces the same reduced graph
+    at any [--jobs] level. *)
+
+(** Why a net falls outside the reduction's fragment. *)
+type unsupported_feature =
+  | Predicate  (** a transition guard reads the environment *)
+  | Action     (** a transition firing writes the environment *)
+  | Variables  (** declared variables/tables enrich state identity *)
+
+type rejection = {
+  r_transition : string option;
+      (** offending transition, when the feature is per-transition *)
+  r_feature : unsupported_feature;
+}
+
+exception Unsupported of rejection
+
+val rejection_message : rejection -> string
+(** One-line human-readable explanation, suitable for [die]. *)
+
+val unsupported : Pnut_core.Net.t -> rejection option
+(** [None] when the net is plain (no variables, tables, predicates or
+    actions) and the reduction is sound; the first offending feature
+    otherwise.  This is what [--por auto] consults. *)
+
+type t
+(** Per-net static structure: the compiled transitions plus the
+    {!Pnut_core.Incidence.conflicts} / [enablers] / [consumers]
+    relations the closure walks.  Immutable; share freely across
+    workers. *)
+
+val create : Pnut_core.Kernel.t -> t
+(** Precomputes the relations.  @raise Unsupported when
+    {!unsupported} is [Some _] for the kernel's net. *)
+
+type scratch
+(** Mutable per-worker workspace ([O(num_transitions)] words).  Not
+    thread-safe; give each domain its own. *)
+
+val scratch : t -> scratch
+
+val fired : t -> scratch -> Pnut_core.Marking.t -> int array
+(** The transition ids to fire at this marking: the enabled members of
+    the smallest stubborn set found over a few candidate seeds, sorted
+    ascending.  Empty iff the marking is a deadlock; equal to the full
+    enabled set when no reduction applies.  All returned transitions
+    are token-enabled at the marking. *)

@@ -186,6 +186,51 @@ let test_reach_query () =
   in
   Alcotest.(check int) "refuted query exits 1" 1 code
 
+let test_reach_por () =
+  (* the generator model family and the stubborn-set reduction flag *)
+  let indep = tmp "indep.pn" in
+  let _ = check_run "indep model" [ "model"; "indep6x4"; "-o"; indep ] in
+  let text = read_file indep in
+  Testutil.check_contains "generator net name" text "net indep6x4";
+  let full = check_run "reach full" [ "reach"; indep; "--por"; "off" ] in
+  Testutil.check_contains "full states" full "states: 15625";
+  Testutil.check_contains "full deadlock" full "deadlocks: 1";
+  let reduced = check_run "reach reduced" [ "reach"; indep; "--por"; "on" ] in
+  Testutil.check_contains "reduced deadlock" reduced "deadlocks: 1";
+  let reduced_states =
+    Scanf.sscanf
+      (String.concat ""
+         (List.filter
+            (fun l -> String.length l > 7 && String.sub l 0 7 = "states:")
+            (String.split_on_char '\n' reduced)))
+      "states: %d" Fun.id
+  in
+  Alcotest.(check bool) ">= 5x fewer states" true
+    (15625 >= 5 * reduced_states);
+  (* auto mode turns the reduction on for this plain net *)
+  let auto = check_run "reach auto" [ "reach"; indep ] in
+  Testutil.check_contains "auto reduces" auto
+    (Printf.sprintf "states: %d" reduced_states);
+  (* the one-line stderr summary *)
+  let _ = check_run "reach stderr" [ "reach"; indep; "--por"; "on" ] in
+  let err = read_file (tmp "err") in
+  Testutil.check_contains "stderr summary" err "reach: states=";
+  Testutil.check_contains "stderr reduction" err "por_reduction=";
+  (* explicit --por on cannot serve --ctl, and dies on unsupported nets *)
+  let code, _ =
+    run [ "reach"; indep; "--por"; "on"; "--ctl"; "P1_s0 <= 1" ]
+  in
+  Alcotest.(check int) "por+ctl rejected" 2 code;
+  let interp = tmp "interp.pn" in
+  let _ = check_run "interp model" [ "model"; "interpreted"; "-o"; interp ] in
+  let code, _ = run [ "reach"; interp; "--por"; "on" ] in
+  Alcotest.(check int) "unsupported net rejected" 2 code;
+  let err = read_file (tmp "err") in
+  Testutil.check_contains "structured rejection" err "--por off";
+  (* unknown model names still die with the full menu *)
+  let code, _ = run [ "model"; "indep0x4" ] in
+  Alcotest.(check bool) "bad generator params rejected" true (code <> 0)
+
 let test_invariants () =
   let out = check_run "invariants" [ "invariants"; model_file ] in
   Testutil.check_contains "p-invariants" out "Bus_busy + Bus_free";
@@ -451,6 +496,7 @@ let () =
           Alcotest.test_case "check" `Quick test_check_queries;
           Alcotest.test_case "reach" `Quick test_reach_and_ctl;
           Alcotest.test_case "reach query" `Quick test_reach_query;
+          Alcotest.test_case "reach por" `Quick test_reach_por;
           Alcotest.test_case "invariants" `Quick test_invariants;
           Alcotest.test_case "anim" `Quick test_anim;
           Alcotest.test_case "analytic" `Quick test_analytic;

@@ -213,6 +213,116 @@ let test_place_bounds () =
   Alcotest.(check bool) "r bounded by declared capacity" true
     (bounds.(r) = Some 7)
 
+(* -- static dependency relations (stubborn-set input) -- *)
+
+let ids = Alcotest.(array int)
+
+let test_bus_relations () =
+  let net, free, busy, grab, release = bus_net () in
+  let c = Incidence.conflicts net in
+  (* grab and release share both places — mutually conflicting *)
+  Alcotest.check ids "conflicts grab" [| release |] c.(grab);
+  Alcotest.check ids "conflicts release" [| grab |] c.(release);
+  let e = Incidence.enablers net in
+  Alcotest.check ids "free produced by release" [| release |] e.(free);
+  Alcotest.check ids "busy produced by grab" [| grab |] e.(busy);
+  let k = Incidence.consumers net in
+  Alcotest.check ids "free consumed by grab" [| grab |] k.(free);
+  Alcotest.check ids "busy consumed by release" [| release |] k.(busy)
+
+let test_prefetch_relations () =
+  (* Figure 1 closed with the consume transition; ids in build order:
+     Start_prefetch 0, End_prefetch 1, Decode 2, consume 3.  Hand-check:
+     Start/End share the bus and pre_fetching; Start/Decode share
+     Empty_I_buffers; End/Decode share Full_I_buffers; Decode/consume
+     share Decoded_instruction and Decoder_ready; Start and End share
+     nothing with consume. *)
+  let net = Pnut_pipeline.Model.prefetch_only Pnut_pipeline.Config.default in
+  let start = Net.transition_id net "Start_prefetch" in
+  let stop = Net.transition_id net "End_prefetch" in
+  let decode = Net.transition_id net "Decode" in
+  let consume = Net.transition_id net "consume" in
+  let c = Incidence.conflicts net in
+  Alcotest.check ids "Start_prefetch" [| stop; decode |] c.(start);
+  Alcotest.check ids "End_prefetch" [| start; decode |] c.(stop);
+  Alcotest.check ids "Decode" [| start; stop; consume |] c.(decode);
+  Alcotest.check ids "consume" [| decode |] c.(consume);
+  let e = Incidence.enablers net in
+  let k = Incidence.consumers net in
+  let p name = Net.place_id net name in
+  Alcotest.check ids "Bus_free refilled by End" [| stop |] e.(p "Bus_free");
+  Alcotest.check ids "Bus_free drained by Start" [| start |] k.(p "Bus_free");
+  Alcotest.check ids "buffers refilled by Decode" [| decode |]
+    e.(p "Empty_I_buffers");
+  Alcotest.check ids "buffers drained by Start" [| start |]
+    k.(p "Empty_I_buffers");
+  Alcotest.check ids "Full filled by End" [| stop |] e.(p "Full_I_buffers");
+  Alcotest.check ids "Full drained by Decode" [| decode |]
+    k.(p "Full_I_buffers");
+  Alcotest.check ids "decoder recycled by consume" [| consume |]
+    e.(p "Decoder_ready");
+  Alcotest.check ids "decoder held by Decode" [| decode |]
+    k.(p "Decoder_ready");
+  (* pending places carry only inhibitor arcs here: nothing moves them *)
+  Alcotest.check ids "no producer of Operand_fetch_pending" [||]
+    e.(p "Operand_fetch_pending");
+  Alcotest.check ids "no consumer of Operand_fetch_pending" [||]
+    k.(p "Operand_fetch_pending")
+
+let test_relation_selfloop_and_inhibitor () =
+  (* a pure self-loop moves nothing; an inhibitor arc relates but never
+     produces or consumes *)
+  let b = B.create "rel" in
+  let p = B.add_place b "p" ~initial:1 in
+  let q = B.add_place b "q" in
+  let keep =
+    B.add_transition b "keep" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ]
+  in
+  let guard =
+    B.add_transition b "guard" ~inhibitors:[ (p, 1) ] ~outputs:[ (q, 1) ]
+  in
+  let net = B.build b in
+  let c = Incidence.conflicts net in
+  Alcotest.check ids "self-loop still conflicts via p" [| guard |] c.(keep);
+  Alcotest.check ids "inhibitor conflicts via p" [| keep |] c.(guard);
+  let e = Incidence.enablers net in
+  let k = Incidence.consumers net in
+  Alcotest.check ids "self-loop produces nothing into p" [||] e.(p);
+  Alcotest.check ids "self-loop consumes nothing from p" [||] k.(p);
+  Alcotest.check ids "guard fills q" [| guard |] e.(q)
+
+let test_full_pipeline_relations_symmetric () =
+  (* structural sanity on the Figure 1-3 net: the conflict relation is
+     symmetric and irreflexive, and every producer/consumer entry moves
+     the place it is filed under *)
+  let net = Pnut_pipeline.Model.full Pnut_pipeline.Config.default in
+  let c = Incidence.conflicts net in
+  Array.iteri
+    (fun t row ->
+      Array.iter
+        (fun t' ->
+          Alcotest.(check bool) "irreflexive" true (t' <> t);
+          Alcotest.(check bool) "symmetric" true
+            (Array.exists (fun x -> x = t) c.(t')))
+        row)
+    c;
+  let inc = Incidence.of_net net in
+  let e = Incidence.enablers net in
+  let k = Incidence.consumers net in
+  Array.iteri
+    (fun p row ->
+      Array.iter
+        (fun t ->
+          Alcotest.(check bool) "producer raises" true
+            (Incidence.entry inc p t > 0))
+        row;
+      Array.iter
+        (fun t ->
+          Alcotest.(check bool) "consumer lowers" true
+            (Incidence.entry inc p t < 0))
+        k.(p))
+    e
+
 let test_pp_vector () =
   let net, _, _, _, _ = bus_net () in
   let s = Format.asprintf "%a" (Incidence.pp_vector net `Place) [| 1; 2 |] in
@@ -296,6 +406,17 @@ let () =
             test_pipeline_t_invariant_reproduces_marking;
           Alcotest.test_case "place bounds" `Quick test_place_bounds;
           Alcotest.test_case "vector rendering" `Quick test_pp_vector;
+        ] );
+      ( "relations",
+        [
+          Alcotest.test_case "bus conflicts/enablers" `Quick
+            test_bus_relations;
+          Alcotest.test_case "prefetch hand-checked sets" `Quick
+            test_prefetch_relations;
+          Alcotest.test_case "self-loops and inhibitors" `Quick
+            test_relation_selfloop_and_inhibitor;
+          Alcotest.test_case "full pipeline symmetry" `Quick
+            test_full_pipeline_relations_symmetric;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_invariant_constant ]);
     ]
