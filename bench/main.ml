@@ -758,6 +758,10 @@ let bench_json ~quick ~file ?baseline () =
     Option.bind baseline
       (baseline_metric ~section:"reach" ~field:"states_per_sec")
   in
+  let baseline_timed_rate =
+    Option.bind baseline
+      (baseline_metric ~section:"timed" ~field:"states_per_sec")
+  in
   let cores = Domain.recommended_domain_count () in
   let job_counts = [ 1; 2; 4 ] in
   let b = Buffer.create 4096 in
@@ -984,6 +988,82 @@ let bench_json ~quick ~file ?baseline () =
   let por_reduction =
     float_of_int por_full_states /. float_of_int (max 1 por_red_states)
   in
+  (* PR 10: the timed state-class graph against the frozen explicit
+     expansion on the Figure 1-3 pipeline with a 10-cycle memory — the
+     longer the deterministic delays, the more distinct clock
+     valuations the explicit expansion enumerates per marking, and the
+     more the interval-domain classes collapse.  Both graphs must agree
+     on the reachable-marking and deadlock-marking sets (that is the
+     whole correctness contract), the class count must be >= 5x
+     smaller, and the packed class arrays must be byte-identical for
+     every worker count. *)
+  let timed_net = Model.full { default with memory_cycles = 10.0 } in
+  let timed_cap = 200_000 in
+  let timed_class_g, timed_class_s =
+    best_of packed_reps (fun () ->
+        Pnut_reach.Timed.build ~max_states:timed_cap ~jobs:1 ~packed:true
+          timed_net)
+  in
+  let timed_explicit_g, timed_explicit_s =
+    best_of packed_reps (fun () ->
+        Pnut_reach.Timed_explicit.build ~max_states:timed_cap timed_net)
+  in
+  let timed_classes = Pnut_reach.Timed.num_states timed_class_g in
+  let timed_vectors = Pnut_reach.Timed.num_vectors timed_class_g in
+  let timed_explicit_states =
+    Pnut_reach.Timed_explicit.num_states timed_explicit_g
+  in
+  let timed_reduction =
+    float_of_int timed_explicit_states /. float_of_int (max 1 timed_classes)
+  in
+  let timed_markings_identical =
+    List.sort_uniq compare
+      (List.init timed_classes (fun i ->
+           (Pnut_reach.Timed.state timed_class_g i)
+             .Pnut_reach.Timed.ts_marking))
+    = List.sort_uniq compare
+        (List.init timed_explicit_states (fun i ->
+             (Pnut_reach.Timed_explicit.state timed_explicit_g i)
+               .Pnut_reach.Timed_explicit.ts_marking))
+  in
+  let timed_deadlocks_identical =
+    List.sort_uniq compare
+      (List.map
+         (fun i ->
+           (Pnut_reach.Timed.state timed_class_g i)
+             .Pnut_reach.Timed.ts_marking)
+         (Pnut_reach.Timed.deadlocks timed_class_g))
+    = List.sort_uniq compare
+        (List.map
+           (fun i ->
+             (Pnut_reach.Timed_explicit.state timed_explicit_g i)
+               .Pnut_reach.Timed_explicit.ts_marking)
+           (Pnut_reach.Timed_explicit.deadlocks timed_explicit_g))
+  in
+  let timed_jobs_identical =
+    let base =
+      ( Pnut_reach.Timed.packed_arrays timed_class_g,
+        Pnut_reach.Timed.domain_arrays timed_class_g )
+    in
+    List.for_all
+      (fun jobs ->
+        jobs = 1
+        ||
+        let g =
+          Pnut_reach.Timed.build ~max_states:timed_cap ~jobs ~packed:true
+            timed_net
+        in
+        ( Pnut_reach.Timed.packed_arrays g,
+          Pnut_reach.Timed.domain_arrays g )
+        = base)
+      job_counts
+  in
+  Pnut_exec.Pool.quiesce ();
+  let timed_bytes_per_state =
+    match Pnut_reach.Timed.packed_bytes_per_state timed_class_g with
+    | Some x -> x
+    | None -> Float.nan
+  in
   (* raw simulation events/sec (single stream; the per-run engine),
      measured against the frozen pre-optimization engine on the same
      model and seed, and swept across every built-in model — locality
@@ -1102,7 +1182,7 @@ let bench_json ~quick ~file ?baseline () =
   (* emit *)
   let rate count s = if s > 0.0 then float_of_int count /. s else 0.0 in
   Printf.bprintf b "{\n";
-  Printf.bprintf b "  \"bench\": \"pr9\",\n";
+  Printf.bprintf b "  \"bench\": \"pr10\",\n";
   Printf.bprintf b "  \"model\": \"pipeline (Model.full default)\",\n";
   Printf.bprintf b "  \"cores\": %d,\n" cores;
   Printf.bprintf b "  \"quick\": %b,\n" quick;
@@ -1217,6 +1297,33 @@ let bench_json ~quick ~file ?baseline () =
   Printf.bprintf b "      \"deadlock_sets_identical\": %b,\n"
     por_deadlocks_identical;
   Printf.bprintf b "      \"identical_across_jobs\": %b\n" por_jobs_identical;
+  Printf.bprintf b "    },\n";
+  (* [states_per_sec] stays the first field after the "timed" key: the
+     regression gate reads it back with the same text scan used for
+     the sim and reach headlines *)
+  Printf.bprintf b "    \"timed\": {\n";
+  Printf.bprintf b "      \"states_per_sec\": %.0f,\n"
+    (rate timed_classes timed_class_s);
+  Printf.bprintf b
+    "      \"model\": \"pipeline (Model.full, memory_cycles=10)\",\n";
+  Printf.bprintf b
+    "      \"classes\": %d, \"vectors\": %d, \"seconds\": %.6f,\n"
+    timed_classes timed_vectors timed_class_s;
+  Printf.bprintf b
+    "      \"explicit\": { \"states\": %d, \"seconds\": %.6f, \
+     \"states_per_sec\": %.0f },\n"
+    timed_explicit_states timed_explicit_s
+    (rate timed_explicit_states timed_explicit_s);
+  Printf.bprintf b "      \"reduction_vs_explicit\": %.2f,\n" timed_reduction;
+  Printf.bprintf b "      \"reduction_at_least_5x\": %b,\n"
+    (timed_explicit_states >= 5 * timed_classes);
+  Printf.bprintf b "      \"marking_sets_identical\": %b,\n"
+    timed_markings_identical;
+  Printf.bprintf b "      \"deadlock_sets_identical\": %b,\n"
+    timed_deadlocks_identical;
+  Printf.bprintf b "      \"bytes_per_state\": %.2f,\n" timed_bytes_per_state;
+  Printf.bprintf b "      \"identical_across_jobs\": %b\n"
+    timed_jobs_identical;
   Printf.bprintf b "    }\n";
   Printf.bprintf b "  },\n";
   Printf.bprintf b "  \"sim\": {\n";
@@ -1368,10 +1475,52 @@ let bench_json ~quick ~file ?baseline () =
       true
     end
   in
+  (* the state-class acceptance thresholds are deterministic, so they
+     gate unconditionally: identical reachable-marking and
+     deadlock-marking sets against the frozen explicit oracle, >= 5x
+     fewer classes than explicit states on the slow-memory pipeline,
+     and byte-identical packed class arrays across worker counts *)
+  let timed_ok =
+    if not timed_markings_identical then begin
+      Printf.eprintf
+        "bench: FAIL reach.timed reachable-marking sets differ between \
+         the class graph and the explicit expansion\n";
+      false
+    end
+    else if not timed_deadlocks_identical then begin
+      Printf.eprintf
+        "bench: FAIL reach.timed deadlock marking sets differ between \
+         the class graph and the explicit expansion\n";
+      false
+    end
+    else if timed_explicit_states < 5 * timed_classes then begin
+      Printf.eprintf
+        "bench: FAIL reach.timed reduction %.2fx on the slow-memory \
+         pipeline (%d classes vs %d explicit states; >= 5x required)\n"
+        timed_reduction timed_classes timed_explicit_states;
+      false
+    end
+    else if not timed_jobs_identical then begin
+      Printf.eprintf
+        "bench: FAIL reach.timed packed class arrays differ across --jobs\n";
+      false
+    end
+    else begin
+      Printf.printf
+        "bench: reach.timed %d classes vs %d explicit states (%.2fx), \
+         marking and deadlock sets identical: ok\n"
+        timed_classes timed_explicit_states timed_reduction;
+      true
+    end
+  in
   let sim_ok = gate "sim.events_per_sec" (rate events sim_s) baseline_sim_rate in
   let reach_ok =
     gate "reach.states_per_sec" (rate kernel_states kernel_s)
       baseline_reach_rate
+  in
+  let timed_rate_ok =
+    gate "reach.timed.states_per_sec" (rate timed_classes timed_class_s)
+      baseline_timed_rate
   in
   (* an armed-but-untripped budget must stay within 3% of the committed
      unbudgeted events/sec baseline — the monitor poll rides the
@@ -1434,8 +1583,8 @@ let bench_json ~quick ~file ?baseline () =
   in
   if
     not
-      (sim_ok && reach_ok && budget_ok && packed_ok && por_ok
-     && efficiency_ok)
+      (sim_ok && reach_ok && timed_rate_ok && budget_ok && packed_ok
+     && por_ok && timed_ok && efficiency_ok)
   then exit 1
 
 let run_figures () =
@@ -1464,7 +1613,7 @@ let () =
     | "--bench-json" :: next :: _ when String.length next > 0 && next.[0] <> '-'
       ->
       Some next
-    | "--bench-json" :: _ -> Some "BENCH_pr9.json"
+    | "--bench-json" :: _ -> Some "BENCH_pr10.json"
     | _ :: rest -> json_file rest
     | [] -> None
   in

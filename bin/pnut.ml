@@ -69,14 +69,6 @@ let parse_arg what parse text =
 (* Run an analysis that reports bad input via Invalid_argument. *)
 let or_die f = try f () with Invalid_argument msg -> die "%s" msg
 
-(* Coverability is restricted to plain monotone nets and reports
-   out-of-fragment inputs with a structured rejection; a specification
-   error like any other, so exit 2. *)
-let coverability_or_die net =
-  try or_die (fun () -> Pnut_reach.Coverability.build net)
-  with Pnut_reach.Coverability.Unsupported r ->
-    die "%s" (Pnut_reach.Coverability.rejection_message r)
-
 let load_net path =
   try Pnut_lang.Parser.parse_net (read_file path)
   with Pnut_lang.Parser.Parse_error (line, col, msg) ->
@@ -222,7 +214,38 @@ let model_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the model to FILE instead of stdout.")
   in
-  let run which memory buffers out =
+  let list_flag =
+    Arg.(value & flag & info [ "list" ]
+           ~doc:"List the built-in models with one-line descriptions and \
+                 exit.")
+  in
+  let run which memory buffers out list_models =
+    if list_models then begin
+      List.iter
+        (fun (name, desc) -> Printf.printf "%-12s %s\n" name desc)
+        [
+          ( "pipeline",
+            "the paper's full pipelined processor (Figures 1-3): prefetch, \
+             decode, execute over a shared bus; deterministic delays, so \
+             --timed applies" );
+          ( "prefetch",
+            "the instruction-prefetch unit alone (Figure 1); the smallest \
+             timed model" );
+          ( "interpreted",
+            "Figure 4 style: interpreted arcs move opcode values through \
+             variables and tables" );
+          ( "branching",
+            "pipeline with a taken-branch path that flushes the \
+             instruction buffer" );
+          ( "serial",
+            "the same work with no overlap (every stage serialized) — the \
+             paper's no-pipelining baseline" );
+          ( "indep<N>x<K>",
+            "N independent K-stage pipelines (e.g. indep4x3) — a \
+             width-scalable concurrency benchmark for reachability" );
+        ];
+      exit 0
+    end;
     let config =
       { Pnut_pipeline.Config.default with
         Pnut_pipeline.Config.memory_cycles = memory;
@@ -243,7 +266,7 @@ let model_cmd =
     | None -> print_string text
   in
   Cmd.v (Cmd.info "model" ~doc)
-    Term.(const run $ which $ memory $ buffers $ out)
+    Term.(const run $ which $ memory $ buffers $ out $ list_flag)
 
 (* -- pnut sim -- *)
 
@@ -652,7 +675,17 @@ let reach_cmd =
   let doc = "Build and analyze the reachability graph of a model." in
   let timed =
     Arg.(value & flag & info [ "timed" ]
-           ~doc:"Timed reachability (deterministic delays only).")
+           ~doc:"Timed reachability (deterministic delays only): builds \
+                 the state-class graph — markings, deadlocks and bounds \
+                 of the explicit timed expansion without its tick \
+                 interpolation.")
+  in
+  let explicit =
+    Arg.(value & flag & info [ "explicit" ]
+           ~doc:"With $(b,--timed): build the explicit timed expansion \
+                 (concrete clock valuations and Tick edges) instead of \
+                 the state-class graph.  Orders of magnitude larger on \
+                 delay-heavy models; kept as the reference semantics.")
   in
   let max_states =
     Arg.(value & opt int 100000 & info [ "max-states" ] ~docv:"N"
@@ -677,7 +710,9 @@ let reach_cmd =
                    an order of magnitude on large graphs, and with \
                    $(b,--jobs) > 1 builds sharded across that many \
                    domains; the graph built is identical either way and \
-                   for every worker count.")
+                   for every worker count.  Covers $(b,--timed) too: \
+                   state classes pack as marking fields plus an interned \
+                   (environment, firing-domain) id.")
   in
   let por =
     Arg.(value
@@ -693,7 +728,7 @@ let reach_cmd =
                    concurrent nets; state and edge counts are counts of \
                    the reduced graph.")
   in
-  let run path timed max_states ctl query packed por jobs budget =
+  let run path timed explicit max_states ctl query packed por jobs budget =
     let net = load_net path in
     (* On a budget trip the partial graph is still a valid prefix:
        summarize it, run the CTL/query checks on it (a failure on the
@@ -705,18 +740,50 @@ let reach_cmd =
         report_degraded "reach" reason progress;
         exit exit_degraded
     in
+    if explicit && not timed then die "--explicit only applies to --timed";
     if timed then begin
-      if packed = `On then
-        die "--packed on: the packed store supports untimed reachability only";
       if por = `On then
         die "--por on: partial-order reduction supports untimed \
              reachability only";
-      let outcome =
-        Pnut_reach.Timed.build_supervised ~max_states ~jobs ?budget net
-      in
-      let g = Pnut_exec.Supervisor.value outcome in
-      Format.printf "%a@." Pnut_reach.Timed.pp_summary g;
-      finish_outcome outcome
+      if explicit then begin
+        if packed = `On then
+          die "--packed on: the explicit timed expansion is boxed only; \
+               drop --explicit for the packed state-class graph";
+        let outcome =
+          Pnut_reach.Timed_explicit.build_supervised ~max_states ?budget net
+        in
+        let g = Pnut_exec.Supervisor.value outcome in
+        Format.printf "%a@." Pnut_reach.Timed_explicit.pp_summary g;
+        Printf.eprintf "reach: states=%d edges=%d bytes/state=-\n%!"
+          (Pnut_reach.Timed_explicit.num_states g)
+          (Pnut_reach.Timed_explicit.num_edges g);
+        finish_outcome outcome
+      end
+      else begin
+        let packed =
+          match packed with
+          | `On -> true
+          | `Off -> false
+          | `Auto -> Pnut_reach.Packed.bounds_known net
+        in
+        let outcome =
+          Pnut_reach.Timed.build_supervised ~max_states ~jobs ~packed ?budget
+            net
+        in
+        let g = Pnut_exec.Supervisor.value outcome in
+        Format.printf "%a@." Pnut_reach.Timed.pp_summary g;
+        let bytes_per_state =
+          match Pnut_reach.Timed.packed_bytes_per_state g with
+          | Some b -> Printf.sprintf "%.1f" b
+          | None -> "-"
+        in
+        Printf.eprintf "reach: classes=%d edges=%d vectors=%d bytes/state=%s\n%!"
+          (Pnut_reach.Timed.num_states g)
+          (Pnut_reach.Timed.num_edges g)
+          (Pnut_reach.Timed.num_vectors g)
+          bytes_per_state;
+        finish_outcome outcome
+      end
     end
     else begin
       let packed =
@@ -803,8 +870,8 @@ let reach_cmd =
     end
   in
   Cmd.v (Cmd.info "reach" ~doc)
-    Term.(const run $ net_arg $ timed $ max_states $ ctl $ query $ packed
-          $ por $ jobs_arg $ budget_arg)
+    Term.(const run $ net_arg $ timed $ explicit $ max_states $ ctl $ query
+          $ packed $ por $ jobs_arg $ budget_arg)
 
 (* -- pnut invariants -- *)
 
@@ -973,25 +1040,55 @@ let dot_cmd =
            `Net_graph
          & info [ "kind" ] ~docv:"KIND" ~doc:"net | reach | coverability.")
   in
+  let max_states =
+    Arg.(value & opt int 20_000 & info [ "max-states" ] ~docv:"N"
+           ~doc:"State cap for the graph-building kinds.")
+  in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write to FILE instead of stdout.")
   in
-  let run path what out =
+  let run path what max_states out budget =
     let net = load_net path in
+    (* Graph-building kinds run under the shared budget flags like any
+       other long-running subcommand: on a trip the dot of the partial
+       graph (a valid prefix) is still written, then exit 3. *)
+    let degraded = ref false in
+    let supervised what_name outcome =
+      match outcome with
+      | Pnut_exec.Supervisor.Complete g -> g
+      | Pnut_exec.Supervisor.Degraded { reason; progress; partial } ->
+        report_degraded what_name reason progress;
+        degraded := true;
+        partial
+    in
     let text =
       match what with
       | `Net_graph -> Pnut_core.Dot.net net
       | `Reach ->
-        Pnut_reach.Export.graph_dot (Pnut_reach.Graph.build ~max_states:20_000 net)
+        Pnut_reach.Export.graph_dot
+          (supervised "dot"
+             (or_die (fun () ->
+                  Pnut_reach.Graph.build_supervised ~max_states ?budget net)))
       | `Cov ->
-        Pnut_reach.Export.coverability_dot net (coverability_or_die net)
+        let g =
+          try
+            supervised "dot"
+              (or_die (fun () ->
+                   Pnut_reach.Coverability.build_supervised ~max_states ?budget
+                     net))
+          with Pnut_reach.Coverability.Unsupported r ->
+            die "%s" (Pnut_reach.Coverability.rejection_message r)
+        in
+        Pnut_reach.Export.coverability_dot net g
     in
-    match out with
+    (match out with
     | Some path -> write_file path text
-    | None -> print_string text
+    | None -> print_string text);
+    if !degraded then exit exit_degraded
   in
-  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ net_arg $ what $ out)
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(const run $ net_arg $ what $ max_states $ out $ budget_arg)
 
 (* -- pnut replicate -- *)
 

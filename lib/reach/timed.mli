@@ -1,15 +1,29 @@
-(** Timed reachability graphs [RP84].
+(** Timed reachability as a state-class graph [RP84, BM83-style].
 
-    Exhaustive exploration of a timed net with {e deterministic} delays:
-    each state carries the marking, the residual firing times of in-flight
-    firings, and the residual enabling times of enabled transitions.
-    Edges are:
-    - [Fire t] — a fireable transition starts firing (and completes
-      immediately if its firing time is zero),
-    - [Complete t] — an in-flight firing whose residual time reached zero
-      deposits its outputs,
-    - [Tick d] — time advances by [d], the minimum residual delay, when
-      nothing can happen at the current instant.
+    Exhaustive exploration of a timed net with {e deterministic} delays.
+    Rather than enumerating concrete clock valuations (the frozen
+    {!Timed_explicit} oracle), states here are {e classes}: a marking,
+    an environment, and the multiset of transitions currently in
+    flight, annotated with the canonical firing-interval domain — the
+    per-timer [lo, hi] envelope over every residual vector that reaches
+    the class.  Residual vectors are shift-normalized at creation, so
+    the oracle's explicit [Tick] edges are folded into the [Fire] /
+    [Complete] edges that precede them and never appear in the graph.
+
+    The class graph preserves exactly what the analyses here consume:
+    the reachable (marking, environment) set, the deadlock set, and
+    per-place token bounds all coincide with the explicit expansion's
+    (asserted by the qcheck differential suite).  Per-path accumulated
+    time is the one thing folded away; {!min_cycle_time} recovers it
+    with a dedicated search over the vector space, and time-bounded
+    ([horizon]) exploration remains on the oracle only.
+
+    The construction is unified onto the packed/supervised/parallel
+    graph stack: with [packed], classes encode into the {!Store} arena
+    (marking fields plus the interned (env, in-flight domain) in the
+    extra-id field) and the class sweep shards across domains with a
+    byte-identical-for-any-[jobs] merge.  The boxed representation is
+    serial-only — [jobs] takes effect with [packed].
 
     All delays must be deterministic (constants, degenerate choices, or
     deterministic [Dynamic] expressions); stochastic nets have infinite
@@ -19,16 +33,24 @@
 
 type label =
   | Fire of Pnut_core.Net.transition_id
+      (** a fireable transition starts firing (and completes immediately
+          if its firing time is zero) *)
   | Complete of Pnut_core.Net.transition_id
-  | Tick of float
+      (** an in-flight firing deposits its outputs *)
 
 type state = {
   ts_index : int;
   ts_marking : int array;
-  ts_in_flight : (Pnut_core.Net.transition_id * float) list;
-      (** residual firing times, sorted *)
-  ts_pending : (Pnut_core.Net.transition_id * float) list;
-      (** residual enabling times of enabled transitions, sorted *)
+  ts_flight : Pnut_core.Net.transition_id list;
+      (** in-flight transition multiset, sorted *)
+  ts_pending : Pnut_core.Net.transition_id list;
+      (** enabled transitions (enabling timers), sorted *)
+  ts_flight_iv : (float * float) list;
+      (** residual firing-interval domain, one [lo, hi] per
+          [ts_flight] entry *)
+  ts_pending_iv : (float * float) list;
+      (** residual enabling-interval domain, one per [ts_pending]
+          entry *)
   ts_env : (string * Pnut_core.Value.t) list;
 }
 
@@ -40,43 +62,72 @@ type edge = {
 
 type t
 
-val build : ?max_states:int -> ?jobs:int -> ?horizon:float -> Pnut_core.Net.t -> t
-(** [horizon] bounds accumulated time along any path (default: none);
-    [max_states] defaults to 50_000.  Raises [Invalid_argument] on
-    stochastic delays, predicates or actions.
+val build :
+  ?max_states:int -> ?jobs:int -> ?packed:bool -> Pnut_core.Net.t -> t
+(** Build the state-class graph; [max_states] (a cap on {e classes})
+    defaults to 50_000.  Raises [Invalid_argument] on stochastic
+    delays, predicates or actions.
 
-    [jobs] (resolved by {!Pnut_exec.Pool.resolve}) expands the BFS
-    frontier on that many domains; the resulting graph is identical for
-    every [jobs] value. *)
+    With [packed] the graph lives in a bit-packed {!Store} arena and
+    [jobs] (resolved by {!Pnut_exec.Pool.resolve}) shards the class
+    sweep across that many domains; the packed arrays are byte-identical
+    for every [jobs] value.  Without [packed] the build is serial and
+    boxed. *)
 
 val build_supervised :
   ?max_states:int ->
   ?jobs:int ->
-  ?horizon:float ->
+  ?packed:bool ->
   ?budget:Pnut_exec.Budget.t ->
   Pnut_core.Net.t ->
   t Pnut_exec.Supervisor.outcome
-(** {!build} under a budget, polled on the layer boundary;
+(** {!build} under a budget, polled on the vector-dequeue boundary;
     [budget.max_states] tightens [max_states].  A tripped limit —
-    including the state cap — yields [Degraded] with the partial graph
-    (a valid prefix) and visited/frontier counts; a budgeted build that
-    completes returns a graph identical to {!build}'s. *)
+    including the class cap — yields [Degraded] with the partial graph
+    (a valid prefix of classes) and visited/frontier counts; a budgeted
+    build that completes returns a graph identical to {!build}'s. *)
 
+val net : t -> Pnut_core.Net.t
 val complete : t -> bool
 val num_states : t -> int
 val num_edges : t -> int
+
+val num_vectors : t -> int
+(** Residual vectors explored to close the classes — the unit of work;
+    the explicit oracle's state count for the same net lies between
+    this and this plus its Tick interpolation. *)
+
 val state : t -> int -> state
 val initial : t -> int
 val successors : t -> int -> edge list
+val predecessors : t -> int -> edge list
+
+val packed_bytes_per_state : t -> float option
+(** Arena bytes per class for a packed graph; [None] when boxed. *)
+
+val packed_arrays : t -> (int array * int array * int array * int array) option
+(** [(arena, index, edge offsets, edge data)] of a packed graph —
+    byte-identical across [jobs] values; [None] when boxed. *)
+
+val domain_arrays : t -> int array * int array * float array * float array
+(** [(off, sup, lo, hi)]: for class [i], slots [off.(i) .. off.(i+1)-1]
+    hold its timer support — [2*t] an in-flight timer of transition
+    [t], [2*t+1] its enabling timer — with the interval domain in
+    [lo]/[hi].  Identical across [jobs] and representations. *)
 
 val deadlocks : t -> int list
-(** Timed-dead states: nothing fireable, nothing in flight, nothing
-    pending. *)
+(** Timed-dead classes: nothing fireable, nothing in flight, nothing
+    pending — equivalently, classes with no outgoing edge.  Coincides
+    with the explicit expansion's deadlock set. *)
 
-val min_cycle_time : t -> Pnut_core.Net.transition_id -> float option
+val min_cycle_time :
+  ?max_states:int -> Pnut_core.Net.t -> Pnut_core.Net.transition_id -> float option
 (** Shortest accumulated time before the transition first starts firing
     on any path (a best-case latency measure); [None] if it never
-    fires. *)
+    fires.  Runs a uniform-cost search over residual vectors (edge
+    weight = folded Tick duration) rather than the class graph, which
+    merges vectors reached at different times; [max_states] bounds the
+    settled vectors (default 50_000). *)
 
 val max_tokens : t -> Pnut_core.Net.place_id -> int
 

@@ -231,6 +231,63 @@ let test_reach_por () =
   let code, _ = run [ "model"; "indep0x4" ] in
   Alcotest.(check bool) "bad generator params rejected" true (code <> 0)
 
+let test_timed_reach () =
+  (* the state-class graph is the default --timed construction; the
+     frozen explicit expansion stays reachable behind --explicit and is
+     strictly larger on the delay-heavy pipeline *)
+  let out =
+    check_run "timed reach" [ "reach"; model_file; "--timed" ]
+  in
+  Testutil.check_contains "class summary" out "timed state-class graph";
+  let err = read_file (tmp "err") in
+  Testutil.check_contains "class stderr" err "reach: classes=";
+  let class_states =
+    Scanf.sscanf
+      (String.concat ""
+         (List.filter
+            (fun l -> String.length l > 7 && String.sub l 0 7 = "states:")
+            (String.split_on_char '\n' out)))
+      "states: %d" Fun.id
+  in
+  let explicit =
+    check_run "explicit timed reach"
+      [ "reach"; model_file; "--timed"; "--explicit" ]
+  in
+  Testutil.check_contains "explicit summary" explicit
+    "timed reachability graph";
+  let explicit_states =
+    Scanf.sscanf
+      (String.concat ""
+         (List.filter
+            (fun l -> String.length l > 7 && String.sub l 0 7 = "states:")
+            (String.split_on_char '\n' explicit)))
+      "states: %d" Fun.id
+  in
+  Alcotest.(check bool) "classes beat explicit states" true
+    (class_states < explicit_states);
+  (* --packed covers --timed now: auto packs the bounded pipeline, off
+     falls back to the boxed build of the same graph *)
+  let boxed =
+    check_run "timed boxed" [ "reach"; model_file; "--timed"; "--packed"; "off" ]
+  in
+  let err = read_file (tmp "err") in
+  Testutil.check_contains "boxed stderr" err "bytes/state=-";
+  Alcotest.(check string) "packed and boxed summaries agree" out boxed;
+  (* --explicit is a --timed refinement, and the explicit expansion has
+     no packed encoding *)
+  let code, _ = run [ "reach"; model_file; "--explicit" ] in
+  Alcotest.(check int) "--explicit without --timed exits 2" 2 code;
+  let code, _ =
+    run [ "reach"; model_file; "--timed"; "--explicit"; "--packed"; "on" ]
+  in
+  Alcotest.(check int) "--explicit --packed on exits 2" 2 code
+
+let test_model_list () =
+  let out = check_run "model list" [ "model"; "--list" ] in
+  Testutil.check_contains "pipeline row" out "pipeline";
+  Testutil.check_contains "generator row" out "indep<N>x<K>";
+  Testutil.check_contains "description" out "Figures 1-3"
+
 let test_invariants () =
   let out = check_run "invariants" [ "invariants"; model_file ] in
   Testutil.check_contains "p-invariants" out "Bus_busy + Bus_free";
@@ -264,6 +321,38 @@ let test_dot () =
   Testutil.check_contains "digraph" out "digraph \"pipeline3\"";
   let out2 = check_run "dot reach" [ "dot"; model_file; "--kind"; "reach" ] in
   Testutil.check_contains "reach digraph" out2 "digraph reachability"
+
+let test_dot_budget () =
+  (* dot's graph-building kinds honour the shared budget flags: on a
+     trip the dot of the partial prefix is still written, then exit 3 *)
+  let pump = tmp "pump3.pn" in
+  let oc = open_out pump in
+  output_string oc
+    "net pump\nplace p init 1\nplace q\ntransition t\n  in p\n  out p, q\n";
+  close_out oc;
+  let code, out =
+    run [ "dot"; pump; "--kind"; "reach"; "--wall-limit"; "0.05";
+          "--max-states"; "100000000" ]
+  in
+  Alcotest.(check int) "dot reach degrades with exit 3" 3 code;
+  Testutil.check_contains "partial dot written" out "digraph reachability";
+  let err = read_file (tmp "err") in
+  Testutil.check_contains "reason on stderr" err "wall-clock budget";
+  (* coverability accelerates the pump to a finite tree instantly, so
+     degrade it through the state cap on a wide bounded net instead *)
+  let indep = tmp "indep_dot.pn" in
+  let _ = check_run "indep model" [ "model"; "indep6x4"; "-o"; indep ] in
+  let code, out =
+    run [ "dot"; indep; "--kind"; "coverability"; "--max-states"; "50" ]
+  in
+  Alcotest.(check int) "dot coverability degrades with exit 3" 3 code;
+  Testutil.check_contains "partial coverability dot" out "digraph";
+  let code, out =
+    run [ "dot"; pump; "--kind"; "reach"; "--max-states"; "50";
+          "--wall-limit"; "300" ]
+  in
+  Alcotest.(check int) "state-capped dot exits 3" 3 code;
+  Testutil.check_contains "capped dot still written" out "digraph reachability"
 
 let test_replicate () =
   let out =
@@ -497,10 +586,13 @@ let () =
           Alcotest.test_case "reach" `Quick test_reach_and_ctl;
           Alcotest.test_case "reach query" `Quick test_reach_query;
           Alcotest.test_case "reach por" `Quick test_reach_por;
+          Alcotest.test_case "timed reach" `Quick test_timed_reach;
+          Alcotest.test_case "model list" `Quick test_model_list;
           Alcotest.test_case "invariants" `Quick test_invariants;
           Alcotest.test_case "anim" `Quick test_anim;
           Alcotest.test_case "analytic" `Quick test_analytic;
           Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "dot budget" `Quick test_dot_budget;
           Alcotest.test_case "replicate" `Quick test_replicate;
           Alcotest.test_case "coverability" `Quick test_coverability_cli;
           Alcotest.test_case "budget degradation" `Quick

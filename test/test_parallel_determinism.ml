@@ -104,8 +104,8 @@ let timed_digest g =
   let states =
     List.init (Timed.num_states g) (fun i ->
         let s = Timed.state g i in
-        (s.Timed.ts_marking, s.Timed.ts_in_flight, s.Timed.ts_pending,
-         s.Timed.ts_env))
+        ( s.Timed.ts_marking, s.Timed.ts_flight, s.Timed.ts_pending,
+          s.Timed.ts_flight_iv, s.Timed.ts_pending_iv, s.Timed.ts_env ))
   in
   let edges =
     List.concat (List.init (Timed.num_states g) (fun i -> Timed.successors g i))
@@ -113,12 +113,23 @@ let timed_digest g =
   (states, edges)
 
 let test_timed_parity () =
-  let serial = Timed.build ~jobs:1 (timed_net ()) in
-  Alcotest.(check bool) "timed graph non-trivial" true
+  (* the packed arenas — not just the decoded views — must be
+     byte-identical for every team size, and the boxed serial build must
+     decode to the same graph *)
+  let serial = Timed.build ~jobs:1 ~packed:true (timed_net ()) in
+  Alcotest.(check bool) "timed class graph non-trivial" true
     (Timed.num_states serial > 4);
+  let boxed = Timed.build (timed_net ()) in
+  Alcotest.(check bool) "boxed build identical to packed" true
+    (timed_digest serial = timed_digest boxed);
   List.iter
     (fun jobs ->
-      let parallel = Timed.build ~jobs (timed_net ()) in
+      let parallel = Timed.build ~jobs ~packed:true (timed_net ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d packed class arrays byte-identical" jobs)
+        true
+        (Timed.packed_arrays serial = Timed.packed_arrays parallel
+        && Timed.domain_arrays serial = Timed.domain_arrays parallel);
       Alcotest.(check bool)
         (Printf.sprintf "jobs=%d timed graph identical" jobs)
         true

@@ -1,10 +1,12 @@
-(* Tests for timed reachability graphs (deterministic delays, RP84). *)
+(* Tests for timed reachability: the state-class graph (Timed) and the
+   frozen explicit-expansion oracle (Timed_explicit). *)
 
 module Net = Pnut_core.Net
 module Expr = Pnut_core.Expr
 module Value = Pnut_core.Value
 module B = Net.Builder
 module Timed = Pnut_reach.Timed
+module Tx = Pnut_reach.Timed_explicit
 
 let one_shot ~firing ~enabling =
   let b = B.create "oneshot" in
@@ -13,23 +15,27 @@ let one_shot ~firing ~enabling =
   let t = B.add_transition b "t" ~inputs:[ (p, 1) ] ~outputs:[ (q, 1) ] ~firing ~enabling in
   (B.build b, p, q, t)
 
+(* -- state-class graph -- *)
+
 let test_firing_time_states () =
   let net, _, q, t = one_shot ~firing:(Net.Const 2.0) ~enabling:Net.Zero in
   let g = Timed.build net in
   Alcotest.(check bool) "complete" true (Timed.complete g);
-  (* states: initial -> fired (in flight 2) -> tick -> complete *)
-  Alcotest.(check int) "four states" 4 (Timed.num_states g);
+  (* classes: initial -> in flight -> done; the oracle's interpolated
+     tick state collapses into the Complete edge *)
+  Alcotest.(check int) "three classes" 3 (Timed.num_states g);
   Alcotest.(check int) "one deadlock" 1 (List.length (Timed.deadlocks g));
   Alcotest.(check int) "q bound" 1 (Timed.max_tokens g q);
   Alcotest.(check (option (float 0.0))) "t fires at 0" (Some 0.0)
-    (Timed.min_cycle_time g t)
+    (Timed.min_cycle_time net t)
 
 let test_enabling_time_states () =
   let net, _, _, t = one_shot ~firing:Net.Zero ~enabling:(Net.Const 3.0) in
   let g = Timed.build net in
-  (* initial (pending 3) -> tick 3 -> fireable -> fired/terminal *)
+  (* the leading wait normalizes away: pending at 0 in the initial class *)
+  Alcotest.(check int) "two classes" 2 (Timed.num_states g);
   Alcotest.(check (option (float 0.0))) "t fires at 3" (Some 3.0)
-    (Timed.min_cycle_time g t);
+    (Timed.min_cycle_time net t);
   Alcotest.(check int) "deadlocked at end" 1 (List.length (Timed.deadlocks g))
 
 let test_conflict_branches () =
@@ -53,34 +59,34 @@ let test_conflict_branches () =
   Alcotest.(check bool) "both fire labels" true
     (labels = [ Timed.Fire tl; Timed.Fire tr_ ] || labels = [ Timed.Fire tr_; Timed.Fire tl ])
 
-let test_tick_advances_minimum () =
-  (* two pending enabling delays 2 and 5: tick must be 2 *)
+let test_interval_domains () =
+  (* enabling delays 2 and 5 pending together: the initial class's
+     normalized domain pins 'fast' at 0 and 'slow' at 3 *)
   let b = B.create "mintick" in
   let p = B.add_place b "p" ~initial:2 in
   let x = B.add_place b "x" in
   let y = B.add_place b "y" in
-  let _ =
+  let fast =
     B.add_transition b "fast" ~inputs:[ (p, 1) ] ~outputs:[ (x, 1) ]
       ~enabling:(Net.Const 2.0)
   in
-  let _ =
+  let slow =
     B.add_transition b "slow" ~inputs:[ (p, 1) ] ~outputs:[ (y, 1) ]
       ~enabling:(Net.Const 5.0)
   in
   let net = B.build b in
   let g = Timed.build net in
-  let ticks =
-    List.concat_map
-      (fun i ->
-        List.filter_map
-          (fun e ->
-            match e.Timed.e_label with Timed.Tick d -> Some d | _ -> None)
-          (Timed.successors g i))
-      (List.init (Timed.num_states g) Fun.id)
-  in
-  Alcotest.(check bool) "first tick is 2" true (List.mem 2.0 ticks);
-  Alcotest.(check bool) "no tick skips past a deadline" true
-    (List.for_all (fun d -> d <= 5.0) ticks)
+  let s0 = Timed.state g (Timed.initial g) in
+  Alcotest.(check (list int)) "both pending" [ fast; slow ] s0.Timed.ts_pending;
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "normalized domain" [ (0.0, 0.0); (3.0, 3.0) ]
+    s0.Timed.ts_pending_iv;
+  (* and the whole-graph domain arrays agree with the per-class view *)
+  let off, sup, lo, hi = Timed.domain_arrays g in
+  Alcotest.(check int) "two slots for class 0" 2 (off.(1) - off.(0));
+  Alcotest.(check int) "slow's enabling slot" ((2 * slow) + 1) sup.(1);
+  Alcotest.(check (float 0.0)) "slow lo" 3.0 lo.(1);
+  Alcotest.(check (float 0.0)) "slow hi" 3.0 hi.(1)
 
 let test_residual_enabling_preserved () =
   (* 'slow' (enabling 5) stays continuously enabled across 'fast' events
@@ -100,9 +106,8 @@ let test_residual_enabling_preserved () =
       ~enabling:(Net.Const 5.0)
   in
   let net = B.build b in
-  let g = Timed.build net in
   Alcotest.(check (option (float 0.0))) "slow at 5 despite fast at 2" (Some 5.0)
-    (Timed.min_cycle_time g slow)
+    (Timed.min_cycle_time net slow)
 
 let test_stochastic_rejected () =
   let net, _, _, _ = one_shot ~firing:(Net.Exponential 1.0) ~enabling:Net.Zero in
@@ -121,25 +126,8 @@ let test_degenerate_durations_accepted () =
     one_shot ~firing:(Net.Uniform (2.0, 2.0))
       ~enabling:(Net.Choice [ (3.0, 1.0); (3.0, 5.0) ])
   in
-  let g = Timed.build net in
   Alcotest.(check (option (float 0.0))) "enabling 3 then firing" (Some 3.0)
-    (Timed.min_cycle_time g t)
-
-let test_horizon_bound () =
-  (* an infinite clock net explored up to a horizon stays finite even
-     though states carry accumulated phase *)
-  let b = B.create "clock" in
-  let p = B.add_place b "p" ~initial:1 in
-  let count = B.add_place b "ticks" in
-  let _ =
-    B.add_transition b "beat" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1); (count, 1) ]
-      ~firing:(Net.Const 1.0)
-  in
-  let net = B.build b in
-  let g = Timed.build ~horizon:4.0 ~max_states:1000 net in
-  Alcotest.(check bool) "finite" true (Timed.num_states g < 50);
-  Alcotest.(check bool) "ticks bounded by horizon" true
-    (Timed.max_tokens g count <= 5)
+    (Timed.min_cycle_time net t)
 
 let test_interpreted_timed () =
   (* dynamic deterministic duration from a variable *)
@@ -151,9 +139,8 @@ let test_interpreted_timed () =
       ~enabling:(Net.Dynamic (Expr.var "d"))
   in
   let net = B.build b in
-  let g = Timed.build net in
   Alcotest.(check (option (float 0.0))) "dynamic delay honoured" (Some 4.0)
-    (Timed.min_cycle_time g t)
+    (Timed.min_cycle_time net t)
 
 let test_never_fires () =
   let b = B.create "never" in
@@ -162,29 +149,27 @@ let test_never_fires () =
   let t = B.add_transition b "t" ~inputs:[ (p, 1) ] ~outputs:[ (q, 1) ] in
   let _ = B.add_place b "tok" in
   let net = B.build b in
-  let g = Timed.build net in
   Alcotest.(check (option (float 0.0))) "unreachable firing" None
-    (Timed.min_cycle_time g t)
+    (Timed.min_cycle_time net t)
+
+let three_stage () =
+  let b = B.create "3stage" in
+  let a = B.add_place b "a" ~initial:1 in
+  let bb = B.add_place b "b" in
+  let c = B.add_place b "c" in
+  let d = B.add_place b "d" in
+  let _ = B.add_transition b "s1" ~inputs:[ (a, 1) ] ~outputs:[ (bb, 1) ] ~firing:(Net.Const 2.0) in
+  let _ = B.add_transition b "s2" ~inputs:[ (bb, 1) ] ~outputs:[ (c, 1) ] ~enabling:(Net.Const 3.0) in
+  let s3 = B.add_transition b "s3" ~inputs:[ (c, 1) ] ~outputs:[ (d, 1) ] ~firing:(Net.Const 1.0) in
+  (B.build b, s3)
 
 let test_agreement_with_simulator () =
   (* For a deterministic linear net, the simulator's event times must
-     appear as the timed graph's tick structure: end-to-end latency of a
-     3-stage deterministic pipeline is the same in both. *)
-  let make () =
-    let b = B.create "3stage" in
-    let a = B.add_place b "a" ~initial:1 in
-    let bb = B.add_place b "b" in
-    let c = B.add_place b "c" in
-    let d = B.add_place b "d" in
-    let _ = B.add_transition b "s1" ~inputs:[ (a, 1) ] ~outputs:[ (bb, 1) ] ~firing:(Net.Const 2.0) in
-    let _ = B.add_transition b "s2" ~inputs:[ (bb, 1) ] ~outputs:[ (c, 1) ] ~enabling:(Net.Const 3.0) in
-    let s3 = B.add_transition b "s3" ~inputs:[ (c, 1) ] ~outputs:[ (d, 1) ] ~firing:(Net.Const 1.0) in
-    (B.build b, s3)
-  in
-  let net, s3 = make () in
-  let g = Timed.build net in
+     agree with the vector-space search: end-to-end latency of a 3-stage
+     deterministic pipeline is the same in both. *)
+  let net, s3 = three_stage () in
   Alcotest.(check (option (float 0.0))) "s3 starts at 5" (Some 5.0)
-    (Timed.min_cycle_time g s3);
+    (Timed.min_cycle_time net s3);
   let trace, _ = Pnut_sim.Simulator.trace ~until:100.0 net in
   let s3_starts =
     Array.to_list (Pnut_trace.Trace.deltas trace)
@@ -194,6 +179,108 @@ let test_agreement_with_simulator () =
     |> List.map (fun d -> d.Pnut_trace.Trace.d_time)
   in
   Alcotest.(check (list (float 0.0))) "simulator agrees" [ 5.0 ] s3_starts
+
+let test_packed_build () =
+  let net, _ = three_stage () in
+  let boxed = Timed.build net in
+  let packed = Timed.build ~packed:true net in
+  Alcotest.(check bool) "packed is packed" true
+    (Timed.packed_bytes_per_state packed <> None);
+  Alcotest.(check int) "same classes" (Timed.num_states boxed)
+    (Timed.num_states packed);
+  Alcotest.(check int) "same edges" (Timed.num_edges boxed)
+    (Timed.num_edges packed);
+  let digest g =
+    List.init (Timed.num_states g) (fun i ->
+        let s = Timed.state g i in
+        ( s.Timed.ts_marking, s.Timed.ts_flight, s.Timed.ts_pending,
+          s.Timed.ts_flight_iv, s.Timed.ts_pending_iv, s.Timed.ts_env,
+          Timed.successors g i ))
+  in
+  Alcotest.(check bool) "same decoded graph" true (digest boxed = digest packed)
+
+(* -- frozen explicit-expansion oracle -- *)
+
+let test_explicit_four_states () =
+  let net, _, q, t = one_shot ~firing:(Net.Const 2.0) ~enabling:Net.Zero in
+  let g = Tx.build net in
+  Alcotest.(check bool) "complete" true (Tx.complete g);
+  (* states: initial -> fired (in flight 2) -> tick -> complete *)
+  Alcotest.(check int) "four states" 4 (Tx.num_states g);
+  Alcotest.(check int) "one deadlock" 1 (List.length (Tx.deadlocks g));
+  Alcotest.(check int) "q bound" 1 (Tx.max_tokens g q);
+  Alcotest.(check (option (float 0.0))) "t fires at 0" (Some 0.0)
+    (Tx.min_cycle_time g t)
+
+let test_explicit_tick_minimum () =
+  (* two pending enabling delays 2 and 5: tick must be 2 *)
+  let b = B.create "mintick" in
+  let p = B.add_place b "p" ~initial:2 in
+  let x = B.add_place b "x" in
+  let y = B.add_place b "y" in
+  let _ =
+    B.add_transition b "fast" ~inputs:[ (p, 1) ] ~outputs:[ (x, 1) ]
+      ~enabling:(Net.Const 2.0)
+  in
+  let _ =
+    B.add_transition b "slow" ~inputs:[ (p, 1) ] ~outputs:[ (y, 1) ]
+      ~enabling:(Net.Const 5.0)
+  in
+  let net = B.build b in
+  let g = Tx.build net in
+  let ticks =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun e -> match e.Tx.e_label with Tx.Tick d -> Some d | _ -> None)
+          (Tx.successors g i))
+      (List.init (Tx.num_states g) Fun.id)
+  in
+  Alcotest.(check bool) "first tick is 2" true (List.mem 2.0 ticks);
+  Alcotest.(check bool) "no tick skips past a deadline" true
+    (List.for_all (fun d -> d <= 5.0) ticks)
+
+let test_explicit_horizon () =
+  (* an infinite clock net explored up to a horizon stays finite even
+     though states carry accumulated phase *)
+  let b = B.create "clock" in
+  let p = B.add_place b "p" ~initial:1 in
+  let count = B.add_place b "ticks" in
+  let _ =
+    B.add_transition b "beat" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1); (count, 1) ]
+      ~firing:(Net.Const 1.0)
+  in
+  let net = B.build b in
+  let g = Tx.build ~horizon:4.0 ~max_states:1000 net in
+  Alcotest.(check bool) "finite" true (Tx.num_states g < 50);
+  Alcotest.(check bool) "ticks bounded by horizon" true
+    (Tx.max_tokens g count <= 5)
+
+let test_class_reduction () =
+  (* the whole point: on a delay-heavy net the class graph is strictly
+     smaller than the explicit expansion while agreeing on markings and
+     deadlocks *)
+  let net, _ = three_stage () in
+  let g = Timed.build net in
+  let x = Tx.build net in
+  Alcotest.(check bool) "fewer classes than explicit states" true
+    (Timed.num_states g < Tx.num_states x);
+  let markings_of n state =
+    List.init n state |> List.map Array.to_list |> List.sort_uniq compare
+  in
+  Alcotest.(check (list (list int))) "same reachable markings"
+    (markings_of (Tx.num_states x) (fun i -> (Tx.state x i).Tx.ts_marking))
+    (markings_of (Timed.num_states g) (fun i -> (Timed.state g i).Timed.ts_marking))
+
+let test_summaries () =
+  let net, _, _, _ = one_shot ~firing:(Net.Const 1.0) ~enabling:Net.Zero in
+  let g = Timed.build net in
+  let text = Format.asprintf "%a" Timed.pp_summary g in
+  Testutil.check_contains "class summary" text "timed state-class graph";
+  Testutil.check_contains "class summary" text "residual vectors:";
+  let x = Tx.build net in
+  let xtext = Format.asprintf "%a" Tx.pp_summary x in
+  Testutil.check_contains "explicit summary" xtext "timed reachability graph"
 
 (* -- steady-cycle analysis (RP84 performance evaluation) -- *)
 
@@ -263,13 +350,6 @@ let test_steady_cycle_matches_simulation () =
       true
       (Float.abs (analytic_rate -. sim_rate) < 0.01)
 
-let test_summary () =
-  let net, _, _, _ = one_shot ~firing:(Net.Const 1.0) ~enabling:Net.Zero in
-  let g = Timed.build net in
-  let text = Format.asprintf "%a" Timed.pp_summary g in
-  Testutil.check_contains "summary" text "timed reachability graph";
-  Testutil.check_contains "summary" text "states:"
-
 let () =
   Alcotest.run "timed-reach"
     [
@@ -278,10 +358,10 @@ let () =
           Alcotest.test_case "firing time" `Quick test_firing_time_states;
           Alcotest.test_case "enabling time" `Quick test_enabling_time_states;
           Alcotest.test_case "conflict branches" `Quick test_conflict_branches;
-          Alcotest.test_case "minimum tick" `Quick test_tick_advances_minimum;
+          Alcotest.test_case "interval domains" `Quick test_interval_domains;
           Alcotest.test_case "residual enabling" `Quick
             test_residual_enabling_preserved;
-          Alcotest.test_case "horizon" `Quick test_horizon_bound;
+          Alcotest.test_case "packed build" `Quick test_packed_build;
         ] );
       ( "durations",
         [
@@ -295,7 +375,14 @@ let () =
           Alcotest.test_case "never fires" `Quick test_never_fires;
           Alcotest.test_case "simulator agreement" `Quick
             test_agreement_with_simulator;
-          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summaries" `Quick test_summaries;
+        ] );
+      ( "explicit oracle",
+        [
+          Alcotest.test_case "four states" `Quick test_explicit_four_states;
+          Alcotest.test_case "minimum tick" `Quick test_explicit_tick_minimum;
+          Alcotest.test_case "horizon" `Quick test_explicit_horizon;
+          Alcotest.test_case "class reduction" `Quick test_class_reduction;
         ] );
       ( "steady cycle",
         [
